@@ -1,0 +1,52 @@
+// Ablation: the COLLAPSE(2) clause GLAF generates for nested parallel
+// loops (paper §4.1.2 notes the v3 loops run 2 x 60 = 120 iterations
+// *because* of COLLAPSE(2)). Without collapsing, only the outer
+// 2-iteration hemisphere loop distributes, capping parallelism at 2.
+
+#include <cstdio>
+
+#include "fuliou/glaf_kernels.hpp"
+#include "fuliou/harness.hpp"
+#include "perfmodel/sarb_model.hpp"
+#include "support/table.hpp"
+
+using namespace glaf;
+using namespace glaf::fuliou;
+
+int main() {
+  std::printf("== Ablation: COLLAPSE(2) on the v3 complex loops "
+              "(modeled i5-2400) ==\n\n");
+
+  const Program program = build_sarb_program();
+  const ProgramAnalysis analysis = analyze_program(program);
+  const std::vector<LoopInfo> inventory =
+      sarb_loop_inventory(program, analysis);
+  const MachineModel machine = MachineModel::i5_2400();
+
+  SarbModelParams with;
+  SarbModelParams without;
+  without.collapse_directive = false;
+
+  const double original = model_sarb_time(
+      inventory, SarbVariant::kOriginalSerial, DirectivePolicy::kV0, 1,
+      machine, with);
+
+  TextTable table({"threads", "v3 speed-up (COLLAPSE(2))",
+                   "v3 speed-up (no collapse)"});
+  table.set_alignment({Align::kRight, Align::kRight, Align::kRight});
+  for (const int t : {1, 2, 4, 8}) {
+    const double t_with = model_sarb_time(
+        inventory, SarbVariant::kGlafParallel, DirectivePolicy::kV3, t,
+        machine, with);
+    const double t_without = model_sarb_time(
+        inventory, SarbVariant::kGlafParallel, DirectivePolicy::kV3, t,
+        machine, without);
+    table.add_row({std::to_string(t), format_speedup(original / t_with),
+                   format_speedup(original / t_without)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("without COLLAPSE(2) the 2-iteration hemisphere loop caps "
+              "parallel gains at ~2 ways regardless of thread count — the "
+              "clause is what makes 4 threads worthwhile.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Figure 6: parallel scalability — speed-up of the fastest
+// GLAF-generated version (GLAF-parallel v3) with 1/2/4/8 threads versus
+// the GLAF serial implementation, on the modeled Intel i5-2400.
+//
+// The paper's explanation is reproduced structurally: under v3 only the
+// two COLLAPSE(2) complex loops (2 x 60 = 120 iterations) are parallel,
+// so four threads is the sweet spot and eight (hyper-threaded,
+// oversubscribed) collapses.
+
+#include <cstdio>
+
+#include "fuliou/glaf_kernels.hpp"
+#include "fuliou/harness.hpp"
+#include "perfmodel/sarb_model.hpp"
+#include "support/table.hpp"
+
+using namespace glaf;
+using namespace glaf::fuliou;
+
+int main() {
+  std::printf("== Figure 6: GLAF-parallel v3 scalability vs GLAF serial "
+              "(modeled i5-2400) ==\n\n");
+
+  const Program program = build_sarb_program();
+  const ProgramAnalysis analysis = analyze_program(program);
+  const std::vector<LoopInfo> inventory =
+      sarb_loop_inventory(program, analysis);
+
+  const std::vector<SarbPoint> series = figure6_series(
+      inventory, {1, 2, 4, 8}, MachineModel::i5_2400());
+  const double paper[] = {1.00, 0.92, 1.24, 1.59, 0.70};
+
+  TextTable table({"Implementation", "speed-up (paper)",
+                   "speed-up (modeled)"});
+  table.set_alignment({Align::kLeft, Align::kRight, Align::kRight});
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    table.add_row({series[i].label,
+                   i < 5 ? format_speedup(paper[i]) : "-",
+                   format_speedup(series[i].speedup)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Structural facts behind the curve (from the real analysis).
+  int collapsed = 0;
+  for (const LoopInfo& info : inventory) {
+    if (info.function == "longwave_entropy_model" &&
+        info.verdict.loop_class == LoopClass::kComplex &&
+        info.verdict.parallelizable) {
+      std::printf("parallel loop under v3: %s/%s — COLLAPSE(%d), %lld "
+                  "iterations\n",
+                  info.function.c_str(), info.step.c_str(),
+                  info.verdict.collapse,
+                  static_cast<long long>(info.verdict.trip_count));
+      ++collapsed;
+    }
+  }
+  std::printf("\n%d collapsed 2x60 loops carry all v3 parallelism; beyond "
+              "4 physical cores the small iteration count cannot amortize "
+              "the OpenMP runtime and coherence overheads (paper §4.1.2)."
+              "\n", collapsed);
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Google-benchmark microbenchmarks of the framework itself: IR
+// construction, validation, auto-parallelization analysis, code
+// generation for each back-end, and interpreter throughput. These guard
+// the framework's own performance (a tooling concern, not a paper
+// figure).
+
+#include <benchmark/benchmark.h>
+
+#include "codegen/c.hpp"
+#include "codegen/fortran.hpp"
+#include "codegen/opencl.hpp"
+#include "analysis/transform.hpp"
+#include "core/serialize.hpp"
+#include "core/validate.hpp"
+#include "fuliou/glaf_kernels.hpp"
+#include "fuliou/harness.hpp"
+#include "fuliou/reference.hpp"
+#include "fun3d/recon.hpp"
+#include "interp/machine.hpp"
+
+namespace {
+
+using namespace glaf;
+using namespace glaf::fuliou;
+
+const Program& sarb_program() {
+  static const Program p = build_sarb_program();
+  return p;
+}
+
+const ProgramAnalysis& sarb_analysis() {
+  static const ProgramAnalysis a = analyze_program(sarb_program());
+  return a;
+}
+
+void BM_BuildSarbProgram(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_sarb_program());
+  }
+}
+BENCHMARK(BM_BuildSarbProgram);
+
+void BM_ValidateSarb(benchmark::State& state) {
+  const Program& p = sarb_program();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate(p));
+  }
+}
+BENCHMARK(BM_ValidateSarb);
+
+void BM_AnalyzeSarb(benchmark::State& state) {
+  const Program& p = sarb_program();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_program(p));
+  }
+}
+BENCHMARK(BM_AnalyzeSarb);
+
+void BM_GenerateFortran(benchmark::State& state) {
+  const Program& p = sarb_program();
+  const ProgramAnalysis& a = sarb_analysis();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_fortran(p, a));
+  }
+}
+BENCHMARK(BM_GenerateFortran);
+
+void BM_GenerateC(benchmark::State& state) {
+  const Program& p = sarb_program();
+  const ProgramAnalysis& a = sarb_analysis();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_c(p, a));
+  }
+}
+BENCHMARK(BM_GenerateC);
+
+void BM_GenerateOpenCl(benchmark::State& state) {
+  const Program& p = sarb_program();
+  const ProgramAnalysis& a = sarb_analysis();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_opencl(p, a));
+  }
+}
+BENCHMARK(BM_GenerateOpenCl);
+
+void BM_InterpretSarbZone(benchmark::State& state) {
+  Machine machine(sarb_program());
+  const AtmosphereProfile profile = make_profile(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_glaf_sarb(machine, profile));
+  }
+  state.SetItemsProcessed(state.iterations() * kNumLevels);
+}
+BENCHMARK(BM_InterpretSarbZone);
+
+void BM_ReferenceSarbZone(benchmark::State& state) {
+  const AtmosphereProfile profile = make_profile(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_reference(profile));
+  }
+  state.SetItemsProcessed(state.iterations() * kNumLevels);
+}
+BENCHMARK(BM_ReferenceSarbZone);
+
+void BM_ReconstructOriginal(benchmark::State& state) {
+  const fun3d::Mesh mesh =
+      fun3d::make_mesh(state.range(0), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fun3d::reconstruct_original(mesh));
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.n_edges);
+}
+BENCHMARK(BM_ReconstructOriginal)->Arg(1000)->Arg(4000);
+
+void BM_MakeMesh(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fun3d::make_mesh(state.range(0), 42));
+  }
+}
+BENCHMARK(BM_MakeMesh)->Arg(1000)->Arg(4000);
+
+void BM_SerializeSarb(benchmark::State& state) {
+  const Program& p = sarb_program();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serialize_program(p));
+  }
+}
+BENCHMARK(BM_SerializeSarb);
+
+void BM_ParseSarb(benchmark::State& state) {
+  const std::string text = serialize_program(sarb_program());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_program(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseSarb);
+
+void BM_FoldConstantsSarb(benchmark::State& state) {
+  const Program& p = sarb_program();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fold_constants(p));
+  }
+}
+BENCHMARK(BM_FoldConstantsSarb);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Quickstart: the paper's Figure 1 example end to end.
+//
+// Builds the 4x4 "img_src" grid and a small filtering kernel through the
+// builder API (the GPI stand-in), runs validation and the
+// auto-parallelization analysis, generates FORTRAN and C, and executes
+// the program with the interpreter.
+//
+//   ./quickstart            # prints analysis, generated code, and results
+
+#include <cstdio>
+
+#include "codegen/c.hpp"
+#include "codegen/fortran.hpp"
+#include "core/builder.hpp"
+#include "interp/machine.hpp"
+
+using namespace glaf;
+
+int main() {
+  // ---- 1. Author the program (what the GPI's point-and-click builds) ----
+  ProgramBuilder pb("img_mod");
+
+  // Figure 1: a 4x4 integer grid named img_src with a comment.
+  auto img_src = pb.global("img_src", DataType::kInt, {4, 4},
+                           {.comment = "Image before filtering"});
+  auto img_dst = pb.global("img_dst", DataType::kInt, {4, 4},
+                           {.comment = "Image after filtering"});
+
+  auto fb = pb.function("brighten");  // void -> generated as a SUBROUTINE
+  fb.comment("Double every pixel and clamp to 255");
+  auto step = fb.step("Step1");
+  step.comment("Loop through all pixels");
+  step.foreach_("row", 0, 3).foreach_("col", 0, 3);
+  step.assign(img_dst(idx("row"), idx("col")),
+              call("MIN", {img_src(idx("row"), idx("col")) * 2, liti(255)}));
+
+  // ---- 2. Validate and analyze --------------------------------------------
+  const StatusOr<Program> built = pb.build();
+  if (!built.is_ok()) {
+    std::printf("validation failed:\n%s\n", built.status().message().c_str());
+    return 1;
+  }
+  const Program& program = built.value();
+  const ProgramAnalysis analysis = analyze_program(program);
+
+  const Function* fn = program.find_function("brighten");
+  const StepVerdict& verdict = analysis.verdict(fn->id, 0);
+  std::printf("== auto-parallelization verdict ==\n%s\n\n",
+              verdict_to_string(program, verdict).c_str());
+
+  // ---- 3. Generate code ---------------------------------------------------
+  std::printf("== generated FORTRAN ==\n%s\n",
+              generate_fortran(program, analysis).source.c_str());
+  std::printf("== generated C ==\n%s\n",
+              generate_c(program, analysis).source.c_str());
+
+  // ---- 4. Execute with the interpreter ------------------------------------
+  Machine machine(program);
+  std::vector<double> pixels(16);
+  for (int i = 0; i < 16; ++i) pixels[i] = 10.0 * (i + 1);
+  if (Status s = machine.set_array("img_src", pixels); !s) {
+    std::printf("set_array failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  if (const auto r = machine.call("brighten"); !r.is_ok()) {
+    std::printf("call failed: %s\n", r.status().message().c_str());
+    return 1;
+  }
+  const std::vector<double> out = machine.array("img_dst").value();
+  std::printf("== interpreted result (img_dst) ==\n");
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      std::printf("%6.0f", out[static_cast<std::size_t>(r) * 4 + c]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

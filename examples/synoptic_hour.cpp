@@ -1,0 +1,89 @@
+// Simulates one Synoptic SARB "synoptic hour" (paper §2.2): the earth
+// split into latitude zones processed across MPI ranks (coarse-grained
+// inter-zone parallelism — the legacy behaviour), combined with the
+// intra-zone OpenMP parallelism this paper's kernels add.
+//
+// Runs a sample of real zone computations through the interpreter, then
+// models the full hour: rank makespan (block vs LPT scheduling) divided
+// by the intra-zone v3 speedup.
+//
+//   ./synoptic_hour [--zones=72] [--ranks=8] [--equator-columns=180]
+
+#include <cstdio>
+
+#include "fuliou/glaf_kernels.hpp"
+#include "fuliou/harness.hpp"
+#include "fuliou/reference.hpp"
+#include "fuliou/zones.hpp"
+#include "perfmodel/sarb_model.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+using namespace glaf;
+using namespace glaf::fuliou;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int n_zones = static_cast<int>(args.get_int("zones", 72));
+  const int ranks = static_cast<int>(args.get_int("ranks", 8));
+  const int equator = static_cast<int>(args.get_int("equator-columns", 180));
+
+  const std::vector<Zone> zones = make_zones(n_zones, equator);
+  std::printf("synoptic hour: %d zones, %d MPI ranks, %d columns at the "
+              "equator\n\n", n_zones, ranks, equator);
+
+  // A few real zone computations through the GLAF kernels (correctness).
+  const Program program = build_sarb_program();
+  Machine machine(program);
+  double worst = 0.0;
+  for (const int zi : {0, n_zones / 4, n_zones / 2}) {
+    const Zone& zone = zones[static_cast<std::size_t>(zi)];
+    const AtmosphereProfile profile = make_profile(zone.seed);
+    const auto out = run_glaf_sarb(machine, profile);
+    if (!out.is_ok()) {
+      std::printf("zone %d failed: %s\n", zone.index,
+                  out.status().message().c_str());
+      return 1;
+    }
+    const double diff = max_abs_diff(run_reference(profile), out.value());
+    worst = std::max(worst, diff);
+    std::printf("zone %2d (lat %+6.1f, %3d columns): GLAF vs original "
+                "diff %.2e\n",
+                zone.index, zone.latitude_deg, zone.columns, diff);
+  }
+  std::printf("worst sampled deviation: %.2e (PASS requires 0)\n\n", worst);
+
+  // Rank-level scheduling of the full hour.
+  const Schedule block = schedule_block(zones, ranks);
+  const Schedule lpt = schedule_lpt(zones, ranks);
+
+  // Intra-zone speedup from the Figure 5 model (v3 at 4 threads).
+  const ProgramAnalysis analysis = analyze_program(program);
+  const auto inventory = sarb_loop_inventory(program, analysis);
+  const auto fig5 = figure5_series(inventory, 4, MachineModel::i5_2400());
+  const double v3 = fig5.back().speedup;
+
+  TextTable table({"configuration", "makespan (column-units)", "imbalance",
+                   "speed-up vs legacy"});
+  table.set_alignment({Align::kLeft, Align::kRight, Align::kRight,
+                       Align::kRight});
+  const double legacy = synoptic_hour_time(block, 1.0);
+  const auto row = [&](const char* label, const Schedule& s, double intra) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", s.imbalance);
+    char make[32];
+    std::snprintf(make, sizeof(make), "%.0f", synoptic_hour_time(s, intra));
+    table.add_row({label, make, buf,
+                   format_speedup(legacy / synoptic_hour_time(s, intra))});
+  };
+  row("legacy: block MPI, serial zones", block, 1.0);
+  row("LPT MPI, serial zones", lpt, 1.0);
+  row("block MPI + intra-zone OMP v3", block, v3);
+  row("LPT MPI + intra-zone OMP v3", lpt, v3);
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("the paper's contribution composes with the legacy MPI "
+              "layer: each rank's zones finish ~%.2fx faster with the v3 "
+              "kernels, on top of whatever the scheduler saves.\n", v3);
+  return worst == 0.0 ? 0 : 1;
+}

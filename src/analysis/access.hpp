@@ -1,0 +1,61 @@
+#pragma once
+// Read/write-set extraction for steps and whole-function side-effect
+// summaries (used to reason about steps whose loops contain subprogram
+// calls — GLAF models interior loop nests as separate functions, §3.3, so
+// interprocedural summaries are essential for parallelizing outer loops).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/affine.hpp"
+#include "core/program.hpp"
+
+namespace glaf {
+
+/// One array/scalar reference found in a step.
+struct ArrayAccess {
+  GridId grid = kInvalidGridId;
+  std::string field;              ///< struct field ("" = none)
+  bool is_write = false;
+  bool whole_grid = false;        ///< passed whole to a call
+  bool conditional = false;       ///< under an if-arm
+  std::vector<AffineForm> subs;   ///< one per dimension (empty for scalars)
+  std::size_t stmt_index = 0;     ///< top-level statement ordinal in the step
+};
+
+/// Location key: a (grid, field) pair — distinct fields of a struct grid
+/// are distinct storage.
+using LocationKey = std::pair<GridId, std::string>;
+
+/// All accesses of a step, plus call information.
+struct StepAccesses {
+  std::vector<ArrayAccess> accesses;
+  std::vector<std::string> callees;   ///< user functions called (any depth)
+  bool has_return = false;            ///< early return inside the body
+};
+
+/// Side-effect summary of one function: which Global Scope grids it reads
+/// or writes (transitively, through callees) and which of its parameters
+/// it reads/writes.
+struct FunctionEffects {
+  std::set<GridId> global_reads;
+  std::set<GridId> global_writes;
+  std::vector<bool> param_read;
+  std::vector<bool> param_written;
+};
+
+using EffectsMap = std::map<FunctionId, FunctionEffects>;
+
+/// Collect every access in `step`, with affine forms relative to the
+/// step's own index variables. Calls contribute accesses for their
+/// whole-grid arguments and (via `effects`) the globals the callee touches.
+StepAccesses collect_step_accesses(const Program& program, const Step& step,
+                                   const EffectsMap& effects);
+
+/// Bottom-up interprocedural effect computation (call graph is acyclic —
+/// guaranteed by validation).
+EffectsMap compute_effects(const Program& program);
+
+}  // namespace glaf

@@ -1,0 +1,147 @@
+#include "analysis/affine.hpp"
+
+#include "support/strings.hpp"
+
+namespace glaf {
+namespace {
+
+bool contains_index(const Expr& e, const std::set<std::string>& index_vars) {
+  if (e.kind == Expr::Kind::kIndex) return index_vars.count(e.index_name) != 0;
+  for (const ExprPtr& a : e.args) {
+    if (contains_index(*a, index_vars)) return true;
+  }
+  return false;
+}
+
+AffineForm non_affine() { return AffineForm{}; }
+
+AffineForm constant_form(std::int64_t c) {
+  AffineForm f;
+  f.affine = true;
+  f.constant = c;
+  return f;
+}
+
+AffineForm symbol_form(const Expr& e) {
+  AffineForm f;
+  f.affine = true;
+  // Canonical textual form; grid ids keep it unambiguous.
+  f.symbol = expr_to_string(e);
+  return f;
+}
+
+AffineForm add(AffineForm a, const AffineForm& b, std::int64_t sign) {
+  if (!a.affine || !b.affine) return non_affine();
+  a.constant += sign * b.constant;
+  for (const auto& [var, coeff] : b.coeffs) {
+    a.coeffs[var] += sign * coeff;
+    if (a.coeffs[var] == 0) a.coeffs.erase(var);
+  }
+  if (!b.symbol.empty()) {
+    // Combine symbolic parts textually (canonical, order-preserving).
+    const std::string piece =
+        sign >= 0 ? (a.symbol.empty() ? b.symbol : "+" + b.symbol)
+                  : "-" + b.symbol;
+    a.symbol += piece;
+  }
+  return a;
+}
+
+AffineForm scale(AffineForm a, std::int64_t k) {
+  if (!a.affine) return non_affine();
+  if (!a.symbol.empty()) {
+    if (k == 1) return a;
+    // k * (sym + ...) — keep affine only when it stays a pure symbol.
+    if (a.constant == 0 && a.coeffs.empty()) {
+      a.symbol = cat(k, "*(", a.symbol, ")");
+      return a;
+    }
+    return non_affine();
+  }
+  a.constant *= k;
+  for (auto& [var, coeff] : a.coeffs) coeff *= k;
+  return a;
+}
+
+}  // namespace
+
+AffineForm extract_affine(const Expr& e,
+                          const std::set<std::string>& index_vars) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral: {
+      if (const auto* i = std::get_if<std::int64_t>(&e.literal)) {
+        return constant_form(*i);
+      }
+      return non_affine();  // float subscript: not a valid index anyway
+    }
+    case Expr::Kind::kIndex: {
+      if (index_vars.count(e.index_name) == 0) {
+        return symbol_form(e);  // index of an enclosing scope: invariant here
+      }
+      AffineForm f;
+      f.affine = true;
+      f.coeffs[e.index_name] = 1;
+      return f;
+    }
+    case Expr::Kind::kGridRead:
+    case Expr::Kind::kCall: {
+      // Loop-invariant memory reads join the symbolic part; anything that
+      // varies with an index (indirection) is non-affine.
+      if (contains_index(e, index_vars)) return non_affine();
+      return symbol_form(e);
+    }
+    case Expr::Kind::kBinary: {
+      const AffineForm lhs = extract_affine(*e.args[0], index_vars);
+      const AffineForm rhs = extract_affine(*e.args[1], index_vars);
+      switch (e.bop) {
+        case BinOp::kAdd:
+          return add(lhs, rhs, +1);
+        case BinOp::kSub:
+          return add(lhs, rhs, -1);
+        case BinOp::kMul: {
+          // One side must be a pure integer constant.
+          if (lhs.affine && lhs.coeffs.empty() && lhs.symbol.empty()) {
+            return scale(rhs, lhs.constant);
+          }
+          if (rhs.affine && rhs.coeffs.empty() && rhs.symbol.empty()) {
+            return scale(lhs, rhs.constant);
+          }
+          if (!contains_index(e, index_vars)) return symbol_form(e);
+          return non_affine();
+        }
+        default:
+          if (!contains_index(e, index_vars)) return symbol_form(e);
+          return non_affine();
+      }
+    }
+    case Expr::Kind::kUnary: {
+      if (e.uop == UnOp::kNeg) {
+        return scale(extract_affine(*e.args[0], index_vars), -1);
+      }
+      if (!contains_index(e, index_vars)) return symbol_form(e);
+      return non_affine();
+    }
+  }
+  return non_affine();
+}
+
+std::string affine_to_string(const AffineForm& form) {
+  if (!form.affine) return "<non-affine>";
+  std::string out;
+  for (const auto& [var, coeff] : form.coeffs) {
+    if (!out.empty()) out += " + ";
+    if (coeff == 1) {
+      out += var;
+    } else {
+      out += cat(coeff, "*", var);
+    }
+  }
+  if (form.constant != 0 || out.empty()) {
+    if (!out.empty()) out += " + ";
+    out += std::to_string(form.constant);
+  }
+  if (!form.symbol.empty()) out += cat(" [+", form.symbol, "]");
+  return out;
+}
+
+}  // namespace glaf

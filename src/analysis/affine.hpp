@@ -1,0 +1,56 @@
+#pragma once
+// Affine subscript forms for dependence testing.
+//
+// The auto-parallelization back-end reasons about array subscripts as
+// affine combinations of the step's loop index variables:
+//
+//     c0 + sum_i (a_i * index_i) + <loop-invariant symbolic part>
+//
+// Subscripts that do not fit this shape (e.g. indirection through another
+// array, as in unstructured-mesh codes like FUN3D) are marked non-affine
+// and handled conservatively.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/expr.hpp"
+
+namespace glaf {
+
+/// An affine subscript form. When `affine` is false the other members are
+/// meaningless. The symbolic part collects loop-invariant subexpressions
+/// (e.g. a size parameter) in a canonical textual form so two forms can be
+/// compared for equality of their invariant components.
+struct AffineForm {
+  bool affine = false;
+  std::int64_t constant = 0;
+  std::map<std::string, std::int64_t> coeffs;  ///< index var -> coefficient
+  std::string symbol;  ///< canonical invariant part; "" when purely numeric
+
+  /// Coefficient of `var` (0 when absent).
+  [[nodiscard]] std::int64_t coeff(const std::string& var) const {
+    const auto it = coeffs.find(var);
+    return it == coeffs.end() ? 0 : it->second;
+  }
+
+  /// True if no index variable appears (the subscript is loop-invariant).
+  [[nodiscard]] bool invariant() const { return affine && coeffs.empty(); }
+
+  /// True if the invariant parts (constant + symbol) of two forms match.
+  [[nodiscard]] bool same_invariant_part(const AffineForm& other) const {
+    return constant == other.constant && symbol == other.symbol;
+  }
+};
+
+/// Extract the affine form of `e` with respect to `index_vars`. Reads of
+/// grids (even scalars) and calls become part of the symbolic invariant
+/// component when they involve no index variable, and make the form
+/// non-affine otherwise.
+AffineForm extract_affine(const Expr& e, const std::set<std::string>& index_vars);
+
+/// Readable rendering for diagnostics/tests, e.g. "2*i + j + 3 [+n]".
+std::string affine_to_string(const AffineForm& form);
+
+}  // namespace glaf

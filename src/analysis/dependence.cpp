@@ -1,0 +1,130 @@
+#include "analysis/dependence.hpp"
+
+#include <cstdlib>
+#include <numeric>
+
+namespace glaf {
+
+const char* to_string(DepResult r) {
+  switch (r) {
+    case DepResult::kIndependent: return "independent";
+    case DepResult::kLoopIndependent: return "loop-independent";
+    case DepResult::kCarried: return "carried";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-dimension verdict; combined across dimensions below.
+enum class DimResult { kIndependent, kDistanceZero, kCarried, kUnknown };
+
+/// True if the two forms have identical coefficients for every index
+/// variable other than `loop_var`, and identical symbolic parts.
+bool other_parts_match(const AffineForm& a, const AffineForm& b,
+                       const std::string& loop_var) {
+  if (a.symbol != b.symbol) return false;
+  for (const auto& [var, coeff] : a.coeffs) {
+    if (var == loop_var) continue;
+    if (b.coeff(var) != coeff) return false;
+  }
+  for (const auto& [var, coeff] : b.coeffs) {
+    if (var == loop_var) continue;
+    if (a.coeff(var) != coeff) return false;
+  }
+  return true;
+}
+
+/// True if no index variable other than `loop_var` appears in either form.
+bool only_loop_var(const AffineForm& a, const AffineForm& b,
+                   const std::string& loop_var) {
+  for (const auto& [var, coeff] : a.coeffs) {
+    if (var != loop_var && coeff != 0) return false;
+  }
+  for (const auto& [var, coeff] : b.coeffs) {
+    if (var != loop_var && coeff != 0) return false;
+  }
+  return true;
+}
+
+DimResult test_dim(const AffineForm& fa, const AffineForm& fb,
+                   const std::string& loop_var, std::int64_t trip_count) {
+  if (!fa.affine || !fb.affine) return DimResult::kUnknown;
+  const std::int64_t ca = fa.coeff(loop_var);
+  const std::int64_t cb = fb.coeff(loop_var);
+  const std::int64_t delta = fb.constant - fa.constant;
+  const bool pure = only_loop_var(fa, fb, loop_var) && fa.symbol == fb.symbol;
+
+  if (ca == 0 && cb == 0) {
+    // ZIV: subscripts do not involve the tested loop.
+    if (pure) {
+      // Fixed elements: distinct constants can never alias.
+      return delta != 0 ? DimResult::kIndependent : DimResult::kDistanceZero;
+    }
+    if (other_parts_match(fa, fb, loop_var)) {
+      // Same function of inner indices/symbols, differing by a constant:
+      // inner loops can realign them across outer iterations, so only the
+      // delta == 0 case is safe to call distance-0.
+      return delta == 0 ? DimResult::kDistanceZero : DimResult::kUnknown;
+    }
+    return DimResult::kUnknown;
+  }
+
+  if (ca == cb) {
+    // Strong SIV.
+    if (!other_parts_match(fa, fb, loop_var)) return DimResult::kUnknown;
+    if (delta % ca != 0) return DimResult::kIndependent;
+    const std::int64_t distance = delta / ca;
+    if (distance == 0) return DimResult::kDistanceZero;
+    if (trip_count > 0 && std::llabs(distance) >= trip_count) {
+      return DimResult::kIndependent;
+    }
+    return DimResult::kCarried;
+  }
+
+  // Weak SIV / MIV: fall back to the GCD test when the symbolic parts agree.
+  if (!pure) return DimResult::kUnknown;
+  const std::int64_t g = std::gcd(std::llabs(ca), std::llabs(cb));
+  if (g != 0 && delta % g != 0) return DimResult::kIndependent;
+  return DimResult::kUnknown;
+}
+
+}  // namespace
+
+DepResult test_dependence(const ArrayAccess& a, const ArrayAccess& b,
+                          const std::string& loop_var,
+                          std::int64_t trip_count) {
+  if (a.whole_grid || b.whole_grid) return DepResult::kCarried;
+  if (a.subs.size() != b.subs.size()) return DepResult::kCarried;
+  if (a.subs.empty()) {
+    // Scalars: the same single location in every iteration.
+    return DepResult::kCarried;
+  }
+
+  bool all_distance_zero = true;
+  bool varies_with_loop = false;
+  for (std::size_t d = 0; d < a.subs.size(); ++d) {
+    if (a.subs[d].affine && a.subs[d].coeff(loop_var) != 0) {
+      varies_with_loop = true;
+    }
+    switch (test_dim(a.subs[d], b.subs[d], loop_var, trip_count)) {
+      case DimResult::kIndependent:
+        // One dimension proving disjointness is enough for the whole pair.
+        return DepResult::kIndependent;
+      case DimResult::kDistanceZero:
+        break;
+      case DimResult::kCarried:
+      case DimResult::kUnknown:
+        all_distance_zero = false;
+        break;
+    }
+  }
+  // Distance 0 in every dimension means "same element within an iteration".
+  // That is only safe when the element actually varies with the tested
+  // loop; otherwise every iteration touches one shared element (the array
+  // behaves like a scalar) and the dependence is carried.
+  return all_distance_zero && varies_with_loop ? DepResult::kLoopIndependent
+                                               : DepResult::kCarried;
+}
+
+}  // namespace glaf

@@ -1,0 +1,33 @@
+#pragma once
+// Pairwise data-dependence tests (ZIV / strong-SIV / GCD) between two array
+// accesses, asked with respect to one loop index variable. These are the
+// classical tests the auto-parallelization back-end uses to decide whether
+// a loop may be annotated with OpenMP directives.
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/access.hpp"
+
+namespace glaf {
+
+/// Outcome of a dependence test between two accesses w.r.t. one loop.
+enum class DepResult : std::uint8_t {
+  kIndependent,      ///< proven: never the same element
+  kLoopIndependent,  ///< same element only within one iteration (distance 0)
+  kCarried,          ///< proven or assumed loop-carried dependence
+};
+
+const char* to_string(DepResult r);
+
+/// Test accesses `a` and `b` (same location; at least one is a write) for
+/// dependence carried by `loop_var`. `trip_count` (-1 if unknown) allows
+/// ruling out dependences whose distance exceeds the iteration space.
+///
+/// Conservative: anything the affine tests cannot prove independent or
+/// distance-0 is reported as kCarried.
+DepResult test_dependence(const ArrayAccess& a, const ArrayAccess& b,
+                          const std::string& loop_var,
+                          std::int64_t trip_count);
+
+}  // namespace glaf

@@ -1,0 +1,81 @@
+#include "analysis/loopclass.hpp"
+
+#include <set>
+
+namespace glaf {
+
+const char* to_string(LoopClass c) {
+  switch (c) {
+    case LoopClass::kStraightLine: return "straight-line";
+    case LoopClass::kInitZero: return "init-zero";
+    case LoopClass::kBroadcast: return "broadcast";
+    case LoopClass::kSimpleSingle: return "simple-single";
+    case LoopClass::kSimpleDouble: return "simple-double";
+    case LoopClass::kComplex: return "complex";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_literal_zero(const Expr& e) {
+  if (e.kind != Expr::Kind::kLiteral) return false;
+  return value_as_double(e.literal) == 0.0;
+}
+
+bool contains_loop_index(const Expr& e, const std::set<std::string>& vars) {
+  if (e.kind == Expr::Kind::kIndex) return vars.count(e.index_name) != 0;
+  for (const ExprPtr& a : e.args) {
+    if (contains_loop_index(*a, vars)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LoopClass classify_loop(const Program& program, const Step& step) {
+  if (step.loops.empty()) return LoopClass::kStraightLine;
+  if (step.loops.size() > 2) return LoopClass::kComplex;
+
+  std::set<std::string> vars;
+  for (const LoopSpec& l : step.loops) vars.insert(l.index_var);
+
+  // Any non-assignment statement (if, call, return) makes the loop complex;
+  // so does a user-function call inside an expression.
+  bool only_assigns = true;
+  bool any_user_call = false;
+  visit_stmts(step.body, [&](const Stmt& s) {
+    if (s.kind != Stmt::Kind::kAssign) only_assigns = false;
+    const auto scan = [&](const ExprPtr& e) {
+      if (!e) return;
+      visit_exprs(e, [&](const Expr& node) {
+        if (node.kind == Expr::Kind::kCall &&
+            program.find_function(node.callee) != nullptr) {
+          any_user_call = true;
+        }
+      });
+    };
+    if (s.kind == Stmt::Kind::kAssign) {
+      scan(s.rhs);
+      for (const ExprPtr& sub : s.lhs.subscripts) scan(sub);
+    }
+  });
+  if (!only_assigns || any_user_call) return LoopClass::kComplex;
+  if (step.body.size() > 4) return LoopClass::kComplex;
+
+  bool all_zero = true;
+  for (const Stmt& s : step.body) {
+    if (!is_literal_zero(*s.rhs)) all_zero = false;
+  }
+  if (all_zero && !step.body.empty()) return LoopClass::kInitZero;
+
+  if (step.body.size() == 1 &&
+      !contains_loop_index(*step.body[0].rhs, vars)) {
+    return LoopClass::kBroadcast;
+  }
+
+  return step.loops.size() == 1 ? LoopClass::kSimpleSingle
+                                : LoopClass::kSimpleDouble;
+}
+
+}  // namespace glaf

@@ -1,0 +1,31 @@
+#pragma once
+// Loop classification used by the Table 2 directive policies.
+//
+// §4.1.2 of the paper removes OpenMP directives from three successive
+// classes of loops (producing GLAF-parallel v1, v2, v3):
+//   v1: initializations to zero, and single-value (broadcast) loads;
+//   v2: remaining simple single loops (few assignments, incl. reductions);
+//   v3: simple double loops without control structure.
+// Everything else ("complex": the two large longwave_entropy_model loops)
+// keeps its directives. This header assigns each step one of those classes.
+
+#include "core/program.hpp"
+
+namespace glaf {
+
+enum class LoopClass : std::uint8_t {
+  kStraightLine,  ///< step has no loops
+  kInitZero,      ///< every assignment stores literal zero
+  kBroadcast,     ///< single assignment of a loop-invariant value
+  kSimpleSingle,  ///< one loop, <=4 plain assignments, no control flow
+  kSimpleDouble,  ///< two nested loops, <=4 plain assignments, no control flow
+  kComplex,       ///< anything else (ifs, calls, many statements, 3+ deep)
+};
+
+const char* to_string(LoopClass c);
+
+/// Classify a step. Purely syntactic; independent of the dependence
+/// analysis verdict.
+LoopClass classify_loop(const Program& program, const Step& step);
+
+}  // namespace glaf

@@ -1,0 +1,131 @@
+#include "analysis/reduction.hpp"
+
+#include "analysis/affine.hpp"
+#include "core/libfuncs.hpp"
+#include "support/strings.hpp"
+
+namespace glaf {
+
+const char* to_string(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return "sum";
+    case ReduceOp::kProd: return "prod";
+    case ReduceOp::kMin: return "min";
+    case ReduceOp::kMax: return "max";
+  }
+  return "?";
+}
+
+const char* omp_spelling(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return "+";
+    case ReduceOp::kProd: return "*";
+    case ReduceOp::kMin: return "min";
+    case ReduceOp::kMax: return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+/// True if the expression contains a user-function call (which may have
+/// arbitrary side effects — unsafe inside a recognized reduction).
+bool contains_user_call(const Expr& e) {
+  if (e.kind == Expr::Kind::kCall && find_lib_func(e.callee) == nullptr) {
+    return true;
+  }
+  for (const ExprPtr& a : e.args) {
+    if (contains_user_call(*a)) return true;
+  }
+  return false;
+}
+
+/// True when `e` is a read of exactly the access `target` (same grid,
+/// field, structurally equal subscripts).
+bool reads_same_element(const Expr& e, const GridAccess& target) {
+  if (e.kind != Expr::Kind::kGridRead) return false;
+  if (e.grid != target.grid || e.field != target.field) return false;
+  if (e.args.size() != target.subscripts.size()) return false;
+  for (std::size_t i = 0; i < e.args.size(); ++i) {
+    if (!expr_equal(*e.args[i], *target.subscripts[i])) return false;
+  }
+  return true;
+}
+
+bool references_grid(const Expr& e, GridId grid) {
+  if (e.kind == Expr::Kind::kGridRead && e.grid == grid) return true;
+  for (const ExprPtr& a : e.args) {
+    if (references_grid(*a, grid)) return true;
+  }
+  return false;
+}
+
+/// Decompose rhs as target ⊕ other (either operand order for commutative
+/// operators). Returns the "other" side, or nullptr when not matching.
+const Expr* split_self_update(const Expr& rhs, const GridAccess& target,
+                              ReduceOp* op) {
+  if (rhs.kind == Expr::Kind::kBinary) {
+    const bool lhs_is_self = reads_same_element(*rhs.args[0], target);
+    const bool rhs_is_self = reads_same_element(*rhs.args[1], target);
+    if (rhs.bop == BinOp::kAdd && (lhs_is_self != rhs_is_self)) {
+      *op = ReduceOp::kSum;
+      return lhs_is_self ? rhs.args[1].get() : rhs.args[0].get();
+    }
+    // acc = acc - expr is a sum reduction of the negated expression; the
+    // non-commutative direction (expr - acc) is not.
+    if (rhs.bop == BinOp::kSub && lhs_is_self && !rhs_is_self) {
+      *op = ReduceOp::kSum;
+      return rhs.args[1].get();
+    }
+    if (rhs.bop == BinOp::kMul && (lhs_is_self != rhs_is_self)) {
+      *op = ReduceOp::kProd;
+      return lhs_is_self ? rhs.args[1].get() : rhs.args[0].get();
+    }
+    return nullptr;
+  }
+  if (rhs.kind == Expr::Kind::kCall && rhs.args.size() == 2) {
+    const std::string name = to_upper(rhs.callee);
+    if (name != "MIN" && name != "MAX") return nullptr;
+    const bool a_self = reads_same_element(*rhs.args[0], target);
+    const bool b_self = reads_same_element(*rhs.args[1], target);
+    if (a_self == b_self) return nullptr;
+    *op = name == "MIN" ? ReduceOp::kMin : ReduceOp::kMax;
+    return a_self ? rhs.args[1].get() : rhs.args[0].get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::optional<ReductionMatch> match_reduction(
+    const Program& program, const Stmt& assign,
+    const std::set<std::string>& loop_vars) {
+  (void)program;
+  if (assign.kind != Stmt::Kind::kAssign) return std::nullopt;
+  // Target subscripts must be loop-invariant.
+  for (const ExprPtr& sub : assign.lhs.subscripts) {
+    const AffineForm f = extract_affine(*sub, loop_vars);
+    if (!f.affine || !f.invariant()) return std::nullopt;
+  }
+  ReduceOp op = ReduceOp::kSum;
+  const Expr* other = split_self_update(*assign.rhs, assign.lhs, &op);
+  if (other == nullptr) return std::nullopt;
+  if (references_grid(*other, assign.lhs.grid)) return std::nullopt;
+  // A user call in the combined expression may itself touch the target
+  // (or carry other side effects): not a recognizable reduction.
+  if (contains_user_call(*other)) return std::nullopt;
+  return ReductionMatch{assign.lhs.grid, assign.lhs.field, op};
+}
+
+bool matches_atomic_update(const Program& program, const Stmt& assign) {
+  (void)program;
+  if (assign.kind != Stmt::Kind::kAssign) return false;
+  ReduceOp op = ReduceOp::kSum;
+  const Expr* other = split_self_update(*assign.rhs, assign.lhs, &op);
+  if (other == nullptr) return false;
+  // OMP ATOMIC supports the simple arithmetic updates only.
+  if (op != ReduceOp::kSum && op != ReduceOp::kProd) return false;
+  return !references_grid(*other, assign.lhs.grid);
+}
+
+}  // namespace glaf

@@ -1,0 +1,46 @@
+#pragma once
+// Reduction-pattern recognition: statements of the form
+//     acc = acc + expr        (also -, *, MIN, MAX)
+// where `acc` is loop-invariant. Loops whose only carried dependences are
+// such accumulations are parallelized with an OpenMP REDUCTION clause
+// (the paper notes loops "that contain reductions (and that have been
+// identified as such by GLAF auto-parallelization back-end)", §4.1.2).
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/program.hpp"
+
+namespace glaf {
+
+/// Supported reduction operators.
+enum class ReduceOp : std::uint8_t { kSum, kProd, kMin, kMax };
+
+const char* to_string(ReduceOp op);
+/// OpenMP clause spelling: "+", "*", "min", "max".
+const char* omp_spelling(ReduceOp op);
+
+/// A recognized reduction statement.
+struct ReductionMatch {
+  GridId grid = kInvalidGridId;
+  std::string field;
+  ReduceOp op = ReduceOp::kSum;
+};
+
+/// Try to match `assign` as a reduction w.r.t. the given loop indices:
+/// the target's subscripts must be invariant, the right-hand side must
+/// combine the target's own value exactly once with an expression that
+/// does not otherwise reference the target grid.
+std::optional<ReductionMatch> match_reduction(
+    const Program& program, const Stmt& assign,
+    const std::set<std::string>& loop_vars);
+
+/// Matches the atomic-update shape: target = target +/- expr where the
+/// subscripts *vary* with the loop (possibly through indirection) and the
+/// rhs does not otherwise use the target. Such updates are emitted with
+/// OMP ATOMIC (paper §4.2.1: "Atomic update clauses are added to parallel
+/// updates to module-scope arrays").
+bool matches_atomic_update(const Program& program, const Stmt& assign);
+
+}  // namespace glaf

@@ -1,0 +1,313 @@
+#include "analysis/transform.hpp"
+
+#include <algorithm>
+
+#include "analysis/parallelize.hpp"
+#include "support/strings.hpp"
+
+namespace glaf {
+namespace {
+
+bool bounds_reference_vars(const LoopSpec& loop,
+                           const std::set<std::string>& vars) {
+  const auto uses = [&](const ExprPtr& e) {
+    if (!e) return false;
+    bool used = false;
+    visit_exprs(e, [&](const Expr& node) {
+      if (node.kind == Expr::Kind::kIndex &&
+          vars.count(node.index_name) != 0) {
+        used = true;
+      }
+    });
+    return used;
+  };
+  return uses(loop.begin) || uses(loop.end) || uses(loop.stride);
+}
+
+}  // namespace
+
+Status can_interchange(const Program& program, const Function& fn,
+                       std::size_t step_index, std::size_t a,
+                       std::size_t b) {
+  if (step_index >= fn.steps.size()) {
+    return invalid_argument(cat("function '", fn.name, "' has no step #",
+                                step_index));
+  }
+  const Step& step = fn.steps[step_index];
+  if (a == b) return invalid_argument("identical loop positions");
+  const std::size_t lo = std::min(a, b);
+  const std::size_t hi = std::max(a, b);
+  if (hi >= step.loops.size()) {
+    return invalid_argument(cat("step '", step.name, "' has only ",
+                                step.loops.size(), " loops"));
+  }
+
+  // The band [lo, hi] must be rectangular: no bound in the band may
+  // reference another band index (triangular nests cannot be exchanged).
+  std::set<std::string> band_vars;
+  for (std::size_t i = lo; i <= hi; ++i) {
+    band_vars.insert(step.loops[i].index_var);
+  }
+  for (std::size_t i = lo; i <= hi; ++i) {
+    std::set<std::string> others = band_vars;
+    others.erase(step.loops[i].index_var);
+    if (bounds_reference_vars(step.loops[i], others)) {
+      return failed_precondition(
+          cat("loop '", step.loops[i].index_var,
+              "' has bounds depending on another loop in the band "
+              "(triangular nest)"));
+    }
+  }
+
+  // Dependence legality: a fully parallel band admits any permutation.
+  // The analyzed collapse depth is exactly the size of the leading
+  // parallel rectangular band.
+  const EffectsMap effects = compute_effects(program);
+  const StepVerdict verdict = analyze_step(program, fn, step, effects);
+  if (!verdict.parallelizable ||
+      static_cast<std::size_t>(verdict.collapse) <= hi) {
+    return failed_precondition(
+        cat("cannot prove independence of the loop band (collapse depth ",
+            verdict.collapse, ", need > ", hi, ")"));
+  }
+  return Status::ok();
+}
+
+namespace {
+
+/// Rebuild an expression with grid ids remapped.
+ExprPtr remap_expr(const ExprPtr& e,
+                   const std::map<GridId, GridId>& remap) {
+  if (!e) return e;
+  Expr copy = *e;
+  if (copy.kind == Expr::Kind::kGridRead) {
+    const auto it = remap.find(copy.grid);
+    if (it != remap.end()) copy.grid = it->second;
+  }
+  for (ExprPtr& arg : copy.args) arg = remap_expr(arg, remap);
+  return std::make_shared<Expr>(std::move(copy));
+}
+
+std::vector<Stmt> remap_stmts(const std::vector<Stmt>& body,
+                              const std::map<GridId, GridId>& remap);
+
+Stmt remap_stmt(const Stmt& s, const std::map<GridId, GridId>& remap) {
+  Stmt copy = s;
+  switch (copy.kind) {
+    case Stmt::Kind::kAssign: {
+      const auto it = remap.find(copy.lhs.grid);
+      if (it != remap.end()) copy.lhs.grid = it->second;
+      for (ExprPtr& sub : copy.lhs.subscripts) sub = remap_expr(sub, remap);
+      copy.rhs = remap_expr(copy.rhs, remap);
+      break;
+    }
+    case Stmt::Kind::kIf:
+      for (IfArm& arm : copy.arms) {
+        arm.cond = remap_expr(arm.cond, remap);
+        arm.body = remap_stmts(arm.body, remap);
+      }
+      copy.else_body = remap_stmts(copy.else_body, remap);
+      break;
+    case Stmt::Kind::kCallSub:
+      for (ExprPtr& a : copy.args) a = remap_expr(a, remap);
+      break;
+    case Stmt::Kind::kReturn:
+      copy.ret = remap_expr(copy.ret, remap);
+      break;
+  }
+  return copy;
+}
+
+std::vector<Stmt> remap_stmts(const std::vector<Stmt>& body,
+                              const std::map<GridId, GridId>& remap) {
+  std::vector<Stmt> out;
+  out.reserve(body.size());
+  for (const Stmt& s : body) out.push_back(remap_stmt(s, remap));
+  return out;
+}
+
+/// Is this callee trivial enough to inline?
+bool inlinable(const Function& callee) {
+  if (callee.return_type != DataType::kVoid) return false;
+  if (!callee.locals.empty()) return false;
+  if (callee.steps.size() != 1) return false;
+  const Step& step = callee.steps[0];
+  if (!step.loops.empty()) return false;
+  bool clean = true;
+  visit_stmts(step.body, [&](const Stmt& s) {
+    if (s.kind == Stmt::Kind::kCallSub || s.kind == Stmt::Kind::kReturn) {
+      clean = false;
+    }
+  });
+  return clean;
+}
+
+/// All arguments must be plain grid references for direct substitution.
+bool args_are_plain_grids(const std::vector<ExprPtr>& args) {
+  for (const ExprPtr& a : args) {
+    if (a->kind != Expr::Kind::kGridRead || !a->args.empty() ||
+        !a->field.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Expand eligible CALLs in a body; returns the new body.
+std::vector<Stmt> inline_in_body(const Program& p,
+                                 const std::vector<Stmt>& body,
+                                 int* inlined) {
+  std::vector<Stmt> out;
+  for (const Stmt& s : body) {
+    if (s.kind == Stmt::Kind::kIf) {
+      Stmt copy = s;
+      for (IfArm& arm : copy.arms) {
+        arm.body = inline_in_body(p, arm.body, inlined);
+      }
+      copy.else_body = inline_in_body(p, copy.else_body, inlined);
+      out.push_back(std::move(copy));
+      continue;
+    }
+    if (s.kind != Stmt::Kind::kCallSub) {
+      out.push_back(s);
+      continue;
+    }
+    const Function* callee = p.find_function(s.callee);
+    if (callee == nullptr || !inlinable(*callee) ||
+        !args_are_plain_grids(s.args) ||
+        s.args.size() != callee->params.size()) {
+      out.push_back(s);
+      continue;
+    }
+    std::map<GridId, GridId> remap;
+    for (std::size_t i = 0; i < callee->params.size(); ++i) {
+      remap[callee->params[i]] = s.args[i]->grid;
+    }
+    for (const Stmt& inner : callee->steps[0].body) {
+      out.push_back(remap_stmt(inner, remap));
+    }
+    ++*inlined;
+  }
+  return out;
+}
+
+}  // namespace
+
+InlineResult inline_trivial_calls(const Program& program) {
+  InlineResult result;
+  result.program = program;
+  for (Function& fn : result.program.functions) {
+    for (Step& step : fn.steps) {
+      step.body = inline_in_body(program, step.body, &result.inlined_calls);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Fold one expression bottom-up; counts replaced non-literal subtrees.
+ExprPtr fold_expr(const Program& p, const std::set<GridId>& written,
+                  const ExprPtr& e, int* folded);
+
+ExprPtr fold_children(const Program& p, const std::set<GridId>& written,
+                      const ExprPtr& e, int* folded) {
+  Expr copy = *e;
+  for (ExprPtr& arg : copy.args) arg = fold_expr(p, written, arg, folded);
+  return std::make_shared<Expr>(std::move(copy));
+}
+
+ExprPtr fold_expr(const Program& p, const std::set<GridId>& written,
+                  const ExprPtr& e, int* folded) {
+  if (!e) return e;
+  if (e->kind == Expr::Kind::kLiteral) return e;
+  // Whole-grid reads (call arguments) must not be replaced even when the
+  // grid is a foldable scalar... scalars are never whole-grid, so only
+  // skip folding where the read has array rank.
+  if (e->kind == Expr::Kind::kGridRead && !e->args.empty()) {
+    return fold_children(p, written, e, folded);
+  }
+  // Try the global-aware fold on this subtree.
+  const ExprPtr with_folded_children = fold_children(p, written, e, folded);
+  if (const auto v = fold_with_globals(p, *with_folded_children)) {
+    ++*folded;
+    return make_literal(*v);
+  }
+  return with_folded_children;
+}
+
+void fold_body(const Program& p, const std::set<GridId>& written,
+               std::vector<Stmt>* body, int* folded) {
+  for (Stmt& s : *body) {
+    switch (s.kind) {
+      case Stmt::Kind::kAssign:
+        for (ExprPtr& sub : s.lhs.subscripts) {
+          sub = fold_expr(p, written, sub, folded);
+        }
+        s.rhs = fold_expr(p, written, s.rhs, folded);
+        break;
+      case Stmt::Kind::kIf:
+        for (IfArm& arm : s.arms) {
+          arm.cond = fold_expr(p, written, arm.cond, folded);
+          fold_body(p, written, &arm.body, folded);
+        }
+        fold_body(p, written, &s.else_body, folded);
+        break;
+      case Stmt::Kind::kCallSub:
+        for (ExprPtr& a : s.args) a = fold_expr(p, written, a, folded);
+        break;
+      case Stmt::Kind::kReturn:
+        if (s.ret) s.ret = fold_expr(p, written, s.ret, folded);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+FoldResult fold_constants(const Program& program) {
+  FoldResult result;
+  result.program = program;
+  const std::set<GridId> written = written_grids(program);
+  int* folded = &result.folded_exprs;
+  for (Function& fn : result.program.functions) {
+    for (Step& step : fn.steps) {
+      for (LoopSpec& loop : step.loops) {
+        loop.begin = fold_expr(result.program, written, loop.begin, folded);
+        loop.end = fold_expr(result.program, written, loop.end, folded);
+        if (loop.stride) {
+          loop.stride = fold_expr(result.program, written, loop.stride, folded);
+        }
+      }
+      fold_body(result.program, written, &step.body, folded);
+    }
+  }
+  return result;
+}
+
+StatusOr<Program> interchange_loops(const Program& program,
+                                    const std::string& function,
+                                    const std::string& step, std::size_t a,
+                                    std::size_t b) {
+  const Function* fn = program.find_function(function);
+  if (fn == nullptr) {
+    return not_found(cat("function '", function, "'"));
+  }
+  std::size_t step_index = fn->steps.size();
+  for (std::size_t s = 0; s < fn->steps.size(); ++s) {
+    if (fn->steps[s].name == step) step_index = s;
+  }
+  if (step_index == fn->steps.size()) {
+    return not_found(cat("step '", step, "' in function '", function, "'"));
+  }
+  if (Status legal = can_interchange(program, *fn, step_index, a, b);
+      !legal) {
+    return legal;
+  }
+  Program out = program;
+  Step& target = out.functions[fn->id].steps[step_index];
+  std::swap(target.loops[a], target.loops[b]);
+  return out;
+}
+
+}  // namespace glaf

@@ -1,0 +1,67 @@
+#pragma once
+// IR transformations of the code-optimization back-end.
+//
+// Paper §2.1: "Code optimization includes options for guiding the code
+// generation by providing different data layout (array-of-structures vs.
+// structure-of-arrays), loop collapsing, or loop interchange options."
+// Data layout and collapsing are CodegenOptions (they only change emitted
+// code); loop interchange reorders the IR itself and must be proven
+// legal first.
+
+#include "core/program.hpp"
+#include "support/status.hpp"
+
+namespace glaf {
+
+/// Can loops `a` and `b` of this step be exchanged?
+///
+/// Legality (conservative): both positions exist; no loop in [min(a,b),
+/// max(a,b)] has bounds referencing an index variable of another loop in
+/// that range (perfect rectangular sub-nest); and the step carries no
+/// dependence on either index — established by requiring the analyzed
+/// collapse depth to cover both loops (a fully parallel band permits any
+/// permutation).
+Status can_interchange(const Program& program, const Function& fn,
+                       std::size_t step_index, std::size_t a, std::size_t b);
+
+/// Return a copy of `program` with loops `a` and `b` of the named
+/// function's step exchanged. Fails with the legality diagnostic when the
+/// transform cannot be proven safe.
+StatusOr<Program> interchange_loops(const Program& program,
+                                    const std::string& function,
+                                    const std::string& step, std::size_t a,
+                                    std::size_t b);
+
+/// Result of the inlining pass.
+struct InlineResult {
+  Program program;
+  int inlined_calls = 0;
+};
+
+/// Inline trivial subroutine calls: CALLs whose callee is void, has no
+/// locals, exactly one loop-free step, no nested calls or returns, and
+/// whose arguments are all plain grid references (whole grids or
+/// scalars). The callee's statements replace the CALL with parameters
+/// substituted by the argument grids.
+///
+/// §4.1.2 discusses exactly this effect: GLAF's enforced structure
+/// creates many small functions, and "smaller functions can be
+/// automatically inlined by the compiler"; this pass performs the same
+/// transformation at the IR level so every back-end benefits.
+InlineResult inline_trivial_calls(const Program& program);
+
+/// Result of the constant-folding pass.
+struct FoldResult {
+  Program program;
+  int folded_exprs = 0;  ///< subtrees replaced by literals
+};
+
+/// Fold constant subexpressions throughout the program — including reads
+/// of never-written global scalars with initial data (size parameters),
+/// via fold_with_globals. Loop bounds, subscripts, conditions and
+/// right-hand sides are all folded; a folded condition does NOT eliminate
+/// branches (that is left to the reader of the report — removing user
+/// statements silently would hide authoring mistakes).
+FoldResult fold_constants(const Program& program);
+
+}  // namespace glaf

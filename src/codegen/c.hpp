@@ -1,0 +1,27 @@
+#pragma once
+// C code generation back-end (paper §2.1: GLAF generates C and FORTRAN,
+// later OpenCL). Mirrors the FORTRAN back-end's §3 integration features in
+// their C equivalents:
+//   - existing-module variables -> extern declarations with provenance
+//     comments (the legacy objects provide the storage);
+//   - COMMON blocks             -> the gfortran interop convention of an
+//     extern struct named <block>_;
+//   - module-scope variables    -> static file-scope definitions;
+//   - subroutines               -> void functions;
+//   - TYPE elements             -> parent.element member access;
+//   - library functions         -> math.h spellings plus a small set of
+//     emitted glaf_* helpers (MIN/MAX/SUM/...).
+// OpenMP is emitted as #pragma omp with the same clause set as FORTRAN.
+
+#include "analysis/parallelize.hpp"
+#include "codegen/options.hpp"
+#include "core/program.hpp"
+
+namespace glaf {
+
+/// Generate a complete C translation unit for `program`.
+GeneratedCode generate_c(const Program& program,
+                         const ProgramAnalysis& analysis,
+                         const CodegenOptions& options = {});
+
+}  // namespace glaf

@@ -1,0 +1,15 @@
+#pragma once
+// The Table 2 directive-removal policies: given a step's analysis verdict
+// and its loop class, decide whether the generated code keeps the OpenMP
+// directive under a given policy.
+
+#include "analysis/parallelize.hpp"
+#include "codegen/options.hpp"
+
+namespace glaf {
+
+/// True when a parallelizable step keeps its OMP directive under `policy`.
+/// Non-parallelizable steps never get directives.
+bool keep_directive(DirectivePolicy policy, const StepVerdict& verdict);
+
+}  // namespace glaf

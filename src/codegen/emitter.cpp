@@ -1,0 +1,47 @@
+#include "codegen/emitter.hpp"
+
+#include "support/strings.hpp"
+
+namespace glaf {
+
+void CodeWriter::line(const std::string& text) {
+  const std::string pad = repeat("  ", static_cast<std::size_t>(depth_));
+  std::string full = pad + text;
+  if (continuation_.empty() ||
+      static_cast<int>(full.size()) <= max_width_) {
+    lines_.push_back(std::move(full));
+    return;
+  }
+  // Wrap at the last blank before the width limit; continuation lines are
+  // indented two levels deeper.
+  const std::string cont_pad = pad + "    ";
+  std::string rest = std::move(full);
+  bool first = true;
+  while (static_cast<int>(rest.size()) > max_width_) {
+    std::size_t cut = rest.rfind(' ', static_cast<std::size_t>(max_width_) -
+                                          continuation_.size() - 1);
+    const std::size_t min_cut = first ? pad.size() + 1 : cont_pad.size() + 1;
+    if (cut == std::string::npos || cut <= min_cut) {
+      cut = static_cast<std::size_t>(max_width_) - continuation_.size() - 1;
+    }
+    lines_.push_back(rest.substr(0, cut) + " " + continuation_);
+    rest = cont_pad + rest.substr(cut + (rest[cut] == ' ' ? 1 : 0));
+    first = false;
+  }
+  lines_.push_back(std::move(rest));
+}
+
+void CodeWriter::raw(const std::string& text) { lines_.push_back(text); }
+
+void CodeWriter::blank() { lines_.emplace_back(); }
+
+std::string CodeWriter::str() const { return join(lines_, "\n") + "\n"; }
+
+std::string CodeWriter::text_since(std::size_t mark) const {
+  std::vector<std::string> tail(lines_.begin() +
+                                    static_cast<std::ptrdiff_t>(mark),
+                                lines_.end());
+  return join(tail, "\n") + "\n";
+}
+
+}  // namespace glaf

@@ -1,0 +1,44 @@
+#pragma once
+// Line-oriented source emitter shared by the code generators: indentation,
+// comments, and FORTRAN free-form continuation wrapping.
+
+#include <string>
+#include <vector>
+
+namespace glaf {
+
+/// Accumulates generated source text line by line.
+class CodeWriter {
+ public:
+  /// `continuation`: marker appended when wrapping long lines ("&" for
+  /// FORTRAN free form, "" to disable wrapping as in C).
+  explicit CodeWriter(std::string continuation = {}, int max_width = 100)
+      : continuation_(std::move(continuation)), max_width_(max_width) {}
+
+  void indent() { ++depth_; }
+  void dedent() {
+    if (depth_ > 0) --depth_;
+  }
+
+  /// Emit one (possibly wrapped) line at the current indentation.
+  void line(const std::string& text);
+  /// Emit a raw line with no indentation or wrapping (directives).
+  void raw(const std::string& text);
+  void blank();
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::size_t line_count() const { return lines_.size(); }
+
+  /// Mark the current position; text_since returns everything emitted
+  /// after the mark (per-function extraction for SLOC reports).
+  [[nodiscard]] std::size_t mark() const { return lines_.size(); }
+  [[nodiscard]] std::string text_since(std::size_t mark) const;
+
+ private:
+  std::string continuation_;
+  int max_width_;
+  int depth_ = 0;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace glaf

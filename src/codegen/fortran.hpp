@@ -1,0 +1,30 @@
+#pragma once
+// FORTRAN-90 code generation with the legacy-integration features of §3:
+//
+//   §3.1 existing-module variables  -> USE <module> statements, no re-decl
+//   §3.2 COMMON block variables     -> grouped COMMON /<name>/ declarations
+//   §3.3 module-scope variables     -> declared in the generated MODULE
+//   §3.4 subroutines                -> SUBROUTINE/CALL for void subprograms
+//   §3.5 elements of TYPE variables -> parent%element access
+//   §3.6 library functions          -> FORTRAN intrinsic spellings
+//
+// plus OpenMP directive emission driven by the auto-parallelization
+// verdicts and the Table 2 directive policies, the COLLAPSE(2) clause,
+// PRIVATE/FIRSTPRIVATE/REDUCTION clauses, ATOMIC updates, CRITICAL
+// early-return sections, and the SAVE / guarded-ALLOCATE no-reallocation
+// pattern of §4.2.1.
+
+#include "analysis/parallelize.hpp"
+#include "codegen/options.hpp"
+#include "core/program.hpp"
+
+namespace glaf {
+
+/// Generate a complete FORTRAN module for `program`. `analysis` must have
+/// been computed for the same program. Options other than `language` are
+/// honoured; `language` is ignored (this is the FORTRAN back-end).
+GeneratedCode generate_fortran(const Program& program,
+                               const ProgramAnalysis& analysis,
+                               const CodegenOptions& options = {});
+
+}  // namespace glaf

@@ -1,0 +1,26 @@
+#pragma once
+// OpenCL code generation back-end (the prior-work extension of GLAF,
+// Krommydas et al. ASAP'16, kept for completeness). Parallelizable steps
+// become __kernel functions whose outer (collapsed) loops are mapped onto
+// the NDRange; serial steps and straight-line code stay in a host-side C
+// driver emitted alongside the kernels.
+
+#include "analysis/parallelize.hpp"
+#include "codegen/options.hpp"
+#include "core/program.hpp"
+
+namespace glaf {
+
+/// Result of OpenCL generation: kernel source plus a host driver skeleton.
+struct OpenClCode {
+  std::string kernels;  ///< *.cl translation unit
+  std::string host;     ///< host-side setup/launch skeleton (C)
+  /// kernel name per (function, step) that was offloaded
+  std::map<std::string, std::vector<std::string>> kernels_by_function;
+};
+
+OpenClCode generate_opencl(const Program& program,
+                           const ProgramAnalysis& analysis,
+                           const CodegenOptions& options = {});
+
+}  // namespace glaf

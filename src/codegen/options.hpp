@@ -1,0 +1,73 @@
+#pragma once
+// Code-generation options: target language, the Table 2 directive
+// policies, and the code-optimization back-end's switches (data layout,
+// collapse, SAVE'd temporaries).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace glaf {
+
+/// Target languages (paper §2.1: C, FORTRAN, OpenCL back-ends).
+enum class Language : std::uint8_t { kFortran, kC, kOpenCL };
+
+const char* to_string(Language lang);
+
+/// Which parallel loops keep their OpenMP directives (Table 2):
+///   kV0: all loops the back-end identified as parallelizable;
+///   kV1: v0 minus zero-initializations and single-value broadcast loads;
+///   kV2: v1 minus the remaining simple single loops;
+///   kV3: v2 minus simple double loops (directives remain only on complex
+///        loops — in SARB, the two large longwave_entropy_model loops).
+enum class DirectivePolicy : std::uint8_t { kV0, kV1, kV2, kV3 };
+
+const char* to_string(DirectivePolicy policy);
+
+/// OpenMP loop schedule emitted on parallel loops.
+enum class OmpSchedule : std::uint8_t {
+  kDefault,  ///< no SCHEDULE clause (implementation default, i.e. static)
+  kStatic,
+  kDynamic,
+};
+
+const char* to_string(OmpSchedule schedule);
+
+/// All options consumed by the generators.
+struct CodegenOptions {
+  Language language = Language::kFortran;
+
+  /// SCHEDULE clause on parallel loops; kDynamic balances uneven bodies
+  /// (e.g. the data-dependent branches of the complex loops).
+  OmpSchedule schedule = OmpSchedule::kDefault;
+  int schedule_chunk = 0;  ///< 0 = unspecified
+
+  /// Master OpenMP switch; false produces the "GLAF serial" variant.
+  bool enable_openmp = true;
+  DirectivePolicy policy = DirectivePolicy::kV0;
+
+  /// Emit COLLAPSE(n) on perfectly-nested parallel loops, up to this depth
+  /// (GLAF generates COLLAPSE(2), paper §4.1.2).
+  bool emit_collapse = true;
+  int max_collapse = 2;
+
+  /// Structure-of-arrays layout for struct grids (code-optimization
+  /// back-end's data-layout option); false = array-of-structures.
+  bool soa_layout = false;
+
+  /// Apply the FORTRAN SAVE attribute to every function-local array to
+  /// suppress per-call reallocation (§4.2.1 "no reallocation" option).
+  bool save_temporaries = false;
+
+  /// Emit explanatory comments (grid comments, directive rationale).
+  bool emit_comments = true;
+};
+
+/// Result of generating a whole program.
+struct GeneratedCode {
+  std::string source;  ///< complete translation unit
+  /// Per-subprogram source excerpt (used by the Table 1 SLOC experiment).
+  std::map<std::string, std::string> per_function;
+};
+
+}  // namespace glaf

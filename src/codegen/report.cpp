@@ -1,0 +1,68 @@
+#include "codegen/report.hpp"
+
+#include "codegen/directive_policy.hpp"
+#include "support/strings.hpp"
+
+namespace glaf {
+
+std::string parallelization_report(const Program& program,
+                                   const ProgramAnalysis& analysis) {
+  std::string out = cat("# Parallelization report: module ",
+                        program.module_name, "\n\n");
+
+  int parallel = 0;
+  int serial = 0;
+  int straight = 0;
+  for (const Function& fn : program.functions) {
+    const auto it = analysis.verdicts.find(fn.id);
+    if (it == analysis.verdicts.end()) continue;
+    for (const StepVerdict& v : it->second) {
+      if (!v.has_loop) {
+        ++straight;
+      } else if (v.parallelizable) {
+        ++parallel;
+      } else {
+        ++serial;
+      }
+    }
+  }
+  out += cat("- ", parallel, " parallelizable loop(s), ", serial,
+             " serial loop(s), ", straight, " straight-line step(s)\n\n");
+
+  for (const Function& fn : program.functions) {
+    const auto it = analysis.verdicts.find(fn.id);
+    if (it == analysis.verdicts.end()) continue;
+    out += cat("## ", fn.return_type == DataType::kVoid ? "subroutine "
+                                                        : "function ",
+               fn.name, "\n\n");
+    out += "| step | class | iterations | verdict | kept under |\n";
+    out += "|---|---|---:|---|---|\n";
+    for (std::size_t s = 0; s < fn.steps.size(); ++s) {
+      const StepVerdict& v = it->second.at(s);
+      std::string kept;
+      for (const DirectivePolicy p :
+           {DirectivePolicy::kV0, DirectivePolicy::kV1, DirectivePolicy::kV2,
+            DirectivePolicy::kV3}) {
+        if (keep_directive(p, v)) kept += cat(to_string(p), " ");
+      }
+      if (kept.empty()) kept = "-";
+      out += cat("| ", fn.steps[s].name, " | ", to_string(v.loop_class),
+                 " | ",
+                 v.trip_count >= 0 ? std::to_string(v.trip_count) : "?",
+                 " | ", verdict_to_string(program, v), " | ", trim(kept),
+                 " |\n");
+    }
+    out += "\n";
+    // Notes (the reasoning trail), one bullet per note.
+    for (std::size_t s = 0; s < fn.steps.size(); ++s) {
+      const StepVerdict& v = it->second.at(s);
+      for (const std::string& note : v.notes) {
+        out += cat("- `", fn.steps[s].name, "`: ", note, "\n");
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace glaf

@@ -1,0 +1,22 @@
+#pragma once
+// Human-readable parallelization reports (lives in codegen because it
+// references the Table 2 directive policies).
+//
+// The paper highlights that GLAF "drastically eased the search of the
+// optimization space, as well as identifying the 219 variables that
+// needed to be declared as OpenMP private" (§4.2.2) — i.e., the analysis
+// artifacts themselves are a user-facing product. This module renders
+// them: per step, the loop class, trip count, verdict and every clause,
+// plus a summary of what each Table 2 policy would keep.
+
+#include <string>
+
+#include "analysis/parallelize.hpp"
+
+namespace glaf {
+
+/// Render a Markdown report of the whole program's analysis.
+std::string parallelization_report(const Program& program,
+                                   const ProgramAnalysis& analysis);
+
+}  // namespace glaf

@@ -1,0 +1,191 @@
+#include "core/builder.hpp"
+
+#include "core/validate.hpp"
+
+namespace glaf {
+
+E call(std::string name, std::vector<E> args) {
+  std::vector<ExprPtr> nodes;
+  nodes.reserve(args.size());
+  for (const E& a : args) nodes.push_back(a.node());
+  return E(make_call(std::move(name), std::move(nodes)));
+}
+
+// ---- BodyBuilder ---------------------------------------------------------
+
+BodyBuilder& BodyBuilder::assign(const Access& lhs, E rhs) {
+  body_().push_back(make_assign(lhs.ir(), rhs.node()));
+  return *this;
+}
+
+BodyBuilder& BodyBuilder::assign(const GridHandle& lhs, E rhs) {
+  return assign(lhs(), std::move(rhs));
+}
+
+BodyBuilder& BodyBuilder::call_sub(const std::string& callee,
+                                   std::vector<E> args) {
+  std::vector<ExprPtr> nodes;
+  nodes.reserve(args.size());
+  for (const E& a : args) nodes.push_back(a.node());
+  body_().push_back(make_call_stmt(callee, std::move(nodes)));
+  return *this;
+}
+
+BodyBuilder& BodyBuilder::ret(E value) {
+  body_().push_back(make_return(value.node()));
+  return *this;
+}
+
+BodyBuilder& BodyBuilder::if_(E cond,
+                              const std::function<void(BodyBuilder&)>& then_fn,
+                              const std::function<void(BodyBuilder&)>& else_fn) {
+  std::vector<Stmt> then_body;
+  {
+    BodyBuilder bb([&then_body]() -> std::vector<Stmt>& { return then_body; });
+    if (then_fn) then_fn(bb);
+  }
+  std::vector<Stmt> else_body;
+  if (else_fn) {
+    BodyBuilder bb([&else_body]() -> std::vector<Stmt>& { return else_body; });
+    else_fn(bb);
+  }
+  body_().push_back(
+      make_if(cond.node(), std::move(then_body), std::move(else_body)));
+  return *this;
+}
+
+// ---- StepBuilder ---------------------------------------------------------
+
+StepBuilder::StepBuilder(ProgramBuilder* pb, FunctionId fn,
+                         std::size_t step_index)
+    : BodyBuilder([pb, fn, step_index]() -> std::vector<Stmt>& {
+        return pb->program_.functions.at(fn).steps.at(step_index).body;
+      }),
+      pb_(pb),
+      fn_(fn),
+      step_index_(step_index) {}
+
+Step& StepBuilder::step_ref() {
+  return pb_->program_.functions.at(fn_).steps.at(step_index_);
+}
+
+StepBuilder& StepBuilder::foreach_(const std::string& index_var, E begin,
+                                   E end, E stride) {
+  LoopSpec loop;
+  loop.index_var = index_var;
+  loop.begin = begin.node();
+  loop.end = end.node();
+  loop.stride = stride.valid() ? stride.node() : nullptr;
+  step_ref().loops.push_back(std::move(loop));
+  return *this;
+}
+
+StepBuilder& StepBuilder::foreach_dim(const std::string& index_var,
+                                      const GridHandle& grid, int dim) {
+  const Grid& g = pb_->program_.grid(grid.id());
+  const ExprPtr extent = g.dims.at(static_cast<std::size_t>(dim)).extent;
+  return foreach_(index_var, liti(0), E(extent) - 1);
+}
+
+StepBuilder& StepBuilder::comment(std::string text) {
+  step_ref().comment = std::move(text);
+  return *this;
+}
+
+// ---- FunctionBuilder -----------------------------------------------------
+
+GridHandle FunctionBuilder::param(const std::string& name, DataType type,
+                                  std::vector<E> dims, GridOpts opts) {
+  Function& fn = pb_->program_.functions.at(id_);
+  const int position = static_cast<int>(fn.params.size());
+  const GridId id = pb_->add_grid(name, type, std::move(dims), std::move(opts),
+                                  position, /*global_scope=*/false);
+  pb_->program_.functions.at(id_).params.push_back(id);
+  return GridHandle(id);
+}
+
+GridHandle FunctionBuilder::local(const std::string& name, DataType type,
+                                  std::vector<E> dims, GridOpts opts) {
+  const GridId id = pb_->add_grid(name, type, std::move(dims), std::move(opts),
+                                  -1, /*global_scope=*/false);
+  pb_->program_.functions.at(id_).locals.push_back(id);
+  return GridHandle(id);
+}
+
+StepBuilder FunctionBuilder::step(const std::string& name) {
+  Function& fn = pb_->program_.functions.at(id_);
+  Step s;
+  s.name = name;
+  fn.steps.push_back(std::move(s));
+  return StepBuilder(pb_, id_, fn.steps.size() - 1);
+}
+
+FunctionBuilder& FunctionBuilder::comment(std::string text) {
+  pb_->program_.functions.at(id_).comment = std::move(text);
+  return *this;
+}
+
+// ---- ProgramBuilder ------------------------------------------------------
+
+ProgramBuilder::ProgramBuilder(std::string module_name) {
+  program_.module_name = std::move(module_name);
+}
+
+GridId ProgramBuilder::add_grid(const std::string& name, DataType type,
+                                std::vector<E> dims, GridOpts opts,
+                                int param_index, bool global_scope) {
+  Grid g;
+  g.id = static_cast<GridId>(program_.grids.size());
+  g.name = name;
+  g.comment = std::move(opts.comment);
+  g.elem_type = type;
+  for (E& d : dims) {
+    g.dims.push_back(Dim{d.node(), {}});
+  }
+  if (!opts.from_module.empty()) {
+    g.external = ExternalKind::kModule;
+    g.external_module = std::move(opts.from_module);
+  } else if (!opts.common_block.empty()) {
+    g.external = ExternalKind::kCommon;
+    g.common_block = std::move(opts.common_block);
+  }
+  g.module_scope = opts.module_scope;
+  g.type_parent = std::move(opts.type_parent);
+  g.save_attr = opts.save;
+  g.init_data = std::move(opts.init);
+  g.fields = std::move(opts.fields);
+  g.param_index = param_index;
+  g.is_global = global_scope;
+  program_.grids.push_back(std::move(g));
+  return program_.grids.back().id;
+}
+
+GridHandle ProgramBuilder::global(const std::string& name, DataType type,
+                                  std::vector<E> dims, GridOpts opts) {
+  const GridId id = add_grid(name, type, std::move(dims), std::move(opts), -1,
+                             /*global_scope=*/true);
+  program_.global_grids.push_back(id);
+  return GridHandle(id);
+}
+
+FunctionBuilder ProgramBuilder::function(const std::string& name,
+                                         DataType return_type) {
+  Function fn;
+  fn.id = static_cast<FunctionId>(program_.functions.size());
+  fn.name = name;
+  fn.return_type = return_type;
+  program_.functions.push_back(std::move(fn));
+  return FunctionBuilder(this, program_.functions.back().id);
+}
+
+StatusOr<Program> ProgramBuilder::build() const {
+  const std::vector<Diagnostic> diags = validate(program_);
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) {
+      return invalid_argument(render_diagnostics(diags));
+    }
+  }
+  return program_;
+}
+
+}  // namespace glaf

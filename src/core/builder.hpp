@@ -1,0 +1,246 @@
+#pragma once
+// Programmatic builder API over the GLAF IR — the reproduction's stand-in
+// for the paper's HTML5/JavaScript graphical programming interface (GPI).
+//
+// Every GPI action described in the paper maps to a builder call:
+//   - creating a grid in a scope            -> global()/param()/local()
+//   - "Global variable exists in existing
+//      module" checkbox (Figure 3)          -> GridOpts{.from_module=...}
+//   - "Grid belongs in COMMON block"        -> GridOpts{.common_block=...}
+//   - module-scope variable (§3.3)          -> GridOpts{.module_scope=true}
+//   - element of existing TYPE (§3.5)       -> GridOpts{.type_parent=...}
+//   - void return => SUBROUTINE (Figure 4)  -> function(name) default kVoid
+//   - a step's Index Range (foreach)        -> StepBuilder::foreach_()
+//   - Formula / Condition rows (Figure 2)   -> assign()/if_()
+//
+// Expressions are composed with the small `E` wrapper (operator
+// overloading), e.g.:
+//
+//   ProgramBuilder pb("img_mod");
+//   auto img  = pb.global("img_src", DataType::kInt, {lit(4), lit(4)});
+//   auto fb   = pb.function("blur");
+//   auto s    = fb.step("Step1");
+//   s.foreach_("row", 0, 3).foreach_("col", 0, 3);
+//   s.assign(img(idx("row"), idx("col")), img(idx("row"), idx("col")) * 2.0);
+//   StatusOr<Program> prog = pb.build();
+//
+// Builders are lightweight index-based handles into the ProgramBuilder;
+// they remain valid for the ProgramBuilder's lifetime.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+#include "support/status.hpp"
+
+namespace glaf {
+
+/// Expression handle for the builder DSL. Implicitly constructible from
+/// numeric literals so `x + 1.5` works.
+class E {
+ public:
+  E() = default;
+  E(ExprPtr node) : node_(std::move(node)) {}  // NOLINT
+  E(double v) : node_(make_real(v)) {}         // NOLINT
+  E(int v) : node_(make_int(v)) {}             // NOLINT
+  E(std::int64_t v) : node_(make_int(v)) {}    // NOLINT
+  E(bool v) : node_(make_bool(v)) {}           // NOLINT
+
+  [[nodiscard]] const ExprPtr& node() const { return node_; }
+  [[nodiscard]] bool valid() const { return node_ != nullptr; }
+
+ private:
+  ExprPtr node_;
+};
+
+/// Loop index variable reference, e.g. idx("row").
+inline E idx(std::string name) { return E(make_index(std::move(name))); }
+/// Explicit literals (useful where implicit conversion is ambiguous).
+inline E lit(double v) { return E(make_real(v)); }
+inline E liti(std::int64_t v) { return E(make_int(v)); }
+
+// Arithmetic / comparison / logical operators build AST nodes.
+inline E operator+(E a, E b) { return make_binary(BinOp::kAdd, a.node(), b.node()); }
+inline E operator-(E a, E b) { return make_binary(BinOp::kSub, a.node(), b.node()); }
+inline E operator*(E a, E b) { return make_binary(BinOp::kMul, a.node(), b.node()); }
+inline E operator/(E a, E b) { return make_binary(BinOp::kDiv, a.node(), b.node()); }
+inline E operator-(E a) { return make_unary(UnOp::kNeg, a.node()); }
+inline E operator<(E a, E b) { return make_binary(BinOp::kLt, a.node(), b.node()); }
+inline E operator<=(E a, E b) { return make_binary(BinOp::kLe, a.node(), b.node()); }
+inline E operator>(E a, E b) { return make_binary(BinOp::kGt, a.node(), b.node()); }
+inline E operator>=(E a, E b) { return make_binary(BinOp::kGe, a.node(), b.node()); }
+inline E operator==(E a, E b) { return make_binary(BinOp::kEq, a.node(), b.node()); }
+inline E operator!=(E a, E b) { return make_binary(BinOp::kNe, a.node(), b.node()); }
+inline E operator&&(E a, E b) { return make_binary(BinOp::kAnd, a.node(), b.node()); }
+inline E operator||(E a, E b) { return make_binary(BinOp::kOr, a.node(), b.node()); }
+/// Logical negation. Named (not operator!) to avoid clashing with
+/// std::shared_ptr's boolean conversion in overload resolution.
+inline E lnot(E a) { return make_unary(UnOp::kNot, a.node()); }
+inline E pow(E a, E b) { return make_binary(BinOp::kPow, a.node(), b.node()); }
+inline E mod(E a, E b) { return make_binary(BinOp::kMod, a.node(), b.node()); }
+
+/// Library or user function call, e.g. call("ABS", {x}).
+E call(std::string name, std::vector<E> args);
+
+class ProgramBuilder;
+
+/// A concrete element access: grid (+field) with subscripts. Convertible
+/// to E (a read) and usable as an assignment target.
+class Access {
+ public:
+  Access(GridId grid, std::string field, std::vector<ExprPtr> subscripts)
+      : ir_{grid, std::move(field), std::move(subscripts)} {}
+
+  operator E() const {  // NOLINT: implicit read is the point
+    return E(make_grid_read(ir_.grid, ir_.subscripts, ir_.field));
+  }
+  [[nodiscard]] const GridAccess& ir() const { return ir_; }
+
+ private:
+  GridAccess ir_;
+};
+
+/// Handle to a created grid. operator() selects an element; conversion to
+/// E reads the scalar (or denotes the whole grid in call arguments).
+class GridHandle {
+ public:
+  GridHandle() = default;
+  explicit GridHandle(GridId id) : id_(id) {}
+
+  [[nodiscard]] GridId id() const { return id_; }
+
+  /// Element access: g(), g(i), g(i, j), ...
+  template <typename... Es>
+  Access operator()(Es... subscripts) const {
+    std::vector<ExprPtr> subs;
+    (subs.push_back(E(subscripts).node()), ...);
+    return Access(id_, {}, std::move(subs));
+  }
+
+  /// Struct-grid field access: g.at_field("x", i, j).
+  template <typename... Es>
+  Access at_field(std::string field, Es... subscripts) const {
+    std::vector<ExprPtr> subs;
+    (subs.push_back(E(subscripts).node()), ...);
+    return Access(id_, std::move(field), std::move(subs));
+  }
+
+  /// Whole-grid / scalar read.
+  operator E() const { return E(make_grid_read(id_, {})); }  // NOLINT
+
+ private:
+  GridId id_ = kInvalidGridId;
+};
+
+/// Optional grid attributes (the Figure 3 configuration screen).
+struct GridOpts {
+  std::string comment;
+  std::string from_module;   ///< §3.1: existing FORTRAN MODULE name
+  std::string common_block;  ///< §3.2: COMMON block name
+  bool module_scope = false; ///< §3.3
+  std::string type_parent;   ///< §3.5: existing TYPE variable name
+  bool save = false;         ///< §4.2.1: FORTRAN SAVE attribute
+  std::vector<Value> init;   ///< manual initial data (row-major)
+  std::vector<Field> fields; ///< struct grid fields
+};
+
+/// Builds statement lists. For step bodies the target is resolved through
+/// the ProgramBuilder on every call; for if arms it is a local vector that
+/// is alive for the duration of the arm lambda.
+class BodyBuilder {
+ public:
+  using BodyRef = std::function<std::vector<Stmt>&()>;
+
+  explicit BodyBuilder(BodyRef body) : body_(std::move(body)) {}
+
+  BodyBuilder& assign(const Access& lhs, E rhs);
+  /// Convenience for scalar grids: assign(g, expr).
+  BodyBuilder& assign(const GridHandle& lhs, E rhs);
+  BodyBuilder& call_sub(const std::string& callee, std::vector<E> args);
+  BodyBuilder& ret(E value = {});
+  /// if_(cond, then_builder [, else_builder]).
+  BodyBuilder& if_(E cond, const std::function<void(BodyBuilder&)>& then_fn,
+                   const std::function<void(BodyBuilder&)>& else_fn = {});
+
+ private:
+  BodyRef body_;
+};
+
+/// Builds a step: its loop nest ("Index Range") and its body.
+class StepBuilder : public BodyBuilder {
+ public:
+  StepBuilder(ProgramBuilder* pb, FunctionId fn, std::size_t step_index);
+
+  /// Append a loop: DO index_var = begin, end [, stride]. Bounds inclusive.
+  StepBuilder& foreach_(const std::string& index_var, E begin, E end,
+                        E stride = {});
+  /// foreach over dimension `dim` of `grid`: 0 .. extent-1.
+  StepBuilder& foreach_dim(const std::string& index_var,
+                           const GridHandle& grid, int dim);
+  StepBuilder& comment(std::string text);
+
+ private:
+  Step& step_ref();
+  ProgramBuilder* pb_;
+  FunctionId fn_;
+  std::size_t step_index_;
+};
+
+/// Builds one function (subprogram).
+class FunctionBuilder {
+ public:
+  FunctionBuilder(ProgramBuilder* pb, FunctionId id) : pb_(pb), id_(id) {}
+
+  /// Declare the next positional parameter.
+  GridHandle param(const std::string& name, DataType type,
+                   std::vector<E> dims = {}, GridOpts opts = {});
+  /// Declare a function-local grid.
+  GridHandle local(const std::string& name, DataType type,
+                   std::vector<E> dims = {}, GridOpts opts = {});
+  /// Begin a new step.
+  StepBuilder step(const std::string& name);
+
+  FunctionBuilder& comment(std::string text);
+  [[nodiscard]] FunctionId id() const { return id_; }
+
+ private:
+  ProgramBuilder* pb_;
+  FunctionId id_;
+};
+
+/// Top-level builder: owns the Program under construction.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string module_name);
+
+  /// Create a grid in the GLAF Global Scope.
+  GridHandle global(const std::string& name, DataType type,
+                    std::vector<E> dims = {}, GridOpts opts = {});
+
+  /// Begin a new function; kVoid return type produces a SUBROUTINE (§3.4).
+  FunctionBuilder function(const std::string& name,
+                           DataType return_type = DataType::kVoid);
+
+  /// Validate and return the finished program (a copy; the builder remains
+  /// usable).
+  [[nodiscard]] StatusOr<Program> build() const;
+
+  /// Return the IR without validation (the validator's own tests use this).
+  [[nodiscard]] Program build_unchecked() const { return program_; }
+
+  /// Access to the program under construction.
+  [[nodiscard]] const Program& peek() const { return program_; }
+
+ private:
+  friend class FunctionBuilder;
+  friend class StepBuilder;
+
+  GridId add_grid(const std::string& name, DataType type, std::vector<E> dims,
+                  GridOpts opts, int param_index, bool global_scope);
+
+  Program program_;
+};
+
+}  // namespace glaf

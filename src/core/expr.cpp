@@ -1,0 +1,243 @@
+#include "core/expr.hpp"
+
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace glaf {
+
+bool is_relational(BinOp op) {
+  switch (op) {
+    case BinOp::kLt: case BinOp::kLe: case BinOp::kGt:
+    case BinOp::kGe: case BinOp::kEq: case BinOp::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_logical(BinOp op) { return op == BinOp::kAnd || op == BinOp::kOr; }
+
+const char* to_string(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kPow: return "**";
+    case BinOp::kMod: return "%";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kAnd: return ".and.";
+    case BinOp::kOr: return ".or.";
+  }
+  return "?";
+}
+
+const char* to_string(UnOp op) {
+  return op == UnOp::kNeg ? "-" : ".not.";
+}
+
+ExprPtr make_literal(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->literal = v;
+  return e;
+}
+
+ExprPtr make_int(std::int64_t v) { return make_literal(Value{v}); }
+ExprPtr make_real(double v) { return make_literal(Value{v}); }
+ExprPtr make_bool(bool v) { return make_literal(Value{v}); }
+
+ExprPtr make_index(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kIndex;
+  e->index_name = std::move(name);
+  return e;
+}
+
+ExprPtr make_grid_read(GridId grid, std::vector<ExprPtr> subscripts,
+                       std::string field) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kGridRead;
+  e->grid = grid;
+  e->args = std::move(subscripts);
+  e->field = std::move(field);
+  return e;
+}
+
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->bop = op;
+  e->args = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr make_unary(UnOp op, ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kUnary;
+  e->uop = op;
+  e->args = {std::move(operand)};
+  return e;
+}
+
+ExprPtr make_call(std::string callee, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kCall;
+  e->callee = std::move(callee);
+  e->args = std::move(args);
+  return e;
+}
+
+bool expr_equal(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Expr::Kind::kLiteral:
+      return a.literal == b.literal;
+    case Expr::Kind::kIndex:
+      return a.index_name == b.index_name;
+    case Expr::Kind::kGridRead:
+      if (a.grid != b.grid || a.field != b.field) return false;
+      break;
+    case Expr::Kind::kBinary:
+      if (a.bop != b.bop) return false;
+      break;
+    case Expr::Kind::kUnary:
+      if (a.uop != b.uop) return false;
+      break;
+    case Expr::Kind::kCall:
+      if (a.callee != b.callee) return false;
+      break;
+  }
+  if (a.args.size() != b.args.size()) return false;
+  for (std::size_t i = 0; i < a.args.size(); ++i) {
+    if (!expr_equal(*a.args[i], *b.args[i])) return false;
+  }
+  return true;
+}
+
+bool is_index_free(const Expr& e) {
+  if (e.kind == Expr::Kind::kIndex || e.kind == Expr::Kind::kGridRead) {
+    return false;
+  }
+  for (const ExprPtr& arg : e.args) {
+    if (!is_index_free(*arg)) return false;
+  }
+  return true;
+}
+
+void visit_exprs(const ExprPtr& root,
+                 const std::function<void(const Expr&)>& fn) {
+  if (!root) return;
+  fn(*root);
+  for (const ExprPtr& arg : root->args) visit_exprs(arg, fn);
+}
+
+std::string expr_to_string(const Expr& e,
+                           const std::function<std::string(GridId)>& namer) {
+  const auto recurse = [&](const ExprPtr& p) {
+    return expr_to_string(*p, namer);
+  };
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return value_to_string(e.literal);
+    case Expr::Kind::kIndex:
+      return e.index_name;
+    case Expr::Kind::kGridRead: {
+      std::string out = namer ? namer(e.grid) : cat("g#", e.grid);
+      if (!e.field.empty()) out += "." + e.field;
+      for (const ExprPtr& s : e.args) out += "[" + recurse(s) + "]";
+      return out;
+    }
+    case Expr::Kind::kBinary:
+      return cat("(", recurse(e.args[0]), " ", to_string(e.bop), " ",
+                 recurse(e.args[1]), ")");
+    case Expr::Kind::kUnary:
+      return cat(to_string(e.uop), "(", recurse(e.args[0]), ")");
+    case Expr::Kind::kCall: {
+      std::vector<std::string> parts;
+      parts.reserve(e.args.size());
+      for (const ExprPtr& a : e.args) parts.push_back(recurse(a));
+      return cat(e.callee, "(", join(parts, ", "), ")");
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+std::optional<Value> fold_binary(BinOp op, const Value& a, const Value& b) {
+  const bool both_int = std::holds_alternative<std::int64_t>(a) &&
+                        std::holds_alternative<std::int64_t>(b);
+  const double x = value_as_double(a);
+  const double y = value_as_double(b);
+  const auto num = [&](double d) -> Value {
+    if (both_int && op != BinOp::kDiv && op != BinOp::kPow) {
+      return Value{static_cast<std::int64_t>(d)};
+    }
+    if (both_int && op == BinOp::kDiv) {
+      // Integer division truncates, as in both target languages.
+      const std::int64_t ai = std::get<std::int64_t>(a);
+      const std::int64_t bi = std::get<std::int64_t>(b);
+      if (bi == 0) return Value{0.0 / 0.0};
+      return Value{ai / bi};
+    }
+    return Value{d};
+  };
+  switch (op) {
+    case BinOp::kAdd: return num(x + y);
+    case BinOp::kSub: return num(x - y);
+    case BinOp::kMul: return num(x * y);
+    case BinOp::kDiv: return y == 0.0 && !both_int ? Value{x / y} : num(x / y);
+    case BinOp::kPow: return Value{std::pow(x, y)};
+    case BinOp::kMod:
+      if (both_int) {
+        const std::int64_t bi = std::get<std::int64_t>(b);
+        if (bi == 0) return std::nullopt;
+        return Value{std::get<std::int64_t>(a) % bi};
+      }
+      return Value{std::fmod(x, y)};
+    case BinOp::kLt: return Value{x < y};
+    case BinOp::kLe: return Value{x <= y};
+    case BinOp::kGt: return Value{x > y};
+    case BinOp::kGe: return Value{x >= y};
+    case BinOp::kEq: return Value{x == y};
+    case BinOp::kNe: return Value{x != y};
+    case BinOp::kAnd: return Value{x != 0.0 && y != 0.0};
+    case BinOp::kOr: return Value{x != 0.0 || y != 0.0};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Value> fold_constant(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.literal;
+    case Expr::Kind::kBinary: {
+      const auto a = fold_constant(*e.args[0]);
+      const auto b = fold_constant(*e.args[1]);
+      if (!a || !b) return std::nullopt;
+      return fold_binary(e.bop, *a, *b);
+    }
+    case Expr::Kind::kUnary: {
+      const auto a = fold_constant(*e.args[0]);
+      if (!a) return std::nullopt;
+      if (e.uop == UnOp::kNeg) {
+        if (const auto* i = std::get_if<std::int64_t>(&*a)) return Value{-*i};
+        return Value{-value_as_double(*a)};
+      }
+      return Value{value_as_double(*a) == 0.0};
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace glaf

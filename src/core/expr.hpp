@@ -1,0 +1,104 @@
+#pragma once
+// Expression AST of the GLAF IR.
+//
+// Expressions appear in step formulas (right-hand sides), subscripts, loop
+// bounds, conditions, and call arguments. Nodes are immutable and shared
+// (std::shared_ptr<const Expr>), so subtrees can be reused freely by the
+// builder DSL without copies; analyses never mutate them (side tables only).
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace glaf {
+
+/// Binary operators (arithmetic, comparison, logical).
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kPow, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,
+};
+
+/// Unary operators.
+enum class UnOp : std::uint8_t { kNeg, kNot };
+
+/// True for comparison / logical operators (result is Logical).
+bool is_relational(BinOp op);
+bool is_logical(BinOp op);
+
+/// Source-ish spelling of an operator ("+", "<=", ".and.") in neutral form.
+const char* to_string(BinOp op);
+const char* to_string(UnOp op);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An expression node.
+///
+/// GridRead with an empty `args` on a non-scalar grid denotes the *whole
+/// grid* (used to pass arrays to subprograms and to library functions such
+/// as SUM, one of the FORTRAN intrinsics this paper added support for).
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kLiteral,   ///< constant Value
+    kIndex,     ///< loop index variable by name ("row", "col", ...)
+    kGridRead,  ///< grid element (or whole grid when args is empty)
+    kBinary,    ///< args[0] <bop> args[1]
+    kUnary,     ///< <uop> args[0]
+    kCall,      ///< library function or user function call
+  };
+
+  Kind kind = Kind::kLiteral;
+
+  Value literal = std::int64_t{0};  ///< kLiteral
+  std::string index_name;           ///< kIndex
+  GridId grid = kInvalidGridId;     ///< kGridRead
+  std::string field;                ///< kGridRead: struct-grid field ("" = none)
+  BinOp bop = BinOp::kAdd;          ///< kBinary
+  UnOp uop = UnOp::kNeg;            ///< kUnary
+  std::string callee;               ///< kCall: library/user function name
+  std::vector<ExprPtr> args;        ///< subscripts / operands / call args
+};
+
+/// --- Node constructors -------------------------------------------------
+
+ExprPtr make_literal(Value v);
+ExprPtr make_int(std::int64_t v);
+ExprPtr make_real(double v);
+ExprPtr make_bool(bool v);
+ExprPtr make_index(std::string name);
+ExprPtr make_grid_read(GridId grid, std::vector<ExprPtr> subscripts,
+                       std::string field = {});
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr make_unary(UnOp op, ExprPtr operand);
+ExprPtr make_call(std::string callee, std::vector<ExprPtr> args);
+
+/// --- Queries ------------------------------------------------------------
+
+/// Structural equality (literals compared exactly).
+bool expr_equal(const Expr& a, const Expr& b);
+
+/// True if the expression contains no kIndex node naming any of `names`
+/// and no kGridRead (i.e., invariant w.r.t. loop indices and memory).
+bool is_index_free(const Expr& e);
+
+/// Depth-first visit of every node (parents before children).
+void visit_exprs(const ExprPtr& root,
+                 const std::function<void(const Expr&)>& fn);
+
+/// Render to a neutral, readable form for diagnostics and tests,
+/// e.g. "a[i][j+1] + 2.5 * ABS(b[i])". Grid names are resolved through
+/// `grid_namer` when provided, otherwise printed as "g#<id>".
+std::string expr_to_string(
+    const Expr& e,
+    const std::function<std::string(GridId)>& grid_namer = {});
+
+/// Attempt to fold the expression to a constant (no grid reads / indices).
+/// Returns std::nullopt if not a compile-time constant.
+std::optional<Value> fold_constant(const Expr& e);
+
+}  // namespace glaf

@@ -1,0 +1,13 @@
+#include "core/grid.hpp"
+
+namespace glaf {
+
+DataType Grid::field_type(const std::string& field_name) const {
+  if (field_name.empty()) return elem_type;
+  for (const Field& f : fields) {
+    if (f.name == field_name) return f.type;
+  }
+  return elem_type;
+}
+
+}  // namespace glaf

@@ -1,0 +1,89 @@
+#pragma once
+// The grid abstraction — GLAF's single data-structure concept.
+//
+// "All variables in GLAF (e.g., scalar variables, arrays, structs) are
+// represented via the grid abstraction" (paper §2.1, Figure 1). A grid has
+// a number of dimensions, an element data type (or per-field types for
+// struct grids), per-dimension sizes, a caption (its name) and a comment.
+//
+// This header also carries the *integration attributes* this paper adds in
+// §3 so generated code can interoperate with legacy FORTRAN:
+//   - ExternalKind::kModule  : variable lives in an existing FORTRAN MODULE
+//                              (code generation emits USE <module>);
+//   - ExternalKind::kCommon  : variable lives in a COMMON block (emits
+//                              COMMON /<name>/ ... grouping, §3.2);
+//   - module_scope           : declared at the generated module's global
+//                              scope instead of inside the subprogram (§3.3);
+//   - type_parent            : the grid is an element of an existing TYPE
+//                              variable, accessed as parent%element (§3.5);
+//   - save_attr              : FORTRAN SAVE attribute — used to suppress
+//                              per-call reallocation of temporaries in
+//                              parallel regions (§4.2.1).
+
+#include <string>
+#include <vector>
+
+#include "core/expr.hpp"
+#include "core/types.hpp"
+
+namespace glaf {
+
+/// Where a grid's storage is declared, relative to the generated code.
+enum class ExternalKind : std::uint8_t {
+  kNone = 0,  ///< owned by the generated program unit
+  kModule,    ///< existing (imported) FORTRAN module (§3.1)
+  kCommon,    ///< FORTRAN-77 COMMON block (§3.2)
+};
+
+/// One dimension of a grid. The extent may be a constant or an expression
+/// over scalar grids (e.g. a size parameter) that is evaluated on entry.
+struct Dim {
+  ExprPtr extent;     ///< number of elements along this dimension
+  std::string title;  ///< optional dimension title shown by the GPI
+};
+
+/// One field of a struct grid (FORTRAN derived TYPE / C struct). Struct
+/// grids enable the AoS-vs-SoA data layout option of the optimization
+/// back-end.
+struct Field {
+  std::string name;
+  DataType type = DataType::kDouble;
+};
+
+/// A grid: GLAF's uniform internal representation of a variable.
+struct Grid {
+  GridId id = kInvalidGridId;
+  std::string name;     ///< the caption, e.g. "img_src"
+  std::string comment;  ///< e.g. "Image before filtering"
+
+  DataType elem_type = DataType::kDouble;
+  std::vector<Dim> dims;      ///< empty => scalar grid
+  std::vector<Field> fields;  ///< non-empty => struct grid
+
+  // ---- legacy-integration attributes (§3) ----
+  ExternalKind external = ExternalKind::kNone;
+  std::string external_module;  ///< MODULE name when external == kModule
+  std::string common_block;     ///< COMMON block name when external == kCommon
+  bool module_scope = false;    ///< generated-module global scope (§3.3)
+  std::string type_parent;      ///< existing TYPE variable name (§3.5), "" = none
+  bool save_attr = false;       ///< FORTRAN SAVE (§4.2.1 no-reallocation)
+
+  // ---- placement ----
+  int param_index = -1;   ///< >= 0: position in the owning function's header
+  bool is_global = false; ///< lives in the GLAF Global Scope module
+
+  // ---- optional manual initial data (GPI: "Enable manual entering of
+  //      initial data", Figure 3); flattened row-major ----
+  std::vector<Value> init_data;
+
+  [[nodiscard]] bool is_scalar() const { return dims.empty(); }
+  [[nodiscard]] bool is_struct() const { return !fields.empty(); }
+  [[nodiscard]] bool is_param() const { return param_index >= 0; }
+  [[nodiscard]] std::size_t rank() const { return dims.size(); }
+
+  /// Element type of `field_name` for struct grids; elem_type otherwise
+  /// (or when the field is unknown — validation reports that separately).
+  [[nodiscard]] DataType field_type(const std::string& field_name) const;
+};
+
+}  // namespace glaf

@@ -1,0 +1,118 @@
+#include "core/libfuncs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace glaf {
+namespace {
+
+double ev_abs(const double* a, int) { return std::fabs(a[0]); }
+double ev_log(const double* a, int) { return std::log(a[0]); }
+double ev_log10(const double* a, int) { return std::log10(a[0]); }
+double ev_exp(const double* a, int) { return std::exp(a[0]); }
+double ev_sqrt(const double* a, int) { return std::sqrt(a[0]); }
+double ev_sin(const double* a, int) { return std::sin(a[0]); }
+double ev_cos(const double* a, int) { return std::cos(a[0]); }
+double ev_tan(const double* a, int) { return std::tan(a[0]); }
+double ev_asin(const double* a, int) { return std::asin(a[0]); }
+double ev_acos(const double* a, int) { return std::acos(a[0]); }
+double ev_atan(const double* a, int) { return std::atan(a[0]); }
+double ev_atan2(const double* a, int) { return std::atan2(a[0], a[1]); }
+double ev_pow(const double* a, int) { return std::pow(a[0], a[1]); }
+double ev_mod(const double* a, int) { return std::fmod(a[0], a[1]); }
+double ev_floor(const double* a, int) { return std::floor(a[0]); }
+double ev_ceil(const double* a, int) { return std::ceil(a[0]); }
+double ev_int(const double* a, int) { return std::trunc(a[0]); }
+double ev_nint(const double* a, int) { return std::nearbyint(a[0]); }
+double ev_sign(const double* a, int) {
+  // FORTRAN SIGN(a, b): |a| with the sign of b.
+  return a[1] >= 0.0 ? std::fabs(a[0]) : -std::fabs(a[0]);
+}
+double ev_sinh(const double* a, int) { return std::sinh(a[0]); }
+double ev_cosh(const double* a, int) { return std::cosh(a[0]); }
+double ev_tanh(const double* a, int) { return std::tanh(a[0]); }
+double ev_dim(const double* a, int) {
+  // FORTRAN DIM(a, b): max(a - b, 0).
+  return a[0] > a[1] ? a[0] - a[1] : 0.0;
+}
+double ev_hypot(const double* a, int) { return std::hypot(a[0], a[1]); }
+double ev_erf(const double* a, int) { return std::erf(a[0]); }
+double ev_gamma(const double* a, int) { return std::tgamma(a[0]); }
+double ev_min(const double* a, int n) {
+  double m = a[0];
+  for (int i = 1; i < n; ++i) m = std::min(m, a[i]);
+  return m;
+}
+double ev_max(const double* a, int n) {
+  double m = a[0];
+  for (int i = 1; i < n; ++i) m = std::max(m, a[i]);
+  return m;
+}
+// Whole-grid reductions: the interpreter feeds the flattened buffer.
+double ev_sum(const double* a, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += a[i];
+  return s;
+}
+double ev_minval(const double* a, int n) { return ev_min(a, n); }
+double ev_maxval(const double* a, int n) { return ev_max(a, n); }
+
+std::vector<LibFunc> build_registry() {
+  // name, arity, result, fortran, c, whole_grid, eval
+  return {
+      {"ABS", 1, LibResult::kSameAsArg, "ABS", "fabs", false, ev_abs},
+      {"ALOG", 1, LibResult::kDouble, "ALOG", "log", false, ev_log},
+      {"LOG", 1, LibResult::kDouble, "LOG", "log", false, ev_log},
+      {"ALOG10", 1, LibResult::kDouble, "ALOG10", "log10", false, ev_log10},
+      {"LOG10", 1, LibResult::kDouble, "LOG10", "log10", false, ev_log10},
+      {"EXP", 1, LibResult::kDouble, "EXP", "exp", false, ev_exp},
+      {"SQRT", 1, LibResult::kDouble, "SQRT", "sqrt", false, ev_sqrt},
+      {"SIN", 1, LibResult::kDouble, "SIN", "sin", false, ev_sin},
+      {"COS", 1, LibResult::kDouble, "COS", "cos", false, ev_cos},
+      {"TAN", 1, LibResult::kDouble, "TAN", "tan", false, ev_tan},
+      {"ASIN", 1, LibResult::kDouble, "ASIN", "asin", false, ev_asin},
+      {"ACOS", 1, LibResult::kDouble, "ACOS", "acos", false, ev_acos},
+      {"ATAN", 1, LibResult::kDouble, "ATAN", "atan", false, ev_atan},
+      {"ATAN2", 2, LibResult::kDouble, "ATAN2", "atan2", false, ev_atan2},
+      {"POW", 2, LibResult::kDouble, "", "pow", false, ev_pow},
+      {"MOD", 2, LibResult::kSameAsArg, "MOD", "glaf_mod", false, ev_mod},
+      {"FLOOR", 1, LibResult::kDouble, "FLOOR", "floor", false, ev_floor},
+      {"CEILING", 1, LibResult::kDouble, "CEILING", "ceil", false, ev_ceil},
+      {"INT", 1, LibResult::kInt, "INT", "(int)", false, ev_int},
+      {"NINT", 1, LibResult::kInt, "NINT", "glaf_nint", false, ev_nint},
+      {"SIGN", 2, LibResult::kSameAsArg, "SIGN", "glaf_sign", false, ev_sign},
+      {"MIN", -1, LibResult::kSameAsArg, "MIN", "glaf_min", false, ev_min},
+      {"MAX", -1, LibResult::kSameAsArg, "MAX", "glaf_max", false, ev_max},
+      {"SINH", 1, LibResult::kDouble, "SINH", "sinh", false, ev_sinh},
+      {"COSH", 1, LibResult::kDouble, "COSH", "cosh", false, ev_cosh},
+      {"TANH", 1, LibResult::kDouble, "TANH", "tanh", false, ev_tanh},
+      {"DIM", 2, LibResult::kSameAsArg, "DIM", "glaf_dim", false, ev_dim},
+      {"HYPOT", 2, LibResult::kDouble, "HYPOT", "hypot", false, ev_hypot},
+      {"ERF", 1, LibResult::kDouble, "ERF", "erf", false, ev_erf},
+      {"GAMMA", 1, LibResult::kDouble, "GAMMA", "tgamma", false, ev_gamma},
+      {"SUM", 1, LibResult::kSameAsArg, "SUM", "glaf_sum", true, ev_sum},
+      {"MINVAL", 1, LibResult::kSameAsArg, "MINVAL", "glaf_minval", true,
+       ev_minval},
+      {"MAXVAL", 1, LibResult::kSameAsArg, "MAXVAL", "glaf_maxval", true,
+       ev_maxval},
+  };
+}
+
+}  // namespace
+
+const std::vector<LibFunc>& all_lib_funcs() {
+  static const std::vector<LibFunc> registry = build_registry();
+  return registry;
+}
+
+const LibFunc* find_lib_func(std::string_view name) {
+  const std::string upper = to_upper(name);
+  for (const LibFunc& f : all_lib_funcs()) {
+    if (f.name == upper) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace glaf

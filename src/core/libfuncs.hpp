@@ -1,0 +1,46 @@
+#pragma once
+// Registry of library (intrinsic) functions GLAF supports.
+//
+// "Libraries are an extensible part of GLAF ... we extended support for
+// the ABS(), ALOG(), SUM(), and other functions used in FORTRAN that were
+// missing in the previous versions" (paper §3.6). Each entry carries the
+// per-language spelling and an interpreter implementation, so a single
+// registration makes a function available to code generation for every
+// target language and to direct execution.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace glaf {
+
+/// How an entry determines its result type.
+enum class LibResult : std::uint8_t {
+  kSameAsArg,  ///< follows the (promoted) argument type
+  kDouble,
+  kInt,
+};
+
+/// One library function. `eval` operates on doubles (the interpreter's
+/// numeric domain); reduction-style intrinsics over whole grids (SUM,
+/// MINVAL, MAXVAL) are marked with `whole_grid` and handled specially.
+struct LibFunc {
+  std::string name;          ///< GLAF name, upper case (e.g. "ALOG")
+  int arity;                 ///< -1 for variadic (MIN / MAX)
+  LibResult result;
+  std::string fortran_name;  ///< FORTRAN spelling
+  std::string c_name;        ///< C spelling (math.h) or runtime helper
+  bool whole_grid;           ///< argument is an entire grid (SUM, ...)
+  double (*eval)(const double* args, int n);
+};
+
+/// Case-insensitive lookup; nullptr when unknown.
+const LibFunc* find_lib_func(std::string_view name);
+
+/// Every registered function (stable order), for documentation and tests.
+const std::vector<LibFunc>& all_lib_funcs();
+
+}  // namespace glaf

@@ -1,0 +1,633 @@
+#include "core/serialize.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+#include "support/strings.hpp"
+
+namespace glaf {
+namespace {
+
+// ===== writing ==============================================================
+
+const char* type_name(DataType t) {
+  switch (t) {
+    case DataType::kVoid: return "void";
+    case DataType::kInt: return "int";
+    case DataType::kReal: return "real";
+    case DataType::kDouble: return "double";
+    case DataType::kLogical: return "logical";
+  }
+  return "void";
+}
+
+const char* binop_name(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "add";
+    case BinOp::kSub: return "sub";
+    case BinOp::kMul: return "mul";
+    case BinOp::kDiv: return "div";
+    case BinOp::kPow: return "pow";
+    case BinOp::kMod: return "mod";
+    case BinOp::kLt: return "lt";
+    case BinOp::kLe: return "le";
+    case BinOp::kGt: return "gt";
+    case BinOp::kGe: return "ge";
+    case BinOp::kEq: return "eq";
+    case BinOp::kNe: return "ne";
+    case BinOp::kAnd: return "and";
+    case BinOp::kOr: return "or";
+  }
+  return "?";
+}
+
+std::string quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string value_text(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) return format_double(*d);
+  return std::get<bool>(v) ? "true" : "false";
+}
+
+class Writer {
+ public:
+  explicit Writer(const Program& p) : p_(p) {}
+
+  std::string run() {
+    out_ += "(glaf-program 1\n";
+    out_ += cat("  (module ", p_.module_name, ")\n");
+    out_ += "  (globals";
+    for (const GridId id : p_.global_grids) out_ += cat(" ", id);
+    out_ += ")\n";
+    for (const Grid& g : p_.grids) write_grid(g);
+    for (const Function& fn : p_.functions) write_function(fn);
+    out_ += ")\n";
+    return out_;
+  }
+
+ private:
+  void write_grid(const Grid& g) {
+    out_ += cat("  (grid ", g.id, " ", g.name, " ", type_name(g.elem_type));
+    if (!g.comment.empty()) out_ += cat(" (comment ", quote(g.comment), ")");
+    if (!g.dims.empty()) {
+      out_ += " (dims";
+      for (const Dim& d : g.dims) out_ += " " + expr(d.extent);
+      out_ += ")";
+    }
+    if (!g.fields.empty()) {
+      out_ += " (fields";
+      for (const Field& f : g.fields) {
+        out_ += cat(" (", f.name, " ", type_name(f.type), ")");
+      }
+      out_ += ")";
+    }
+    if (g.external == ExternalKind::kModule) {
+      out_ += cat(" (module-of ", g.external_module, ")");
+    }
+    if (g.external == ExternalKind::kCommon) {
+      out_ += cat(" (common ", g.common_block, ")");
+    }
+    if (g.module_scope) out_ += " (module-scope)";
+    if (!g.type_parent.empty()) {
+      out_ += cat(" (type-parent ", g.type_parent, ")");
+    }
+    if (g.save_attr) out_ += " (save)";
+    if (g.param_index >= 0) out_ += cat(" (param ", g.param_index, ")");
+    if (!g.init_data.empty()) {
+      out_ += " (init";
+      for (const Value& v : g.init_data) out_ += " " + value_text(v);
+      out_ += ")";
+    }
+    out_ += ")\n";
+  }
+
+  void write_function(const Function& fn) {
+    out_ += cat("  (function ", fn.id, " ", fn.name, " ",
+                type_name(fn.return_type));
+    if (!fn.comment.empty()) {
+      out_ += cat(" (comment ", quote(fn.comment), ")");
+    }
+    out_ += " (params";
+    for (const GridId id : fn.params) out_ += cat(" ", id);
+    out_ += ") (locals";
+    for (const GridId id : fn.locals) out_ += cat(" ", id);
+    out_ += ")\n    (steps\n";
+    for (const Step& step : fn.steps) write_step(step);
+    out_ += "    ))\n";
+  }
+
+  void write_step(const Step& step) {
+    out_ += cat("      (step ", step.name);
+    if (!step.comment.empty()) {
+      out_ += cat(" (comment ", quote(step.comment), ")");
+    }
+    if (!step.loops.empty()) {
+      out_ += " (loops";
+      for (const LoopSpec& loop : step.loops) {
+        out_ += cat(" (loop ", loop.index_var, " ", expr(loop.begin), " ",
+                    expr(loop.end));
+        if (loop.stride) out_ += " " + expr(loop.stride);
+        out_ += ")";
+      }
+      out_ += ")";
+    }
+    if (!step.body.empty()) {
+      out_ += " (body";
+      for (const Stmt& s : step.body) out_ += " " + stmt(s);
+      out_ += ")";
+    }
+    out_ += ")\n";
+  }
+
+  std::string lvalue(const GridAccess& a) const {
+    std::string out = a.field.empty() ? cat("(lv ", a.grid)
+                                      : cat("(lvf ", a.grid, " ", a.field);
+    for (const ExprPtr& sub : a.subscripts) out += " " + expr(sub);
+    return out + ")";
+  }
+
+  std::string stmt(const Stmt& s) const {
+    switch (s.kind) {
+      case Stmt::Kind::kAssign:
+        return cat("(assign ", lvalue(s.lhs), " ", expr(s.rhs), ")");
+      case Stmt::Kind::kIf: {
+        std::string out = "(if";
+        for (const IfArm& arm : s.arms) {
+          out += cat(" (arm ", expr(arm.cond));
+          for (const Stmt& inner : arm.body) out += " " + stmt(inner);
+          out += ")";
+        }
+        if (!s.else_body.empty()) {
+          out += " (else";
+          for (const Stmt& inner : s.else_body) out += " " + stmt(inner);
+          out += ")";
+        }
+        return out + ")";
+      }
+      case Stmt::Kind::kCallSub: {
+        std::string out = cat("(callsub ", s.callee);
+        for (const ExprPtr& a : s.args) out += " " + expr(a);
+        return out + ")";
+      }
+      case Stmt::Kind::kReturn:
+        return s.ret ? cat("(return ", expr(s.ret), ")") : "(return)";
+    }
+    return "()";
+  }
+
+  std::string expr(const ExprPtr& e) const {
+    if (!e) return "(lit 0)";
+    switch (e->kind) {
+      case Expr::Kind::kLiteral:
+        return cat("(lit ", value_text(e->literal), ")");
+      case Expr::Kind::kIndex:
+        return cat("(idx ", e->index_name, ")");
+      case Expr::Kind::kGridRead: {
+        std::string out = e->field.empty()
+                              ? cat("(read ", e->grid)
+                              : cat("(readf ", e->grid, " ", e->field);
+        for (const ExprPtr& sub : e->args) out += " " + expr(sub);
+        return out + ")";
+      }
+      case Expr::Kind::kBinary:
+        return cat("(", binop_name(e->bop), " ", expr(e->args[0]), " ",
+                   expr(e->args[1]), ")");
+      case Expr::Kind::kUnary:
+        return cat("(", e->uop == UnOp::kNeg ? "neg" : "not", " ",
+                   expr(e->args[0]), ")");
+      case Expr::Kind::kCall: {
+        std::string out = cat("(call ", e->callee);
+        for (const ExprPtr& a : e->args) out += " " + expr(a);
+        return out + ")";
+      }
+    }
+    return "(lit 0)";
+  }
+
+  const Program& p_;
+  std::string out_;
+};
+
+// ===== parsing ==============================================================
+
+struct ParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void bail(const std::string& msg) { throw ParseError(msg); }
+
+/// An S-expression node: atom, string literal, or list.
+struct Sx {
+  enum class Kind { kAtom, kString, kList };
+  Kind kind = Kind::kAtom;
+  std::string text;
+  std::vector<Sx> items;
+
+  [[nodiscard]] bool is_list() const { return kind == Kind::kList; }
+  [[nodiscard]] const Sx& at(std::size_t i) const {
+    if (!is_list() || i >= items.size()) {
+      bail(cat("expected list element #", i));
+    }
+    return items[i];
+  }
+  [[nodiscard]] const std::string& atom() const {
+    if (kind != Kind::kAtom) bail("expected atom");
+    return text;
+  }
+  [[nodiscard]] const std::string& head() const { return at(0).atom(); }
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(const std::string& text) : text_(text) {}
+
+  Sx parse_all() {
+    const Sx root = parse_one();
+    skip_space();
+    if (pos_ != text_.size()) bail("trailing content after program");
+    return root;
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ';') {  // line comment
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Sx parse_one() {
+    skip_space();
+    if (pos_ >= text_.size()) bail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      Sx list;
+      list.kind = Sx::Kind::kList;
+      while (true) {
+        skip_space();
+        if (pos_ >= text_.size()) bail("unbalanced '('");
+        if (text_[pos_] == ')') {
+          ++pos_;
+          return list;
+        }
+        list.items.push_back(parse_one());
+      }
+    }
+    if (c == ')') bail("unexpected ')'");
+    if (c == '"') {
+      ++pos_;
+      Sx s;
+      s.kind = Sx::Kind::kString;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        s.text += text_[pos_++];
+      }
+      if (pos_ >= text_.size()) bail("unterminated string");
+      ++pos_;
+      return s;
+    }
+    Sx atom;
+    atom.kind = Sx::Kind::kAtom;
+    while (pos_ < text_.size()) {
+      const char a = text_[pos_];
+      if (a == '(' || a == ')' || a == '"' ||
+          std::isspace(static_cast<unsigned char>(a)) != 0) {
+        break;
+      }
+      atom.text += a;
+      ++pos_;
+    }
+    if (atom.text.empty()) bail("empty token");
+    return atom;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+DataType parse_type(const std::string& name) {
+  if (name == "void") return DataType::kVoid;
+  if (name == "int") return DataType::kInt;
+  if (name == "real") return DataType::kReal;
+  if (name == "double") return DataType::kDouble;
+  if (name == "logical") return DataType::kLogical;
+  bail(cat("unknown type '", name, "'"));
+}
+
+std::int64_t parse_int(const std::string& text) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    bail(cat("expected integer, got '", text, "'"));
+  }
+  return v;
+}
+
+Value parse_value(const std::string& text) {
+  if (text == "true") return Value{true};
+  if (text == "false") return Value{false};
+  if (text.find('.') != std::string::npos ||
+      text.find('e') != std::string::npos ||
+      text.find('E') != std::string::npos ||
+      text.find("inf") != std::string::npos ||
+      text.find("nan") != std::string::npos) {
+    return Value{std::strtod(text.c_str(), nullptr)};
+  }
+  return Value{parse_int(text)};
+}
+
+BinOp parse_binop(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "add") return BinOp::kAdd;
+  if (name == "sub") return BinOp::kSub;
+  if (name == "mul") return BinOp::kMul;
+  if (name == "div") return BinOp::kDiv;
+  if (name == "pow") return BinOp::kPow;
+  if (name == "mod") return BinOp::kMod;
+  if (name == "lt") return BinOp::kLt;
+  if (name == "le") return BinOp::kLe;
+  if (name == "gt") return BinOp::kGt;
+  if (name == "ge") return BinOp::kGe;
+  if (name == "eq") return BinOp::kEq;
+  if (name == "ne") return BinOp::kNe;
+  if (name == "and") return BinOp::kAnd;
+  if (name == "or") return BinOp::kOr;
+  *ok = false;
+  return BinOp::kAdd;
+}
+
+class Reader {
+ public:
+  Program run(const Sx& root) {
+    if (!root.is_list() || root.items.empty() ||
+        root.head() != "glaf-program") {
+      bail("not a glaf-program form");
+    }
+    if (root.at(1).atom() != "1") bail("unsupported format version");
+    Program p;
+    for (std::size_t i = 2; i < root.items.size(); ++i) {
+      const Sx& form = root.items[i];
+      const std::string& head = form.head();
+      if (head == "module") {
+        p.module_name = form.at(1).atom();
+      } else if (head == "globals") {
+        for (std::size_t g = 1; g < form.items.size(); ++g) {
+          p.global_grids.push_back(
+              static_cast<GridId>(parse_int(form.at(g).atom())));
+        }
+      } else if (head == "grid") {
+        read_grid(form, &p);
+      } else if (head == "function") {
+        read_function(form, &p);
+      } else {
+        bail(cat("unknown top-level form '", head, "'"));
+      }
+    }
+    // Mark globals.
+    for (const GridId id : p.global_grids) {
+      if (id >= p.grids.size()) bail("global id out of range");
+      p.grids[id].is_global = true;
+    }
+    return p;
+  }
+
+ private:
+  void read_grid(const Sx& form, Program* p) {
+    Grid g;
+    g.id = static_cast<GridId>(parse_int(form.at(1).atom()));
+    g.name = form.at(2).atom();
+    g.elem_type = parse_type(form.at(3).atom());
+    for (std::size_t i = 4; i < form.items.size(); ++i) {
+      const Sx& attr = form.items[i];
+      const std::string& head = attr.head();
+      if (head == "comment") {
+        g.comment = attr.at(1).text;
+      } else if (head == "dims") {
+        for (std::size_t d = 1; d < attr.items.size(); ++d) {
+          g.dims.push_back(Dim{expr(attr.items[d]), {}});
+        }
+      } else if (head == "fields") {
+        for (std::size_t f = 1; f < attr.items.size(); ++f) {
+          g.fields.push_back(Field{attr.items[f].at(0).atom(),
+                                   parse_type(attr.items[f].at(1).atom())});
+        }
+      } else if (head == "module-of") {
+        g.external = ExternalKind::kModule;
+        g.external_module = attr.at(1).atom();
+      } else if (head == "common") {
+        g.external = ExternalKind::kCommon;
+        g.common_block = attr.at(1).atom();
+      } else if (head == "module-scope") {
+        g.module_scope = true;
+      } else if (head == "type-parent") {
+        g.type_parent = attr.at(1).atom();
+      } else if (head == "save") {
+        g.save_attr = true;
+      } else if (head == "param") {
+        g.param_index = static_cast<int>(parse_int(attr.at(1).atom()));
+      } else if (head == "init") {
+        for (std::size_t v = 1; v < attr.items.size(); ++v) {
+          g.init_data.push_back(parse_value(attr.items[v].atom()));
+        }
+      } else {
+        bail(cat("unknown grid attribute '", head, "'"));
+      }
+    }
+    if (g.id != p->grids.size()) bail("grids must appear in id order");
+    p->grids.push_back(std::move(g));
+  }
+
+  void read_function(const Sx& form, Program* p) {
+    Function fn;
+    fn.id = static_cast<FunctionId>(parse_int(form.at(1).atom()));
+    fn.name = form.at(2).atom();
+    fn.return_type = parse_type(form.at(3).atom());
+    for (std::size_t i = 4; i < form.items.size(); ++i) {
+      const Sx& part = form.items[i];
+      const std::string& head = part.head();
+      if (head == "comment") {
+        fn.comment = part.at(1).text;
+      } else if (head == "params") {
+        for (std::size_t k = 1; k < part.items.size(); ++k) {
+          fn.params.push_back(
+              static_cast<GridId>(parse_int(part.at(k).atom())));
+        }
+      } else if (head == "locals") {
+        for (std::size_t k = 1; k < part.items.size(); ++k) {
+          fn.locals.push_back(
+              static_cast<GridId>(parse_int(part.at(k).atom())));
+        }
+      } else if (head == "steps") {
+        for (std::size_t k = 1; k < part.items.size(); ++k) {
+          fn.steps.push_back(read_step(part.items[k]));
+        }
+      } else {
+        bail(cat("unknown function part '", head, "'"));
+      }
+    }
+    if (fn.id != p->functions.size()) {
+      bail("functions must appear in id order");
+    }
+    p->functions.push_back(std::move(fn));
+  }
+
+  Step read_step(const Sx& form) {
+    if (form.head() != "step") bail("expected (step ...)");
+    Step step;
+    step.name = form.at(1).atom();
+    for (std::size_t i = 2; i < form.items.size(); ++i) {
+      const Sx& part = form.items[i];
+      const std::string& head = part.head();
+      if (head == "comment") {
+        step.comment = part.at(1).text;
+      } else if (head == "loops") {
+        for (std::size_t k = 1; k < part.items.size(); ++k) {
+          const Sx& l = part.items[k];
+          if (l.head() != "loop") bail("expected (loop ...)");
+          LoopSpec loop;
+          loop.index_var = l.at(1).atom();
+          loop.begin = expr(l.at(2));
+          loop.end = expr(l.at(3));
+          if (l.items.size() > 4) loop.stride = expr(l.at(4));
+          step.loops.push_back(std::move(loop));
+        }
+      } else if (head == "body") {
+        for (std::size_t k = 1; k < part.items.size(); ++k) {
+          step.body.push_back(stmt(part.items[k]));
+        }
+      } else {
+        bail(cat("unknown step part '", head, "'"));
+      }
+    }
+    return step;
+  }
+
+  GridAccess lvalue(const Sx& form) {
+    GridAccess a;
+    std::size_t subs_from = 2;
+    if (form.head() == "lv") {
+      a.grid = static_cast<GridId>(parse_int(form.at(1).atom()));
+    } else if (form.head() == "lvf") {
+      a.grid = static_cast<GridId>(parse_int(form.at(1).atom()));
+      a.field = form.at(2).atom();
+      subs_from = 3;
+    } else {
+      bail("expected (lv ...) or (lvf ...)");
+    }
+    for (std::size_t i = subs_from; i < form.items.size(); ++i) {
+      a.subscripts.push_back(expr(form.items[i]));
+    }
+    return a;
+  }
+
+  Stmt stmt(const Sx& form) {
+    const std::string& head = form.head();
+    if (head == "assign") {
+      return make_assign(lvalue(form.at(1)), expr(form.at(2)));
+    }
+    if (head == "if") {
+      Stmt s;
+      s.kind = Stmt::Kind::kIf;
+      for (std::size_t i = 1; i < form.items.size(); ++i) {
+        const Sx& part = form.items[i];
+        if (part.head() == "arm") {
+          IfArm arm;
+          arm.cond = expr(part.at(1));
+          for (std::size_t k = 2; k < part.items.size(); ++k) {
+            arm.body.push_back(stmt(part.items[k]));
+          }
+          s.arms.push_back(std::move(arm));
+        } else if (part.head() == "else") {
+          for (std::size_t k = 1; k < part.items.size(); ++k) {
+            s.else_body.push_back(stmt(part.items[k]));
+          }
+        } else {
+          bail("expected (arm ...) or (else ...) in if");
+        }
+      }
+      if (s.arms.empty()) bail("if without arms");
+      return s;
+    }
+    if (head == "callsub") {
+      std::vector<ExprPtr> args;
+      for (std::size_t i = 2; i < form.items.size(); ++i) {
+        args.push_back(expr(form.items[i]));
+      }
+      return make_call_stmt(form.at(1).atom(), std::move(args));
+    }
+    if (head == "return") {
+      return form.items.size() > 1 ? make_return(expr(form.at(1)))
+                                   : make_return();
+    }
+    bail(cat("unknown statement '", head, "'"));
+  }
+
+  ExprPtr expr(const Sx& form) {
+    const std::string& head = form.head();
+    if (head == "lit") return make_literal(parse_value(form.at(1).atom()));
+    if (head == "idx") return make_index(form.at(1).atom());
+    if (head == "read" || head == "readf") {
+      const GridId id = static_cast<GridId>(parse_int(form.at(1).atom()));
+      std::string field;
+      std::size_t subs_from = 2;
+      if (head == "readf") {
+        field = form.at(2).atom();
+        subs_from = 3;
+      }
+      std::vector<ExprPtr> subs;
+      for (std::size_t i = subs_from; i < form.items.size(); ++i) {
+        subs.push_back(expr(form.items[i]));
+      }
+      return make_grid_read(id, std::move(subs), std::move(field));
+    }
+    if (head == "neg") return make_unary(UnOp::kNeg, expr(form.at(1)));
+    if (head == "not") return make_unary(UnOp::kNot, expr(form.at(1)));
+    if (head == "call") {
+      std::vector<ExprPtr> args;
+      for (std::size_t i = 2; i < form.items.size(); ++i) {
+        args.push_back(expr(form.items[i]));
+      }
+      return make_call(form.at(1).atom(), std::move(args));
+    }
+    bool is_bin = false;
+    const BinOp op = parse_binop(head, &is_bin);
+    if (is_bin) return make_binary(op, expr(form.at(1)), expr(form.at(2)));
+    bail(cat("unknown expression '", head, "'"));
+  }
+};
+
+}  // namespace
+
+std::string serialize_program(const Program& program) {
+  return Writer(program).run();
+}
+
+StatusOr<Program> parse_program(const std::string& text) {
+  try {
+    Tokenizer tokenizer(text);
+    const Sx root = tokenizer.parse_all();
+    Reader reader;
+    return reader.run(root);
+  } catch (const ParseError& err) {
+    return invalid_argument(cat("parse error: ", err.what()));
+  }
+}
+
+}  // namespace glaf

@@ -1,0 +1,39 @@
+#pragma once
+// Text serialization of GLAF programs.
+//
+// The original GLAF GPI saves and restores programs (its grid-based IR is
+// "a uniform, regular internal representation"); this module provides the
+// equivalent for the C++ realization: a stable, human-readable
+// S-expression format that round-trips the complete IR — grids with all
+// §3 integration attributes, functions, steps, loop specifications and
+// statement bodies.
+//
+//   (glaf-program 1
+//     (module sarb_kernels)
+//     (grid 0 n_levels int (global) (init 60))
+//     (grid 1 pressure double (dims (read 0)) (global)
+//           (module-of fuliou_input))
+//     (function 0 lw_spectral_integration void
+//       (steps (step ls1 (loops (loop k (lit 0) (- (read 0) (lit 1))))
+//                    (body (assign (lv 2 (idx k)) (lit 0.0)))))))
+//
+// Loaded programs are re-validated by the caller (load returns the raw
+// IR; run validate()/build through the normal pipeline as needed).
+
+#include <string>
+
+#include "core/program.hpp"
+#include "support/status.hpp"
+
+namespace glaf {
+
+/// Serialize a program to the textual format. Deterministic: equal
+/// programs produce equal text.
+std::string serialize_program(const Program& program);
+
+/// Parse a serialized program. Returns detailed error messages with the
+/// offending token on malformed input. The result is structurally
+/// complete but NOT yet validated — callers should run validate().
+StatusOr<Program> parse_program(const std::string& text);
+
+}  // namespace glaf

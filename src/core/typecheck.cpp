@@ -1,0 +1,77 @@
+#include "core/typecheck.hpp"
+
+#include "core/libfuncs.hpp"
+
+namespace glaf {
+
+DataType promote(DataType a, DataType b) {
+  if (a == b) return a;
+  if (!is_numeric(a) || !is_numeric(b)) return DataType::kVoid;
+  if (a == DataType::kDouble || b == DataType::kDouble) return DataType::kDouble;
+  if (a == DataType::kReal || b == DataType::kReal) return DataType::kReal;
+  return DataType::kInt;
+}
+
+DataType infer_type(const Program& program, const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      if (std::holds_alternative<std::int64_t>(e.literal)) return DataType::kInt;
+      if (std::holds_alternative<double>(e.literal)) return DataType::kDouble;
+      return DataType::kLogical;
+    case Expr::Kind::kIndex:
+      return DataType::kInt;
+    case Expr::Kind::kGridRead: {
+      if (e.grid >= program.grids.size()) return DataType::kVoid;
+      return program.grid(e.grid).field_type(e.field);
+    }
+    case Expr::Kind::kBinary: {
+      const DataType lhs = infer_type(program, *e.args[0]);
+      const DataType rhs = infer_type(program, *e.args[1]);
+      if (is_relational(e.bop)) {
+        return promote(lhs, rhs) == DataType::kVoid && lhs != rhs
+                   ? DataType::kVoid
+                   : DataType::kLogical;
+      }
+      if (is_logical(e.bop)) {
+        return (lhs == DataType::kLogical && rhs == DataType::kLogical)
+                   ? DataType::kLogical
+                   : DataType::kVoid;
+      }
+      if (e.bop == BinOp::kDiv || e.bop == BinOp::kPow) {
+        const DataType p = promote(lhs, rhs);
+        return p;  // Int/Int stays Int (FORTRAN integer division)
+      }
+      return promote(lhs, rhs);
+    }
+    case Expr::Kind::kUnary: {
+      const DataType t = infer_type(program, *e.args[0]);
+      if (e.uop == UnOp::kNot) {
+        return t == DataType::kLogical ? DataType::kLogical : DataType::kVoid;
+      }
+      return is_numeric(t) ? t : DataType::kVoid;
+    }
+    case Expr::Kind::kCall: {
+      if (const LibFunc* lib = find_lib_func(e.callee)) {
+        switch (lib->result) {
+          case LibResult::kDouble: return DataType::kDouble;
+          case LibResult::kInt: return DataType::kInt;
+          case LibResult::kSameAsArg: {
+            DataType t = DataType::kInt;
+            for (const ExprPtr& a : e.args) {
+              t = promote(t, infer_type(program, *a));
+            }
+            return t;
+          }
+        }
+        return DataType::kVoid;
+      }
+      if (const Function* fn = program.find_function(e.callee)) {
+        return fn->return_type;
+      }
+      return DataType::kVoid;
+    }
+  }
+  return DataType::kVoid;
+}
+
+}  // namespace glaf

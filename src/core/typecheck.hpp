@@ -1,0 +1,21 @@
+#pragma once
+// Expression type inference over the GLAF IR. Shared by validation (type
+// errors), code generation (literal suffixes, declaration kinds) and the
+// interpreter (storage selection).
+
+#include "core/program.hpp"
+
+namespace glaf {
+
+/// Numeric promotion lattice: Int < Real < Double. Logical only joins with
+/// itself; any other mix yields kVoid (the "type error" sentinel here).
+DataType promote(DataType a, DataType b);
+
+/// Infer the type of `e` within `program`. Index variables are Int;
+/// comparisons and logical operators yield Logical; library calls follow
+/// the registry's result rule; user-function calls use the callee's return
+/// type. Returns kVoid when the expression is ill-typed or references an
+/// unknown callee.
+DataType infer_type(const Program& program, const Expr& e);
+
+}  // namespace glaf

@@ -1,0 +1,37 @@
+#include "core/types.hpp"
+
+#include "support/strings.hpp"
+
+namespace glaf {
+
+const char* to_string(DataType type) {
+  switch (type) {
+    case DataType::kVoid: return "void";
+    case DataType::kInt: return "integer";
+    case DataType::kReal: return "real";
+    case DataType::kDouble: return "double";
+    case DataType::kLogical: return "logical";
+  }
+  return "unknown";
+}
+
+bool is_numeric(DataType type) {
+  return type == DataType::kInt || type == DataType::kReal ||
+         type == DataType::kDouble;
+}
+
+double value_as_double(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  return std::get<bool>(v) ? 1.0 : 0.0;
+}
+
+std::string value_to_string(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) return format_double(*d);
+  return std::get<bool>(v) ? "true" : "false";
+}
+
+}  // namespace glaf

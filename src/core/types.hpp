@@ -1,0 +1,53 @@
+#pragma once
+// Fundamental vocabulary types of the GLAF internal representation (IR).
+//
+// GLAF (Grid-based Language and Auto-parallelization Framework) represents
+// every program object — scalars, arrays, structs — as a *grid* (see
+// grid.hpp). These are the scalar types grids can carry and the stable ids
+// the rest of the framework uses to refer to IR entities.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace glaf {
+
+/// Element data types. These map to the target languages as:
+///   Int     -> INTEGER            / int
+///   Real    -> REAL               / float
+///   Double  -> REAL(KIND=8)       / double
+///   Logical -> LOGICAL            / int (0/1)
+///   Void    -> (subroutine return; §3.4 of the paper)
+enum class DataType : std::uint8_t {
+  kVoid = 0,
+  kInt,
+  kReal,
+  kDouble,
+  kLogical,
+};
+
+/// Stable GLAF-facing name of a data type ("integer", "real", ...), as the
+/// GPI displays them.
+const char* to_string(DataType type);
+
+/// True for Int/Real/Double.
+bool is_numeric(DataType type);
+
+/// A compile-time constant scalar (literals and manual initial data).
+using Value = std::variant<std::int64_t, double, bool>;
+
+/// Numeric view of a Value (Logical -> 0/1).
+double value_as_double(const Value& v);
+
+/// Render a Value as source text in a neutral form ("3", "1.5", "true").
+std::string value_to_string(const Value& v);
+
+/// Identifier of a Grid within a Program. Dense, assigned by the builder.
+using GridId = std::uint32_t;
+/// Identifier of a Function within a Program.
+using FunctionId = std::uint32_t;
+
+inline constexpr GridId kInvalidGridId = 0xFFFFFFFFu;
+inline constexpr FunctionId kInvalidFunctionId = 0xFFFFFFFFu;
+
+}  // namespace glaf

@@ -1,0 +1,528 @@
+#include "core/validate.hpp"
+
+#include <map>
+#include <set>
+
+#include "core/libfuncs.hpp"
+#include "core/typecheck.hpp"
+#include "support/strings.hpp"
+
+namespace glaf {
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(const Program& p) : p_(p) {}
+
+  std::vector<Diagnostic> run() {
+    check_program_names();
+    check_grids();
+    for (const Function& fn : p_.functions) check_function(fn);
+    check_call_graph();
+    return std::move(diags_);
+  }
+
+ private:
+  void error(std::string where, std::string message) {
+    diags_.push_back({Severity::kError, std::move(where), std::move(message)});
+  }
+  void warn(std::string where, std::string message) {
+    diags_.push_back(
+        {Severity::kWarning, std::move(where), std::move(message)});
+  }
+
+  // ---- names and scopes ----------------------------------------------
+
+  void check_program_names() {
+    if (!is_valid_identifier(p_.module_name)) {
+      error("program", cat("module name '", p_.module_name,
+                           "' is not a valid identifier"));
+    }
+    std::set<std::string> fn_names;
+    for (const Function& fn : p_.functions) {
+      if (!is_valid_identifier(fn.name)) {
+        error(cat("function ", fn.name), "invalid function name");
+      }
+      if (!fn_names.insert(to_lower(fn.name)).second) {
+        error(cat("function ", fn.name), "duplicate function name");
+      }
+      if (find_lib_func(fn.name) != nullptr) {
+        error(cat("function ", fn.name),
+              "function name collides with a library function");
+      }
+    }
+    std::set<std::string> global_names;
+    for (const GridId id : p_.global_grids) {
+      const Grid& g = p_.grid(id);
+      if (!global_names.insert(to_lower(g.name)).second) {
+        error(cat("grid ", g.name), "duplicate name in Global Scope");
+      }
+    }
+  }
+
+  // ---- grid attribute consistency --------------------------------------
+
+  void check_grids() {
+    for (const Grid& g : p_.grids) {
+      const std::string where = cat("grid ", g.name);
+      if (!is_valid_identifier(g.name)) {
+        error(where, "invalid grid name");
+      }
+      if (g.external != ExternalKind::kNone) {
+        if (!g.is_global) {
+          error(where,
+                "grids from existing modules or COMMON blocks must be "
+                "created in the Global Scope");
+        }
+        if (!g.init_data.empty()) {
+          error(where, "externally-owned grids cannot carry initial data");
+        }
+        if (g.module_scope) {
+          error(where,
+                "a grid cannot be both externally owned and module-scope");
+        }
+      }
+      if (g.external == ExternalKind::kModule &&
+          !is_valid_identifier(g.external_module)) {
+        error(where, cat("invalid existing-module name '", g.external_module,
+                         "'"));
+      }
+      if (g.external == ExternalKind::kCommon &&
+          !is_valid_identifier(g.common_block)) {
+        error(where, cat("invalid COMMON block name '", g.common_block, "'"));
+      }
+      if (!g.type_parent.empty()) {
+        if (g.external != ExternalKind::kModule) {
+          error(where,
+                "TYPE-element grids must be marked as belonging to an "
+                "existing module (paper §3.5)");
+        } else if (!is_valid_identifier(g.type_parent)) {
+          error(where, cat("invalid TYPE variable name '", g.type_parent, "'"));
+        }
+      }
+      if (g.is_param() && (g.is_global || g.module_scope ||
+                           g.external != ExternalKind::kNone)) {
+        error(where, "parameter grids cannot be global/module-scope/external");
+      }
+      if (g.module_scope && !g.is_global) {
+        error(where, "module-scope grids must be created in the Global Scope");
+      }
+      check_grid_fields(g, where);
+      check_grid_dims(g, where);
+      check_grid_init(g, where);
+    }
+  }
+
+  void check_grid_fields(const Grid& g, const std::string& where) {
+    std::set<std::string> names;
+    for (const Field& f : g.fields) {
+      if (!is_valid_identifier(f.name)) {
+        error(where, cat("invalid field name '", f.name, "'"));
+      }
+      if (!names.insert(to_lower(f.name)).second) {
+        error(where, cat("duplicate field '", f.name, "'"));
+      }
+      if (f.type == DataType::kVoid) {
+        error(where, cat("field '", f.name, "' has void type"));
+      }
+    }
+    if (g.elem_type == DataType::kVoid && g.fields.empty()) {
+      error(where, "grid has void element type");
+    }
+  }
+
+  void check_grid_dims(const Grid& g, const std::string& where) {
+    for (std::size_t d = 0; d < g.dims.size(); ++d) {
+      const ExprPtr& extent = g.dims[d].extent;
+      if (!extent) {
+        error(where, cat("dimension ", d, " has no extent expression"));
+        continue;
+      }
+      bool bad = false;
+      visit_exprs(extent, [&](const Expr& e) {
+        if (e.kind == Expr::Kind::kIndex) bad = true;
+        if (e.kind == Expr::Kind::kGridRead) {
+          if (e.grid >= p_.grids.size() || !p_.grid(e.grid).is_scalar()) {
+            bad = true;
+          }
+        }
+      });
+      if (bad) {
+        error(where, cat("dimension ", d,
+                         " extent must be a constant or an expression over "
+                         "scalar grids"));
+      }
+      if (const auto c = fold_constant(*extent)) {
+        if (value_as_double(*c) < 1.0) {
+          error(where, cat("dimension ", d, " extent must be positive"));
+        }
+      }
+    }
+  }
+
+  void check_grid_init(const Grid& g, const std::string& where) {
+    if (g.init_data.empty()) return;
+    std::int64_t product = 1;
+    for (const Dim& d : g.dims) {
+      const auto c = d.extent ? fold_constant(*d.extent) : std::nullopt;
+      if (!c) return;  // symbolic extent: length checked at runtime
+      product *= static_cast<std::int64_t>(value_as_double(*c));
+    }
+    if (static_cast<std::int64_t>(g.init_data.size()) != product) {
+      error(where, cat("initial data has ", g.init_data.size(),
+                       " values but the grid holds ", product));
+    }
+  }
+
+  // ---- functions --------------------------------------------------------
+
+  void check_function(const Function& fn) {
+    const std::string where = cat("function ", fn.name);
+
+    std::set<std::string> global_names;
+    for (const GridId id : p_.global_grids) {
+      global_names.insert(to_lower(p_.grid(id).name));
+    }
+    std::set<std::string> local_names;
+    const auto check_scope_name = [&](GridId id) {
+      const Grid& g = p_.grid(id);
+      const std::string lower = to_lower(g.name);
+      if (global_names.count(lower) != 0) {
+        error(where, cat("grid '", g.name, "' shadows a Global Scope grid"));
+      }
+      if (!local_names.insert(lower).second) {
+        error(where, cat("duplicate grid name '", g.name, "' in function"));
+      }
+    };
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      check_scope_name(fn.params[i]);
+      const Grid& g = p_.grid(fn.params[i]);
+      if (g.param_index != static_cast<int>(i)) {
+        error(where, cat("parameter '", g.name, "' has inconsistent position"));
+      }
+    }
+    for (const GridId id : fn.locals) check_scope_name(id);
+
+    if (fn.steps.empty()) {
+      warn(where, "function has no steps");
+    }
+    for (const Step& step : fn.steps) check_step(fn, step);
+
+    // Return statements must match the header (§3.4): void functions are
+    // emitted as SUBROUTINEs and cannot return a value.
+    for (const Step& step : fn.steps) {
+      visit_stmts(step.body, [&](const Stmt& s) {
+        if (s.kind != Stmt::Kind::kReturn) return;
+        if (fn.return_type == DataType::kVoid && s.ret) {
+          error(where, "subroutine (void subprogram) returns a value");
+        }
+        if (fn.return_type != DataType::kVoid && !s.ret) {
+          error(where, "value-returning function has a bare return");
+        }
+        if (s.ret) {
+          const DataType t = infer_type(p_, *s.ret);
+          if (promote(t, fn.return_type) == DataType::kVoid &&
+              t != fn.return_type) {
+            error(where, "return value type does not match function header");
+          }
+        }
+      });
+    }
+  }
+
+  void check_step(const Function& fn, const Step& step) {
+    const std::string where = cat("function ", fn.name, " / step ", step.name);
+
+    std::set<std::string> indices;
+    std::set<std::string> seen_so_far;
+    for (const LoopSpec& loop : step.loops) {
+      if (!is_valid_identifier(loop.index_var)) {
+        error(where, cat("invalid index variable '", loop.index_var, "'"));
+      }
+      if (!indices.insert(loop.index_var).second) {
+        error(where, cat("duplicate index variable '", loop.index_var, "'"));
+      }
+      // Bounds may reference outer (earlier) indices only.
+      for (const ExprPtr& bound : {loop.begin, loop.end, loop.stride}) {
+        if (!bound) continue;
+        check_expr(*bound, seen_so_far, where, /*allow_whole_grid=*/false);
+      }
+      seen_so_far.insert(loop.index_var);
+    }
+    if (step.loops.empty() && step.body.empty()) {
+      warn(where, "empty step");
+    }
+    check_body(step.body, indices, where);
+  }
+
+  void check_body(const std::vector<Stmt>& body,
+                  const std::set<std::string>& indices,
+                  const std::string& where) {
+    for (const Stmt& s : body) {
+      switch (s.kind) {
+        case Stmt::Kind::kAssign:
+          check_assign(s, indices, where);
+          break;
+        case Stmt::Kind::kIf: {
+          for (const IfArm& arm : s.arms) {
+            check_expr(*arm.cond, indices, where, false);
+            if (infer_type(p_, *arm.cond) != DataType::kLogical) {
+              error(where, cat("condition is not logical: ",
+                               expr_to_string(*arm.cond, p_.grid_namer())));
+            }
+            check_body(arm.body, indices, where);
+          }
+          check_body(s.else_body, indices, where);
+          break;
+        }
+        case Stmt::Kind::kCallSub:
+          check_call_site(s.callee, s.args, indices, where,
+                          /*expects_void=*/true);
+          break;
+        case Stmt::Kind::kReturn:
+          if (s.ret) check_expr(*s.ret, indices, where, false);
+          break;
+      }
+    }
+  }
+
+  void check_assign(const Stmt& s, const std::set<std::string>& indices,
+                    const std::string& where) {
+    if (s.lhs.grid >= p_.grids.size()) {
+      error(where, "assignment to unknown grid");
+      return;
+    }
+    const Grid& g = p_.grid(s.lhs.grid);
+    check_access(g, s.lhs.field, s.lhs.subscripts, indices, where,
+                 /*whole_grid_ok=*/false);
+    check_expr(*s.rhs, indices, where, false);
+
+    const DataType lhs_t = g.field_type(s.lhs.field);
+    const DataType rhs_t = infer_type(p_, *s.rhs);
+    if (rhs_t == DataType::kVoid) {
+      error(where, cat("ill-typed right-hand side: ",
+                       expr_to_string(*s.rhs, p_.grid_namer())));
+    } else if (lhs_t == DataType::kLogical || rhs_t == DataType::kLogical) {
+      if (lhs_t != rhs_t) {
+        error(where, cat("cannot assign ", to_string(rhs_t), " to ",
+                         to_string(lhs_t), " grid '", g.name, "'"));
+      }
+    } else if (promote(lhs_t, rhs_t) == DataType::kVoid) {
+      error(where, cat("incompatible assignment to grid '", g.name, "'"));
+    }
+  }
+
+  void check_access(const Grid& g, const std::string& field,
+                    const std::vector<ExprPtr>& subscripts,
+                    const std::set<std::string>& indices,
+                    const std::string& where, bool whole_grid_ok) {
+    if (!field.empty()) {
+      if (!g.is_struct()) {
+        error(where, cat("grid '", g.name, "' has no fields (accessed '.",
+                         field, "')"));
+      } else {
+        bool found = false;
+        for (const Field& f : g.fields) found = found || f.name == field;
+        if (!found) {
+          error(where, cat("grid '", g.name, "' has no field '", field, "'"));
+        }
+      }
+    }
+    if (subscripts.empty() && !g.is_scalar()) {
+      if (!whole_grid_ok) {
+        error(where,
+              cat("whole-grid reference to '", g.name,
+                  "' is only allowed as a call argument or in whole-grid "
+                  "library functions"));
+      }
+      return;
+    }
+    if (subscripts.size() != g.rank()) {
+      error(where, cat("grid '", g.name, "' has rank ", g.rank(), " but ",
+                       subscripts.size(), " subscripts were given"));
+    }
+    for (const ExprPtr& sub : subscripts) {
+      check_expr(*sub, indices, where, false);
+      const DataType t = infer_type(p_, *sub);
+      if (t != DataType::kInt) {
+        error(where, cat("subscript is not integer: ",
+                         expr_to_string(*sub, p_.grid_namer())));
+      }
+    }
+  }
+
+  void check_expr(const Expr& e, const std::set<std::string>& indices,
+                  const std::string& where, bool allow_whole_grid) {
+    switch (e.kind) {
+      case Expr::Kind::kLiteral:
+        return;
+      case Expr::Kind::kIndex:
+        if (indices.count(e.index_name) == 0) {
+          error(where, cat("index variable '", e.index_name,
+                           "' is not defined by the step's Index Range"));
+        }
+        return;
+      case Expr::Kind::kGridRead: {
+        if (e.grid >= p_.grids.size()) {
+          error(where, "reference to unknown grid");
+          return;
+        }
+        check_access(p_.grid(e.grid), e.field, e.args, indices, where,
+                     allow_whole_grid);
+        return;
+      }
+      case Expr::Kind::kBinary:
+      case Expr::Kind::kUnary:
+        for (const ExprPtr& a : e.args) {
+          check_expr(*a, indices, where, false);
+        }
+        return;
+      case Expr::Kind::kCall:
+        check_call_expr(e, indices, where);
+        return;
+    }
+  }
+
+  void check_call_expr(const Expr& e, const std::set<std::string>& indices,
+                       const std::string& where) {
+    if (const LibFunc* lib = find_lib_func(e.callee)) {
+      if (lib->arity >= 0 &&
+          static_cast<int>(e.args.size()) != lib->arity) {
+        error(where, cat(lib->name, " expects ", lib->arity,
+                         " argument(s), got ", e.args.size()));
+      }
+      if (lib->arity < 0 && e.args.size() < 2) {
+        error(where, cat(lib->name, " expects at least 2 arguments"));
+      }
+      for (const ExprPtr& a : e.args) {
+        check_expr(*a, indices, where, /*allow_whole_grid=*/lib->whole_grid);
+      }
+      return;
+    }
+    check_call_site(e.callee, e.args, indices, where, /*expects_void=*/false);
+  }
+
+  void check_call_site(const std::string& callee,
+                       const std::vector<ExprPtr>& args,
+                       const std::set<std::string>& indices,
+                       const std::string& where, bool expects_void) {
+    const Function* target = p_.find_function(callee);
+    if (target == nullptr) {
+      error(where, cat("call to unknown function '", callee, "'"));
+      return;
+    }
+    if (expects_void && target->return_type != DataType::kVoid) {
+      error(where, cat("CALL target '", callee,
+                       "' returns a value; call it in an expression"));
+    }
+    if (!expects_void && target->return_type == DataType::kVoid) {
+      error(where, cat("subroutine '", callee,
+                       "' used in an expression (it returns no value)"));
+    }
+    if (args.size() != target->params.size()) {
+      error(where, cat("'", callee, "' expects ", target->params.size(),
+                       " argument(s), got ", args.size()));
+    }
+    const std::size_t n = std::min(args.size(), target->params.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      check_expr(*args[i], indices, where, /*allow_whole_grid=*/true);
+      const Grid& param = p_.grid(target->params[i]);
+      // Whole-grid argument must match the parameter's rank.
+      if (args[i]->kind == Expr::Kind::kGridRead && args[i]->args.empty()) {
+        const Grid& arg_grid = p_.grid(args[i]->grid);
+        if (!arg_grid.is_scalar() && arg_grid.rank() != param.rank()) {
+          error(where, cat("argument ", i + 1, " of '", callee, "': rank ",
+                           arg_grid.rank(), " grid passed to rank ",
+                           param.rank(), " parameter"));
+        }
+      } else if (!param.is_scalar()) {
+        error(where, cat("argument ", i + 1, " of '", callee,
+                         "': array parameter requires a whole-grid argument"));
+      }
+    }
+  }
+
+  // ---- call graph --------------------------------------------------------
+
+  void check_call_graph() {
+    // FORTRAN (pre-2008 defaults) forbids implicit recursion; generated code
+    // must therefore have an acyclic call graph.
+    std::map<std::string, std::set<std::string>> edges;
+    for (const Function& fn : p_.functions) {
+      auto& out = edges[fn.name];
+      for (const Step& step : fn.steps) {
+        visit_stmts(step.body, [&](const Stmt& s) {
+          if (s.kind == Stmt::Kind::kCallSub) out.insert(s.callee);
+          const auto scan = [&](const ExprPtr& e) {
+            visit_exprs(e, [&](const Expr& node) {
+              if (node.kind == Expr::Kind::kCall &&
+                  find_lib_func(node.callee) == nullptr) {
+                out.insert(node.callee);
+              }
+            });
+          };
+          if (s.kind == Stmt::Kind::kAssign) {
+            scan(s.rhs);
+            for (const ExprPtr& sub : s.lhs.subscripts) scan(sub);
+          }
+          if (s.kind == Stmt::Kind::kIf) {
+            for (const IfArm& arm : s.arms) scan(arm.cond);
+          }
+          if (s.kind == Stmt::Kind::kCallSub) {
+            for (const ExprPtr& a : s.args) scan(a);
+          }
+          if (s.kind == Stmt::Kind::kReturn) scan(s.ret);
+        });
+      }
+    }
+    // Iterative DFS cycle detection.
+    std::map<std::string, int> state;  // 0=unseen 1=active 2=done
+    std::function<bool(const std::string&)> dfs =
+        [&](const std::string& node) -> bool {
+      state[node] = 1;
+      for (const std::string& next : edges[node]) {
+        if (edges.count(next) == 0) continue;  // unknown callee: reported above
+        if (state[next] == 1) return true;
+        if (state[next] == 0 && dfs(next)) return true;
+      }
+      state[node] = 2;
+      return false;
+    };
+    for (const Function& fn : p_.functions) {
+      if (state[fn.name] == 0 && dfs(fn.name)) {
+        error(cat("function ", fn.name),
+              "recursive call chain detected (generated FORTRAN subprograms "
+              "must not recurse)");
+        return;
+      }
+    }
+  }
+
+  const Program& p_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> validate(const Program& program) {
+  return Validator(program).run();
+}
+
+bool is_valid(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) return false;
+  }
+  return true;
+}
+
+std::string render_diagnostics(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> lines;
+  lines.reserve(diags.size());
+  for (const Diagnostic& d : diags) {
+    lines.push_back(cat(d.severity == Severity::kError ? "error" : "warning",
+                        ": ", d.where, ": ", d.message));
+  }
+  return join(lines, "\n");
+}
+
+}  // namespace glaf

@@ -1,0 +1,49 @@
+#pragma once
+// Structural and type validation of GLAF programs.
+//
+// The GPI "greatly reduces complexity and the chances for programming
+// errors" (paper §2.1) by construction; with a programmatic builder the
+// same guarantees are enforced by this validator, which every build() runs
+// before handing the program to the back-ends. The back-ends may therefore
+// assume a validated program.
+
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+
+namespace glaf {
+
+enum class Severity : std::uint8_t { kError, kWarning };
+
+/// One finding, locating the IR entity it concerns.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string where;    ///< e.g. "function adjust2 / step Step1"
+  std::string message;
+};
+
+/// Validate the whole program. Checks include:
+///  - identifier validity and per-scope name uniqueness (globals cannot be
+///    shadowed by function params/locals);
+///  - grid attribute consistency (external grids carry no initial data and
+///    live in the Global Scope; type_parent requires an existing module;
+///    COMMON grids need a valid block name; init data length matches the
+///    constant extent product);
+///  - step structure (unique loop index names, subscript counts match grid
+///    rank, index variables defined by the enclosing loops, whole-grid
+///    reads only in call-argument positions);
+///  - call correctness (CALL targets are void subroutines, §3.4; call
+///    expressions target library functions or value-returning functions
+///    with matching arity; the call graph is acyclic);
+///  - return correctness (value present iff the function returns one);
+///  - expression typing (conditions are Logical, assignments compatible).
+std::vector<Diagnostic> validate(const Program& program);
+
+/// True if no diagnostic is an error.
+bool is_valid(const std::vector<Diagnostic>& diags);
+
+/// Render diagnostics one per line: "error: <where>: <message>".
+std::string render_diagnostics(const std::vector<Diagnostic>& diags);
+
+}  // namespace glaf

@@ -1,0 +1,394 @@
+#include "fuliou/glaf_kernels.hpp"
+
+#include <stdexcept>
+
+#include "fuliou/profile.hpp"
+
+namespace glaf::fuliou {
+namespace {
+
+/// Grid handles shared by the subroutine builders.
+struct Grids {
+  GridHandle n_levels, n_lwbands, n_swbands, n_hemis;
+  // existing-module inputs (§3.1)
+  GridHandle pressure, temperature, humidity, o3, cloud_frac, tau;
+  GridHandle tsfc;          // TYPE element fo%tsfc (§3.5)
+  GridHandle albedo, cosz;  // COMMON /sw_in/ (§3.2)
+  // module-scope intermediates (§3.3)
+  GridHandle od, w0, t_layer, tsfc_arr, entropy2, od_total;
+  GridHandle trans, absorb, emiss, swsrc;
+  // module-scope outputs
+  GridHandle planck, lw_flux, lw_entropy, sw_flux, sw_entropy;
+  GridHandle adjusted_flux, baseline, entropy_total, wc_flux;
+};
+
+Grids declare_grids(ProgramBuilder& pb) {
+  Grids g;
+  g.n_levels = pb.global("n_levels", DataType::kInt, {},
+                         {.init = {std::int64_t{kNumLevels}}});
+  g.n_lwbands = pb.global("n_lwbands", DataType::kInt, {},
+                          {.init = {std::int64_t{kNumLwBands}}});
+  g.n_swbands = pb.global("n_swbands", DataType::kInt, {},
+                          {.init = {std::int64_t{kNumSwBands}}});
+  g.n_hemis = pb.global("n_hemis", DataType::kInt, {},
+                        {.init = {std::int64_t{kNumHemis}}});
+
+  const E nl = E(g.n_levels);
+  const GridOpts input{.comment = "per-level input from the legacy code",
+                       .from_module = "fuliou_input"};
+  g.pressure = pb.global("pressure", DataType::kDouble, {nl}, input);
+  g.temperature = pb.global("temperature", DataType::kDouble, {nl}, input);
+  g.humidity = pb.global("humidity", DataType::kDouble, {nl}, input);
+  g.o3 = pb.global("o3", DataType::kDouble, {nl}, input);
+  g.cloud_frac = pb.global("cloud_frac", DataType::kDouble, {nl}, input);
+  g.tau = pb.global("tau", DataType::kDouble, {nl}, input);
+
+  g.tsfc = pb.global("tsfc", DataType::kDouble, {},
+                     {.comment = "surface temperature, element of TYPE fo",
+                      .from_module = "fuliou_input",
+                      .type_parent = "fo"});
+
+  g.albedo = pb.global("albedo", DataType::kDouble, {},
+                       {.common_block = "sw_in"});
+  g.cosz = pb.global("cosz", DataType::kDouble, {},
+                     {.common_block = "sw_in"});
+
+  const GridOpts mscope{.module_scope = true};
+  g.od = pb.global("od", DataType::kDouble, {nl}, mscope);
+  g.w0 = pb.global("w0", DataType::kDouble, {nl}, mscope);
+  g.t_layer = pb.global("t_layer", DataType::kDouble, {nl}, mscope);
+  g.tsfc_arr = pb.global("tsfc_arr", DataType::kDouble, {nl}, mscope);
+  g.entropy2 = pb.global("entropy2", DataType::kDouble, {nl}, mscope);
+  g.od_total = pb.global("od_total", DataType::kDouble, {}, mscope);
+  g.trans = pb.global("trans", DataType::kDouble, {E(g.n_lwbands), nl}, mscope);
+  g.absorb = pb.global("absorb", DataType::kDouble, {E(g.n_lwbands), nl},
+                       mscope);
+  g.emiss = pb.global("emiss", DataType::kDouble, {E(g.n_lwbands), nl},
+                      mscope);
+  g.swsrc = pb.global("swsrc", DataType::kDouble, {E(g.n_swbands), nl},
+                      mscope);
+
+  g.planck = pb.global("planck", DataType::kDouble, {E(g.n_lwbands), nl},
+                       mscope);
+  g.lw_flux = pb.global("lw_flux", DataType::kDouble, {E(g.n_hemis), nl},
+                        mscope);
+  g.lw_entropy = pb.global("lw_entropy", DataType::kDouble, {nl}, mscope);
+  g.sw_flux = pb.global("sw_flux", DataType::kDouble, {nl}, mscope);
+  g.sw_entropy = pb.global("sw_entropy", DataType::kDouble, {nl}, mscope);
+  g.adjusted_flux = pb.global("adjusted_flux", DataType::kDouble, {nl},
+                              mscope);
+  g.baseline = pb.global("baseline", DataType::kDouble, {nl}, mscope);
+  g.entropy_total = pb.global("entropy_total", DataType::kDouble, {}, mscope);
+  g.wc_flux = pb.global("wc_flux", DataType::kDouble, {nl}, mscope);
+  return g;
+}
+
+void build_lw_spectral_integration(ProgramBuilder& pb, const Grids& g) {
+  auto fb = pb.function("lw_spectral_integration");
+  fb.comment("Longwave spectral integration over 12 bands");
+  const E nl1 = E(g.n_levels) - 1;
+  const E k = idx("k");
+  const E b = idx("b");
+
+  auto ls1 = fb.step("ls1");
+  ls1.comment("zero flux arrays");
+  ls1.foreach_("k", 0, nl1);
+  ls1.assign(g.lw_flux(liti(0), k), 0.0);
+  ls1.assign(g.lw_flux(liti(1), k), 0.0);
+
+  auto ls2 = fb.step("ls2");
+  ls2.comment("Planck-like source per band and level");
+  ls2.foreach_("b", 0, E(g.n_lwbands) - 1).foreach_("k", 0, nl1);
+  ls2.assign(g.planck(b, k),
+             0.5 * call("EXP", {-(call("ABS", {g.temperature(k) - 250.0}) /
+                                  (30.0 + b))}) +
+                 0.01 * (b + 1));
+
+  auto ls3 = fb.step("ls3");
+  ls3.comment("seed downward flux from the first three bands");
+  ls3.foreach_("k", 0, nl1);
+  ls3.assign(g.lw_flux(liti(1), k),
+             g.planck(liti(0), k) * 0.5 + g.planck(liti(1), k) * 0.25 +
+                 g.planck(liti(2), k) * 0.125);
+
+  auto ls4 = fb.step("ls4");
+  ls4.comment("broadcast surface temperature");
+  ls4.foreach_("k", 0, nl1);
+  ls4.assign(g.tsfc_arr(k), E(g.tsfc));
+}
+
+void build_longwave_entropy_model(ProgramBuilder& pb, const Grids& g) {
+  auto fb = pb.function("longwave_entropy_model");
+  fb.comment("Longwave entropy model (the 422-SLOC subroutine of Table 1)");
+  auto src = fb.local("src", DataType::kDouble);
+  auto wgt = fb.local("wgt", DataType::kDouble);
+  const E nl1 = E(g.n_levels) - 1;
+  const E k = idx("k");
+  const E b = idx("b");
+  const E h = idx("h");
+
+  auto le0 = fb.step("le0");
+  le0.comment("reset column accumulator");
+  le0.assign(g.od_total(), 0.0);
+
+  auto le1 = fb.step("le1");
+  le1.comment("zero entropy and optical-depth arrays");
+  le1.foreach_("k", 0, nl1);
+  le1.assign(g.lw_entropy(k), 0.0);
+  le1.assign(g.od(k), 0.0);
+  le1.assign(g.entropy2(k), 0.0);
+
+  auto le2 = fb.step("le2");
+  le2.comment("broadcast surface temperature into layer array");
+  le2.foreach_("k", 0, nl1);
+  le2.assign(g.t_layer(k), E(g.tsfc));
+
+  auto le3 = fb.step("le3");
+  le3.comment("gaseous + aerosol optical depth");
+  le3.foreach_("k", 0, nl1);
+  le3.assign(g.od(k), g.tau(k) * (1.0 + 0.1 * g.humidity(k)) +
+                          0.001 * g.o3(k) +
+                          0.0001 * g.pressure(k) / 1000.0);
+
+  auto le4 = fb.step("le4");
+  le4.comment("single-scattering albedo");
+  le4.foreach_("k", 0, nl1);
+  le4.assign(g.w0(k), 0.5 + 0.4 * g.cloud_frac(k));
+
+  auto le5 = fb.step("le5");
+  le5.comment("column optical depth (sum reduction)");
+  le5.foreach_("k", 0, nl1);
+  le5.assign(g.od_total(), E(g.od_total) + g.od(k));
+
+  auto le6 = fb.step("le6");
+  le6.comment("band transmissivities");
+  le6.foreach_("b", 0, E(g.n_lwbands) - 1).foreach_("k", 0, nl1);
+  le6.assign(g.trans(b, k), call("EXP", {-(g.od(k) * (1.0 + 0.05 * b))}));
+
+  auto le6b = fb.step("le6b");
+  le6b.comment("band absorptivities");
+  le6b.foreach_("b", 0, E(g.n_lwbands) - 1).foreach_("k", 0, nl1);
+  le6b.assign(g.absorb(b, k), 1.0 - g.trans(b, k));
+
+  auto le6c = fb.step("le6c");
+  le6c.comment("banded emission");
+  le6c.foreach_("b", 0, E(g.n_lwbands) - 1).foreach_("k", 0, nl1);
+  le6c.assign(g.emiss(b, k), g.planck(b, k) * g.absorb(b, k));
+
+  // le7: first large complex loop (2 x 60 iterations, COLLAPSE(2)).
+  auto le7 = fb.step("le7");
+  le7.comment("cloud-overlap flux accumulation (complex loop 1)");
+  le7.foreach_("h", 0, E(g.n_hemis) - 1).foreach_("k", 0, nl1);
+  le7.assign(src(), g.planck(h * 3, k));
+  le7.if_(
+      g.cloud_frac(k) > 0.5,
+      [&](BodyBuilder& bb) {
+        bb.assign(src(), E(src) * (1.0 - g.w0(k)) + 0.1 * g.trans(h * 3, k));
+        bb.assign(g.lw_flux(h, k),
+                  g.lw_flux(h, k) + E(src) * (1.0 + 0.2 * h));
+      },
+      [&](BodyBuilder& bb) {
+        bb.assign(src(), E(src) + g.w0(k) * 0.05);
+        bb.assign(g.lw_flux(h, k), g.lw_flux(h, k) + E(src) * g.trans(h, k));
+      });
+  le7.assign(g.lw_entropy(k),
+             g.lw_entropy(k) + E(src) / call("MAX", {g.t_layer(k), lit(1.0)}));
+
+  // le8: second large complex loop (2 x 60, nested branch ladder).
+  auto le8 = fb.step("le8");
+  le8.comment("entropy weighting (complex loop 2)");
+  le8.foreach_("h", 0, E(g.n_hemis) - 1).foreach_("k", 0, nl1);
+  le8.assign(wgt(), g.trans(h * 2, k) * g.w0(k));
+  le8.if_(
+      g.od(k) > E(g.od_total) / 60.0,
+      [&](BodyBuilder& bb) {
+        bb.assign(g.lw_flux(h, k),
+                  g.lw_flux(h, k) + call("ALOG", {1.0 + E(wgt)}));
+      },
+      [&](BodyBuilder& bb) {
+        bb.if_(
+            E(wgt) > 0.2,
+            [&](BodyBuilder& bbb) {
+              bbb.assign(g.lw_flux(h, k), g.lw_flux(h, k) + E(wgt) * 0.5);
+            },
+            [&](BodyBuilder& bbb) {
+              bbb.assign(g.lw_flux(h, k), g.lw_flux(h, k) + E(wgt) * E(wgt));
+            });
+      });
+  le8.assign(g.entropy2(k), g.entropy2(k) + E(wgt) / (1.0 + h));
+
+  auto le9 = fb.step("le9");
+  le9.comment("fold secondary entropy term");
+  le9.foreach_("k", 0, nl1);
+  le9.assign(g.lw_entropy(k), g.lw_entropy(k) + g.entropy2(k) * 0.5);
+
+  auto le9b = fb.step("le9b");
+  le9b.comment("add first three emission bands to the upward flux");
+  le9b.foreach_("k", 0, nl1);
+  le9b.assign(g.lw_flux(liti(0), k),
+              g.lw_flux(liti(0), k) + g.emiss(liti(0), k) +
+                  g.emiss(liti(1), k) + g.emiss(liti(2), k));
+}
+
+void build_sw_spectral_integration(ProgramBuilder& pb, const Grids& g) {
+  auto fb = pb.function("sw_spectral_integration");
+  fb.comment("Shortwave spectral integration over 6 bands");
+  const E nl1 = E(g.n_levels) - 1;
+  const E k = idx("k");
+  const E sb = idx("sb");
+
+  auto ss1 = fb.step("ss1");
+  ss1.comment("zero shortwave flux");
+  ss1.foreach_("k", 0, nl1);
+  ss1.assign(g.sw_flux(k), 0.0);
+
+  auto ss2 = fb.step("ss2");
+  ss2.comment("per-band downward shortwave source");
+  ss2.foreach_("sb", 0, E(g.n_swbands) - 1).foreach_("k", 0, nl1);
+  ss2.assign(g.swsrc(sb, k),
+             E(g.cosz) * call("EXP", {-(g.tau(k) * (0.3 + 0.1 * sb))}) *
+                 (1.0 - E(g.albedo)));
+
+  auto ss3 = fb.step("ss3");
+  ss3.comment("spectral sum");
+  ss3.foreach_("k", 0, nl1);
+  ss3.assign(g.sw_flux(k),
+             g.swsrc(liti(0), k) + g.swsrc(liti(1), k) + g.swsrc(liti(2), k) +
+                 g.swsrc(liti(3), k) + g.swsrc(liti(4), k) +
+                 g.swsrc(liti(5), k));
+}
+
+void build_shortwave_entropy_model(ProgramBuilder& pb, const Grids& g) {
+  auto fb = pb.function("shortwave_entropy_model");
+  fb.comment("Shortwave entropy model (13 SLOC in Table 1)");
+  const E nl1 = E(g.n_levels) - 1;
+  const E k = idx("k");
+
+  auto se1 = fb.step("se1");
+  se1.comment("entropy flux = energy flux over temperature");
+  se1.foreach_("k", 0, nl1);
+  se1.assign(g.sw_entropy(k),
+             g.sw_flux(k) / call("MAX", {g.temperature(k), lit(1.0)}));
+}
+
+void build_adjust2(ProgramBuilder& pb, const Grids& g) {
+  auto fb = pb.function("adjust2");
+  fb.comment("Final flux adjustment");
+  const E nl1 = E(g.n_levels) - 1;
+  const E k = idx("k");
+
+  auto a1 = fb.step("a1");
+  a1.comment("net adjusted flux");
+  a1.foreach_("k", 0, nl1);
+  a1.assign(g.adjusted_flux(k),
+            g.lw_flux(liti(0), k) - g.lw_flux(liti(1), k) + g.sw_flux(k));
+
+  auto a2 = fb.step("a2");
+  a2.comment("clamp at zero");
+  a2.foreach_("k", 0, nl1);
+  a2.assign(g.adjusted_flux(k), call("MAX", {g.adjusted_flux(k), lit(0.0)}));
+
+  auto a3 = fb.step("a3");
+  a3.comment("broadcast the top-of-atmosphere value");
+  a3.foreach_("k", 0, nl1);
+  a3.assign(g.baseline(k), g.adjusted_flux(liti(0)));
+}
+
+void build_entropy_interface(ProgramBuilder& pb, const Grids& g) {
+  auto fb = pb.function("entropy_interface");
+  fb.comment("Driver: calls the component models in order (the wrapper)");
+  const E nl1 = E(g.n_levels) - 1;
+  const E k = idx("k");
+
+  auto ei0 = fb.step("ei0");
+  ei0.comment("reset entropy accumulator");
+  ei0.assign(g.entropy_total(), 0.0);
+
+  auto ei1 = fb.step("ei1");
+  ei1.comment("component model calls");
+  ei1.call_sub("lw_spectral_integration", {});
+  ei1.call_sub("longwave_entropy_model", {});
+  ei1.call_sub("sw_spectral_integration", {});
+  ei1.call_sub("shortwave_entropy_model", {});
+
+  auto ei2 = fb.step("ei2");
+  ei2.comment("column entropy total");
+  ei2.foreach_("k", 0, nl1);
+  ei2.assign(g.entropy_total(),
+             E(g.entropy_total) + (g.lw_entropy(k) + g.sw_entropy(k)));
+
+  auto ei3 = fb.step("ei3");
+  ei3.comment("normalize");
+  ei3.assign(g.entropy_total(), E(g.entropy_total) / 60.0);
+
+  auto ei4 = fb.step("ei4");
+  ei4.comment("final adjustment pass");
+  ei4.call_sub("adjust2", {});
+}
+
+void build_window_channel_model(ProgramBuilder& pb, const Grids& g) {
+  // EXTENSION beyond Table 1: the window-channel flux profile (paper 2.2
+  // names longwave, shortwave AND window channel as SARB's outputs).
+  auto fb = pb.function("window_channel_model");
+  fb.comment("Window-channel (8-12um) flux profile [extension]");
+  const E nl1 = E(g.n_levels) - 1;
+  const E k = idx("k");
+  const E b = idx("b");
+
+  auto wc1 = fb.step("wc1");
+  wc1.comment("zero the window flux");
+  wc1.foreach_("k", 0, nl1);
+  wc1.assign(g.wc_flux(k), 0.0);
+
+  auto wc2 = fb.step("wc2");
+  wc2.comment("accumulate the atmospheric-window bands");
+  wc2.foreach_("b", 7, 9).foreach_("k", 0, nl1);
+  wc2.assign(g.wc_flux(k),
+             g.wc_flux(k) + g.planck(b, k) * g.trans(b, k) * 0.8);
+
+  auto wc3 = fb.step("wc3");
+  wc3.comment("cloud masking of the window");
+  wc3.foreach_("k", 0, nl1);
+  wc3.assign(g.wc_flux(k), g.wc_flux(k) * (1.0 - 0.3 * g.cloud_frac(k)));
+}
+
+}  // namespace
+
+Program build_sarb_program() {
+  ProgramBuilder pb("sarb_kernels");
+  const Grids g = declare_grids(pb);
+  build_lw_spectral_integration(pb, g);
+  build_longwave_entropy_model(pb, g);
+  build_sw_spectral_integration(pb, g);
+  build_shortwave_entropy_model(pb, g);
+  build_adjust2(pb, g);
+  build_entropy_interface(pb, g);
+  build_window_channel_model(pb, g);
+  auto result = pb.build();
+  if (!result.is_ok()) {
+    throw std::runtime_error("SARB program failed validation: " +
+                             result.status().message());
+  }
+  return std::move(result).value();
+}
+
+const std::vector<std::string>& table1_subroutines() {
+  static const std::vector<std::string> names = {
+      "lw_spectral_integration", "longwave_entropy_model",
+      "sw_spectral_integration", "shortwave_entropy_model",
+      "entropy_interface",       "adjust2",
+  };
+  return names;
+}
+
+int paper_sloc(const std::string& subroutine) {
+  if (subroutine == "lw_spectral_integration") return 75;
+  if (subroutine == "longwave_entropy_model") return 422;
+  if (subroutine == "sw_spectral_integration") return 50;
+  if (subroutine == "shortwave_entropy_model") return 13;
+  if (subroutine == "entropy_interface") return 46;
+  if (subroutine == "adjust2") return 38;
+  return -1;
+}
+
+}  // namespace glaf::fuliou

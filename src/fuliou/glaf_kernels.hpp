@@ -1,0 +1,34 @@
+#pragma once
+// The six Synoptic SARB subroutines of Table 1, authored in the GLAF IR
+// via the builder API (the GPI stand-in). Formulas mirror
+// fuliou/reference.cpp operation-for-operation, so serial interpretation
+// reproduces the reference bit-for-bit.
+//
+// The program exercises every §3 integration feature exactly where the
+// real code would need it:
+//   - per-level inputs come from the existing module "fuliou_input" (§3.1)
+//   - tsfc is an element of the TYPE variable fo from that module (§3.5)
+//   - albedo/cosz live in COMMON /sw_in/ (§3.2)
+//   - all intermediates are module-scope variables (§3.3) because GLAF's
+//     interior-loop-as-function structure needs them visible across steps
+//   - every subprogram is a SUBROUTINE (void) with generated CALLs (§3.4)
+//   - ABS/ALOG/EXP/MAX library calls exercise §3.6.
+
+#include "core/builder.hpp"
+#include "core/program.hpp"
+
+namespace glaf::fuliou {
+
+/// Build the complete SARB kernel program ("sarb_kernels" module).
+/// Functions: lw_spectral_integration, longwave_entropy_model,
+/// sw_spectral_integration, shortwave_entropy_model, adjust2, and the
+/// driver entropy_interface.
+Program build_sarb_program();
+
+/// Names of the six Table 1 subroutines in paper order.
+const std::vector<std::string>& table1_subroutines();
+
+/// Paper-reported SLOC per subroutine (Table 1), for side-by-side output.
+int paper_sloc(const std::string& subroutine);
+
+}  // namespace glaf::fuliou

@@ -1,0 +1,74 @@
+#include "fuliou/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace glaf::fuliou {
+
+AtmosphereProfile make_profile(std::uint64_t seed) {
+  SplitMix64 rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  AtmosphereProfile p;
+  p.pressure.resize(kNumLevels);
+  p.temperature.resize(kNumLevels);
+  p.humidity.resize(kNumLevels);
+  p.o3.resize(kNumLevels);
+  p.cloud_frac.resize(kNumLevels);
+  p.tau.resize(kNumLevels);
+  for (int k = 0; k < kNumLevels; ++k) {
+    // Level 0 = top of atmosphere, level 59 = surface.
+    const double frac = static_cast<double>(k) / (kNumLevels - 1);
+    p.pressure[k] = 1.0 + 1012.0 * frac * frac;  // quadratic with height
+    p.temperature[k] = 190.0 + 100.0 * frac + rng.uniform(-3.0, 3.0);
+    p.humidity[k] = std::clamp(frac * rng.uniform(0.2, 0.9), 0.0, 1.0);
+    p.o3[k] = std::exp(-std::pow(frac - 0.15, 2) / 0.02) + rng.uniform(0.0, 0.05);
+    // Clouds in discrete decks, as in real profiles.
+    p.cloud_frac[k] = rng.next_double() < 0.3 ? rng.uniform(0.55, 1.0)
+                                              : rng.uniform(0.0, 0.45);
+    p.tau[k] = rng.uniform(0.01, 0.4) + 2.0 * p.cloud_frac[k] * frac;
+  }
+  p.tsfc = 270.0 + rng.uniform(0.0, 35.0);
+  p.albedo = rng.uniform(0.05, 0.6);
+  p.cosz = rng.uniform(0.05, 1.0);
+  return p;
+}
+
+SarbOutputs::SarbOutputs()
+    : planck(static_cast<std::size_t>(kNumLwBands) * kNumLevels, 0.0),
+      lw_flux(static_cast<std::size_t>(kNumHemis) * kNumLevels, 0.0),
+      lw_entropy(kNumLevels, 0.0),
+      sw_flux(kNumLevels, 0.0),
+      sw_entropy(kNumLevels, 0.0),
+      adjusted_flux(kNumLevels, 0.0),
+      baseline(kNumLevels, 0.0),
+      wc_flux(kNumLevels, 0.0) {}
+
+namespace {
+
+double field_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  if (a.size() != b.size()) return 1e300;
+  return m;
+}
+
+}  // namespace
+
+double max_abs_diff(const SarbOutputs& a, const SarbOutputs& b) {
+  double m = 0.0;
+  m = std::max(m, field_diff(a.planck, b.planck));
+  m = std::max(m, field_diff(a.lw_flux, b.lw_flux));
+  m = std::max(m, field_diff(a.lw_entropy, b.lw_entropy));
+  m = std::max(m, field_diff(a.sw_flux, b.sw_flux));
+  m = std::max(m, field_diff(a.sw_entropy, b.sw_entropy));
+  m = std::max(m, field_diff(a.adjusted_flux, b.adjusted_flux));
+  m = std::max(m, field_diff(a.baseline, b.baseline));
+  m = std::max(m, field_diff(a.wc_flux, b.wc_flux));
+  m = std::max(m, std::fabs(a.entropy_total - b.entropy_total));
+  return m;
+}
+
+}  // namespace glaf::fuliou

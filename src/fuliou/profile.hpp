@@ -1,0 +1,64 @@
+#pragma once
+// Synthetic atmosphere profiles for the Fu-Liou-style radiative-transfer
+// substrate.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): NASA's Synoptic SARB code and the
+// fuliou library are not distributable, so the case study runs on a
+// synthetic radiative-transfer kernel set with the same loop structure:
+// 60 atmosphere levels, 12 longwave bands, 6 shortwave bands, and the two
+// large 2x60 doubly-nested loops the paper highlights (COLLAPSE(2) over
+// 120 iterations).
+
+#include <cstdint>
+#include <vector>
+
+namespace glaf::fuliou {
+
+/// Structural constants shared by the reference code, the GLAF kernels and
+/// the benchmarks.
+inline constexpr int kNumLevels = 60;   ///< atmosphere levels
+inline constexpr int kNumLwBands = 12;  ///< longwave spectral bands
+inline constexpr int kNumSwBands = 6;   ///< shortwave spectral bands
+inline constexpr int kNumHemis = 2;     ///< up/down hemispheres
+
+/// One zone's input state: per-level fields plus surface scalars. In the
+/// real Synoptic SARB these come from existing FORTRAN modules and COMMON
+/// blocks — which is how the GLAF program imports them (§3.1/§3.2/§3.5).
+struct AtmosphereProfile {
+  std::vector<double> pressure;    ///< [kNumLevels] hPa-ish
+  std::vector<double> temperature; ///< [kNumLevels] K
+  std::vector<double> humidity;    ///< [kNumLevels] relative, 0..1
+  std::vector<double> o3;          ///< [kNumLevels] arbitrary units
+  std::vector<double> cloud_frac;  ///< [kNumLevels] 0..1
+  std::vector<double> tau;         ///< [kNumLevels] optical depth per layer
+  double tsfc = 288.0;             ///< surface temperature (TYPE element)
+  double albedo = 0.3;             ///< COMMON /sw_in/
+  double cosz = 0.5;               ///< cosine of solar zenith, COMMON /sw_in/
+};
+
+/// Deterministically synthesize a plausible profile for `seed` (one seed
+/// per zone/synoptic hour in the benchmarks).
+AtmosphereProfile make_profile(std::uint64_t seed);
+
+/// All outputs the six subroutines produce (the side-by-side comparison
+/// checks every field).
+struct SarbOutputs {
+  std::vector<double> planck;        ///< [kNumLwBands * kNumLevels]
+  std::vector<double> lw_flux;       ///< [kNumHemis * kNumLevels]
+  std::vector<double> lw_entropy;    ///< [kNumLevels]
+  std::vector<double> sw_flux;       ///< [kNumLevels]
+  std::vector<double> sw_entropy;    ///< [kNumLevels]
+  std::vector<double> adjusted_flux; ///< [kNumLevels]
+  std::vector<double> baseline;      ///< [kNumLevels]
+  /// Window-channel (8-12um) flux — the third profile SARB computes
+  /// (paper 2.2); an extension beyond the six Table 1 kernels.
+  std::vector<double> wc_flux;       ///< [kNumLevels]
+  double entropy_total = 0.0;
+
+  SarbOutputs();
+};
+
+/// Max absolute elementwise difference across every output field.
+double max_abs_diff(const SarbOutputs& a, const SarbOutputs& b);
+
+}  // namespace glaf::fuliou

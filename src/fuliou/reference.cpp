@@ -1,0 +1,239 @@
+#include "fuliou/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace glaf::fuliou {
+
+namespace {
+constexpr int NL = kNumLevels;
+constexpr int NB = kNumLwBands;
+constexpr int NSB = kNumSwBands;
+constexpr int NH = kNumHemis;
+
+inline std::size_t at(int row, int col) {
+  return static_cast<std::size_t>(row) * NL + static_cast<std::size_t>(col);
+}
+}  // namespace
+
+Workspace::Workspace()
+    : od(NL, 0.0),
+      w0(NL, 0.0),
+      t_layer(NL, 0.0),
+      tsfc_arr(NL, 0.0),
+      entropy2(NL, 0.0),
+      trans(static_cast<std::size_t>(NB) * NL, 0.0),
+      absorb(static_cast<std::size_t>(NB) * NL, 0.0),
+      emiss(static_cast<std::size_t>(NB) * NL, 0.0),
+      swsrc(static_cast<std::size_t>(NSB) * NL, 0.0) {}
+
+void lw_spectral_integration(const AtmosphereProfile& p, Workspace& ws) {
+  // ls1: zero-initialization loop (InitZero class in the paper's taxonomy).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.lw_flux[at(0, k)] = 0.0;
+    ws.out.lw_flux[at(1, k)] = 0.0;
+  }
+  // ls2: Planck-like source per band and level (SimpleDouble).
+  for (int b = 0; b < NB; ++b) {
+    for (int k = 0; k < NL; ++k) {
+      ws.out.planck[at(b, k)] =
+          0.5 * std::exp(-(std::fabs(p.temperature[k] - 250.0) /
+                           (30.0 + b))) +
+          0.01 * (b + 1);
+    }
+  }
+  // ls3: seed downward flux from the first three bands (SimpleSingle).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.lw_flux[at(1, k)] = ws.out.planck[at(0, k)] * 0.5 +
+                               ws.out.planck[at(1, k)] * 0.25 +
+                               ws.out.planck[at(2, k)] * 0.125;
+  }
+  // ls4: broadcast of the surface temperature (Broadcast).
+  for (int k = 0; k < NL; ++k) {
+    ws.tsfc_arr[k] = p.tsfc;
+  }
+}
+
+void longwave_entropy_model(const AtmosphereProfile& p, Workspace& ws) {
+  // le0: straight-line reset of the module-scope accumulator.
+  ws.od_total = 0.0;
+  // le1: zero initializations (InitZero).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.lw_entropy[k] = 0.0;
+    ws.od[k] = 0.0;
+    ws.entropy2[k] = 0.0;
+  }
+  // le2: broadcast surface temperature into the layer array (Broadcast).
+  for (int k = 0; k < NL; ++k) {
+    ws.t_layer[k] = p.tsfc;
+  }
+  // le3: gaseous + aerosol optical depth (SimpleSingle).
+  for (int k = 0; k < NL; ++k) {
+    ws.od[k] = p.tau[k] * (1.0 + 0.1 * p.humidity[k]) + 0.001 * p.o3[k] +
+               0.0001 * p.pressure[k] / 1000.0;
+  }
+  // le4: single-scattering albedo (SimpleSingle).
+  for (int k = 0; k < NL; ++k) {
+    ws.w0[k] = 0.5 + 0.4 * p.cloud_frac[k];
+  }
+  // le5: column optical depth (SimpleSingle with a sum reduction).
+  for (int k = 0; k < NL; ++k) {
+    ws.od_total = ws.od_total + ws.od[k];
+  }
+  // le6: band transmissivities (SimpleDouble).
+  for (int b = 0; b < NB; ++b) {
+    for (int k = 0; k < NL; ++k) {
+      ws.trans[at(b, k)] = std::exp(-(ws.od[k] * (1.0 + 0.05 * b)));
+    }
+  }
+  // le6b: band absorptivities (SimpleDouble).
+  for (int b = 0; b < NB; ++b) {
+    for (int k = 0; k < NL; ++k) {
+      ws.absorb[at(b, k)] = 1.0 - ws.trans[at(b, k)];
+    }
+  }
+  // le6c: banded emission (SimpleDouble).
+  for (int b = 0; b < NB; ++b) {
+    for (int k = 0; k < NL; ++k) {
+      ws.emiss[at(b, k)] = ws.out.planck[at(b, k)] * ws.absorb[at(b, k)];
+    }
+  }
+  // le7: FIRST LARGE COMPLEX LOOP (2 x 60 iterations, data-dependent
+  // branching on cloud cover — the compiler cannot auto-parallelize this;
+  // GLAF keeps the OMP directive with COLLAPSE(2), paper §4.1.2).
+  for (int h = 0; h < NH; ++h) {
+    for (int k = 0; k < NL; ++k) {
+      double src = ws.out.planck[at(h * 3, k)];
+      if (p.cloud_frac[k] > 0.5) {
+        src = src * (1.0 - ws.w0[k]) + 0.1 * ws.trans[at(h * 3, k)];
+        ws.out.lw_flux[at(h, k)] =
+            ws.out.lw_flux[at(h, k)] + src * (1.0 + 0.2 * h);
+      } else {
+        src = src + ws.w0[k] * 0.05;
+        ws.out.lw_flux[at(h, k)] =
+            ws.out.lw_flux[at(h, k)] + src * ws.trans[at(h, k)];
+      }
+      ws.out.lw_entropy[k] =
+          ws.out.lw_entropy[k] + src / std::max(ws.t_layer[k], 1.0);
+    }
+  }
+  // le8: SECOND LARGE COMPLEX LOOP (2 x 60, nested branch ladder).
+  for (int h = 0; h < NH; ++h) {
+    for (int k = 0; k < NL; ++k) {
+      double wgt = ws.trans[at(h * 2, k)] * ws.w0[k];
+      if (ws.od[k] > ws.od_total / 60.0) {
+        ws.out.lw_flux[at(h, k)] =
+            ws.out.lw_flux[at(h, k)] + std::log(1.0 + wgt);
+      } else {
+        if (wgt > 0.2) {
+          ws.out.lw_flux[at(h, k)] = ws.out.lw_flux[at(h, k)] + wgt * 0.5;
+        } else {
+          ws.out.lw_flux[at(h, k)] = ws.out.lw_flux[at(h, k)] + wgt * wgt;
+        }
+      }
+      ws.entropy2[k] = ws.entropy2[k] + wgt / (1.0 + h);
+    }
+  }
+  // le9: fold the secondary entropy term in (SimpleSingle).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.lw_entropy[k] = ws.out.lw_entropy[k] + ws.entropy2[k] * 0.5;
+  }
+  // le9b: add the first three emission bands to the upward flux
+  // (SimpleSingle).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.lw_flux[at(0, k)] = ws.out.lw_flux[at(0, k)] +
+                               ws.emiss[at(0, k)] + ws.emiss[at(1, k)] +
+                               ws.emiss[at(2, k)];
+  }
+}
+
+void sw_spectral_integration(const AtmosphereProfile& p, Workspace& ws) {
+  // ss1: zero initialization (InitZero).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.sw_flux[k] = 0.0;
+  }
+  // ss2: per-band downward shortwave source (SimpleDouble).
+  for (int sb = 0; sb < NSB; ++sb) {
+    for (int k = 0; k < NL; ++k) {
+      ws.swsrc[at(sb, k)] = p.cosz *
+                            std::exp(-(p.tau[k] * (0.3 + 0.1 * sb))) *
+                            (1.0 - p.albedo);
+    }
+  }
+  // ss3: spectral sum (SimpleSingle).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.sw_flux[k] = ws.swsrc[at(0, k)] + ws.swsrc[at(1, k)] +
+                        ws.swsrc[at(2, k)] + ws.swsrc[at(3, k)] +
+                        ws.swsrc[at(4, k)] + ws.swsrc[at(5, k)];
+  }
+}
+
+void shortwave_entropy_model(const AtmosphereProfile& p, Workspace& ws) {
+  // se1: entropy flux = energy flux over temperature (SimpleSingle).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.sw_entropy[k] =
+        ws.out.sw_flux[k] / std::max(p.temperature[k], 1.0);
+  }
+}
+
+void adjust2(const AtmosphereProfile& p, Workspace& ws) {
+  (void)p;
+  // a1: net adjusted flux (SimpleSingle).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.adjusted_flux[k] = ws.out.lw_flux[at(0, k)] -
+                              ws.out.lw_flux[at(1, k)] + ws.out.sw_flux[k];
+  }
+  // a2: clamp at zero (SimpleSingle).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.adjusted_flux[k] = std::max(ws.out.adjusted_flux[k], 0.0);
+  }
+  // a3: broadcast of the top-of-atmosphere value (Broadcast).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.baseline[k] = ws.out.adjusted_flux[0];
+  }
+}
+
+void window_channel_model(const AtmosphereProfile& p, Workspace& ws) {
+  // wc1: zero (InitZero).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.wc_flux[k] = 0.0;
+  }
+  // wc2: accumulate the atmospheric-window bands 7..9 (SimpleDouble).
+  for (int b = 7; b <= 9; ++b) {
+    for (int k = 0; k < NL; ++k) {
+      ws.out.wc_flux[k] = ws.out.wc_flux[k] +
+                          ws.out.planck[at(b, k)] * ws.trans[at(b, k)] * 0.8;
+    }
+  }
+  // wc3: cloud masking of the window (SimpleSingle).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.wc_flux[k] = ws.out.wc_flux[k] * (1.0 - 0.3 * p.cloud_frac[k]);
+  }
+}
+
+void entropy_interface(const AtmosphereProfile& p, Workspace& ws) {
+  // ei0: straight-line reset.
+  ws.out.entropy_total = 0.0;
+  // ei1: drive the component models (the paper's wrapper order).
+  lw_spectral_integration(p, ws);
+  longwave_entropy_model(p, ws);
+  sw_spectral_integration(p, ws);
+  shortwave_entropy_model(p, ws);
+  // ei2: column entropy total (SimpleSingle reduction).
+  for (int k = 0; k < NL; ++k) {
+    ws.out.entropy_total =
+        ws.out.entropy_total + (ws.out.lw_entropy[k] + ws.out.sw_entropy[k]);
+  }
+  // ei3: normalize (straight-line).
+  ws.out.entropy_total = ws.out.entropy_total / 60.0;
+  // ei4: final adjustment pass.
+  adjust2(p, ws);
+}
+
+SarbOutputs run_reference(const AtmosphereProfile& p) {
+  Workspace ws;
+  entropy_interface(p, ws);
+  return ws.out;
+}
+
+}  // namespace glaf::fuliou

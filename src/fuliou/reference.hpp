@@ -1,0 +1,51 @@
+#pragma once
+// The "original serial" Synoptic SARB kernels — the hand-written reference
+// implementation the GLAF-generated code is compared against, mirroring
+// the paper's §4.1.1 methodology (step-by-step unit testing plus a
+// code-wide side-by-side comparison).
+//
+// Every formula here is mirrored exactly (same operation order) by the
+// GLAF IR program in glaf_kernels.hpp, so serial interpretation must agree
+// bit-for-bit and parallel interpretation within reduction-reassociation
+// tolerance.
+
+#include "fuliou/profile.hpp"
+
+namespace glaf::fuliou {
+
+/// Intermediate arrays shared between the subroutines — module-scope
+/// variables in the FORTRAN original (§3.3).
+struct Workspace {
+  std::vector<double> od;        ///< [kNumLevels] optical depth per layer
+  std::vector<double> w0;        ///< [kNumLevels] single-scatter albedo
+  std::vector<double> t_layer;   ///< [kNumLevels]
+  std::vector<double> tsfc_arr;  ///< [kNumLevels]
+  std::vector<double> entropy2;  ///< [kNumLevels]
+  std::vector<double> trans;     ///< [kNumLwBands * kNumLevels]
+  std::vector<double> absorb;    ///< [kNumLwBands * kNumLevels]
+  std::vector<double> emiss;     ///< [kNumLwBands * kNumLevels]
+  std::vector<double> swsrc;     ///< [kNumSwBands * kNumLevels]
+  double od_total = 0.0;
+  SarbOutputs out;
+
+  Workspace();
+};
+
+/// Table 1 subroutines. entropy_interface() is the driver that calls the
+/// other five in order, exactly as in the GLAF program.
+void lw_spectral_integration(const AtmosphereProfile& p, Workspace& ws);
+void longwave_entropy_model(const AtmosphereProfile& p, Workspace& ws);
+void sw_spectral_integration(const AtmosphereProfile& p, Workspace& ws);
+void shortwave_entropy_model(const AtmosphereProfile& p, Workspace& ws);
+void adjust2(const AtmosphereProfile& p, Workspace& ws);
+
+/// EXTENSION (not in Table 1): the window-channel (8-12um) flux profile
+/// the paper's 2.2 names as SARB's third output. Requires planck/trans
+/// from the longwave model; call after entropy_interface().
+void window_channel_model(const AtmosphereProfile& p, Workspace& ws);
+void entropy_interface(const AtmosphereProfile& p, Workspace& ws);
+
+/// Convenience: fresh workspace, run the driver, return the outputs.
+SarbOutputs run_reference(const AtmosphereProfile& p);
+
+}  // namespace glaf::fuliou

@@ -1,0 +1,86 @@
+#include "fuliou/zones.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace glaf::fuliou {
+
+std::vector<Zone> make_zones(int n_zones, int equator_columns) {
+  std::vector<Zone> zones;
+  zones.reserve(static_cast<std::size_t>(std::max(0, n_zones)));
+  for (int z = 0; z < n_zones; ++z) {
+    // Band centers from (almost) -90 to +90 degrees.
+    const double lat =
+        -90.0 + 180.0 * (static_cast<double>(z) + 0.5) / n_zones;
+    Zone zone;
+    zone.index = z;
+    zone.latitude_deg = lat;
+    zone.columns = std::max(
+        1, static_cast<int>(std::lround(
+               equator_columns * std::cos(lat * M_PI / 180.0))));
+    zone.seed = static_cast<std::uint64_t>(z) * 7919u + 17u;
+    zones.push_back(zone);
+  }
+  return zones;
+}
+
+namespace {
+
+Schedule finalize(std::vector<std::vector<int>> assignment,
+                  const std::vector<Zone>& zones, int ranks) {
+  Schedule s;
+  s.zones_per_rank = std::move(assignment);
+  s.total_work = 0.0;
+  for (const Zone& z : zones) s.total_work += z.columns;
+  for (const auto& rank_zones : s.zones_per_rank) {
+    double work = 0.0;
+    for (const int idx : rank_zones) {
+      work += zones[static_cast<std::size_t>(idx)].columns;
+    }
+    s.makespan = std::max(s.makespan, work);
+  }
+  const double ideal = ranks > 0 ? s.total_work / ranks : s.total_work;
+  s.imbalance = ideal > 0.0 ? s.makespan / ideal : 1.0;
+  return s;
+}
+
+}  // namespace
+
+Schedule schedule_block(const std::vector<Zone>& zones, int ranks) {
+  ranks = std::max(1, ranks);
+  std::vector<std::vector<int>> assignment(static_cast<std::size_t>(ranks));
+  const std::size_t n = zones.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t rank = i * static_cast<std::size_t>(ranks) / n;
+    assignment[rank].push_back(zones[i].index);
+  }
+  return finalize(std::move(assignment), zones, ranks);
+}
+
+Schedule schedule_lpt(const std::vector<Zone>& zones, int ranks) {
+  ranks = std::max(1, ranks);
+  std::vector<int> order(zones.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int ca = zones[static_cast<std::size_t>(a)].columns;
+    const int cb = zones[static_cast<std::size_t>(b)].columns;
+    return ca != cb ? ca > cb : a < b;  // deterministic tie-break
+  });
+  std::vector<std::vector<int>> assignment(static_cast<std::size_t>(ranks));
+  std::vector<double> load(static_cast<std::size_t>(ranks), 0.0);
+  for (const int idx : order) {
+    const std::size_t lightest = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    assignment[lightest].push_back(zones[static_cast<std::size_t>(idx)].index);
+    load[lightest] += zones[static_cast<std::size_t>(idx)].columns;
+  }
+  return finalize(std::move(assignment), zones, ranks);
+}
+
+double synoptic_hour_time(const Schedule& schedule,
+                          double intra_zone_speedup) {
+  return schedule.makespan / std::max(1e-12, intra_zone_speedup);
+}
+
+}  // namespace glaf::fuliou

@@ -1,0 +1,56 @@
+#pragma once
+// Synoptic-hour zone decomposition (paper §2.2).
+//
+// "For Synoptic SARB, the earth is split into multiple zones that run
+// parallel to the equator. Computation for each zone can occur
+// independently (and hence in parallel) ... The execution of each zone
+// takes time that is proportional to its size (i.e., zones closer to the
+// equator are naturally larger than zones near the poles). Prior to our
+// introduction to the code, Synoptic SARB only used (coarse-grained)
+// inter-zone parallelism via MPI."
+//
+// This module provides the zone model and the rank-level schedulers that
+// stand in for the MPI layer, so the examples can combine inter-zone
+// (coarse) with the paper's new intra-zone (OpenMP) parallelism.
+
+#include <cstdint>
+#include <vector>
+
+namespace glaf::fuliou {
+
+/// One latitude band. `columns` is the number of atmospheric columns in
+/// the zone — the unit of serial work (each column is one profile run).
+struct Zone {
+  int index = 0;
+  double latitude_deg = 0.0;  ///< band-center latitude
+  int columns = 0;            ///< ~ cos(latitude): equator zones largest
+  std::uint64_t seed = 0;     ///< deterministic profile seed base
+};
+
+/// Split the sphere into `n_zones` latitude bands; the band at the
+/// equator holds `equator_columns` columns and the counts fall off with
+/// cos(latitude) (minimum 1).
+std::vector<Zone> make_zones(int n_zones, int equator_columns);
+
+/// A rank-level schedule of zones (the MPI stand-in).
+struct Schedule {
+  std::vector<std::vector<int>> zones_per_rank;  ///< zone indices per rank
+  double makespan = 0.0;     ///< max per-rank work (columns)
+  double total_work = 0.0;   ///< sum of all columns
+  /// makespan / (total/ranks): 1.0 = perfectly balanced.
+  double imbalance = 1.0;
+};
+
+/// Contiguous block assignment (the naive legacy decomposition).
+Schedule schedule_block(const std::vector<Zone>& zones, int ranks);
+
+/// Longest-processing-time greedy (sorted, largest first onto the least
+/// loaded rank) — the classic 4/3-approximation.
+Schedule schedule_lpt(const std::vector<Zone>& zones, int ranks);
+
+/// Modeled synoptic-hour wall time (in column-units): rank makespan
+/// divided by the intra-zone speedup each column enjoys (1.0 = the legacy
+/// serial-within-zone behaviour; >1 = the paper's OpenMP kernels).
+double synoptic_hour_time(const Schedule& schedule, double intra_zone_speedup);
+
+}  // namespace glaf::fuliou

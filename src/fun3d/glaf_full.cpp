@@ -1,0 +1,292 @@
+#include "fun3d/glaf_full.hpp"
+
+#include <stdexcept>
+
+#include "core/builder.hpp"
+#include "fun3d/recon.hpp"
+
+namespace glaf::fun3d {
+namespace {
+
+/// Handles shared across the sub-function builders.
+struct FullGrids {
+  GridHandle n_cells, n_nodes;
+  GridHandle cell_nodes, coords, q, cell_edge_ptr, edge_a, edge_b;
+  GridHandle row_ptr, col_idx;
+  GridHandle jac;
+  GridHandle cell_avg, dq, contrib, wgt_total;  // module-scope (§3.3)
+};
+
+FullGrids declare(ProgramBuilder& pb, const Mesh& mesh) {
+  FullGrids g;
+  g.n_cells = pb.global("n_cells", DataType::kInt, {},
+                        {.init = {mesh.n_cells}});
+  g.n_nodes = pb.global("n_nodes", DataType::kInt, {},
+                        {.init = {mesh.n_nodes}});
+
+  const GridOpts ext{.from_module = "fun3d_grid"};
+  g.cell_nodes = pb.global("cell_nodes", DataType::kInt,
+                           {liti(mesh.n_cells), liti(kNodesPerCell)}, ext);
+  g.coords = pb.global("coords", DataType::kDouble,
+                       {liti(mesh.n_nodes), 3}, ext);
+  g.q = pb.global("q", DataType::kDouble,
+                  {liti(mesh.n_nodes), liti(kNumEq)}, ext);
+  g.cell_edge_ptr = pb.global("cell_edge_ptr", DataType::kInt,
+                              {liti(mesh.n_cells + 1)}, ext);
+  g.edge_a = pb.global("edge_a", DataType::kInt, {liti(mesh.n_edges)}, ext);
+  g.edge_b = pb.global("edge_b", DataType::kInt, {liti(mesh.n_edges)}, ext);
+  g.row_ptr = pb.global("row_ptr", DataType::kInt,
+                        {liti(mesh.n_nodes + 1)}, ext);
+  g.col_idx = pb.global("col_idx", DataType::kInt,
+                        {liti(static_cast<std::int64_t>(mesh.col_idx.size()))},
+                        ext);
+
+  const GridOpts mscope{.module_scope = true};
+  g.jac = pb.global("jac", DataType::kDouble,
+                    {liti(mesh.n_nodes), liti(kNumEq)}, mscope);
+  // Interior loops return complex data to outer scopes through
+  // module-scope variables — the exact §3.3 motivation.
+  g.cell_avg = pb.global("cell_avg", DataType::kDouble, {liti(kNumEq)},
+                         mscope);
+  g.dq = pb.global("dq", DataType::kDouble, {liti(kNumEq)}, mscope);
+  g.contrib = pb.global("contrib", DataType::kDouble, {liti(kNumEq)}, mscope);
+  g.wgt_total = pb.global("wgt_total", DataType::kDouble, {}, mscope);
+  return g;
+}
+
+void build_angle_check(ProgramBuilder& pb, const FullGrids& g) {
+  auto fb = pb.function("angle_check", DataType::kInt);
+  fb.comment("Cell-face angle check; 1 = skip this cell (paper 4.2)");
+  auto c = fb.param("c", DataType::kInt);
+  auto an = fb.local("an", DataType::kInt);
+  auto bn = fb.local("bn", DataType::kInt);
+  auto cn = fb.local("cn", DataType::kInt);
+  auto dot = fb.local("dotv", DataType::kDouble);
+  auto na = fb.local("na", DataType::kDouble);
+  auto nb = fb.local("nb", DataType::kDouble);
+  auto u = fb.local("u", DataType::kDouble);
+  auto v = fb.local("v", DataType::kDouble);
+  auto denom = fb.local("denom", DataType::kDouble);
+  const E d = idx("d");
+
+  auto s0 = fb.step("ac0");
+  s0.assign(an(), g.cell_nodes(E(c), liti(0)));
+  s0.assign(bn(), g.cell_nodes(E(c), liti(1)));
+  s0.assign(cn(), g.cell_nodes(E(c), liti(2)));
+  s0.assign(dot(), 0.0);
+  s0.assign(na(), 0.0);
+  s0.assign(nb(), 0.0);
+
+  auto s1 = fb.step("ac1");
+  s1.foreach_("d", 0, 2);
+  s1.assign(u(), g.coords(E(bn), d) - g.coords(E(an), d));
+  s1.assign(v(), g.coords(E(cn), d) - g.coords(E(an), d));
+  s1.assign(dot(), E(dot) + E(u) * E(v));
+  s1.assign(na(), E(na) + E(u) * E(u));
+  s1.assign(nb(), E(nb) + E(v) * E(v));
+
+  auto s2 = fb.step("ac2");
+  s2.assign(denom(), call("SQRT", {E(na) * E(nb)}));
+  s2.if_(E(denom) == 0.0, [&](BodyBuilder& b) { b.ret(liti(1)); });
+  s2.if_(call("ABS", {E(dot)}) / E(denom) > 0.97,
+         [&](BodyBuilder& b) { b.ret(liti(1)); });
+  s2.ret(liti(0));
+}
+
+void build_face_weight(ProgramBuilder& pb, const FullGrids& g) {
+  auto fb = pb.function("face_weight", DataType::kDouble);
+  fb.comment("Per-face geometric weight (interior loop as function, 3.3)");
+  auto c = fb.param("c", DataType::kInt);
+  auto f = fb.param("f", DataType::kInt);
+  auto an = fb.local("an", DataType::kInt);
+  auto bn = fb.local("bn", DataType::kInt);
+  auto cn = fb.local("cn", DataType::kInt);
+  auto w = fb.local("w", DataType::kDouble);
+  auto ab = fb.local("ab", DataType::kDouble);
+  auto ac = fb.local("ac", DataType::kDouble);
+  const E d = idx("d");
+
+  auto s0 = fb.step("fw0");
+  s0.assign(an(), g.cell_nodes(E(c), E(f)));
+  s0.assign(bn(), g.cell_nodes(E(c), mod(E(f) + 1, liti(kNodesPerCell))));
+  s0.assign(cn(), g.cell_nodes(E(c), mod(E(f) + 2, liti(kNodesPerCell))));
+  s0.assign(w(), 0.0);
+
+  auto s1 = fb.step("fw1");
+  s1.foreach_("d", 0, 2);
+  s1.assign(ab(), g.coords(E(bn), d) - g.coords(E(an), d));
+  s1.assign(ac(), g.coords(E(cn), d) - g.coords(E(an), d));
+  s1.assign(w(), E(w) + call("ABS", {E(ab) - E(ac)}));
+
+  auto s2 = fb.step("fw2");
+  s2.ret(0.25 + E(w));
+}
+
+void build_ioff_search(ProgramBuilder& pb, const FullGrids& g) {
+  auto fb = pb.function("ioff_search", DataType::kInt);
+  fb.comment("Offset of `target` in node `row`'s CSR row (early return)");
+  auto row = fb.param("row", DataType::kInt);
+  auto target = fb.param("target", DataType::kInt);
+  const E i = idx("i");
+  auto s = fb.step("scan");
+  s.foreach_("i", E(g.row_ptr(E(row))), E(g.row_ptr(E(row) + 1)) - 1);
+  s.if_(g.col_idx(i) == E(target),
+        [&](BodyBuilder& b) { b.ret(i - g.row_ptr(E(row))); });
+  auto s2 = fb.step("miss");
+  s2.ret(liti(-1));
+}
+
+void build_edge_loop(ProgramBuilder& pb, const FullGrids& g) {
+  auto fb = pb.function("edge_loop");
+  fb.comment("Innermost edge computation: 50 SAVE'd temporaries (4.2.1)");
+  auto e = fb.param("e", DataType::kInt);
+  auto an = fb.local("an", DataType::kInt);
+  auto bn = fb.local("bn", DataType::kInt);
+  auto ioff = fb.local("ioff", DataType::kInt);
+  auto scale = fb.local("scale", DataType::kDouble);
+  auto delta = fb.local("delta", DataType::kDouble);
+  // The paper's 50 dynamically-(re)allocated temporary arrays, SAVE'd.
+  auto temps = fb.local("temps", DataType::kDouble,
+                        {liti(kEdgeTemps), liti(kNumEq)}, {.save = true});
+  const E eq = idx("eq");
+  const E t = idx("t");
+
+  auto s0 = fb.step("el0");
+  s0.assign(an(), g.edge_a(E(e)));
+  s0.assign(bn(), g.edge_b(E(e)));
+
+  auto s1 = fb.step("el1");
+  s1.foreach_("eq", 0, kNumEq - 1);
+  s1.assign(g.dq(eq), g.q(E(bn), eq) - g.q(E(an), eq));
+
+  auto s2 = fb.step("el2");
+  s2.foreach_("t", 0, kEdgeTemps - 1).foreach_("eq", 0, kNumEq - 1);
+  s2.assign(temps(t, eq), g.dq(eq) / (t + 1));
+
+  auto s3 = fb.step("el3");
+  s3.foreach_("eq", 0, kNumEq - 1);
+  s3.assign(g.contrib(eq), 0.0);
+
+  auto s4 = fb.step("el4");
+  s4.foreach_("t", 0, kEdgeTemps - 1).foreach_("eq", 0, kNumEq - 1);
+  s4.assign(g.contrib(eq), g.contrib(eq) + temps(t, eq));
+
+  auto s5 = fb.step("el5");
+  s5.assign(ioff(), call("ioff_search", {E(an), E(bn)}));
+  s5.assign(scale(), E(g.wgt_total) * (1.0 + 0.001 * E(ioff)) * 0.05);
+
+  auto s6 = fb.step("el6");
+  s6.foreach_("eq", 0, kNumEq - 1);
+  s6.assign(delta(), (g.contrib(eq) - 0.1 * g.cell_avg(eq)) * E(scale));
+  s6.assign(g.jac(E(an), eq), g.jac(E(an), eq) + E(delta));
+  s6.assign(g.jac(E(bn), eq), g.jac(E(bn), eq) - E(delta));
+}
+
+void build_cell_loop(ProgramBuilder& pb, const FullGrids& g) {
+  auto fb = pb.function("cell_loop");
+  fb.comment("Per-cell computation: node loop, face loop, edge loop");
+  auto c = fb.param("c", DataType::kInt);
+  auto skip = fb.local("skip", DataType::kInt);
+  const E n = idx("n");
+  const E eq = idx("eq");
+  const E f = idx("f");
+  const E e = idx("e");
+
+  auto s0 = fb.step("cl0");
+  s0.assign(skip(), call("angle_check", {E(c)}));
+  s0.if_(E(skip) == 1, [&](BodyBuilder& b) { b.ret(); });
+
+  auto s1 = fb.step("cl1");
+  s1.foreach_("eq", 0, kNumEq - 1);
+  s1.assign(g.cell_avg(eq), 0.0);
+
+  auto s2 = fb.step("cl2");
+  s2.comment("node loop");
+  s2.foreach_("n", 0, kNodesPerCell - 1).foreach_("eq", 0, kNumEq - 1);
+  s2.assign(g.cell_avg(eq),
+            g.cell_avg(eq) + g.q(g.cell_nodes(E(c), n), eq) * 0.25);
+
+  auto s3 = fb.step("cl3");
+  s3.assign(g.wgt_total(), 0.0);
+
+  auto s4 = fb.step("cl4");
+  s4.comment("face loop");
+  s4.foreach_("f", 0, kFacesPerCell - 1);
+  s4.assign(g.wgt_total(), E(g.wgt_total) + call("face_weight", {E(c), f}));
+
+  auto s5 = fb.step("cl5");
+  s5.comment("edge loop (count varies per cell)");
+  s5.foreach_("e", E(g.cell_edge_ptr(E(c))),
+              E(g.cell_edge_ptr(E(c) + 1)) - 1);
+  s5.call_sub("edge_loop", {e});
+}
+
+void build_edgejp(ProgramBuilder& pb, const FullGrids& g) {
+  auto fb = pb.function("edgejp");
+  fb.comment("Outermost scope: init module-wide state, loop over cells");
+  const E n = idx("n");
+  const E eq = idx("eq");
+  const E c = idx("c");
+
+  auto s0 = fb.step("ej0");
+  s0.comment("zero the Jacobian accumulator");
+  s0.foreach_("n", 0, E(g.n_nodes) - 1).foreach_("eq", 0, kNumEq - 1);
+  s0.assign(g.jac(n, eq), 0.0);
+
+  auto s1 = fb.step("ej1");
+  s1.comment("loop over all cells of the local domain");
+  s1.foreach_("c", 0, E(g.n_cells) - 1);
+  s1.call_sub("cell_loop", {c});
+}
+
+}  // namespace
+
+Program build_fun3d_full_program(const Mesh& mesh) {
+  ProgramBuilder pb("fun3d_recon");
+  const FullGrids g = declare(pb, mesh);
+  build_angle_check(pb, g);
+  build_face_weight(pb, g);
+  build_ioff_search(pb, g);
+  build_edge_loop(pb, g);
+  build_cell_loop(pb, g);
+  build_edgejp(pb, g);
+  auto result = pb.build();
+  if (!result.is_ok()) {
+    throw std::runtime_error("FUN3D full program failed validation: " +
+                             result.status().message());
+  }
+  return std::move(result).value();
+}
+
+namespace {
+
+std::vector<double> widen(const std::vector<std::int32_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+}  // namespace
+
+Status load_mesh(Machine& machine, const Mesh& mesh) {
+  if (Status s = machine.set_array("cell_nodes", widen(mesh.cell_nodes));
+      !s) {
+    return s;
+  }
+  if (Status s = machine.set_array("coords", mesh.coords); !s) return s;
+  if (Status s = machine.set_array("q", mesh.q); !s) return s;
+  if (Status s = machine.set_array("cell_edge_ptr", widen(mesh.cell_edge_ptr));
+      !s) {
+    return s;
+  }
+  if (Status s = machine.set_array("edge_a", widen(mesh.edge_a)); !s) return s;
+  if (Status s = machine.set_array("edge_b", widen(mesh.edge_b)); !s) return s;
+  if (Status s = machine.set_array("row_ptr", widen(mesh.row_ptr)); !s) {
+    return s;
+  }
+  return machine.set_array("col_idx", widen(mesh.col_idx));
+}
+
+StatusOr<std::vector<double>> extract_jacobian(const Machine& machine) {
+  return machine.array("jac");
+}
+
+}  // namespace glaf::fun3d

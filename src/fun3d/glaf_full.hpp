@@ -1,0 +1,41 @@
+#pragma once
+// The COMPLETE FUN3D Jacobian-reconstruction decomposition in the GLAF
+// IR — exactly the five sub-functions of paper §4.2:
+//
+//   EdgeJP       "the outermost scope, which initializes critical
+//                 module-wide constants and loops over cells"
+//   cell_loop    "the computation required within a cell ... interior
+//                 loops over nodes, faces, and edges"
+//   edge_loop    the innermost edge computation (50 temporaries, SAVE'd)
+//   angle_check  "a check for a cell-face angle in excess of some
+//                 threshold (which results in skipping the rest of the
+//                 cell's contribution)"
+//   ioff_search  "a search for the offset at which a node's contribution
+//                 should be recorded in the final output data structure"
+//
+// plus face_weight, the interior-loop-as-function §3.3 requires for the
+// per-face distance loop. The formulas mirror fun3d/recon.cpp operation
+// for operation, so serial interpretation reproduces the native
+// mini-app's output bit for bit — the §4.2.1 integration check done
+// through the framework itself.
+//
+// Sizes are baked from a concrete mesh at build time (grids are sized to
+// that dataset, as a GPI user would size them for theirs).
+
+#include "core/program.hpp"
+#include "fun3d/mesh.hpp"
+#include "interp/machine.hpp"
+
+namespace glaf::fun3d {
+
+/// Build the full decomposition for `mesh`'s dimensions.
+Program build_fun3d_full_program(const Mesh& mesh);
+
+/// Copy the mesh arrays into the machine's globals (the legacy FUN3D
+/// modules' data).
+Status load_mesh(Machine& machine, const Mesh& mesh);
+
+/// Read the accumulated Jacobian out of the machine.
+StatusOr<std::vector<double>> extract_jacobian(const Machine& machine);
+
+}  // namespace glaf::fun3d

@@ -1,0 +1,99 @@
+#include "fun3d/glaf_fun3d.hpp"
+
+#include <stdexcept>
+
+namespace glaf::fun3d {
+
+Program build_fun3d_glaf_program() {
+  ProgramBuilder pb("fun3d_kernels");
+
+  auto n_nodes = pb.global("n_nodes", DataType::kInt, {},
+                           {.init = {std::int64_t{kGlafNodes}}});
+  auto n_edges = pb.global("n_edges", DataType::kInt, {},
+                           {.init = {std::int64_t{kGlafEdges}}});
+
+  // Mesh connectivity and solution, provided by the encompassing FUN3D
+  // code (existing module, §3.1).
+  const GridOpts from_fun3d{.from_module = "fun3d_grid"};
+  auto edge_a = pb.global("edge_a", DataType::kInt, {E(n_edges)}, from_fun3d);
+  auto edge_b = pb.global("edge_b", DataType::kInt, {E(n_edges)}, from_fun3d);
+  auto w = pb.global("w", DataType::kDouble, {E(n_edges)}, from_fun3d);
+  auto q = pb.global("q", DataType::kDouble, {E(n_nodes)}, from_fun3d);
+  auto row_ptr = pb.global("row_ptr", DataType::kInt, {E(n_nodes) + 1},
+                           from_fun3d);
+  auto col_idx = pb.global("col_idx", DataType::kInt, {E(n_edges) * 2},
+                           from_fun3d);
+
+  // Output accumulated by the kernel (module-scope, §3.3).
+  auto jac = pb.global("jac", DataType::kDouble, {E(n_nodes)},
+                       {.module_scope = true});
+
+  // edge_scatter: the Green-Gauss-style accumulation across all edges.
+  // The indirect subscripts make the writes unanalyzable; the atomic
+  // update pattern lets the back-end parallelize with OMP ATOMIC.
+  {
+    auto fb = pb.function("edge_scatter");
+    fb.comment("Accumulate edge differences into the Jacobian diagonal");
+    const E e = idx("e");
+    auto s0 = fb.step("zero");
+    s0.comment("zero the output");
+    s0.foreach_("k", 0, E(n_nodes) - 1);
+    s0.assign(jac(idx("k")), 0.0);
+
+    auto s1 = fb.step("scatter");
+    s1.comment("indirect accumulation (needs OMP ATOMIC in parallel)");
+    s1.foreach_("e", 0, E(n_edges) - 1);
+    s1.assign(jac(edge_a(e)),
+              jac(edge_a(e)) + (q(edge_b(e)) - q(edge_a(e))) * w(e));
+    s1.assign(jac(edge_b(e)),
+              jac(edge_b(e)) - (q(edge_b(e)) - q(edge_a(e))) * w(e));
+  }
+
+  // find_offset: the ioff_search pattern — early return inside a loop,
+  // parallelizable only with the OMP CRITICAL manual tweak (§4.2.1).
+  {
+    auto fb = pb.function("find_offset", DataType::kInt);
+    fb.comment("Offset of `target` within node `row`'s CSR adjacency");
+    auto row = fb.param("row", DataType::kInt);
+    auto target = fb.param("target", DataType::kInt);
+    const E i = idx("i");
+    auto s = fb.step("scan");
+    s.foreach_("i", E(row_ptr(E(row))), E(row_ptr(E(row) + 1)) - 1);
+    s.if_(col_idx(i) == E(target),
+          [&](BodyBuilder& b) { b.ret(i - row_ptr(E(row))); });
+    auto s2 = fb.step("miss");
+    s2.ret(liti(-1));
+  }
+
+  // smooth_q: exercises the SAVE'd temporary (no-reallocation) pattern on
+  // a function-local array with a symbolic extent.
+  {
+    auto fb = pb.function("smooth_q");
+    fb.comment("Jacobi-style smoothing with a SAVE'd scratch array");
+    auto scratch = fb.local("scratch", DataType::kDouble, {E(n_nodes)},
+                            {.save = true});
+    const E k = idx("k");
+    auto s1 = fb.step("stage");
+    s1.foreach_("k", 0, E(n_nodes) - 1);
+    s1.assign(scratch(k), jac(k) * 0.5);
+    auto s2 = fb.step("apply");
+    s2.foreach_("k", 1, E(n_nodes) - 2);
+    s2.assign(jac(k), scratch(k) + 0.25 * (scratch(k - 1) + scratch(k + 1)));
+  }
+
+  auto result = pb.build();
+  if (!result.is_ok()) {
+    throw std::runtime_error("FUN3D GLAF program failed validation: " +
+                             result.status().message());
+  }
+  return std::move(result).value();
+}
+
+TweaksByFunction fun3d_manual_tweaks(const Program& program) {
+  (void)program;
+  TweaksByFunction tweaks;
+  tweaks["find_offset"].allow_critical = true;
+  return tweaks;
+}
+
+}  // namespace glaf::fun3d

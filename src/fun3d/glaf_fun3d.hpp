@@ -1,0 +1,33 @@
+#pragma once
+// The FUN3D kernels expressed in the GLAF IR (small scale) — demonstrates
+// that the framework itself handles the §4.2 patterns end to end:
+//   - indirect scatter-accumulation into a shared array (needs ATOMIC);
+//   - the early-return offset search (needs CRITICAL via manual tweak);
+//   - SAVE'd function-local temporaries (the no-reallocation option).
+//
+// The full-scale performance study (Figure 7) runs on the native C++
+// mini-app in recon.hpp; this program is the integration/correctness
+// counterpart, mirroring how the paper integrated GLAF-generated code
+// back into FUN3D.
+
+#include "core/builder.hpp"
+#include "core/program.hpp"
+
+#include "analysis/parallelize.hpp"
+
+namespace glaf::fun3d {
+
+/// Sizes of the GLAF-IR FUN3D program (kept small; the interpreter is the
+/// execution vehicle here).
+inline constexpr int kGlafNodes = 64;
+inline constexpr int kGlafEdges = 512;
+
+/// Functions: edge_scatter (indirect accumulation over all edges),
+/// find_offset (early-return CSR search), smooth_q (SAVE'd temporary).
+Program build_fun3d_glaf_program();
+
+/// The manual tweaks §4.2.1 lists, keyed for this program: critical for
+/// find_offset; (atomics are auto-detected).
+TweaksByFunction fun3d_manual_tweaks(const Program& program);
+
+}  // namespace glaf::fun3d

@@ -1,0 +1,108 @@
+#include "fun3d/mesh.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/rng.hpp"
+
+namespace glaf::fun3d {
+
+Mesh make_mesh(std::int64_t n_cells, std::uint64_t seed) {
+  SplitMix64 rng(seed ^ 0xF00D1234ABCDEF01ULL);
+  Mesh m;
+  m.n_cells = n_cells;
+  m.n_nodes = std::max<std::int64_t>(8, n_cells / 5);
+
+  m.coords.resize(static_cast<std::size_t>(m.n_nodes) * 3);
+  m.q.resize(static_cast<std::size_t>(m.n_nodes) * kNumEq);
+  for (std::int64_t n = 0; n < m.n_nodes; ++n) {
+    for (int d = 0; d < 3; ++d) {
+      m.coords[static_cast<std::size_t>(n) * 3 + d] = rng.next_double();
+    }
+    for (int e = 0; e < kNumEq; ++e) {
+      // Plausible conserved-variable magnitudes.
+      m.q[static_cast<std::size_t>(n) * kNumEq + e] =
+          e == 0 ? rng.uniform(0.8, 1.2)                 // density
+                 : (e == kNumEq - 1 ? rng.uniform(2.0, 3.0)  // energy
+                                    : rng.uniform(-0.3, 0.3));  // momentum
+    }
+  }
+
+  // Cells: 4 distinct nodes from a locality window (keeps the adjacency
+  // sparse like a real mesh partition). The window is clamped to the node
+  // count so tiny meshes stay in range.
+  m.cell_nodes.resize(static_cast<std::size_t>(n_cells) * kNodesPerCell);
+  const std::int64_t window = std::min<std::int64_t>(
+      m.n_nodes, std::max<std::int64_t>(16, m.n_nodes / 64));
+  for (std::int64_t c = 0; c < n_cells; ++c) {
+    const std::int64_t base =
+        static_cast<std::int64_t>(rng.next_below(
+            static_cast<std::uint64_t>(std::max<std::int64_t>(1, m.n_nodes - window))));
+    std::int32_t picked[kNodesPerCell];
+    int count = 0;
+    while (count < kNodesPerCell) {
+      const auto candidate = static_cast<std::int32_t>(
+          base + static_cast<std::int64_t>(rng.next_below(
+                     static_cast<std::uint64_t>(window))));
+      bool duplicate = false;
+      for (int i = 0; i < count; ++i) duplicate |= picked[i] == candidate;
+      if (!duplicate) picked[count++] = candidate;
+    }
+    for (int i = 0; i < kNodesPerCell; ++i) {
+      m.cell_nodes[static_cast<std::size_t>(c) * kNodesPerCell + i] = picked[i];
+    }
+  }
+
+  // Edge visits: 8..12 per cell (average 10 -> 1M cells gives ~10M edges,
+  // matching the paper's dataset scale). Endpoints drawn from the cell's
+  // nodes.
+  m.cell_edge_ptr.resize(static_cast<std::size_t>(n_cells) + 1);
+  m.cell_edge_ptr[0] = 0;
+  for (std::int64_t c = 0; c < n_cells; ++c) {
+    const int edges = 8 + static_cast<int>(rng.next_below(5));
+    m.cell_edge_ptr[static_cast<std::size_t>(c) + 1] =
+        m.cell_edge_ptr[static_cast<std::size_t>(c)] + edges;
+  }
+  m.n_edges = m.cell_edge_ptr[static_cast<std::size_t>(n_cells)];
+  m.edge_a.resize(static_cast<std::size_t>(m.n_edges));
+  m.edge_b.resize(static_cast<std::size_t>(m.n_edges));
+  for (std::int64_t c = 0; c < n_cells; ++c) {
+    for (std::int64_t e = m.edges_of_cell_begin(c); e < m.edges_of_cell_end(c);
+         ++e) {
+      const int ia = static_cast<int>(rng.next_below(kNodesPerCell));
+      int ib = static_cast<int>(rng.next_below(kNodesPerCell));
+      if (ib == ia) ib = (ib + 1) % kNodesPerCell;
+      m.edge_a[static_cast<std::size_t>(e)] =
+          m.cell_nodes[static_cast<std::size_t>(c) * kNodesPerCell + ia];
+      m.edge_b[static_cast<std::size_t>(e)] =
+          m.cell_nodes[static_cast<std::size_t>(c) * kNodesPerCell + ib];
+    }
+  }
+
+  // CSR adjacency from the edge list (sorted, unique) — what ioff_search
+  // scans to find the insertion offset.
+  std::vector<std::set<std::int32_t>> adjacency(
+      static_cast<std::size_t>(m.n_nodes));
+  for (std::int64_t e = 0; e < m.n_edges; ++e) {
+    const std::int32_t a = m.edge_a[static_cast<std::size_t>(e)];
+    const std::int32_t b = m.edge_b[static_cast<std::size_t>(e)];
+    adjacency[static_cast<std::size_t>(a)].insert(b);
+    adjacency[static_cast<std::size_t>(b)].insert(a);
+  }
+  m.row_ptr.resize(static_cast<std::size_t>(m.n_nodes) + 1);
+  m.row_ptr[0] = 0;
+  for (std::int64_t n = 0; n < m.n_nodes; ++n) {
+    m.row_ptr[static_cast<std::size_t>(n) + 1] =
+        m.row_ptr[static_cast<std::size_t>(n)] +
+        static_cast<std::int32_t>(adjacency[static_cast<std::size_t>(n)].size());
+  }
+  m.col_idx.reserve(static_cast<std::size_t>(m.row_ptr.back()));
+  for (std::int64_t n = 0; n < m.n_nodes; ++n) {
+    for (const std::int32_t neighbor : adjacency[static_cast<std::size_t>(n)]) {
+      m.col_idx.push_back(neighbor);
+    }
+  }
+  return m;
+}
+
+}  // namespace glaf::fun3d

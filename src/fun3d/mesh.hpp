@@ -1,0 +1,53 @@
+#pragma once
+// Synthetic unstructured mesh for the FUN3D Jacobian-reconstruction
+// case study.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): NASA's FUN3D sources and the 1M-cell
+// test dataset are unavailable. This mesh generator produces a structure
+// with the properties the paper relies on: tetrahedral-style cells with 4
+// nodes and 4 faces, roughly 10 edge visits per cell (1M cells -> 10M
+// edges), a CSR node-adjacency used by the offset search, and a
+// per-node solution vector of 5 conserved quantities.
+
+#include <cstdint>
+#include <vector>
+
+namespace glaf::fun3d {
+
+/// Number of conserved quantities per node (density, 3 momentum, energy).
+inline constexpr int kNumEq = 5;
+/// Nodes and faces per (tet-style) cell.
+inline constexpr int kNodesPerCell = 4;
+inline constexpr int kFacesPerCell = 4;
+
+/// The local MPI rank's domain, as the paper frames it.
+struct Mesh {
+  std::int64_t n_nodes = 0;
+  std::int64_t n_cells = 0;
+  std::int64_t n_edges = 0;  ///< total directed edge visits (~10 per cell)
+
+  std::vector<std::int32_t> cell_nodes;  ///< [n_cells * kNodesPerCell]
+  std::vector<std::int32_t> cell_edge_ptr;  ///< [n_cells + 1] into edge arrays
+  std::vector<std::int32_t> edge_a;      ///< [n_edges] first endpoint node
+  std::vector<std::int32_t> edge_b;      ///< [n_edges] second endpoint node
+
+  std::vector<double> coords;  ///< [n_nodes * 3]
+  std::vector<double> q;       ///< [n_nodes * kNumEq] solution vector
+
+  /// CSR node adjacency (sorted) for the ioff_search offset lookup.
+  std::vector<std::int32_t> row_ptr;  ///< [n_nodes + 1]
+  std::vector<std::int32_t> col_idx;  ///< [row_ptr[n_nodes]]
+
+  [[nodiscard]] std::int64_t edges_of_cell_begin(std::int64_t c) const {
+    return cell_edge_ptr[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::int64_t edges_of_cell_end(std::int64_t c) const {
+    return cell_edge_ptr[static_cast<std::size_t>(c) + 1];
+  }
+};
+
+/// Deterministically build a mesh with `n_cells` cells. Nodes ~ cells/5,
+/// edge visits ~ 10 per cell (8..12), CSR adjacency from the edges.
+Mesh make_mesh(std::int64_t n_cells, std::uint64_t seed);
+
+}  // namespace glaf::fun3d

@@ -1,0 +1,392 @@
+#include "fun3d/recon.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "runtime/thread_pool.hpp"
+
+namespace glaf::fun3d {
+namespace {
+
+constexpr double kAngleThreshold = 0.97;
+constexpr double kAvgCoupling = 0.1;
+constexpr double kScaleBase = 0.05;
+
+inline std::size_t qat(std::int64_t node, int eq) {
+  return static_cast<std::size_t>(node) * kNumEq + static_cast<std::size_t>(eq);
+}
+
+/// Per-cell quantities produced by the node and face loops.
+struct CellContext {
+  double cell_avg[kNumEq] = {};
+  double wgt_total = 0.0;
+};
+
+/// Accumulate `delta` into jac[index]; atomically when another thread may
+/// also write (shared output array under cell-level parallelism).
+inline void accumulate(std::vector<double>& jac, std::size_t index,
+                       double delta, bool atomic) {
+  if (atomic) {
+    std::atomic_ref<double> cell(jac[index]);
+    cell.fetch_add(delta, std::memory_order_relaxed);
+  } else {
+    jac[index] += delta;
+  }
+}
+
+double face_weight(const Mesh& mesh, std::int64_t cell, int face) {
+  // Weight from the coordinates of the face's three nodes (faces of a tet
+  // are the node triples skipping one vertex).
+  const auto node = [&](int local) {
+    return mesh.cell_nodes[static_cast<std::size_t>(cell) * kNodesPerCell +
+                           static_cast<std::size_t>(local)];
+  };
+  const std::int32_t a = node(face);
+  const std::int32_t b = node((face + 1) % kNodesPerCell);
+  const std::int32_t c = node((face + 2) % kNodesPerCell);
+  double w = 0.0;
+  for (int d = 0; d < 3; ++d) {
+    const double ab = mesh.coords[static_cast<std::size_t>(b) * 3 + d] -
+                      mesh.coords[static_cast<std::size_t>(a) * 3 + d];
+    const double ac = mesh.coords[static_cast<std::size_t>(c) * 3 + d] -
+                      mesh.coords[static_cast<std::size_t>(a) * 3 + d];
+    w += std::fabs(ab - ac);
+  }
+  return 0.25 + w;
+}
+
+/// The shared edge computation: identical operation order in every
+/// implementation so that outputs agree (only the allocation strategy and
+/// the accumulation atomicity differ).
+template <typename TempsProvider>
+void edge_contribution(const Mesh& mesh, std::int64_t edge,
+                       const CellContext& ctx, std::vector<double>& jac,
+                       bool atomic, TempsProvider&& temps_provider,
+                       ReconStats& stats) {
+  const std::int32_t a = mesh.edge_a[static_cast<std::size_t>(edge)];
+  const std::int32_t b = mesh.edge_b[static_cast<std::size_t>(edge)];
+
+  double dq[kNumEq];
+  for (int eq = 0; eq < kNumEq; ++eq) {
+    dq[eq] = mesh.q[qat(b, eq)] - mesh.q[qat(a, eq)];
+  }
+
+  // The 50 temporary arrays of §4.2.2. temps_provider returns a buffer of
+  // kEdgeTemps * kNumEq doubles (freshly allocated or SAVE'd/private).
+  double* temps = temps_provider();
+  for (int t = 0; t < kEdgeTemps; ++t) {
+    for (int eq = 0; eq < kNumEq; ++eq) {
+      temps[t * kNumEq + eq] = dq[eq] / (t + 1);
+    }
+  }
+  double contrib[kNumEq] = {};
+  for (int t = 0; t < kEdgeTemps; ++t) {
+    for (int eq = 0; eq < kNumEq; ++eq) {
+      contrib[eq] += temps[t * kNumEq + eq];
+    }
+  }
+
+  const std::int64_t ioff = ioff_search(mesh, a, b);
+  ++stats.searches;
+  const double scale =
+      ctx.wgt_total * (1.0 + 0.001 * static_cast<double>(ioff)) * kScaleBase;
+  for (int eq = 0; eq < kNumEq; ++eq) {
+    const double delta = (contrib[eq] - kAvgCoupling * ctx.cell_avg[eq]) * scale;
+    accumulate(jac, qat(a, eq), delta, atomic);
+    accumulate(jac, qat(b, eq), -delta, atomic);
+  }
+}
+
+CellContext build_cell_context(const Mesh& mesh, std::int64_t cell) {
+  CellContext ctx;
+  // Node loop.
+  for (int n = 0; n < kNodesPerCell; ++n) {
+    const std::int32_t node =
+        mesh.cell_nodes[static_cast<std::size_t>(cell) * kNodesPerCell +
+                        static_cast<std::size_t>(n)];
+    for (int eq = 0; eq < kNumEq; ++eq) {
+      ctx.cell_avg[eq] += mesh.q[qat(node, eq)] * 0.25;
+    }
+  }
+  // Face loop.
+  for (int f = 0; f < kFacesPerCell; ++f) {
+    ctx.wgt_total += face_weight(mesh, cell, f);
+  }
+  return ctx;
+}
+
+/// Freshly-allocated temporaries: the reallocation cost the paper
+/// eliminates with SAVE attributes.
+struct ReallocTemps {
+  ReconStats* stats;
+  std::vector<double> storage;
+  double* operator()() {
+    storage.assign(static_cast<std::size_t>(kEdgeTemps) * kNumEq, 0.0);
+    stats->allocations += kEdgeTemps;
+    return storage.data();
+  }
+};
+
+/// SAVE'd temporaries: allocated once per thread, reused across calls.
+struct SavedTemps {
+  ReconStats* stats;
+  double* operator()() {
+    thread_local std::vector<double> storage;
+    if (storage.empty()) {
+      storage.resize(static_cast<std::size_t>(kEdgeTemps) * kNumEq, 0.0);
+      stats->allocations += kEdgeTemps;
+    }
+    return storage.data();
+  }
+};
+
+}  // namespace
+
+std::int64_t ioff_search(const Mesh& mesh, std::int32_t row,
+                         std::int32_t target) {
+  // Early-return linear scan of the CSR row (the paper wraps the parallel
+  // version's early-return section in OMP CRITICAL).
+  for (std::int32_t i = mesh.row_ptr[static_cast<std::size_t>(row)];
+       i < mesh.row_ptr[static_cast<std::size_t>(row) + 1]; ++i) {
+    if (mesh.col_idx[static_cast<std::size_t>(i)] == target) {
+      return i - mesh.row_ptr[static_cast<std::size_t>(row)];
+    }
+  }
+  return -1;
+}
+
+bool angle_check(const Mesh& mesh, std::int64_t cell) {
+  // Cosine-like metric of the first face; values beyond the threshold
+  // indicate a degenerate cell whose contribution is skipped.
+  const std::int32_t a =
+      mesh.cell_nodes[static_cast<std::size_t>(cell) * kNodesPerCell];
+  const std::int32_t b =
+      mesh.cell_nodes[static_cast<std::size_t>(cell) * kNodesPerCell + 1];
+  const std::int32_t c =
+      mesh.cell_nodes[static_cast<std::size_t>(cell) * kNodesPerCell + 2];
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (int d = 0; d < 3; ++d) {
+    const double u = mesh.coords[static_cast<std::size_t>(b) * 3 + d] -
+                     mesh.coords[static_cast<std::size_t>(a) * 3 + d];
+    const double v = mesh.coords[static_cast<std::size_t>(c) * 3 + d] -
+                     mesh.coords[static_cast<std::size_t>(a) * 3 + d];
+    dot += u * v;
+    na += u * u;
+    nb += v * v;
+  }
+  const double denom = std::sqrt(na * nb);
+  if (denom == 0.0) return true;
+  return std::fabs(dot) / denom > kAngleThreshold;
+}
+
+// ---- original serial ---------------------------------------------------
+
+ReconResult reconstruct_original(const Mesh& mesh) {
+  ReconResult result;
+  result.jac.assign(static_cast<std::size_t>(mesh.n_nodes) * kNumEq, 0.0);
+  // One function, several levels of loop nesting, stack temporaries.
+  std::vector<double> temps(static_cast<std::size_t>(kEdgeTemps) * kNumEq);
+  for (std::int64_t c = 0; c < mesh.n_cells; ++c) {
+    if (angle_check(mesh, c)) {
+      ++result.stats.cells_skipped;
+      continue;
+    }
+    const CellContext ctx = build_cell_context(mesh, c);
+    for (std::int64_t e = mesh.edges_of_cell_begin(c);
+         e < mesh.edges_of_cell_end(c); ++e) {
+      ++result.stats.edge_calls;
+      edge_contribution(mesh, e, ctx, result.jac, /*atomic=*/false,
+                        [&] { return temps.data(); }, result.stats);
+    }
+  }
+  return result;
+}
+
+// ---- GLAF decomposition --------------------------------------------------
+
+namespace {
+
+/// Executes the GLAF-decomposed reconstruction for one range of cells.
+/// `nested` is true when already inside the outer parallel region, in
+/// which case inner "parallel" loops execute serially but their fork/join
+/// cost is still charged (our pool does not nest; OpenMP would fork).
+void glaf_cells(const Mesh& mesh, const ReconOptions& opt, std::int64_t begin,
+                std::int64_t end, bool nested, bool atomic,
+                std::vector<double>& jac, ThreadPool* inner_pool,
+                ReconStats& stats) {
+  for (std::int64_t c = begin; c < end; ++c) {
+    // angle_check sub-function.
+    if (angle_check(mesh, c)) {
+      ++stats.cells_skipped;
+      continue;
+    }
+
+    // cell_loop sub-function: node loop and face loop, optionally
+    // parallel ("the node and face loops are parallelized within
+    // cell_loop").
+    CellContext ctx;
+    if (opt.par_cell_loop) {
+      stats.fork_joins += 2;  // one region per loop
+      if (!nested && inner_pool != nullptr) {
+        std::mutex merge;
+        inner_pool->parallel_for(
+            kNodesPerCell, [&](int, std::int64_t nb, std::int64_t ne) {
+              double local[kNumEq] = {};
+              for (std::int64_t n = nb; n < ne; ++n) {
+                const std::int32_t node = mesh.cell_nodes
+                    [static_cast<std::size_t>(c) * kNodesPerCell +
+                     static_cast<std::size_t>(n)];
+                for (int eq = 0; eq < kNumEq; ++eq) {
+                  local[eq] += mesh.q[qat(node, eq)] * 0.25;
+                }
+              }
+              const std::lock_guard<std::mutex> lock(merge);
+              for (int eq = 0; eq < kNumEq; ++eq) ctx.cell_avg[eq] += local[eq];
+            });
+        inner_pool->parallel_for(
+            kFacesPerCell, [&](int, std::int64_t fb, std::int64_t fe) {
+              double local = 0.0;
+              for (std::int64_t f = fb; f < fe; ++f) {
+                local += face_weight(mesh, c, static_cast<int>(f));
+              }
+              const std::lock_guard<std::mutex> lock(merge);
+              ctx.wgt_total += local;
+            });
+      } else {
+        ctx = build_cell_context(mesh, c);
+      }
+    } else {
+      ctx = build_cell_context(mesh, c);
+    }
+
+    // edge_loop sub-function, optionally parallel across the cell's edges.
+    const std::int64_t edge_begin = mesh.edges_of_cell_begin(c);
+    const std::int64_t edge_count = mesh.edges_of_cell_end(c) - edge_begin;
+    const auto run_edges = [&](std::int64_t eb, std::int64_t ee,
+                               ReconStats& local_stats) {
+      for (std::int64_t e = eb; e < ee; ++e) {
+        ++local_stats.edge_calls;
+        if (opt.par_ioff_search) {
+          // One fork/join per offset search, plus the critical section.
+          ++local_stats.fork_joins;
+        }
+        if (opt.no_realloc) {
+          edge_contribution(mesh, edge_begin + e, ctx, jac, atomic,
+                            SavedTemps{&local_stats}, local_stats);
+        } else {
+          edge_contribution(mesh, edge_begin + e, ctx, jac, atomic,
+                            ReallocTemps{&local_stats, {}}, local_stats);
+        }
+      }
+    };
+    if (opt.par_edge_loop) {
+      ++stats.fork_joins;
+      if (!nested && inner_pool != nullptr) {
+        std::mutex merge;
+        inner_pool->parallel_for(
+            edge_count, [&](int, std::int64_t eb, std::int64_t ee) {
+              ReconStats local;
+              run_edges(eb, ee, local);
+              const std::lock_guard<std::mutex> lock(merge);
+              stats.allocations += local.allocations;
+              stats.fork_joins += local.fork_joins;
+              stats.edge_calls += local.edge_calls;
+              stats.searches += local.searches;
+            });
+      } else {
+        run_edges(0, edge_count, stats);
+      }
+    } else {
+      run_edges(0, edge_count, stats);
+    }
+  }
+}
+
+}  // namespace
+
+ReconResult reconstruct_glaf(const Mesh& mesh, const ReconOptions& options) {
+  ReconResult result;
+  result.jac.assign(static_cast<std::size_t>(mesh.n_nodes) * kNumEq, 0.0);
+  const bool any_parallel = options.par_edgejp || options.par_cell_loop ||
+                            options.par_edge_loop;
+  // Output accumulation must be atomic whenever cells can race (outer
+  // parallelism) or edges race within a cell (edge parallelism).
+  const bool atomic = options.par_edgejp || options.par_edge_loop;
+
+  ThreadPool pool(any_parallel ? options.threads : 1);
+
+  if (options.par_edgejp) {
+    ++result.stats.fork_joins;  // the single outer region (EdgeJP)
+    std::mutex merge;
+    pool.parallel_for(
+        mesh.n_cells, [&](int, std::int64_t begin, std::int64_t end) {
+          ReconStats local;
+          glaf_cells(mesh, options, begin, end, /*nested=*/true, atomic,
+                     result.jac, nullptr, local);
+          const std::lock_guard<std::mutex> lock(merge);
+          result.stats.allocations += local.allocations;
+          result.stats.fork_joins += local.fork_joins;
+          result.stats.edge_calls += local.edge_calls;
+          result.stats.searches += local.searches;
+          result.stats.cells_skipped += local.cells_skipped;
+        });
+  } else {
+    glaf_cells(mesh, options, 0, mesh.n_cells, /*nested=*/false, atomic,
+               result.jac, any_parallel ? &pool : nullptr, result.stats);
+  }
+  return result;
+}
+
+// ---- manual parallel ------------------------------------------------------
+
+ReconResult reconstruct_manual(const Mesh& mesh, int threads) {
+  ReconResult result;
+  result.jac.assign(static_cast<std::size_t>(mesh.n_nodes) * kNumEq, 0.0);
+  ThreadPool pool(threads);
+  std::mutex merge;
+  ++result.stats.fork_joins;
+  pool.parallel_for(
+      mesh.n_cells, [&](int, std::int64_t begin, std::int64_t end) {
+        // Thread-private output and temporaries (the 219 PRIVATE variables
+        // of §4.2.2, in spirit): no atomics, one merge at the end.
+        std::vector<double> private_jac(
+            static_cast<std::size_t>(mesh.n_nodes) * kNumEq, 0.0);
+        std::vector<double> temps(
+            static_cast<std::size_t>(kEdgeTemps) * kNumEq);
+        ReconStats local;
+        for (std::int64_t c = begin; c < end; ++c) {
+          if (angle_check(mesh, c)) {
+            ++local.cells_skipped;
+            continue;
+          }
+          const CellContext ctx = build_cell_context(mesh, c);
+          for (std::int64_t e = mesh.edges_of_cell_begin(c);
+               e < mesh.edges_of_cell_end(c); ++e) {
+            ++local.edge_calls;
+            edge_contribution(mesh, e, ctx, private_jac, /*atomic=*/false,
+                              [&] { return temps.data(); }, local);
+          }
+        }
+        const std::lock_guard<std::mutex> lock(merge);
+        for (std::size_t i = 0; i < result.jac.size(); ++i) {
+          result.jac[i] += private_jac[i];
+        }
+        result.stats.allocations += local.allocations;
+        result.stats.edge_calls += local.edge_calls;
+        result.stats.searches += local.searches;
+        result.stats.cells_skipped += local.cells_skipped;
+      });
+  return result;
+}
+
+double rms_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v * v;
+  return std::sqrt(sum / static_cast<double>(values.size()));
+}
+
+}  // namespace glaf::fun3d

@@ -1,0 +1,72 @@
+#pragma once
+// The FUN3D Jacobian matrix reconstruction mini-app (paper §4.2).
+//
+// Three implementations:
+//   - reconstruct_original(): the "original serial" single function with
+//     several levels of loop nesting;
+//   - reconstruct_glaf(): the GLAF decomposition into five sub-functions
+//     (EdgeJP, cell_loop, edge_loop, angle_check, ioff_search) with the
+//     Figure 7 option space: per-level parallelization switches and the
+//     no-reallocation (SAVE) option;
+//   - reconstruct_manual(): the hand-parallelized original at the
+//     outermost (cell) scope with thread-private accumulators — the
+//     paper's strongest comparison point (3.85x at 16 threads).
+//
+// Output correctness is checked the way the paper does: the root mean
+// square of the output array against the reference at 1e-7 absolute
+// tolerance (parallel summation reassociates).
+
+#include <cstdint>
+#include <vector>
+
+#include "fun3d/mesh.hpp"
+
+namespace glaf::fun3d {
+
+class ThreadPoolHandle;
+
+/// Figure 7's option space.
+struct ReconOptions {
+  bool par_edgejp = false;       ///< parallelize the outer loop over cells
+  bool par_cell_loop = false;    ///< parallelize node/face loops in a cell
+  bool par_edge_loop = false;    ///< parallelize the edge loop in a cell
+  bool par_ioff_search = false;  ///< parallel offset search (needs critical)
+  bool no_realloc = false;       ///< SAVE'd temporaries (§4.2.1)
+  int threads = 1;
+};
+
+/// Execution counters consumed by the performance model.
+struct ReconStats {
+  std::uint64_t allocations = 0;   ///< temporary-array materializations
+  std::uint64_t fork_joins = 0;    ///< parallel regions entered (or charged)
+  std::uint64_t edge_calls = 0;    ///< edge_loop invocations
+  std::uint64_t searches = 0;      ///< ioff_search invocations
+  std::uint64_t cells_skipped = 0; ///< angle_check rejections
+};
+
+struct ReconResult {
+  std::vector<double> jac;  ///< [n_nodes * kNumEq]
+  ReconStats stats;
+};
+
+/// Number of temporary arrays the innermost edge loop materializes per
+/// call ("the innermost edge loop has 50 dynamically allocated temporary
+/// arrays", §4.2.2).
+inline constexpr int kEdgeTemps = 50;
+
+ReconResult reconstruct_original(const Mesh& mesh);
+ReconResult reconstruct_glaf(const Mesh& mesh, const ReconOptions& options);
+ReconResult reconstruct_manual(const Mesh& mesh, int threads);
+
+/// Root mean square of an output array (the dataset's reference check).
+double rms_of(const std::vector<double>& values);
+
+/// The offset search exposed for unit tests: index of `target` within
+/// node `row`'s CSR adjacency, -1 if absent. Early-return linear scan.
+std::int64_t ioff_search(const Mesh& mesh, std::int32_t row,
+                         std::int32_t target);
+
+/// The cell-face angle check exposed for unit tests: true = skip cell.
+bool angle_check(const Mesh& mesh, std::int64_t cell);
+
+}  // namespace glaf::fun3d

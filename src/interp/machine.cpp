@@ -1,0 +1,783 @@
+#include "interp/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+#include "codegen/directive_policy.hpp"
+#include "core/libfuncs.hpp"
+#include "core/typecheck.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/strings.hpp"
+
+namespace glaf {
+
+namespace {
+
+/// Internal unwinding for runtime errors; converted to Status at the API
+/// boundary.
+struct InterpError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void fail(const std::string& msg) { throw InterpError(msg); }
+
+double reduction_identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return 0.0;
+    case ReduceOp::kProd: return 1.0;
+    case ReduceOp::kMin: return std::numeric_limits<double>::infinity();
+    case ReduceOp::kMax: return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+double reduction_combine(ReduceOp op, double a, double b) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kProd: return a * b;
+    case ReduceOp::kMin: return std::min(a, b);
+    case ReduceOp::kMax: return std::max(a, b);
+  }
+  return a;
+}
+
+/// Loop index bindings; tiny linear map (loop nests are 1-3 deep).
+class IndexEnv {
+ public:
+  void push(const std::string& name, std::int64_t value) {
+    vars_.emplace_back(&name, value);
+  }
+  void pop() { vars_.pop_back(); }
+  void set_top(std::int64_t value) { vars_.back().second = value; }
+
+  [[nodiscard]] std::int64_t lookup(const std::string& name) const {
+    for (auto it = vars_.rbegin(); it != vars_.rend(); ++it) {
+      if (*it->first == name) return it->second;
+    }
+    fail(cat("index variable '", name, "' not bound"));
+  }
+
+ private:
+  std::vector<std::pair<const std::string*, std::int64_t>> vars_;
+};
+
+}  // namespace
+
+// ---- Instance --------------------------------------------------------------
+
+std::int64_t Instance::element_count() const {
+  std::int64_t n = 1;
+  for (const std::int64_t e : extents) n *= e;
+  return n;
+}
+
+std::int64_t Instance::offset(const std::vector<std::int64_t>& idx) const {
+  std::int64_t off = 0;
+  for (std::size_t d = 0; d < extents.size(); ++d) {
+    const std::int64_t i = idx[d];
+    if (i < 0 || i >= extents[d]) {
+      fail(cat("subscript ", i, " out of range [0,", extents[d] - 1,
+               "] in dimension ", d, " of grid '",
+               grid != nullptr ? grid->name : "?", "'"));
+    }
+    off = off * extents[d] + i;
+  }
+  return off;
+}
+
+// ---- Executor ---------------------------------------------------------------
+
+using InstancePtr = std::shared_ptr<Instance>;
+
+/// Per-call binding of GridId -> storage (TU-local implementation detail).
+struct Frame {
+  const Function* fn = nullptr;
+  std::vector<InstancePtr> slots;  ///< indexed by GridId
+};
+
+/// Step-execution context flags shared down the statement walkers.
+struct StepCtx {
+  const StepVerdict* verdict = nullptr;
+  bool parallel_active = false;
+};
+
+/// Executes one top-level call tree; merges its stats into the Machine at
+/// destruction. Parallel regions spawn per-thread recursion through the
+/// same class with separate stat counters.
+class Executor {
+ public:
+  Executor(Machine& m) : m_(m) {}
+
+  double call_function(const Function& fn, std::vector<InstancePtr> args);
+
+  /// Allocate storage for a grid, evaluating extents in `frame`.
+  InstancePtr make_instance(const Grid& g, const Frame& frame);
+
+  InterpStats stats;
+
+  /// Per-thread replacements for global grids (private/firstprivate/
+  /// reduction copies inside a parallel region). Threaded into every
+  /// callee frame so subprograms called from the region see the thread's
+  /// copies, mirroring OpenMP's threadprivate semantics.
+  std::map<GridId, InstancePtr> global_overrides;
+
+  /// True when this executor runs inside a parallel region (set on the
+  /// per-thread workers): updates to machine-level atomic grids are then
+  /// serialized, modeling orphaned OMP ATOMIC directives in callees.
+  bool in_parallel_region = false;
+
+  /// Thread-local SAVE'd-locals cache used inside parallel regions: SAVE'd
+  /// temporaries become threadprivate there (§4.2.1 pairs the SAVE
+  /// attribute with private/thread-private declarations).
+  std::map<GridId, InstancePtr> saved_locals_local;
+
+ private:
+  void init_instance(Instance& inst, const Grid& g);
+
+  void exec_step_serial(Frame& frame, const Step& step, const StepCtx& ctx,
+                        bool* returned, double* ret_value);
+  void exec_step_parallel(Frame& frame, const Step& step,
+                          const StepVerdict& verdict);
+  void exec_loops(Frame& frame, const Step& step, std::size_t depth,
+                  IndexEnv& env, const StepCtx& ctx, bool* returned,
+                  double* ret_value);
+  bool exec_body(Frame& frame, const std::vector<Stmt>& body, IndexEnv& env,
+                 const StepCtx& ctx, double* ret_value);
+  bool exec_stmt(Frame& frame, const Stmt& stmt, IndexEnv& env,
+                 const StepCtx& ctx, double* ret_value);
+  void exec_assign(Frame& frame, const Stmt& stmt, IndexEnv& env,
+                   const StepCtx& ctx);
+
+  double eval(Frame& frame, const Expr& e, IndexEnv& env);
+  std::int64_t eval_int(Frame& frame, const Expr& e, IndexEnv& env) {
+    return static_cast<std::int64_t>(std::llround(eval(frame, e, env)));
+  }
+  double eval_call(Frame& frame, const Expr& e, IndexEnv& env);
+  double* element_ptr(Frame& frame, GridId grid, const std::string& field,
+                      const std::vector<ExprPtr>& subs, IndexEnv& env);
+  std::vector<double>& buffer_of(Instance& inst, const std::string& field);
+
+  DataType type_of(const Expr& e) {
+    // Per-executor memoization keeps repeated evaluation cheap.
+    const auto it = type_cache_.find(&e);
+    if (it != type_cache_.end()) return it->second;
+    const DataType t = infer_type(m_.program_, e);
+    type_cache_.emplace(&e, t);
+    return t;
+  }
+
+  Machine& m_;
+  std::map<const Expr*, DataType> type_cache_;
+};
+
+std::vector<double>& Executor::buffer_of(Instance& inst,
+                                         const std::string& field) {
+  if (field.empty()) return inst.data;
+  const auto it = inst.fields.find(field);
+  if (it == inst.fields.end()) {
+    fail(cat("no field '", field, "' in grid '", inst.grid->name, "'"));
+  }
+  return it->second;
+}
+
+InstancePtr Executor::make_instance(const Grid& g, const Frame& frame) {
+  auto inst = std::make_shared<Instance>();
+  inst->grid = &g;
+  IndexEnv no_indices;
+  for (const Dim& d : g.dims) {
+    // Extents are expressions over scalar grids; evaluate in the caller's
+    // frame (size parameters are already bound).
+    Frame& mutable_frame = const_cast<Frame&>(frame);
+    const std::int64_t e = eval_int(mutable_frame, *d.extent, no_indices);
+    if (e < 1) fail(cat("non-positive extent ", e, " for grid '", g.name, "'"));
+    inst->extents.push_back(e);
+  }
+  init_instance(*inst, g);
+  return inst;
+}
+
+void Executor::init_instance(Instance& inst, const Grid& g) {
+  const std::size_t n = static_cast<std::size_t>(inst.element_count());
+  if (g.is_struct()) {
+    for (const Field& f : g.fields) inst.fields[f.name].assign(n, 0.0);
+  } else {
+    inst.data.assign(n, 0.0);
+    for (std::size_t i = 0; i < g.init_data.size() && i < n; ++i) {
+      inst.data[i] = value_as_double(g.init_data[i]);
+    }
+  }
+}
+
+double Executor::call_function(const Function& fn,
+                               std::vector<InstancePtr> args) {
+  ++stats.function_calls;
+  Frame frame;
+  frame.fn = &fn;
+  frame.slots.resize(m_.program_.grids.size());
+
+  // Globals are visible everywhere; a parallel region's per-thread copies
+  // take precedence.
+  for (const auto& [id, inst] : m_.globals_) frame.slots[id] = inst;
+  for (const auto& [id, inst] : global_overrides) frame.slots[id] = inst;
+
+  // Bind parameters by reference.
+  if (args.size() != fn.params.size()) {
+    fail(cat("call to '", fn.name, "': expected ", fn.params.size(),
+             " arguments, got ", args.size()));
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    frame.slots[fn.params[i]] = std::move(args[i]);
+  }
+
+  // Materialize locals. SAVE'd locals (or the global no-reallocation
+  // option) are created once and cached across calls — the FUN3D §4.2.1
+  // mechanism; everything else is reallocated per call and counted.
+  for (const GridId id : fn.locals) {
+    const Grid& g = m_.program_.grid(id);
+    const bool save = g.save_attr || m_.options_.save_temporaries;
+    if (save) {
+      // Inside a parallel region the cache is per-thread (threadprivate
+      // SAVE); otherwise it is the machine-wide FORTRAN SAVE storage.
+      auto& cache =
+          in_parallel_region ? saved_locals_local : m_.saved_locals_;
+      auto it = cache.find(id);
+      if (it == cache.end()) {
+        it = cache.emplace(id, make_instance(g, frame)).first;
+        if (!g.dims.empty()) ++stats.local_allocations;
+      }
+      frame.slots[id] = it->second;
+    } else {
+      frame.slots[id] = make_instance(g, frame);
+      if (!g.dims.empty()) ++stats.local_allocations;
+    }
+  }
+
+  const auto verdict_it = m_.analysis_.verdicts.find(fn.id);
+  double ret_value = 0.0;
+  for (std::size_t s = 0; s < fn.steps.size(); ++s) {
+    const StepVerdict* verdict =
+        verdict_it != m_.analysis_.verdicts.end() &&
+                s < verdict_it->second.size()
+            ? &verdict_it->second[s]
+            : nullptr;
+    ++stats.steps_executed;
+    // A RETURN inside any step ends the subprogram.
+    bool returned = false;
+    const Step& step = fn.steps[s];
+    // Nested regions execute serially (OpenMP's default nested-parallel
+    // behaviour; also what our single-level pool supports).
+    const bool parallel =
+        m_.options_.parallel && !in_parallel_region && verdict != nullptr &&
+        verdict->has_loop && !verdict->needs_critical &&
+        keep_directive(m_.options_.policy, *verdict) && m_.pool_ != nullptr;
+    const std::uint64_t iterations_before = stats.loop_iterations;
+    if (parallel) {
+      ++stats.parallel_regions;
+      exec_step_parallel(frame, step, *verdict);
+    } else {
+      StepCtx ctx{verdict, false};
+      exec_step_serial(frame, step, ctx, &returned, &ret_value);
+    }
+    if (m_.options_.trace) {
+      const std::lock_guard<std::mutex> lock(m_.trace_mutex_);
+      m_.trace_.push_back(TraceEntry{
+          fn.name, step.name, stats.loop_iterations - iterations_before,
+          parallel});
+    }
+    if (returned) break;
+  }
+  return ret_value;
+}
+
+void Executor::exec_step_serial(Frame& frame, const Step& step,
+                                const StepCtx& ctx, bool* returned,
+                                double* ret_value) {
+  IndexEnv env;
+  exec_loops(frame, step, 0, env, ctx, returned, ret_value);
+}
+
+void Executor::exec_loops(Frame& frame, const Step& step, std::size_t depth,
+                          IndexEnv& env, const StepCtx& ctx, bool* returned,
+                          double* ret_value) {
+  if (depth == step.loops.size()) {
+    if (exec_body(frame, step.body, env, ctx, ret_value)) *returned = true;
+    return;
+  }
+  const LoopSpec& loop = step.loops[depth];
+  const std::int64_t begin = eval_int(frame, *loop.begin, env);
+  const std::int64_t end = eval_int(frame, *loop.end, env);
+  const std::int64_t stride =
+      loop.stride ? eval_int(frame, *loop.stride, env) : 1;
+  if (stride == 0) fail("zero loop stride");
+  env.push(loop.index_var, begin);
+  for (std::int64_t i = begin; stride > 0 ? i <= end : i >= end;
+       i += stride) {
+    env.set_top(i);
+    if (depth + 1 == step.loops.size()) ++stats.loop_iterations;
+    exec_loops(frame, step, depth + 1, env, ctx, returned, ret_value);
+    if (*returned) break;
+  }
+  env.pop();
+}
+
+void Executor::exec_step_parallel(Frame& frame, const Step& step,
+                                  const StepVerdict& verdict) {
+  // COLLAPSE semantics: the leading `collapse` loops (whose bounds are
+  // invariant by the analysis' legality rule) form one flattened iteration
+  // space distributed across threads — for the paper's 2x60 loops that is
+  // the difference between 2-way and 120-way parallelism.
+  struct CollapsedLoop {
+    std::int64_t begin = 0;
+    std::int64_t stride = 1;
+    std::int64_t trips = 0;
+  };
+  const std::size_t depth = std::min<std::size_t>(
+      std::max(verdict.collapse, 1), step.loops.size());
+  IndexEnv no_indices;
+  std::vector<CollapsedLoop> band;
+  std::int64_t iters = 1;
+  for (std::size_t d = 0; d < depth; ++d) {
+    const LoopSpec& loop = step.loops[d];
+    CollapsedLoop cl;
+    cl.begin = eval_int(frame, *loop.begin, no_indices);
+    const std::int64_t end = eval_int(frame, *loop.end, no_indices);
+    cl.stride = loop.stride ? eval_int(frame, *loop.stride, no_indices) : 1;
+    if (cl.stride == 0) fail("zero loop stride");
+    const std::int64_t span =
+        cl.stride > 0 ? end - cl.begin : cl.begin - end;
+    cl.trips = span < 0 ? 0 : span / std::llabs(cl.stride) + 1;
+    band.push_back(cl);
+    iters *= cl.trips;
+  }
+  if (iters <= 0) return;
+
+  std::mutex merge_mutex;
+
+  // Reduction targets: remember the shared instances; threads work on
+  // identity-initialized copies that are merged on completion. The chunk
+  // body is schedule-agnostic (private copies and merges are per chunk).
+  const auto chunk_body =
+      [&](int /*rank*/, std::int64_t chunk_begin, std::int64_t chunk_end) {
+        Executor worker(m_);
+        worker.global_overrides = global_overrides;
+        worker.in_parallel_region = true;
+        Frame tframe = frame;  // shared_ptr copies: shared storage
+        const auto thread_local_copy = [&](GridId id, InstancePtr inst) {
+          tframe.slots[id] = inst;
+          if (m_.program_.grid(id).is_global) {
+            worker.global_overrides[id] = std::move(inst);
+          }
+        };
+        // Private grids: per-thread uninitialized (zeroed) copies.
+        for (const GridId id : verdict.private_grids) {
+          thread_local_copy(id, worker.make_instance(m_.program_.grid(id),
+                                                     frame));
+        }
+        // Firstprivate: per-thread copies of the current values.
+        for (const GridId id : verdict.firstprivate_grids) {
+          thread_local_copy(id, std::make_shared<Instance>(*frame.slots[id]));
+        }
+        // Reductions: identity-initialized per-thread copies.
+        for (const ReductionClause& r : verdict.reductions) {
+          auto copy = std::make_shared<Instance>(*frame.slots[r.grid]);
+          auto& buf = copy->grid->is_struct() ? copy->fields.at(r.field)
+                                              : copy->data;
+          std::fill(buf.begin(), buf.end(), reduction_identity(r.op));
+          thread_local_copy(r.grid, std::move(copy));
+        }
+
+        StepCtx ctx{&verdict, true};
+        IndexEnv env;
+        for (std::size_t d = 0; d < depth; ++d) {
+          env.push(step.loops[d].index_var, band[d].begin);
+        }
+        bool returned = false;
+        double ret_value = 0.0;
+        std::vector<std::int64_t> values(depth, 0);
+        for (std::int64_t k = chunk_begin; k < chunk_end && !returned; ++k) {
+          // Unflatten k into the collapsed band (row-major, as OMP does).
+          std::int64_t rest = k;
+          for (std::size_t d = depth; d-- > 0;) {
+            const std::int64_t trip = rest % band[d].trips;
+            rest /= band[d].trips;
+            values[d] = band[d].begin + trip * band[d].stride;
+          }
+          // Rebind all band indices for this iteration point.
+          for (std::size_t d = 0; d < depth; ++d) env.pop();
+          for (std::size_t d = 0; d < depth; ++d) {
+            env.push(step.loops[d].index_var, values[d]);
+          }
+          if (depth == step.loops.size()) ++worker.stats.loop_iterations;
+          worker.exec_loops(tframe, step, depth, env, ctx, &returned,
+                            &ret_value);
+        }
+
+        // Merge reductions into the shared instances.
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        for (const ReductionClause& r : verdict.reductions) {
+          Instance& shared = *frame.slots[r.grid];
+          Instance& local = *tframe.slots[r.grid];
+          auto& sbuf = shared.grid->is_struct() ? shared.fields.at(r.field)
+                                                : shared.data;
+          auto& lbuf = local.grid->is_struct() ? local.fields.at(r.field)
+                                               : local.data;
+          for (std::size_t i = 0; i < sbuf.size(); ++i) {
+            sbuf[i] = reduction_combine(r.op, sbuf[i], lbuf[i]);
+          }
+        }
+        stats.loop_iterations += worker.stats.loop_iterations;
+        stats.function_calls += worker.stats.function_calls;
+        stats.local_allocations += worker.stats.local_allocations;
+        stats.steps_executed += worker.stats.steps_executed;
+      };
+  if (m_.options_.dynamic_schedule) {
+    m_.pool_->parallel_for_dynamic(iters, m_.options_.schedule_chunk,
+                                   chunk_body);
+  } else {
+    m_.pool_->parallel_for(iters, chunk_body);
+  }
+}
+
+bool Executor::exec_body(Frame& frame, const std::vector<Stmt>& body,
+                         IndexEnv& env, const StepCtx& ctx,
+                         double* ret_value) {
+  for (const Stmt& s : body) {
+    if (exec_stmt(frame, s, env, ctx, ret_value)) return true;
+  }
+  return false;
+}
+
+bool Executor::exec_stmt(Frame& frame, const Stmt& stmt, IndexEnv& env,
+                         const StepCtx& ctx, double* ret_value) {
+  switch (stmt.kind) {
+    case Stmt::Kind::kAssign:
+      exec_assign(frame, stmt, env, ctx);
+      return false;
+    case Stmt::Kind::kIf: {
+      for (const IfArm& arm : stmt.arms) {
+        if (eval(frame, *arm.cond, env) != 0.0) {
+          return exec_body(frame, arm.body, env, ctx, ret_value);
+        }
+      }
+      return exec_body(frame, stmt.else_body, env, ctx, ret_value);
+    }
+    case Stmt::Kind::kCallSub: {
+      const Function* target = m_.program_.find_function(stmt.callee);
+      if (target == nullptr) fail(cat("unknown subroutine ", stmt.callee));
+      std::vector<InstancePtr> args;
+      args.reserve(stmt.args.size());
+      for (const ExprPtr& a : stmt.args) {
+        if (a->kind == Expr::Kind::kGridRead && a->args.empty()) {
+          // Whole grid (or scalar grid) passed by reference.
+          args.push_back(frame.slots[a->grid]);
+        } else {
+          auto tmp = std::make_shared<Instance>();
+          tmp->grid = &m_.program_.grid(
+              target->params[args.size()]);
+          tmp->data.assign(1, eval(frame, *a, env));
+          args.push_back(std::move(tmp));
+        }
+      }
+      call_function(*target, std::move(args));
+      return false;
+    }
+    case Stmt::Kind::kReturn: {
+      if (stmt.ret) *ret_value = eval(frame, *stmt.ret, env);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Executor::exec_assign(Frame& frame, const Stmt& stmt, IndexEnv& env,
+                           const StepCtx& ctx) {
+  const bool step_atomic =
+      ctx.parallel_active && ctx.verdict != nullptr &&
+      std::find(ctx.verdict->atomic_grids.begin(),
+                ctx.verdict->atomic_grids.end(),
+                stmt.lhs.grid) != ctx.verdict->atomic_grids.end();
+  const bool orphaned_atomic =
+      in_parallel_region && m_.atomic_grids_.count(stmt.lhs.grid) != 0;
+  if (step_atomic || orphaned_atomic) {
+    // The read-modify-write is redone under the lock: re-evaluating the
+    // rhs inside the critical section mirrors OMP ATOMIC semantics (the
+    // captured update re-reads the target).
+    const std::lock_guard<std::mutex> lock(m_.atomic_mutex_);
+    double* p = element_ptr(frame, stmt.lhs.grid, stmt.lhs.field,
+                            stmt.lhs.subscripts, env);
+    *p = eval(frame, *stmt.rhs, env);
+    return;
+  }
+  const double value = eval(frame, *stmt.rhs, env);
+  double* p = element_ptr(frame, stmt.lhs.grid, stmt.lhs.field,
+                          stmt.lhs.subscripts, env);
+  // FORTRAN semantics: assignment to INTEGER truncates.
+  const Grid& g = m_.program_.grid(stmt.lhs.grid);
+  if (g.field_type(stmt.lhs.field) == DataType::kInt) {
+    *p = std::trunc(value);
+  } else {
+    *p = value;
+  }
+}
+
+double* Executor::element_ptr(Frame& frame, GridId grid,
+                              const std::string& field,
+                              const std::vector<ExprPtr>& subs,
+                              IndexEnv& env) {
+  const InstancePtr& inst = frame.slots[grid];
+  if (!inst) {
+    fail(cat("grid '", m_.program_.grid(grid).name, "' has no storage here"));
+  }
+  std::vector<std::int64_t> idx;
+  idx.reserve(subs.size());
+  for (const ExprPtr& s : subs) idx.push_back(eval_int(frame, *s, env));
+  const std::int64_t off = inst->offset(idx);
+  return &buffer_of(*inst, field)[static_cast<std::size_t>(off)];
+}
+
+double Executor::eval(Frame& frame, const Expr& e, IndexEnv& env) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return value_as_double(e.literal);
+    case Expr::Kind::kIndex:
+      return static_cast<double>(env.lookup(e.index_name));
+    case Expr::Kind::kGridRead: {
+      const InstancePtr& inst = frame.slots[e.grid];
+      if (!inst) {
+        fail(cat("grid '", m_.program_.grid(e.grid).name,
+                 "' has no storage here"));
+      }
+      if (e.args.empty() && !inst->grid->dims.empty()) {
+        fail(cat("whole-grid read of '", inst->grid->name,
+                 "' outside a call argument"));
+      }
+      return *element_ptr(frame, e.grid, e.field, e.args, env);
+    }
+    case Expr::Kind::kBinary: {
+      const double a = eval(frame, *e.args[0], env);
+      const double b = eval(frame, *e.args[1], env);
+      switch (e.bop) {
+        case BinOp::kAdd: return a + b;
+        case BinOp::kSub: return a - b;
+        case BinOp::kMul: return a * b;
+        case BinOp::kDiv: {
+          // Integer division truncates (FORTRAN / C semantics).
+          if (type_of(*e.args[0]) == DataType::kInt &&
+              type_of(*e.args[1]) == DataType::kInt) {
+            if (b == 0.0) fail("integer division by zero");
+            return std::trunc(a / b);
+          }
+          return a / b;
+        }
+        case BinOp::kPow: return std::pow(a, b);
+        case BinOp::kMod: return std::fmod(a, b);
+        case BinOp::kLt: return a < b ? 1.0 : 0.0;
+        case BinOp::kLe: return a <= b ? 1.0 : 0.0;
+        case BinOp::kGt: return a > b ? 1.0 : 0.0;
+        case BinOp::kGe: return a >= b ? 1.0 : 0.0;
+        case BinOp::kEq: return a == b ? 1.0 : 0.0;
+        case BinOp::kNe: return a != b ? 1.0 : 0.0;
+        case BinOp::kAnd: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+        case BinOp::kOr: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+      }
+      return 0.0;
+    }
+    case Expr::Kind::kUnary: {
+      const double a = eval(frame, *e.args[0], env);
+      return e.uop == UnOp::kNeg ? -a : (a == 0.0 ? 1.0 : 0.0);
+    }
+    case Expr::Kind::kCall:
+      return eval_call(frame, e, env);
+  }
+  return 0.0;
+}
+
+double Executor::eval_call(Frame& frame, const Expr& e, IndexEnv& env) {
+  if (const LibFunc* lib = find_lib_func(e.callee)) {
+    if (lib->whole_grid) {
+      const Expr& arg = *e.args[0];
+      if (arg.kind != Expr::Kind::kGridRead || !arg.args.empty()) {
+        fail(cat(lib->name, " expects a whole-grid argument"));
+      }
+      const InstancePtr& inst = frame.slots[arg.grid];
+      if (!inst) fail(cat("grid has no storage for ", lib->name));
+      const std::vector<double>& buf =
+          arg.field.empty() ? inst->data : inst->fields.at(arg.field);
+      return lib->eval(buf.data(), static_cast<int>(buf.size()));
+    }
+    double stack_args[8];
+    std::vector<double> heap_args;
+    double* args = stack_args;
+    if (e.args.size() > 8) {
+      heap_args.resize(e.args.size());
+      args = heap_args.data();
+    }
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      args[i] = eval(frame, *e.args[i], env);
+    }
+    double result = lib->eval(args, static_cast<int>(e.args.size()));
+    if (lib->result == LibResult::kInt ||
+        (lib->result == LibResult::kSameAsArg && type_of(e) == DataType::kInt)) {
+      result = std::trunc(result);
+      if (lib->name == "NINT") result = std::nearbyint(args[0]);
+    }
+    return result;
+  }
+  const Function* target = m_.program_.find_function(e.callee);
+  if (target == nullptr) fail(cat("unknown function ", e.callee));
+  std::vector<InstancePtr> args;
+  args.reserve(e.args.size());
+  for (const ExprPtr& a : e.args) {
+    if (a->kind == Expr::Kind::kGridRead && a->args.empty()) {
+      args.push_back(frame.slots[a->grid]);
+    } else {
+      auto tmp = std::make_shared<Instance>();
+      tmp->grid = &m_.program_.grid(target->params[args.size()]);
+      tmp->data.assign(1, eval(frame, *a, env));
+      args.push_back(std::move(tmp));
+    }
+  }
+  return call_function(*target, std::move(args));
+}
+
+// ---- Machine ----------------------------------------------------------------
+
+Machine::Machine(Program program, InterpOptions options)
+    : program_(std::move(program)), options_(std::move(options)),
+      analysis_(analyze_program(program_, options_.tweaks)) {
+  if (options_.parallel) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  // Union of atomic-update targets across all verdicts and tweaks: these
+  // are serialized anywhere inside a parallel region (orphaned ATOMIC).
+  for (const auto& [fn_id, verdicts] : analysis_.verdicts) {
+    for (const StepVerdict& v : verdicts) {
+      atomic_grids_.insert(v.atomic_grids.begin(), v.atomic_grids.end());
+    }
+  }
+  for (const auto& [fn_name, tweaks] : options_.tweaks) {
+    atomic_grids_.insert(tweaks.force_atomic.begin(),
+                         tweaks.force_atomic.end());
+  }
+  // Allocate global grids in declaration order: scalars that define other
+  // globals' extents are created (and initialized) before their users.
+  Executor boot(*this);
+  Frame scope;
+  scope.slots.resize(program_.grids.size());
+  for (const GridId id : program_.global_grids) {
+    auto inst = boot.make_instance(program_.grid(id), scope);
+    scope.slots[id] = inst;
+    globals_[id] = std::move(inst);
+  }
+}
+
+Machine::~Machine() = default;
+
+Instance* Machine::find_global(const std::string& name) {
+  for (const auto& [id, inst] : globals_) {
+    if (program_.grid(id).name == name) return inst.get();
+  }
+  return nullptr;
+}
+
+const Instance* Machine::find_global(const std::string& name) const {
+  for (const auto& [id, inst] : globals_) {
+    if (program_.grid(id).name == name) return inst.get();
+  }
+  return nullptr;
+}
+
+Status Machine::set_scalar(const std::string& grid, double value) {
+  Instance* inst = find_global(grid);
+  if (inst == nullptr) return not_found(cat("global grid '", grid, "'"));
+  if (!inst->grid->is_scalar()) {
+    return invalid_argument(cat("'", grid, "' is not a scalar"));
+  }
+  inst->data[0] = value;
+  return Status::ok();
+}
+
+Status Machine::set_array(const std::string& grid,
+                          const std::vector<double>& data,
+                          const std::string& field) {
+  Instance* inst = find_global(grid);
+  if (inst == nullptr) return not_found(cat("global grid '", grid, "'"));
+  std::vector<double>& buf =
+      field.empty() ? inst->data : inst->fields[field];
+  if (buf.size() != data.size()) {
+    return invalid_argument(cat("'", grid, "' holds ", buf.size(),
+                                " elements, got ", data.size()));
+  }
+  buf = data;
+  return Status::ok();
+}
+
+StatusOr<double> Machine::scalar(const std::string& grid) const {
+  const Instance* inst = find_global(grid);
+  if (inst == nullptr) return not_found(cat("global grid '", grid, "'"));
+  if (!inst->grid->is_scalar()) {
+    return invalid_argument(cat("'", grid, "' is not a scalar"));
+  }
+  return inst->data[0];
+}
+
+StatusOr<std::vector<double>> Machine::array(const std::string& grid,
+                                             const std::string& field) const {
+  const Instance* inst = find_global(grid);
+  if (inst == nullptr) return not_found(cat("global grid '", grid, "'"));
+  if (field.empty()) return inst->data;
+  const auto it = inst->fields.find(field);
+  if (it == inst->fields.end()) {
+    return not_found(cat("field '", field, "' of '", grid, "'"));
+  }
+  return it->second;
+}
+
+StatusOr<double> Machine::call(const std::string& function,
+                               const std::vector<CallArg>& args) {
+  const Function* fn = program_.find_function(function);
+  if (fn == nullptr) return not_found(cat("function '", function, "'"));
+  if (args.size() != fn->params.size()) {
+    return invalid_argument(cat("'", function, "' expects ",
+                                fn->params.size(), " arguments, got ",
+                                args.size()));
+  }
+  Executor ex(*this);
+  std::vector<InstancePtr> bound;
+  bound.reserve(args.size());
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const Grid& param = program_.grid(fn->params[i]);
+      if (const auto* name = std::get_if<std::string>(&args[i])) {
+        Instance* inst = find_global(*name);
+        if (inst == nullptr) {
+          return not_found(cat("argument ", i + 1, ": global grid '", *name,
+                               "'"));
+        }
+        // Borrow the global's storage by reference.
+        for (const auto& [id, shared] : globals_) {
+          if (shared.get() == inst) bound.push_back(shared);
+        }
+      } else {
+        auto tmp = std::make_shared<Instance>();
+        tmp->grid = &param;
+        tmp->data.assign(1, std::get<double>(args[i]));
+        bound.push_back(std::move(tmp));
+      }
+    }
+    const double result = ex.call_function(*fn, std::move(bound));
+    stats_.steps_executed += ex.stats.steps_executed;
+    stats_.loop_iterations += ex.stats.loop_iterations;
+    stats_.local_allocations += ex.stats.local_allocations;
+    stats_.parallel_regions += ex.stats.parallel_regions;
+    stats_.function_calls += ex.stats.function_calls;
+    return result;
+  } catch (const InterpError& err) {
+    return failed_precondition(err.what());
+  }
+}
+
+}  // namespace glaf

@@ -1,0 +1,170 @@
+#include "perfmodel/fun3d_model.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace glaf {
+namespace {
+
+double fork_cost(int threads, const Fun3dUnitCosts& c) {
+  return c.fork_base_us + c.fork_per_thread_us * threads;
+}
+
+}  // namespace
+
+Fun3dWorkload workload_from(const fun3d::Mesh& mesh,
+                            const fun3d::ReconStats& stats) {
+  Fun3dWorkload w;
+  w.cells = mesh.n_cells;
+  w.processed_cells =
+      mesh.n_cells - static_cast<std::int64_t>(stats.cells_skipped);
+  w.edges = static_cast<std::int64_t>(stats.edge_calls);
+  if (w.cells > 0) {
+    w.avg_edges_per_cell =
+        static_cast<double>(mesh.n_edges) / static_cast<double>(w.cells);
+  }
+  if (mesh.n_nodes > 0) {
+    w.avg_row_entries = static_cast<double>(mesh.col_idx.size()) /
+                        static_cast<double>(mesh.n_nodes);
+  }
+  return w;
+}
+
+double model_fun3d_time(const Fun3dWorkload& w, const Fun3dConfig& config,
+                        int threads, const MachineModel& machine,
+                        const Fun3dUnitCosts& c) {
+  const double cells = static_cast<double>(w.processed_cells);
+  const double edges = static_cast<double>(w.edges);
+
+  const double cell_work = cells * c.cell_us;
+  double edge_work = edges * c.edge_us;
+  const double search_work = edges * c.search_us;
+
+  if (config.manual) {
+    // The hand-parallelized original: outermost loop split across
+    // threads, thread-private outputs (no atomics), stack temporaries
+    // (no allocation), single fork/join. Bandwidth-bound scaling.
+    const double p = machine.effective_bandwidth_parallelism(threads);
+    return (cell_work + edge_work + search_work) / p +
+           fork_cost(threads, c);
+  }
+
+  const fun3d::ReconOptions& opt = config.options;
+  const bool any_parallel =
+      opt.par_edgejp || opt.par_cell_loop || opt.par_edge_loop;
+
+  // Reallocation of the 50 temporaries per edge call (§4.2.1) unless the
+  // SAVE option is on.
+  const double alloc_work =
+      opt.no_realloc ? 0.0
+                     : edges * static_cast<double>(fun3d::kEdgeTemps) *
+                           c.alloc_us;
+
+  // Shared-output atomic accumulation whenever cells or edges race.
+  if (opt.par_edgejp || opt.par_edge_loop) {
+    edge_work *= 1.0 + c.atomic_share * (c.atomic_factor - 1.0);
+  }
+
+  const double body =
+      (cell_work + edge_work + search_work + alloc_work) *
+      c.glaf_struct_factor;
+
+  if (opt.par_edgejp) {
+    // Coarse-grained: one region over all cells; interior "parallel"
+    // regions serialize (OpenMP nested parallelism off) but still pay a
+    // small entry cost each.
+    const double p = machine.effective_bandwidth_parallelism(threads);
+    double nested_regions = 0.0;
+    if (opt.par_cell_loop) nested_regions += 2.0 * cells;
+    if (opt.par_edge_loop) nested_regions += cells;
+    if (opt.par_ioff_search) nested_regions += edges;
+    return body / p + fork_cost(threads, c) +
+           nested_regions * c.nested_fork_us / p;
+  }
+
+  if (!any_parallel && !opt.par_ioff_search) {
+    return body;  // GLAF serial (with or without reallocation)
+  }
+
+  // Inner-level parallelism only: the outer cell loop is serial, so every
+  // interior region pays a full fork/join — the mechanism behind the
+  // figure's deep slowdowns.
+  const double eff = machine.effective_parallelism(threads);
+  double time = alloc_work * c.glaf_struct_factor;
+  double regions = 0.0;
+
+  if (opt.par_cell_loop) {
+    const double p = std::min(eff, 4.0);  // 4 nodes / 4 faces per cell
+    time += cell_work * c.glaf_struct_factor / p;
+    regions += 2.0 * cells;
+  } else {
+    time += cell_work * c.glaf_struct_factor;
+  }
+
+  if (opt.par_edge_loop) {
+    const double p = std::min(eff, w.avg_edges_per_cell);
+    time += edge_work * c.glaf_struct_factor / p;
+    regions += cells;
+  } else {
+    time += edge_work * c.glaf_struct_factor;
+  }
+
+  if (opt.par_ioff_search) {
+    const double p = std::min(eff, w.avg_row_entries);
+    time += search_work * c.glaf_struct_factor / p;
+    regions += edges;
+  } else {
+    time += search_work * c.glaf_struct_factor;
+  }
+
+  return time + regions * fork_cost(threads, c);
+}
+
+std::vector<Fun3dPoint> figure7_series(const Fun3dWorkload& workload,
+                                       int threads,
+                                       const MachineModel& machine,
+                                       const Fun3dUnitCosts& costs) {
+  Fun3dConfig original;  // serial original == manual at 1 thread
+  original.manual = true;
+  const double serial_time =
+      model_fun3d_time(workload, original, 1, machine, costs);
+
+  std::vector<Fun3dPoint> out;
+  const auto label_of = [](const fun3d::ReconOptions& o) {
+    std::vector<std::string> parts;
+    if (o.par_edgejp) parts.push_back("EdgeJP");
+    if (o.par_cell_loop) parts.push_back("cell_loop");
+    if (o.par_edge_loop) parts.push_back("edge_loop");
+    if (o.par_ioff_search) parts.push_back("ioff");
+    if (o.no_realloc) parts.push_back("no-realloc");
+    return parts.empty() ? std::string("serial (GLAF)") : join(parts, "+");
+  };
+
+  // Every combination of the four parallel switches x no-realloc.
+  for (int mask = 0; mask < 32; ++mask) {
+    fun3d::ReconOptions o;
+    o.par_edgejp = (mask & 1) != 0;
+    o.par_cell_loop = (mask & 2) != 0;
+    o.par_edge_loop = (mask & 4) != 0;
+    o.par_ioff_search = (mask & 8) != 0;
+    o.no_realloc = (mask & 16) != 0;
+    o.threads = threads;
+    Fun3dConfig cfg;
+    cfg.options = o;
+    const double t = model_fun3d_time(workload, cfg, threads, machine, costs);
+    out.push_back({label_of(o), o, false, serial_time / t});
+  }
+
+  Fun3dConfig manual;
+  manual.manual = true;
+  const double manual_time =
+      model_fun3d_time(workload, manual, threads, machine, costs);
+  fun3d::ReconOptions manual_opts;
+  manual_opts.threads = threads;
+  out.push_back({"manual parallel", manual_opts, true,
+                 serial_time / manual_time});
+  return out;
+}
+
+}  // namespace glaf

@@ -1,0 +1,133 @@
+#include "perfmodel/sarb_model.hpp"
+
+#include <algorithm>
+
+#include "codegen/directive_policy.hpp"
+#include "support/strings.hpp"
+
+namespace glaf {
+namespace {
+
+/// Speedup the compiler extracts from a directive-free loop of this class.
+double compiler_speedup(LoopClass cls, const SarbModelParams& p) {
+  switch (cls) {
+    case LoopClass::kInitZero:
+      return p.memset_speedup;  // emitted as memset
+    case LoopClass::kBroadcast:
+    case LoopClass::kSimpleSingle:
+    case LoopClass::kSimpleDouble:
+      return p.simd_speedup;  // vectorized / unrolled
+    case LoopClass::kComplex:
+    case LoopClass::kStraightLine:
+      return 1.0;  // "the compiler fails to identify these as parallel"
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double model_loop_time(const fuliou::LoopInfo& loop, SarbVariant variant,
+                       DirectivePolicy policy, int threads,
+                       const MachineModel& machine,
+                       const SarbModelParams& params) {
+  const StepVerdict& v = loop.verdict;
+  const double stmts = std::max(1, loop.stmt_count);
+  const std::int64_t trip = v.has_loop ? std::max<std::int64_t>(1, v.trip_count)
+                                       : 1;
+  const double body = static_cast<double>(trip) * stmts * params.stmt_cost;
+
+  const double structure =
+      variant == SarbVariant::kOriginalSerial ? 1.0
+                                              : params.glaf_structure_overhead;
+
+  const bool directive = variant == SarbVariant::kGlafParallel &&
+                         keep_directive(policy, v);
+  if (!directive) {
+    // Serial loop: the compiler gets to optimize it.
+    if (!v.has_loop) return body * structure;
+    const bool optimizable = v.compiler_vectorizable;
+    const double boost =
+        optimizable ? compiler_speedup(v.loop_class, params) : 1.0;
+    return body * structure / boost;
+  }
+
+  // Parallel loop: region overhead + body divided across effective
+  // parallelism (never more than iterations), with the directive
+  // inhibiting the compiler's own optimizations.
+  double region = params.fork_join_cost +
+                  params.per_thread_cost * static_cast<double>(threads);
+  if (trip < params.small_trip_cutoff) region += params.small_trip_tax;
+
+  // Without COLLAPSE, only the outermost loop's iterations distribute
+  // (for the 2x60 complex loops that means at most 2 ways).
+  const std::int64_t distributable =
+      params.collapse_directive || v.collapse <= 1
+          ? trip
+          : std::max<std::int64_t>(1, v.outer_trip_count);
+  double parallelism =
+      std::min(machine.effective_parallelism(threads),
+               static_cast<double>(distributable));
+  double oversub = 1.0;
+  if (threads > machine.physical_cores) {
+    oversub = machine.oversubscription_penalty;
+  }
+  const double parallel_body =
+      body * structure * params.parallel_body_penalty * oversub / parallelism;
+  return region + parallel_body;
+}
+
+double model_sarb_time(const std::vector<fuliou::LoopInfo>& inventory,
+                       SarbVariant variant, DirectivePolicy policy,
+                       int threads, const MachineModel& machine,
+                       const SarbModelParams& params) {
+  double total = 0.0;
+  for (const fuliou::LoopInfo& loop : inventory) {
+    total += model_loop_time(loop, variant, policy, threads, machine, params);
+  }
+  return total;
+}
+
+std::vector<SarbPoint> figure5_series(
+    const std::vector<fuliou::LoopInfo>& inventory, int threads,
+    const MachineModel& machine, const SarbModelParams& params) {
+  const double original =
+      model_sarb_time(inventory, SarbVariant::kOriginalSerial,
+                      DirectivePolicy::kV0, 1, machine, params);
+  std::vector<SarbPoint> out;
+  out.push_back({"original serial", 1.0});
+  out.push_back({"GLAF serial",
+                 original / model_sarb_time(inventory, SarbVariant::kGlafSerial,
+                                            DirectivePolicy::kV0, 1, machine,
+                                            params)});
+  for (const DirectivePolicy policy :
+       {DirectivePolicy::kV0, DirectivePolicy::kV1, DirectivePolicy::kV2,
+        DirectivePolicy::kV3}) {
+    out.push_back({cat("GLAF-parallel ", to_string(policy)),
+                   original / model_sarb_time(inventory,
+                                              SarbVariant::kGlafParallel,
+                                              policy, threads, machine,
+                                              params)});
+  }
+  return out;
+}
+
+std::vector<SarbPoint> figure6_series(
+    const std::vector<fuliou::LoopInfo>& inventory,
+    const std::vector<int>& thread_counts, const MachineModel& machine,
+    const SarbModelParams& params) {
+  const double glaf_serial =
+      model_sarb_time(inventory, SarbVariant::kGlafSerial,
+                      DirectivePolicy::kV0, 1, machine, params);
+  std::vector<SarbPoint> out;
+  out.push_back({"GLAF-serial", 1.0});
+  for (const int t : thread_counts) {
+    out.push_back({cat("GLAF-parallel (", t, "T)"),
+                   glaf_serial / model_sarb_time(inventory,
+                                                 SarbVariant::kGlafParallel,
+                                                 DirectivePolicy::kV3, t,
+                                                 machine, params)});
+  }
+  return out;
+}
+
+}  // namespace glaf

@@ -1,0 +1,123 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace glaf {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int rank = 1; rank < num_threads_; ++rank) {
+    workers_.emplace_back([this, rank] { worker_main(rank); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::chunk_bounds(std::int64_t n, int chunks, int chunk,
+                              std::int64_t* begin, std::int64_t* end) {
+  const std::int64_t base = n / chunks;
+  const std::int64_t extra = n % chunks;
+  *begin = chunk * base + std::min<std::int64_t>(chunk, extra);
+  *end = *begin + base + (chunk < extra ? 1 : 0);
+}
+
+void ThreadPool::run_chunk(const Job& job, int chunk) {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  chunk_bounds(job.n, job.chunks, chunk, &begin, &end);
+  if (begin >= end) return;
+  try {
+    (*job.fn)(chunk, begin, end);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_main(int rank) {
+  std::int64_t seen_generation = 0;
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    run_chunk(job, rank);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t n,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (num_threads_ == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_.fn = &fn;
+    job_.n = n;
+    job_.chunks = num_threads_;
+    ++generation_;
+    pending_ = num_threads_ - 1;
+    first_error_ = nullptr;
+  }
+  start_cv_.notify_all();
+  run_chunk(job_, 0);  // rank 0 = calling thread
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    if (first_error_) {
+      std::exception_ptr e = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::int64_t n, std::int64_t chunk,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  chunk = std::max<std::int64_t>(1, chunk);
+  std::atomic<std::int64_t> cursor{0};
+  // One static slot per worker; each slot drains the shared cursor.
+  parallel_for(num_threads_,
+               [&](int rank, std::int64_t begin, std::int64_t end) {
+                 (void)begin;
+                 (void)end;
+                 while (true) {
+                   const std::int64_t start =
+                       cursor.fetch_add(chunk, std::memory_order_relaxed);
+                   if (start >= n) break;
+                   fn(rank, start, std::min<std::int64_t>(n, start + chunk));
+                 }
+               });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+  return pool;
+}
+
+}  // namespace glaf

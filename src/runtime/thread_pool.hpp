@@ -1,0 +1,77 @@
+#pragma once
+// A small fixed-size thread pool with a blocking parallel_for — the
+// reproduction's stand-in for the OpenMP runtime. Work is divided into
+// static contiguous chunks (one per worker), matching OMP's default static
+// schedule for PARALLEL DO.
+//
+// Concurrency discipline (Core Guidelines CP.2/CP.3): workers share only
+// the immutable job descriptor and a per-job atomic cursor; user code is
+// responsible for the independence of its chunks, which in this project is
+// established by the auto-parallelization verdicts.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace glaf {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>=1). The calling thread also executes
+  /// chunks, so total parallelism is num_threads (workers = n-1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return num_threads_; }
+
+  /// Run fn(thread_rank, begin, end) over a static partition of [0, n)
+  /// into size() chunks. Blocks until every chunk finished. Exceptions
+  /// from chunks are captured and the first one is rethrown here.
+  void parallel_for(
+      std::int64_t n,
+      const std::function<void(int, std::int64_t, std::int64_t)>& fn);
+
+  /// OMP SCHEDULE(DYNAMIC, chunk): work is handed out in `chunk`-sized
+  /// pieces from a shared cursor, so uneven iteration costs balance.
+  /// Same calling convention and error behaviour as parallel_for.
+  void parallel_for_dynamic(
+      std::int64_t n, std::int64_t chunk,
+      const std::function<void(int, std::int64_t, std::int64_t)>& fn);
+
+  /// Process-wide pool sized to the hardware (lazily constructed).
+  static ThreadPool& shared();
+
+ private:
+  struct Job {
+    const std::function<void(int, std::int64_t, std::int64_t)>* fn = nullptr;
+    std::int64_t n = 0;
+    int chunks = 0;
+    std::int64_t generation = 0;
+  };
+
+  void worker_main(int rank);
+  void run_chunk(const Job& job, int chunk);
+  static void chunk_bounds(std::int64_t n, int chunks, int chunk,
+                           std::int64_t* begin, std::int64_t* end);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  Job job_;
+  std::int64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace glaf

@@ -1,0 +1,58 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace glaf {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return flags_.count(key) != 0;
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  const std::string v = to_lower(it->second);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace glaf

@@ -1,0 +1,39 @@
+#pragma once
+// Minimal command-line flag parsing for the bench/example binaries.
+// Supports --name=value, --name value, and boolean --name forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace glaf {
+
+/// Parses flags of the form --key[=value]; positional arguments are kept
+/// in order. Unknown flags are retained (benches tolerate google-benchmark
+/// flags passing through).
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters with defaults.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace glaf

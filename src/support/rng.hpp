@@ -1,0 +1,44 @@
+#pragma once
+// Deterministic pseudo-random generation for workload synthesis.
+//
+// Everything in the benchmark/test workloads must be reproducible across
+// runs and machines, so we use a fixed SplitMix64 rather than std::mt19937
+// (whose distributions are not guaranteed identical across libstdc++
+// versions for floating-point output).
+
+#include <cstdint>
+
+namespace glaf {
+
+/// SplitMix64: fast, well-distributed 64-bit PRNG. Deterministic by seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, bound) for bound > 0 (modulo bias is acceptable
+  /// for workload synthesis; bound is always far below 2^64).
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace glaf

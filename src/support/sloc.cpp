@@ -1,0 +1,53 @@
+#include "support/sloc.hpp"
+
+#include "support/strings.hpp"
+
+namespace glaf {
+namespace {
+
+bool is_fortran_code_line(std::string_view line) {
+  const std::string_view t = trim(line);
+  if (t.empty()) return false;
+  if (t.front() != '!') return true;
+  // OpenMP sentinel comments are semantically code.
+  const std::string upper = to_upper(t.substr(0, 5));
+  return upper == "!$OMP";
+}
+
+}  // namespace
+
+int count_sloc(std::string_view source, SlocLanguage lang) {
+  int count = 0;
+  bool in_block_comment = false;
+  for (const std::string& line : split_lines(source)) {
+    const std::string_view t = trim(line);
+    if (lang == SlocLanguage::kFortran) {
+      if (is_fortran_code_line(t)) ++count;
+      continue;
+    }
+    // C-family counting with whole-line block comment tracking.
+    if (in_block_comment) {
+      const std::size_t close = t.find("*/");
+      if (close != std::string_view::npos) {
+        in_block_comment = false;
+        if (!trim(t.substr(close + 2)).empty()) ++count;
+      }
+      continue;
+    }
+    if (t.empty()) continue;
+    if (starts_with(t, "//")) continue;
+    if (starts_with(t, "/*")) {
+      const std::size_t close = t.find("*/", 2);
+      if (close == std::string_view::npos) {
+        in_block_comment = true;
+      } else if (!trim(t.substr(close + 2)).empty()) {
+        ++count;
+      }
+      continue;
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace glaf

@@ -1,0 +1,21 @@
+#pragma once
+// Source-lines-of-code counting for generated code. Used by the Table 1
+// reproduction, which reports per-subroutine SLOC of the FORTRAN that GLAF
+// generates for the Synoptic SARB kernels.
+
+#include <string>
+#include <string_view>
+
+namespace glaf {
+
+/// Language family for comment recognition.
+enum class SlocLanguage { kFortran, kC };
+
+/// Count non-blank, non-comment lines. For Fortran, a line whose first
+/// non-blank character is '!' is a comment, EXCEPT OpenMP sentinel lines
+/// ("!$OMP ..."), which are counted as code (they change program behaviour).
+/// For C, full-line "//" comments are excluded; block comments spanning
+/// whole lines are excluded as well.
+int count_sloc(std::string_view source, SlocLanguage lang);
+
+}  // namespace glaf

@@ -1,0 +1,25 @@
+#include "support/status.hpp"
+
+namespace glaf {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out = glaf::to_string(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace glaf

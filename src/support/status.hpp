@@ -1,0 +1,100 @@
+#pragma once
+// Lightweight status / error-reporting vocabulary used across GLAF++.
+//
+// The framework's public entry points (builder finalization, validation,
+// code generation, interpretation) report recoverable failures through
+// Status / StatusOr rather than exceptions, so that callers embedding the
+// library into larger drivers can surface diagnostics without unwinding.
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace glaf {
+
+/// Broad classification of a failure; the message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something structurally wrong
+  kNotFound,          ///< name/id lookup failed
+  kFailedPrecondition,///< program state does not allow the operation
+  kUnimplemented,     ///< feature intentionally unsupported
+  kInternal,          ///< invariant violation inside the framework
+};
+
+/// Human-readable name for a StatusCode (stable, for logs and tests).
+const char* to_string(StatusCode code);
+
+/// A success-or-error result with a message. Cheap to copy on success.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  explicit operator bool() const { return is_ok(); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status unimplemented(std::string msg) {
+  return {StatusCode::kUnimplemented, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+
+/// Either a value or an error Status. Accessing value() on error asserts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {   // NOLINT(google-explicit-constructor)
+    assert(!status_.is_ok() && "StatusOr(Status) requires an error status");
+  }
+
+  [[nodiscard]] bool is_ok() const { return status_.is_ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  explicit operator bool() const { return is_ok(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace glaf

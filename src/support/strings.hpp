@@ -1,0 +1,57 @@
+#pragma once
+// Small string utilities shared by the code generators, table printers and
+// diagnostics. Kept dependency-free (libstdc++ 12 lacks <format>).
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glaf {
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split `text` into lines ('\n'); a trailing newline yields no empty tail.
+std::vector<std::string> split_lines(std::string_view text);
+
+/// Join pieces with `sep`.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// ASCII lower/upper-casing (code generators need FORTRAN keywords upper).
+std::string to_lower(std::string_view text);
+std::string to_upper(std::string_view text);
+
+/// True if `text` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Replace every occurrence of `from` in `text` with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+/// Repeat `unit` count times.
+std::string repeat(std::string_view unit, std::size_t count);
+
+/// Format a double the way source generators want it: shortest round-trip
+/// representation, always containing a '.' or exponent so the literal stays
+/// floating-point in the target language.
+std::string format_double(double value);
+
+/// Concatenate streamable values; the low-tech stand-in for std::format.
+template <typename... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// True if `name` is a valid identifier in both FORTRAN and C
+/// (letter first, then letters/digits/underscore; length <= 63).
+bool is_valid_identifier(std::string_view name);
+
+}  // namespace glaf

@@ -1,0 +1,67 @@
+#include "support/table.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+#include "support/strings.hpp"
+
+namespace glaf {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), alignment_(headers_.size(), Align::kLeft) {}
+
+void TextTable::set_alignment(std::vector<Align> alignment) {
+  alignment.resize(headers_.size(), Align::kLeft);
+  alignment_ = std::move(alignment);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size() && "row width must match headers");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto border = [&] {
+    std::string line = "+";
+    for (const std::size_t w : widths) line += repeat("-", w + 2) + "+";
+    line += "\n";
+    return line;
+  }();
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      const std::string pad = repeat(" ", widths[c] - cell.size());
+      if (alignment_[c] == Align::kRight) {
+        line += " " + pad + cell + " |";
+      } else {
+        line += " " + cell + pad + " |";
+      }
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = border + render_row(headers_) + border;
+  for (const auto& row : rows_) out += render_row(row);
+  out += border;
+  return out;
+}
+
+std::string format_speedup(double speedup) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+  return buf;
+}
+
+}  // namespace glaf

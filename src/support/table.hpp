@@ -1,0 +1,40 @@
+#pragma once
+// ASCII table rendering for benchmark harness output. The figure/table
+// benches print rows in the same layout as the paper's tables so that the
+// reproduction can be compared side by side with the publication.
+
+#include <string>
+#include <vector>
+
+namespace glaf {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// Builds and renders a fixed-column ASCII table.
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Set per-column alignment (defaults to left). Missing entries keep left.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with +---+ borders and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a fraction as e.g. "1.41x" (two decimals, trailing 'x').
+std::string format_speedup(double speedup);
+
+}  // namespace glaf

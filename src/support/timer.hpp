@@ -1,0 +1,48 @@
+#pragma once
+// Wall-clock timing for the benchmark harnesses.
+
+#include <chrono>
+
+namespace glaf {
+
+/// Monotonic stopwatch; started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+  [[nodiscard]] double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Run `fn` repeatedly until at least `min_seconds` has elapsed (and at
+/// least `min_reps` times); return the best (minimum) per-rep seconds.
+/// Min-of-reps is robust to scheduler noise on shared machines.
+template <typename Fn>
+double time_best(Fn&& fn, double min_seconds = 0.05, int min_reps = 3) {
+  double best = 1e300;
+  double total = 0.0;
+  int reps = 0;
+  while (reps < min_reps || total < min_seconds) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    if (s < best) best = s;
+    total += s;
+    ++reps;
+    if (reps > 1000000) break;  // degenerate zero-cost body
+  }
+  return best;
+}
+
+}  // namespace glaf

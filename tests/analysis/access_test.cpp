@@ -1,0 +1,160 @@
+#include "analysis/access.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "testing/programs.hpp"
+
+namespace glaf {
+namespace {
+
+TEST(Access, SaxpyReadsAndWrites) {
+  const Program p = testing::saxpy_program();
+  const Function& fn = *p.find_function("saxpy");
+  const EffectsMap effects = compute_effects(p);
+  const StepAccesses acc = collect_step_accesses(p, fn.steps[0], effects);
+
+  int writes = 0;
+  int reads = 0;
+  for (const ArrayAccess& a : acc.accesses) {
+    (a.is_write ? writes : reads)++;
+  }
+  EXPECT_EQ(writes, 1);  // y[i]
+  EXPECT_EQ(reads, 3);   // a, x[i], y[i]
+  EXPECT_FALSE(acc.has_return);
+  EXPECT_TRUE(acc.callees.empty());
+}
+
+TEST(Access, SubscriptAffineFormsExtracted) {
+  const Program p = testing::prefix_program();
+  const Function& fn = *p.find_function("prefix");
+  const StepAccesses acc =
+      collect_step_accesses(p, fn.steps[0], compute_effects(p));
+  bool found_shifted = false;
+  for (const ArrayAccess& a : acc.accesses) {
+    if (!a.is_write && !a.subs.empty() && a.subs[0].affine &&
+        a.subs[0].constant == -1 && a.subs[0].coeff("i") == 1) {
+      found_shifted = true;
+    }
+  }
+  EXPECT_TRUE(found_shifted);
+}
+
+TEST(Access, ConditionalFlagSetUnderIf) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {8});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 7);
+  s.if_(a(idx("i")) > 0.0,
+        [&](BodyBuilder& b) { b.assign(a(idx("i")), 0.0); });
+  const Program p = pb.build().value();
+  const StepAccesses acc = collect_step_accesses(
+      p, p.functions[0].steps[0], compute_effects(p));
+  bool conditional_write = false;
+  for (const ArrayAccess& x : acc.accesses) {
+    if (x.is_write) conditional_write = x.conditional;
+  }
+  EXPECT_TRUE(conditional_write);
+}
+
+TEST(Effects, ParamReadWriteFlags) {
+  ProgramBuilder pb("m");
+  auto fb = pb.function("f");
+  auto in = fb.param("inp", DataType::kDouble, {4});
+  auto out = fb.param("outp", DataType::kDouble, {4});
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 3);
+  s.assign(out(idx("i")), in(idx("i")) * 2.0);
+  const Program p = pb.build().value();
+  const EffectsMap fx = compute_effects(p);
+  const FunctionEffects& f = fx.at(p.functions[0].id);
+  ASSERT_EQ(f.param_read.size(), 2u);
+  EXPECT_TRUE(f.param_read[0]);
+  EXPECT_FALSE(f.param_written[0]);
+  EXPECT_TRUE(f.param_written[1]);
+  EXPECT_FALSE(f.param_read[1]);
+}
+
+TEST(Effects, GlobalWritesPropagateThroughCalls) {
+  ProgramBuilder pb("m");
+  auto g = pb.global("g", DataType::kDouble, {4});
+  auto inner = pb.function("inner");
+  {
+    auto s = inner.step("s");
+    s.foreach_("i", 0, 3);
+    s.assign(g(idx("i")), 1.0);
+  }
+  auto outer = pb.function("outer");
+  outer.step("s").call_sub("inner", {});
+  const Program p = pb.build().value();
+  const EffectsMap fx = compute_effects(p);
+  const FunctionEffects& outer_fx = fx.at(p.find_function("outer")->id);
+  EXPECT_EQ(outer_fx.global_writes.count(g.id()), 1u);
+}
+
+TEST(Effects, ParamEffectsMapThroughWholeGridArgs) {
+  ProgramBuilder pb("m");
+  auto callee = pb.function("callee");
+  {
+    auto v = callee.param("v", DataType::kDouble, {4});
+    auto s = callee.step("s");
+    s.foreach_("i", 0, 3);
+    s.assign(v(idx("i")), 0.0);
+  }
+  auto caller = pb.function("caller");
+  {
+    auto mine = caller.param("mine", DataType::kDouble, {4});
+    caller.step("s").call_sub("callee", {E(mine)});
+  }
+  const Program p = pb.build().value();
+  const EffectsMap fx = compute_effects(p);
+  const FunctionEffects& caller_fx = fx.at(p.find_function("caller")->id);
+  ASSERT_EQ(caller_fx.param_written.size(), 1u);
+  EXPECT_TRUE(caller_fx.param_written[0]);
+}
+
+TEST(Access, CallContributesCalleeGlobalTouches) {
+  ProgramBuilder pb("m");
+  auto g = pb.global("shared", DataType::kDouble, {4});
+  auto inner = pb.function("inner");
+  {
+    auto s = inner.step("s");
+    s.foreach_("k", 0, 3);
+    s.assign(g(idx("k")), 2.0);
+  }
+  auto outer = pb.function("outer");
+  {
+    auto s = outer.step("loop");
+    s.foreach_("c", 0, 9);
+    s.call_sub("inner", {});
+  }
+  const Program p = pb.build().value();
+  const EffectsMap fx = compute_effects(p);
+  const StepAccesses acc = collect_step_accesses(
+      p, p.find_function("outer")->steps[0], fx);
+  bool whole_write = false;
+  for (const ArrayAccess& a : acc.accesses) {
+    if (a.is_write && a.grid == g.id() && a.whole_grid) whole_write = true;
+  }
+  EXPECT_TRUE(whole_write);
+  ASSERT_EQ(acc.callees.size(), 1u);
+  EXPECT_EQ(acc.callees[0], "inner");
+}
+
+TEST(Access, ReturnDetected) {
+  ProgramBuilder pb("m");
+  auto fb = pb.function("f", DataType::kInt);
+  auto a = fb.param("a", DataType::kDouble, {8});
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 7);
+  s.if_(a(idx("i")) > 0.5, [&](BodyBuilder& b) { b.ret(idx("i")); });
+  s.ret(liti(-1));
+  const Program p = pb.build().value();
+  const StepAccesses acc =
+      collect_step_accesses(p, p.functions[0].steps[0], compute_effects(p));
+  EXPECT_TRUE(acc.has_return);
+}
+
+}  // namespace
+}  // namespace glaf

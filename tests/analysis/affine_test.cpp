@@ -1,0 +1,97 @@
+#include "analysis/affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+
+namespace glaf {
+namespace {
+
+const std::set<std::string> kIJ = {"i", "j"};
+
+AffineForm form(const E& e) { return extract_affine(*e.node(), kIJ); }
+
+TEST(Affine, ConstantsAndIndices) {
+  const AffineForm c = form(liti(5));
+  EXPECT_TRUE(c.affine);
+  EXPECT_EQ(c.constant, 5);
+  EXPECT_TRUE(c.invariant());
+
+  const AffineForm i = form(idx("i"));
+  EXPECT_TRUE(i.affine);
+  EXPECT_EQ(i.coeff("i"), 1);
+  EXPECT_FALSE(i.invariant());
+}
+
+TEST(Affine, LinearCombination) {
+  // 2*i + j - 3
+  const AffineForm f = form(liti(2) * idx("i") + idx("j") - liti(3));
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff("i"), 2);
+  EXPECT_EQ(f.coeff("j"), 1);
+  EXPECT_EQ(f.constant, -3);
+}
+
+TEST(Affine, ScaleOnEitherSide) {
+  EXPECT_EQ(form(idx("i") * liti(4)).coeff("i"), 4);
+  EXPECT_EQ(form(liti(4) * idx("i")).coeff("i"), 4);
+}
+
+TEST(Affine, NegationFlipsSigns) {
+  const AffineForm f = form(-(idx("i") - liti(2)));
+  EXPECT_EQ(f.coeff("i"), -1);
+  EXPECT_EQ(f.constant, 2);
+}
+
+TEST(Affine, CancellationRemovesVariable) {
+  const AffineForm f = form(idx("i") - idx("i") + liti(1));
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff("i"), 0);
+  EXPECT_TRUE(f.invariant());
+  EXPECT_EQ(f.constant, 1);
+}
+
+TEST(Affine, NonLoopIndexBecomesSymbol) {
+  // "k" is not in the tested loop's index set: loop-invariant symbol.
+  const AffineForm f = form(idx("k") + idx("i"));
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff("i"), 1);
+  EXPECT_FALSE(f.symbol.empty());
+}
+
+TEST(Affine, IndirectionIsNonAffine) {
+  // a[i] used as a subscript (unstructured-mesh indirection).
+  auto read = make_grid_read(0, {make_index("i")});
+  const AffineForm f = extract_affine(*read, kIJ);
+  EXPECT_FALSE(f.affine);
+}
+
+TEST(Affine, InvariantGridReadIsSymbol) {
+  // a[0] does not vary with i/j: symbolic invariant.
+  auto read = make_grid_read(0, {make_int(0)});
+  const AffineForm f = extract_affine(*read, kIJ);
+  EXPECT_TRUE(f.affine);
+  EXPECT_TRUE(f.invariant());
+  EXPECT_FALSE(f.symbol.empty());
+}
+
+TEST(Affine, ProductOfIndicesIsNonAffine) {
+  EXPECT_FALSE(form(idx("i") * idx("j")).affine);
+}
+
+TEST(Affine, SameInvariantPartComparison) {
+  const AffineForm a = form(idx("i") + liti(1));
+  const AffineForm b = form(idx("i") + liti(1));
+  const AffineForm c = form(idx("i") + liti(2));
+  EXPECT_TRUE(a.same_invariant_part(b));
+  EXPECT_FALSE(a.same_invariant_part(c));
+}
+
+TEST(Affine, ToStringReadable) {
+  EXPECT_EQ(affine_to_string(form(liti(2) * idx("i") + liti(3))), "2*i + 3");
+  EXPECT_EQ(affine_to_string(form(idx("i"))), "i");
+  EXPECT_EQ(affine_to_string(AffineForm{}), "<non-affine>");
+}
+
+}  // namespace
+}  // namespace glaf

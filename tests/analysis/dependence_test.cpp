@@ -1,0 +1,146 @@
+#include "analysis/dependence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace glaf {
+namespace {
+
+ArrayAccess access(bool write, std::vector<AffineForm> subs) {
+  ArrayAccess a;
+  a.grid = 0;
+  a.is_write = write;
+  a.subs = std::move(subs);
+  return a;
+}
+
+AffineForm aff(std::int64_t c, std::int64_t i_coeff = 0,
+               std::string symbol = {}) {
+  AffineForm f;
+  f.affine = true;
+  f.constant = c;
+  if (i_coeff != 0) f.coeffs["i"] = i_coeff;
+  f.symbol = std::move(symbol);
+  return f;
+}
+
+AffineForm non_affine() { return AffineForm{}; }
+
+TEST(Dependence, SameElementEachIterationIsLoopIndependent) {
+  // a[i] write vs a[i] read: distance 0.
+  const auto w = access(true, {aff(0, 1)});
+  const auto r = access(false, {aff(0, 1)});
+  EXPECT_EQ(test_dependence(w, r, "i", 100), DepResult::kLoopIndependent);
+}
+
+TEST(Dependence, ShiftedAccessIsCarried) {
+  // a[i] write vs a[i-1] read: distance 1.
+  const auto w = access(true, {aff(0, 1)});
+  const auto r = access(false, {aff(-1, 1)});
+  EXPECT_EQ(test_dependence(w, r, "i", 100), DepResult::kCarried);
+}
+
+TEST(Dependence, StrongSivNonDivisibleIsIndependent) {
+  // a[2i] vs a[2i+1]: parity separation.
+  const auto w = access(true, {aff(0, 2)});
+  const auto r = access(false, {aff(1, 2)});
+  EXPECT_EQ(test_dependence(w, r, "i", 100), DepResult::kIndependent);
+}
+
+TEST(Dependence, DistanceBeyondTripCountIsIndependent) {
+  // a[i] vs a[i+100] with 50 iterations.
+  const auto w = access(true, {aff(0, 1)});
+  const auto r = access(false, {aff(100, 1)});
+  EXPECT_EQ(test_dependence(w, r, "i", 50), DepResult::kIndependent);
+  EXPECT_EQ(test_dependence(w, r, "i", -1), DepResult::kCarried);
+}
+
+TEST(Dependence, ZivDistinctConstantsIndependent) {
+  const auto w = access(true, {aff(3)});
+  const auto r = access(false, {aff(5)});
+  EXPECT_EQ(test_dependence(w, r, "i", 10), DepResult::kIndependent);
+}
+
+TEST(Dependence, ZivSameConstantIsCarried) {
+  // a[3] touched by every iteration behaves like a shared scalar: the
+  // write-read pair is carried (needs privatization or reduction).
+  const auto w = access(true, {aff(3)});
+  const auto r = access(false, {aff(3)});
+  EXPECT_EQ(test_dependence(w, r, "i", 10), DepResult::kCarried);
+}
+
+TEST(Dependence, GcdTestProvesIndependence) {
+  // a[2i] vs a[4i+1]: gcd(2,4)=2 does not divide 1.
+  AffineForm f1 = aff(0, 2);
+  AffineForm f2 = aff(1);
+  f2.coeffs["i"] = 4;
+  const auto w = access(true, {f1});
+  const auto r = access(false, {f2});
+  EXPECT_EQ(test_dependence(w, r, "i", 100), DepResult::kIndependent);
+}
+
+TEST(Dependence, GcdDividesIsConservativelyCarried) {
+  // a[2i] vs a[4i+2]: gcd divides; weak SIV falls back to carried.
+  AffineForm f2 = aff(2);
+  f2.coeffs["i"] = 4;
+  const auto w = access(true, {aff(0, 2)});
+  const auto r = access(false, {f2});
+  EXPECT_EQ(test_dependence(w, r, "i", 100), DepResult::kCarried);
+}
+
+TEST(Dependence, MismatchedSymbolsAreConservative) {
+  const auto w = access(true, {aff(0, 1, "n")});
+  const auto r = access(false, {aff(0, 1, "m")});
+  EXPECT_EQ(test_dependence(w, r, "i", 100), DepResult::kCarried);
+}
+
+TEST(Dependence, MatchingSymbolsComparable) {
+  // a[i+n] vs a[i+n]: distance 0 despite symbolic part.
+  const auto w = access(true, {aff(0, 1, "n")});
+  const auto r = access(false, {aff(0, 1, "n")});
+  EXPECT_EQ(test_dependence(w, r, "i", 100), DepResult::kLoopIndependent);
+}
+
+TEST(Dependence, NonAffineIsCarried) {
+  const auto w = access(true, {non_affine()});
+  const auto r = access(false, {aff(0, 1)});
+  EXPECT_EQ(test_dependence(w, r, "i", 100), DepResult::kCarried);
+}
+
+TEST(Dependence, AnyIndependentDimensionDecides) {
+  // a[i][3] vs a[i][5]: second dim proves disjoint.
+  const auto w = access(true, {aff(0, 1), aff(3)});
+  const auto r = access(false, {aff(0, 1), aff(5)});
+  EXPECT_EQ(test_dependence(w, r, "i", 100), DepResult::kIndependent);
+}
+
+TEST(Dependence, ScalarIsAlwaysCarried) {
+  const auto w = access(true, {});
+  const auto r = access(false, {});
+  EXPECT_EQ(test_dependence(w, r, "i", 100), DepResult::kCarried);
+}
+
+TEST(Dependence, WholeGridIsCarried) {
+  auto w = access(true, {});
+  w.whole_grid = true;
+  const auto r = access(false, {aff(0, 1)});
+  EXPECT_EQ(test_dependence(w, r, "i", 100), DepResult::kCarried);
+}
+
+TEST(Dependence, InnerIndexWithEqualCoeffsDeltaNonZeroIsUnknown) {
+  // a[j] vs a[j+1] tested w.r.t. i: inner loop can realign -> carried.
+  AffineForm f1 = aff(0);
+  f1.coeffs["j"] = 1;
+  AffineForm f2 = aff(1);
+  f2.coeffs["j"] = 1;
+  const auto w = access(true, {f1});
+  const auto r = access(false, {f2});
+  EXPECT_EQ(test_dependence(w, r, "i", 100), DepResult::kCarried);
+}
+
+TEST(Dependence, ToStringNames) {
+  EXPECT_STREQ(to_string(DepResult::kIndependent), "independent");
+  EXPECT_STREQ(to_string(DepResult::kCarried), "carried");
+}
+
+}  // namespace
+}  // namespace glaf

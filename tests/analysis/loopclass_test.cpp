@@ -1,0 +1,159 @@
+#include "analysis/loopclass.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+
+namespace glaf {
+namespace {
+
+struct Rig {
+  Rig() : pb("m") {
+    n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{8}}});
+    a = pb.global("a", DataType::kDouble, {E(n)});
+    b = pb.global("b", DataType::kDouble, {E(n)});
+    m2 = pb.global("m2", DataType::kDouble, {E(n), E(n)});
+    s = pb.global("s", DataType::kDouble);
+  }
+  Program finish() { return pb.build_unchecked(); }
+  ProgramBuilder pb;
+  GridHandle n, a, b, m2, s;
+};
+
+TEST(LoopClass, StraightLine) {
+  Rig r;
+  auto fb = r.pb.function("f");
+  fb.step("s").assign(r.s(), 1.0);
+  const Program p = r.finish();
+  EXPECT_EQ(classify_loop(p, p.functions[0].steps[0]),
+            LoopClass::kStraightLine);
+}
+
+TEST(LoopClass, InitZero) {
+  Rig r;
+  auto fb = r.pb.function("f");
+  auto st = fb.step("s");
+  st.foreach_("i", 0, E(r.n) - 1);
+  st.assign(r.a(idx("i")), 0.0);
+  const Program p = r.finish();
+  EXPECT_EQ(classify_loop(p, p.functions[0].steps[0]), LoopClass::kInitZero);
+}
+
+TEST(LoopClass, InitZeroMultipleTargets) {
+  Rig r;
+  auto fb = r.pb.function("f");
+  auto st = fb.step("s");
+  st.foreach_("i", 0, E(r.n) - 1);
+  st.assign(r.a(idx("i")), 0.0);
+  st.assign(r.b(idx("i")), 0);
+  const Program p = r.finish();
+  EXPECT_EQ(classify_loop(p, p.functions[0].steps[0]), LoopClass::kInitZero);
+}
+
+TEST(LoopClass, BroadcastFromScalar) {
+  Rig r;
+  auto fb = r.pb.function("f");
+  auto st = fb.step("s");
+  st.foreach_("i", 0, E(r.n) - 1);
+  st.assign(r.a(idx("i")), E(r.s));
+  const Program p = r.finish();
+  EXPECT_EQ(classify_loop(p, p.functions[0].steps[0]), LoopClass::kBroadcast);
+}
+
+TEST(LoopClass, BroadcastFromFixedElement) {
+  Rig r;
+  auto fb = r.pb.function("f");
+  auto st = fb.step("s");
+  st.foreach_("i", 0, E(r.n) - 1);
+  st.assign(r.a(idx("i")), r.b(liti(0)));
+  const Program p = r.finish();
+  EXPECT_EQ(classify_loop(p, p.functions[0].steps[0]), LoopClass::kBroadcast);
+}
+
+TEST(LoopClass, SimpleSingleMath) {
+  Rig r;
+  auto fb = r.pb.function("f");
+  auto st = fb.step("s");
+  st.foreach_("i", 0, E(r.n) - 1);
+  st.assign(r.a(idx("i")), r.b(idx("i")) * 2.0 + 1.0);
+  st.assign(r.b(idx("i")), call("ABS", {r.a(idx("i"))}));
+  const Program p = r.finish();
+  EXPECT_EQ(classify_loop(p, p.functions[0].steps[0]),
+            LoopClass::kSimpleSingle);
+}
+
+TEST(LoopClass, ReductionIsSimpleSingle) {
+  Rig r;
+  auto fb = r.pb.function("f");
+  auto st = fb.step("s");
+  st.foreach_("i", 0, E(r.n) - 1);
+  st.assign(r.s(), E(r.s) + r.a(idx("i")));
+  const Program p = r.finish();
+  EXPECT_EQ(classify_loop(p, p.functions[0].steps[0]),
+            LoopClass::kSimpleSingle);
+}
+
+TEST(LoopClass, SimpleDouble) {
+  Rig r;
+  auto fb = r.pb.function("f");
+  auto st = fb.step("s");
+  st.foreach_("i", 0, E(r.n) - 1).foreach_("j", 0, E(r.n) - 1);
+  st.assign(r.m2(idx("i"), idx("j")), r.a(idx("i")) * r.b(idx("j")));
+  const Program p = r.finish();
+  EXPECT_EQ(classify_loop(p, p.functions[0].steps[0]),
+            LoopClass::kSimpleDouble);
+}
+
+TEST(LoopClass, IfMakesComplex) {
+  Rig r;
+  auto fb = r.pb.function("f");
+  auto st = fb.step("s");
+  st.foreach_("i", 0, E(r.n) - 1);
+  st.if_(r.a(idx("i")) > 0.0,
+         [&](BodyBuilder& bb) { bb.assign(r.a(idx("i")), 0.0); });
+  const Program p = r.finish();
+  EXPECT_EQ(classify_loop(p, p.functions[0].steps[0]), LoopClass::kComplex);
+}
+
+TEST(LoopClass, CallMakesComplex) {
+  Rig r;
+  auto helper = r.pb.function("helper");
+  helper.step("s");
+  auto fb = r.pb.function("f");
+  auto st = fb.step("s");
+  st.foreach_("i", 0, E(r.n) - 1);
+  st.call_sub("helper", {});
+  const Program p = r.finish();
+  EXPECT_EQ(classify_loop(p, *&p.find_function("f")->steps[0]),
+            LoopClass::kComplex);
+}
+
+TEST(LoopClass, ManyStatementsMakeComplex) {
+  Rig r;
+  auto fb = r.pb.function("f");
+  auto st = fb.step("s");
+  st.foreach_("i", 0, E(r.n) - 1);
+  for (int k = 0; k < 5; ++k) {
+    st.assign(r.a(idx("i")), r.b(idx("i")) + static_cast<double>(k));
+  }
+  const Program p = r.finish();
+  EXPECT_EQ(classify_loop(p, p.functions[0].steps[0]), LoopClass::kComplex);
+}
+
+TEST(LoopClass, TripleNestIsComplex) {
+  Rig r;
+  auto fb = r.pb.function("f");
+  auto st = fb.step("s");
+  st.foreach_("i", 0, 3).foreach_("j", 0, 3).foreach_("k", 0, 3);
+  st.assign(r.s(), 0.0);
+  const Program p = r.finish();
+  EXPECT_EQ(classify_loop(p, p.functions[0].steps[0]), LoopClass::kComplex);
+}
+
+TEST(LoopClass, Names) {
+  EXPECT_STREQ(to_string(LoopClass::kInitZero), "init-zero");
+  EXPECT_STREQ(to_string(LoopClass::kComplex), "complex");
+}
+
+}  // namespace
+}  // namespace glaf

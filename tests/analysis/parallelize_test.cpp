@@ -1,0 +1,263 @@
+#include "analysis/parallelize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "testing/programs.hpp"
+
+namespace glaf {
+namespace {
+
+StepVerdict analyze_first(const Program& p, const std::string& fn_name,
+                          const TweaksByFunction& tweaks = {}) {
+  const ProgramAnalysis pa = analyze_program(p, tweaks);
+  const Function* fn = p.find_function(fn_name);
+  return pa.verdict(fn->id, 0);
+}
+
+TEST(Parallelize, SaxpyIsParallel) {
+  const Program p = testing::saxpy_program();
+  const StepVerdict v = analyze_first(p, "saxpy");
+  EXPECT_TRUE(v.has_loop);
+  EXPECT_TRUE(v.parallelizable);
+  EXPECT_TRUE(v.reductions.empty());
+  EXPECT_TRUE(v.private_grids.empty());
+}
+
+TEST(Parallelize, PrefixIsSerial) {
+  const Program p = testing::prefix_program();
+  const StepVerdict v = analyze_first(p, "prefix");
+  EXPECT_TRUE(v.has_loop);
+  EXPECT_FALSE(v.parallelizable);
+}
+
+TEST(Parallelize, ReductionRecognized) {
+  const Program p = testing::reduce_program();
+  const StepVerdict v = analyze_first(p, "reduce_sum");
+  EXPECT_TRUE(v.parallelizable);
+  ASSERT_EQ(v.reductions.size(), 1u);
+  EXPECT_EQ(v.reductions[0].op, ReduceOp::kSum);
+  EXPECT_EQ(p.grid(v.reductions[0].grid).name, "total");
+}
+
+TEST(Parallelize, LocalScalarPrivatized) {
+  ProgramBuilder pb("m");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{8}}});
+  auto a = pb.global("a", DataType::kDouble, {E(n)});
+  auto fb = pb.function("f");
+  auto t = fb.local("t", DataType::kDouble);
+  auto s = fb.step("s");
+  s.foreach_("i", 0, E(n) - 1);
+  s.assign(t(), a(idx("i")) * 2.0);     // write-before-read
+  s.assign(a(idx("i")), E(t) + 1.0);
+  const Program p = pb.build().value();
+  const StepVerdict v = analyze_first(p, "f");
+  EXPECT_TRUE(v.parallelizable);
+  ASSERT_EQ(v.private_grids.size(), 1u);
+  EXPECT_EQ(p.grid(v.private_grids[0]).name, "t");
+}
+
+TEST(Parallelize, LiveOutLocalNotPrivatized) {
+  // A local written in one step and read in a later step must NOT be
+  // privatized: a private copy's value is discarded at region end.
+  // (Regression: caught by compiling the generated FUN3D decomposition.)
+  ProgramBuilder pb("m");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{8}}});
+  auto a = pb.global("a", DataType::kDouble, {E(n)});
+  auto fb = pb.function("f");
+  auto t = fb.local("t", DataType::kDouble, {E(n)});
+  auto s1 = fb.step("produce");
+  s1.foreach_("i", 0, E(n) - 1);
+  s1.assign(t(idx("i")), a(idx("i")) * 2.0);
+  auto s2 = fb.step("consume");
+  s2.foreach_("i", 0, E(n) - 1);
+  s2.assign(a(idx("i")), t(idx("i")) + 1.0);
+  const Program p = pb.build().value();
+  const ProgramAnalysis pa = analyze_program(p);
+  const Function* fn = p.find_function("f");
+  // Still parallel (elementwise), but t must be shared, not private.
+  const StepVerdict& produce = pa.verdict(fn->id, 0);
+  EXPECT_TRUE(produce.parallelizable);
+  EXPECT_TRUE(produce.private_grids.empty());
+}
+
+TEST(Parallelize, SavedLocalNeverPrivatized) {
+  ProgramBuilder pb("m");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{8}}});
+  auto a = pb.global("a", DataType::kDouble, {E(n)});
+  auto fb = pb.function("f");
+  auto t = fb.local("t", DataType::kDouble, {E(n)}, {.save = true});
+  auto s = fb.step("s");
+  s.foreach_("i", 0, E(n) - 1);
+  s.assign(t(idx("i")), a(idx("i")));
+  s.assign(a(idx("i")), t(idx("i")) * 2.0);
+  const Program p = pb.build().value();
+  const StepVerdict v = analyze_first(p, "f");
+  EXPECT_TRUE(v.private_grids.empty());
+}
+
+TEST(Parallelize, GlobalScalarReadBeforeWriteBlocks) {
+  // t is read before written within the iteration: not privatizable.
+  ProgramBuilder pb("m");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{8}}});
+  auto a = pb.global("a", DataType::kDouble, {E(n)});
+  auto fb = pb.function("f");
+  auto t = fb.local("t", DataType::kDouble);
+  auto s = fb.step("s");
+  s.foreach_("i", 0, E(n) - 1);
+  s.assign(a(idx("i")), E(t) + 1.0);  // read first
+  s.assign(t(), a(idx("i")));
+  const Program p = pb.build().value();
+  EXPECT_FALSE(analyze_first(p, "f").parallelizable);
+}
+
+TEST(Parallelize, CollapseOfPerfectNest) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {60, 60});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 59).foreach_("j", 0, 59);
+  s.assign(a(idx("i"), idx("j")), idx("i") + idx("j") * 2);
+  const Program p = pb.build().value();
+  const StepVerdict v = analyze_first(p, "f");
+  EXPECT_TRUE(v.parallelizable);
+  EXPECT_EQ(v.collapse, 2);
+  EXPECT_EQ(v.trip_count, 3600);
+}
+
+TEST(Parallelize, TriangularLoopNotCollapsed) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {64, 64});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 63).foreach_("j", 0, idx("i"));
+  s.assign(a(idx("i"), idx("j")), 1.0);
+  const Program p = pb.build().value();
+  const StepVerdict v = analyze_first(p, "f");
+  EXPECT_TRUE(v.parallelizable);
+  EXPECT_EQ(v.collapse, 1);
+  EXPECT_EQ(v.trip_count, -1);  // inner bound not constant
+}
+
+TEST(Parallelize, EarlyReturnNeedsCriticalTweak) {
+  ProgramBuilder pb("m");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{8}}});
+  auto a = pb.global("a", DataType::kDouble, {E(n)});
+  auto fb = pb.function("search", DataType::kInt);
+  auto s = fb.step("s");
+  s.foreach_("i", 0, E(n) - 1);
+  s.if_(a(idx("i")) > 0.5, [&](BodyBuilder& b) { b.ret(idx("i")); });
+  s.ret(liti(-1));
+  const Program p = pb.build().value();
+
+  const StepVerdict no_tweak = analyze_first(p, "search");
+  EXPECT_TRUE(no_tweak.needs_critical);
+  EXPECT_FALSE(no_tweak.parallelizable);
+
+  TweaksByFunction tweaks;
+  tweaks["search"].allow_critical = true;
+  const StepVerdict with_tweak = analyze_first(p, "search", tweaks);
+  EXPECT_TRUE(with_tweak.needs_critical);
+  EXPECT_TRUE(with_tweak.parallelizable);
+}
+
+TEST(Parallelize, IndirectAccumulationBecomesAtomic) {
+  // out[index[i]] = out[index[i]] + w[i]: indirection, atomic eligible.
+  ProgramBuilder pb("m");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{8}}});
+  auto index = pb.global("index", DataType::kInt, {E(n)});
+  auto w = pb.global("w", DataType::kDouble, {E(n)});
+  auto out = pb.global("out", DataType::kDouble, {E(n)});
+  auto fb = pb.function("scatter");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, E(n) - 1);
+  s.assign(out(index(idx("i"))), out(index(idx("i"))) + w(idx("i")));
+  const Program p = pb.build().value();
+  const StepVerdict v = analyze_first(p, "scatter");
+  EXPECT_TRUE(v.parallelizable);
+  ASSERT_EQ(v.atomic_grids.size(), 1u);
+  EXPECT_EQ(p.grid(v.atomic_grids[0]).name, "out");
+}
+
+TEST(Parallelize, IndirectPlainStoreBlocks) {
+  // out[index[i]] = w[i]: not an accumulation; conservative serial.
+  ProgramBuilder pb("m");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{8}}});
+  auto index = pb.global("index", DataType::kInt, {E(n)});
+  auto w = pb.global("w", DataType::kDouble, {E(n)});
+  auto out = pb.global("out", DataType::kDouble, {E(n)});
+  auto fb = pb.function("scatter");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, E(n) - 1);
+  s.assign(out(index(idx("i"))), w(idx("i")));
+  const Program p = pb.build().value();
+  EXPECT_FALSE(analyze_first(p, "scatter").parallelizable);
+}
+
+TEST(Parallelize, ManualTweakForcesPrivate) {
+  // A global scratch array blocks parallelization until marked private —
+  // the §4.2.1 scenario (219 variables declared OpenMP private).
+  ProgramBuilder pb("m");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{8}}});
+  auto scratch = pb.global("scratch", DataType::kDouble, {E(n)});
+  auto a = pb.global("a", DataType::kDouble, {E(n)});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, E(n) - 1);
+  s.assign(scratch(liti(0)), a(idx("i")));
+  s.assign(a(idx("i")), scratch(liti(0)) * 2.0);
+  const Program p = pb.build().value();
+
+  EXPECT_FALSE(analyze_first(p, "f").parallelizable);
+
+  TweaksByFunction tweaks;
+  tweaks["f"].force_private.insert(scratch.id());
+  const StepVerdict v = analyze_first(p, "f", tweaks);
+  EXPECT_TRUE(v.parallelizable);
+  ASSERT_EQ(v.private_grids.size(), 1u);
+}
+
+TEST(Parallelize, CallWritingSharedGlobalBlocksOuterLoop) {
+  ProgramBuilder pb("m");
+  auto g = pb.global("g", DataType::kDouble, {4});
+  auto inner = pb.function("inner");
+  {
+    auto s = inner.step("s");
+    s.foreach_("k", 0, 3);
+    s.assign(g(idx("k")), 1.0);
+  }
+  auto outer = pb.function("outer");
+  {
+    auto s = outer.step("loop");
+    s.foreach_("c", 0, 9);
+    s.call_sub("inner", {});
+  }
+  const Program p = pb.build().value();
+  EXPECT_FALSE(analyze_first(p, "outer").parallelizable);
+
+  // Forcing the written global private unblocks it (thread-private arrays).
+  TweaksByFunction tweaks;
+  tweaks["outer"].force_private.insert(g.id());
+  EXPECT_TRUE(analyze_first(p, "outer", tweaks).parallelizable);
+}
+
+TEST(Parallelize, VerdictToStringMentionsClauses) {
+  const Program p = testing::reduce_program();
+  const ProgramAnalysis pa = analyze_program(p);
+  const std::string text =
+      verdict_to_string(p, pa.verdict(p.find_function("reduce_sum")->id, 0));
+  EXPECT_NE(text.find("reduction(+:total)"), std::string::npos) << text;
+}
+
+TEST(Parallelize, StraightLineStepVerdict) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  pb.function("f").step("s").assign(x(), 3.0);
+  const Program p = pb.build().value();
+  const StepVerdict v = analyze_first(p, "f");
+  EXPECT_FALSE(v.has_loop);
+  EXPECT_FALSE(v.parallelizable);
+}
+
+}  // namespace
+}  // namespace glaf

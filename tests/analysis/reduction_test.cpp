@@ -1,0 +1,137 @@
+#include "analysis/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+
+namespace glaf {
+namespace {
+
+const std::set<std::string> kI = {"i"};
+
+struct Rig {
+  Rig() : pb("m") {
+    total = pb.global("total", DataType::kDouble);
+    x = pb.global("x", DataType::kDouble, {16});
+    best = pb.global("best", DataType::kDouble);
+    program = pb.build_unchecked();
+  }
+  ProgramBuilder pb;
+  GridHandle total, x, best;
+  Program program;
+};
+
+Stmt assign_of(const Access& lhs, const E& rhs) {
+  return make_assign(lhs.ir(), rhs.node());
+}
+
+TEST(Reduction, SumMatchesBothOperandOrders) {
+  Rig r;
+  const auto m1 = match_reduction(
+      r.program, assign_of(r.total(), E(r.total) + r.x(idx("i"))), kI);
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ(m1->op, ReduceOp::kSum);
+
+  const auto m2 = match_reduction(
+      r.program, assign_of(r.total(), r.x(idx("i")) + E(r.total)), kI);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m2->op, ReduceOp::kSum);
+}
+
+TEST(Reduction, SubtractionOnlyLeftForm) {
+  Rig r;
+  EXPECT_TRUE(match_reduction(
+                  r.program,
+                  assign_of(r.total(), E(r.total) - r.x(idx("i"))), kI)
+                  .has_value());
+  EXPECT_FALSE(match_reduction(
+                   r.program,
+                   assign_of(r.total(), r.x(idx("i")) - E(r.total)), kI)
+                   .has_value());
+}
+
+TEST(Reduction, ProductMatches) {
+  Rig r;
+  const auto m = match_reduction(
+      r.program, assign_of(r.total(), E(r.total) * r.x(idx("i"))), kI);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->op, ReduceOp::kProd);
+}
+
+TEST(Reduction, MinMaxViaIntrinsics) {
+  Rig r;
+  const auto mn = match_reduction(
+      r.program, assign_of(r.best(), call("MIN", {E(r.best), r.x(idx("i"))})),
+      kI);
+  ASSERT_TRUE(mn.has_value());
+  EXPECT_EQ(mn->op, ReduceOp::kMin);
+
+  const auto mx = match_reduction(
+      r.program, assign_of(r.best(), call("MAX", {r.x(idx("i")), E(r.best)})),
+      kI);
+  ASSERT_TRUE(mx.has_value());
+  EXPECT_EQ(mx->op, ReduceOp::kMax);
+}
+
+TEST(Reduction, TargetInCombinedExpressionRejected) {
+  Rig r;
+  // total = total + total * 0.5 — target appears twice.
+  EXPECT_FALSE(match_reduction(
+                   r.program,
+                   assign_of(r.total(), E(r.total) + E(r.total) * 0.5), kI)
+                   .has_value());
+}
+
+TEST(Reduction, VaryingSubscriptRejected) {
+  Rig r;
+  // x[i] = x[i] + 1 is an elementwise update, not a reduction.
+  EXPECT_FALSE(match_reduction(
+                   r.program,
+                   assign_of(r.x(idx("i")), r.x(idx("i")) + 1.0), kI)
+                   .has_value());
+}
+
+TEST(Reduction, InvariantElementAccepted) {
+  Rig r;
+  // x[3] = x[3] + v is a reduction into a fixed element.
+  const auto m = match_reduction(
+      r.program, assign_of(r.x(liti(3)), r.x(liti(3)) + 1.0), kI);
+  EXPECT_TRUE(m.has_value());
+}
+
+TEST(Reduction, PlainAssignRejected) {
+  Rig r;
+  EXPECT_FALSE(
+      match_reduction(r.program, assign_of(r.total(), r.x(idx("i"))), kI)
+          .has_value());
+}
+
+TEST(Atomic, UpdateShapeMatches) {
+  Rig r;
+  // x[i] = x[i] + d: atomic-eligible elementwise accumulation.
+  EXPECT_TRUE(matches_atomic_update(
+      r.program, assign_of(r.x(idx("i")), r.x(idx("i")) + 1.5)));
+}
+
+TEST(Atomic, MinNotAtomicEligible) {
+  Rig r;
+  EXPECT_FALSE(matches_atomic_update(
+      r.program,
+      assign_of(r.best(), call("MIN", {E(r.best), r.x(idx("i"))}))));
+}
+
+TEST(Atomic, PlainStoreNotAtomic) {
+  Rig r;
+  EXPECT_FALSE(matches_atomic_update(
+      r.program, assign_of(r.x(idx("i")), 0.0)));
+}
+
+TEST(ReduceOp, Spellings) {
+  EXPECT_STREQ(omp_spelling(ReduceOp::kSum), "+");
+  EXPECT_STREQ(omp_spelling(ReduceOp::kProd), "*");
+  EXPECT_STREQ(omp_spelling(ReduceOp::kMin), "min");
+  EXPECT_STREQ(to_string(ReduceOp::kMax), "max");
+}
+
+}  // namespace
+}  // namespace glaf

@@ -1,0 +1,106 @@
+#include "analysis/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "interp/machine.hpp"
+
+namespace glaf {
+namespace {
+
+Program rectangular_program() {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {8, 12});
+  auto fb = pb.function("fill");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 7).foreach_("j", 0, 11);
+  s.assign(a(idx("i"), idx("j")), idx("i") * 100 + idx("j"));
+  return pb.build().value();
+}
+
+TEST(Interchange, SwapsLoopOrder) {
+  const Program p = rectangular_program();
+  const auto swapped = interchange_loops(p, "fill", "s", 0, 1);
+  ASSERT_TRUE(swapped.is_ok()) << swapped.status().message();
+  const Step& step = swapped.value().find_function("fill")->steps[0];
+  EXPECT_EQ(step.loops[0].index_var, "j");
+  EXPECT_EQ(step.loops[1].index_var, "i");
+}
+
+TEST(Interchange, ResultsUnchangedAfterInterchange) {
+  // Property: a legal interchange never changes program output.
+  const Program p = rectangular_program();
+  const Program q = interchange_loops(p, "fill", "s", 0, 1).value();
+  Machine mp(p);
+  Machine mq(q);
+  ASSERT_TRUE(mp.call("fill").is_ok());
+  ASSERT_TRUE(mq.call("fill").is_ok());
+  EXPECT_EQ(mp.array("a").value(), mq.array("a").value());
+}
+
+TEST(Interchange, TriangularNestRejected) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {8, 8});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 7).foreach_("j", 0, idx("i"));
+  s.assign(a(idx("i"), idx("j")), 1.0);
+  const Program p = pb.build().value();
+  const auto r = interchange_loops(p, "f", "s", 0, 1);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("triangular"), std::string::npos);
+}
+
+TEST(Interchange, CarriedDependenceRejected) {
+  // a[i][j] = a[i-1][j] + 1 carries a dependence on i: not interchangeable
+  // by our conservative rule (band must be fully parallel).
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {8, 8});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 1, 7).foreach_("j", 0, 7);
+  s.assign(a(idx("i"), idx("j")), a(idx("i") - 1, idx("j")) + 1.0);
+  const Program p = pb.build().value();
+  EXPECT_FALSE(interchange_loops(p, "f", "s", 0, 1).is_ok());
+}
+
+TEST(Interchange, UnknownTargetsReported) {
+  const Program p = rectangular_program();
+  EXPECT_EQ(interchange_loops(p, "nope", "s", 0, 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(interchange_loops(p, "fill", "nope", 0, 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(interchange_loops(p, "fill", "s", 0, 5).is_ok());
+  EXPECT_FALSE(interchange_loops(p, "fill", "s", 1, 1).is_ok());
+}
+
+TEST(Interchange, ThreeDeepBandPermutes) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {4, 5, 6});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 3).foreach_("j", 0, 4).foreach_("k", 0, 5);
+  s.assign(a(idx("i"), idx("j"), idx("k")),
+           idx("i") * 100 + idx("j") * 10 + idx("k"));
+  const Program p = pb.build().value();
+  // Swap outer and innermost.
+  const auto r = interchange_loops(p, "f", "s", 0, 2);
+  ASSERT_TRUE(r.is_ok()) << r.status().message();
+  const Step& step = r.value().find_function("f")->steps[0];
+  EXPECT_EQ(step.loops[0].index_var, "k");
+  EXPECT_EQ(step.loops[2].index_var, "i");
+  Machine mp(p);
+  Machine mq(r.value());
+  ASSERT_TRUE(mp.call("f").is_ok());
+  ASSERT_TRUE(mq.call("f").is_ok());
+  EXPECT_EQ(mp.array("a").value(), mq.array("a").value());
+}
+
+TEST(Interchange, OriginalProgramUntouched) {
+  const Program p = rectangular_program();
+  (void)interchange_loops(p, "fill", "s", 0, 1);
+  EXPECT_EQ(p.find_function("fill")->steps[0].loops[0].index_var, "i");
+}
+
+}  // namespace
+}  // namespace glaf

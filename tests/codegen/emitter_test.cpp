@@ -1,0 +1,82 @@
+#include "codegen/emitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/strings.hpp"
+
+namespace glaf {
+namespace {
+
+TEST(Emitter, IndentationApplied) {
+  CodeWriter w;
+  w.line("a");
+  w.indent();
+  w.line("b");
+  w.dedent();
+  w.line("c");
+  EXPECT_EQ(w.str(), "a\n  b\nc\n");
+}
+
+TEST(Emitter, DedentBelowZeroIsSafe) {
+  CodeWriter w;
+  w.dedent();
+  w.line("x");
+  EXPECT_EQ(w.str(), "x\n");
+}
+
+TEST(Emitter, RawSkipsIndent) {
+  CodeWriter w;
+  w.indent();
+  w.raw("!$OMP PARALLEL DO");
+  EXPECT_EQ(w.str(), "!$OMP PARALLEL DO\n");
+}
+
+TEST(Emitter, FortranContinuationWrapsLongLines) {
+  CodeWriter w("&", 40);
+  const std::string long_expr =
+      "x = aaaa + bbbb + cccc + dddd + eeee + ffff + gggg + hhhh";
+  w.line(long_expr);
+  const auto lines = split_lines(w.str());
+  ASSERT_GE(lines.size(), 2u);
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    EXPECT_TRUE(ends_with(lines[i], "&")) << lines[i];
+    EXPECT_LE(lines[i].size(), 40u);
+  }
+  // Reassembling the content (minus continuations) must preserve tokens.
+  std::string joined;
+  for (const auto& line : lines) {
+    std::string body(trim(line));
+    if (ends_with(body, "&")) body = std::string(trim(body.substr(0, body.size() - 1)));
+    if (!joined.empty()) joined += " ";
+    joined += body;
+  }
+  EXPECT_EQ(joined, long_expr);
+}
+
+TEST(Emitter, NoWrapWhenDisabled) {
+  CodeWriter w("", 10);
+  const std::string text(50, 'x');
+  w.line(text);
+  EXPECT_EQ(split_lines(w.str()).size(), 1u);
+}
+
+TEST(Emitter, MarkAndTextSince) {
+  CodeWriter w;
+  w.line("before");
+  const std::size_t m = w.mark();
+  w.line("after1");
+  w.line("after2");
+  EXPECT_EQ(w.text_since(m), "after1\nafter2\n");
+}
+
+TEST(Emitter, BlankLines) {
+  CodeWriter w;
+  w.line("a");
+  w.blank();
+  w.line("b");
+  EXPECT_EQ(w.str(), "a\n\nb\n");
+  EXPECT_EQ(w.line_count(), 3u);
+}
+
+}  // namespace
+}  // namespace glaf

@@ -1,0 +1,236 @@
+#include "codegen/fortran.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "testing/programs.hpp"
+
+namespace glaf {
+namespace {
+
+std::string gen(const Program& p, CodegenOptions opts = {}) {
+  return generate_fortran(p, analyze_program(p), opts).source;
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(Fortran, ModuleSkeleton) {
+  const std::string src = gen(testing::saxpy_program());
+  EXPECT_TRUE(contains(src, "MODULE saxpy_mod"));
+  EXPECT_TRUE(contains(src, "IMPLICIT NONE"));
+  EXPECT_TRUE(contains(src, "CONTAINS"));
+  EXPECT_TRUE(contains(src, "END MODULE saxpy_mod"));
+}
+
+TEST(Fortran, SubroutineForVoidFunction) {
+  const std::string src = gen(testing::saxpy_program());
+  EXPECT_TRUE(contains(src, "SUBROUTINE saxpy()"));
+  EXPECT_TRUE(contains(src, "END SUBROUTINE saxpy"));
+}
+
+TEST(Fortran, LoopAndAssignment) {
+  const std::string src = gen(testing::saxpy_program());
+  EXPECT_TRUE(contains(src, "DO i = 0, (n - 1)"));
+  EXPECT_TRUE(contains(src, "END DO"));
+  EXPECT_TRUE(contains(src, "y(i) = ((a * x(i)) + y(i))"));
+}
+
+TEST(Fortran, OmpDirectiveOnParallelLoop) {
+  const std::string src = gen(testing::saxpy_program());
+  EXPECT_TRUE(contains(src, "!$OMP PARALLEL DO"));
+  EXPECT_TRUE(contains(src, "!$OMP END PARALLEL DO"));
+}
+
+TEST(Fortran, SerialOptionDropsDirectives) {
+  CodegenOptions opts;
+  opts.enable_openmp = false;
+  const std::string src = gen(testing::saxpy_program(), opts);
+  EXPECT_FALSE(contains(src, "!$OMP"));
+}
+
+TEST(Fortran, SerialLoopGetsNoDirective) {
+  const std::string src = gen(testing::prefix_program());
+  EXPECT_FALSE(contains(src, "!$OMP"));
+}
+
+TEST(Fortran, ReductionClause) {
+  const std::string src = gen(testing::reduce_program());
+  EXPECT_TRUE(contains(src, "REDUCTION(+:total)"));
+}
+
+TEST(Fortran, UseStatementForExistingModule) {
+  const std::string src = gen(testing::integration_program());
+  // §3.1: USE for each existing module referenced by the subprogram.
+  EXPECT_TRUE(contains(src, "USE fuliou_data"));
+  EXPECT_TRUE(contains(src, "USE particle_mod"));
+  // Existing-module variables are NOT re-declared.
+  EXPECT_FALSE(contains(src, ":: tsfc"));
+}
+
+TEST(Fortran, CommonBlockDeclared) {
+  const std::string src = gen(testing::integration_program());
+  // §3.2: type declaration plus grouped COMMON statement. The extent folds
+  // through the never-written size parameter nlev (= 4).
+  EXPECT_TRUE(contains(src, "REAL(KIND=8) :: press(0:3)"));
+  EXPECT_TRUE(contains(src, "COMMON /atmos/ press"));
+}
+
+TEST(Fortran, ModuleScopeVariableDeclaredAtModuleLevel) {
+  const std::string src = gen(testing::integration_program());
+  // §3.3: declared once, before CONTAINS.
+  const std::size_t decl = src.find(":: accum");
+  const std::size_t contains_kw = src.find("CONTAINS");
+  ASSERT_NE(decl, std::string::npos);
+  ASSERT_NE(contains_kw, std::string::npos);
+  EXPECT_LT(decl, contains_kw);
+}
+
+TEST(Fortran, TypeElementAccessViaParent) {
+  const std::string src = gen(testing::integration_program());
+  // §3.5: atom1%charge spelling.
+  EXPECT_TRUE(contains(src, "atom1%charge"));
+}
+
+TEST(Fortran, FunctionResultAssignment) {
+  ProgramBuilder pb("m");
+  auto fb = pb.function("twice", DataType::kDouble);
+  auto x = fb.param("x", DataType::kDouble);
+  fb.step("s").ret(E(x) * 2.0);
+  const Program p = pb.build().value();
+  const std::string src = gen(p);
+  EXPECT_TRUE(contains(src, "REAL(KIND=8) FUNCTION twice(x)"));
+  EXPECT_TRUE(contains(src, "twice = (x * 2.0d0)"));
+  EXPECT_TRUE(contains(src, "RETURN"));
+  EXPECT_TRUE(contains(src, "END FUNCTION twice"));
+}
+
+TEST(Fortran, CallSiteUsesCallKeyword) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  auto sub = pb.function("subr");
+  {
+    auto v = sub.param("v", DataType::kDouble);
+    sub.step("s").assign(x(), E(v));
+  }
+  auto caller = pb.function("caller");
+  caller.step("s").call_sub("subr", {lit(1.5)});
+  const std::string src = gen(pb.build().value());
+  EXPECT_TRUE(contains(src, "CALL subr(1.5d0)"));
+}
+
+TEST(Fortran, IntentFromEffects) {
+  ProgramBuilder pb("m");
+  auto fb = pb.function("f");
+  auto inp = fb.param("inp", DataType::kDouble, {4});
+  auto outp = fb.param("outp", DataType::kDouble, {4});
+  auto both = fb.param("both", DataType::kDouble);
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 3);
+  s.assign(outp(idx("i")), inp(idx("i")));
+  s.assign(both(), E(both) + 1.0);
+  const std::string src = gen(pb.build().value());
+  EXPECT_TRUE(contains(src, "INTENT(IN) :: inp"));
+  EXPECT_TRUE(contains(src, "INTENT(OUT) :: outp"));
+  EXPECT_TRUE(contains(src, "INTENT(INOUT) :: both"));
+}
+
+TEST(Fortran, DoubleLiteralsUseDSuffix) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  pb.function("f").step("s").assign(x(), 0.001);
+  const std::string src = gen(pb.build().value());
+  EXPECT_TRUE(contains(src, "0.001d0"));
+}
+
+TEST(Fortran, CollapseClauseOnPerfectNest) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {60, 60});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 59).foreach_("j", 0, 59);
+  s.assign(a(idx("i"), idx("j")), 1.0);
+  const std::string src = gen(pb.build().value());
+  EXPECT_TRUE(contains(src, "COLLAPSE(2)"));
+}
+
+TEST(Fortran, PrivateClauseForInnerIndexWithoutCollapse) {
+  CodegenOptions opts;
+  opts.emit_collapse = false;
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {8, 8});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 7).foreach_("j", 0, 7);
+  s.assign(a(idx("i"), idx("j")), 2.0);
+  const Program p = pb.build().value();
+  const std::string src = gen(p, opts);
+  EXPECT_TRUE(contains(src, "PRIVATE(j)"));
+}
+
+TEST(Fortran, SaveTemporariesEmitsGuardedAllocate) {
+  ProgramBuilder pb("m");
+  auto fb = pb.function("f");
+  auto n = fb.param("n", DataType::kInt);
+  auto t = fb.local("t", DataType::kDouble, {E(n)}, {.save = true});
+  auto s = fb.step("s");
+  s.foreach_("i", 0, E(n) - 1);
+  s.assign(t(idx("i")), 0.0);
+  const std::string src = gen(pb.build().value());
+  EXPECT_TRUE(contains(src, "ALLOCATABLE, SAVE :: t(:)"));
+  EXPECT_TRUE(contains(src, "IF (.NOT. ALLOCATED(t)) ALLOCATE(t(0:n-1))"));
+}
+
+TEST(Fortran, AtomicDirectiveOnIndirectUpdate) {
+  ProgramBuilder pb("m");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{8}}});
+  auto index = pb.global("index", DataType::kInt, {E(n)});
+  auto w = pb.global("w", DataType::kDouble, {E(n)});
+  auto out = pb.global("out", DataType::kDouble, {E(n)});
+  auto fb = pb.function("scatter");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, E(n) - 1);
+  s.assign(out(index(idx("i"))), out(index(idx("i"))) + w(idx("i")));
+  const std::string src = gen(pb.build().value());
+  EXPECT_TRUE(contains(src, "!$OMP ATOMIC"));
+}
+
+TEST(Fortran, ScheduleClauseEmitted) {
+  CodegenOptions opts;
+  opts.schedule = OmpSchedule::kDynamic;
+  opts.schedule_chunk = 4;
+  const std::string src = gen(testing::saxpy_program(), opts);
+  EXPECT_TRUE(contains(src, "SCHEDULE(DYNAMIC, 4)"));
+  opts.schedule = OmpSchedule::kStatic;
+  opts.schedule_chunk = 0;
+  EXPECT_TRUE(contains(gen(testing::saxpy_program(), opts),
+                       "SCHEDULE(STATIC)"));
+}
+
+TEST(Fortran, PerFunctionExcerptsProvided) {
+  const Program p = testing::saxpy_program();
+  const GeneratedCode code = generate_fortran(p, analyze_program(p));
+  ASSERT_EQ(code.per_function.count("saxpy"), 1u);
+  EXPECT_TRUE(contains(code.per_function.at("saxpy"), "SUBROUTINE saxpy"));
+}
+
+TEST(Fortran, LibFunctionSpelling) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  pb.function("f").step("s").assign(x(), call("ALOG", {E(x)}));
+  const std::string src = gen(pb.build().value());
+  EXPECT_TRUE(contains(src, "ALOG(x)"));
+}
+
+TEST(Fortran, InitDataEmitted) {
+  ProgramBuilder pb("m");
+  pb.global("tbl", DataType::kDouble, {3}, {.init = {1.0, 2.0, 3.0}});
+  auto x = pb.global("x", DataType::kDouble);
+  pb.function("f").step("s").assign(x(), 0.0);
+  const std::string src = gen(pb.build().value());
+  EXPECT_TRUE(contains(src, "(/ 1.0d0, 2.0d0, 3.0d0 /)"));
+}
+
+}  // namespace
+}  // namespace glaf

@@ -1,0 +1,66 @@
+// Golden-file tests: the generated FORTRAN for the SARB case-study
+// program and its serialized IR are checked against files under
+// tests/golden/. Any intentional change to the generators or the kernel
+// definitions must regenerate the goldens:
+//
+//   build/tools/glafc --builtin=sarb --emit=fortran --policy=v0
+//       --out=tests/golden/sarb_kernels.f90
+//   build/tools/glafc --builtin=sarb --dump
+//       --out=tests/golden/sarb_kernels.glaf
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "codegen/fortran.hpp"
+#include "core/serialize.hpp"
+#include "fuliou/glaf_kernels.hpp"
+
+namespace glaf {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::string golden_path(const std::string& name) {
+#ifdef GLAF_SOURCE_DIR
+  return std::string(GLAF_SOURCE_DIR) + "/tests/golden/" + name;
+#else
+  return "tests/golden/" + name;
+#endif
+}
+
+TEST(Golden, SarbFortranMatches) {
+  const std::string expected = read_file(golden_path("sarb_kernels.f90"));
+  ASSERT_FALSE(expected.empty()) << "golden file missing";
+  const Program program = fuliou::build_sarb_program();
+  const std::string actual =
+      generate_fortran(program, analyze_program(program)).source;
+  EXPECT_EQ(actual, expected)
+      << "generated FORTRAN drifted from tests/golden/sarb_kernels.f90 — "
+         "regenerate the golden if the change is intentional";
+}
+
+TEST(Golden, SarbSerializedIrMatches) {
+  const std::string expected = read_file(golden_path("sarb_kernels.glaf"));
+  ASSERT_FALSE(expected.empty()) << "golden file missing";
+  const Program program = fuliou::build_sarb_program();
+  EXPECT_EQ(serialize_program(program), expected);
+}
+
+TEST(Golden, GoldenIrParsesAndValidates) {
+  const std::string text = read_file(golden_path("sarb_kernels.glaf"));
+  ASSERT_FALSE(text.empty());
+  const auto parsed = parse_program(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().module_name, "sarb_kernels");
+}
+
+}  // namespace
+}  // namespace glaf

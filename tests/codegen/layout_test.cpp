@@ -1,0 +1,77 @@
+// Data-layout option of the code-optimization back-end: struct grids can
+// be generated as array-of-structures (derived TYPE arrays / C structs)
+// or structure-of-arrays (one array per field).
+
+#include <gtest/gtest.h>
+
+#include "codegen/c.hpp"
+#include "codegen/fortran.hpp"
+#include "core/builder.hpp"
+
+namespace glaf {
+namespace {
+
+Program struct_program() {
+  ProgramBuilder pb("pm");
+  auto atoms = pb.global("atoms", DataType::kDouble, {16},
+                         {.fields = {{"q", DataType::kDouble},
+                                     {"x", DataType::kDouble}}});
+  auto out = pb.global("pot", DataType::kDouble, {16});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 15);
+  s.assign(out(idx("i")),
+           atoms.at_field("q", idx("i")) * atoms.at_field("x", idx("i")));
+  return pb.build().value();
+}
+
+std::string gen_fortran(bool soa) {
+  const Program p = struct_program();
+  CodegenOptions opts;
+  opts.soa_layout = soa;
+  return generate_fortran(p, analyze_program(p), opts).source;
+}
+
+std::string gen_c(bool soa) {
+  const Program p = struct_program();
+  CodegenOptions opts;
+  opts.language = Language::kC;
+  opts.soa_layout = soa;
+  return generate_c(p, analyze_program(p), opts).source;
+}
+
+TEST(Layout, FortranAosUsesDerivedType) {
+  const std::string src = gen_fortran(/*soa=*/false);
+  EXPECT_NE(src.find("TYPE :: atoms_t"), std::string::npos);
+  EXPECT_NE(src.find("TYPE(atoms_t) :: atoms(0:15)"), std::string::npos);
+  EXPECT_NE(src.find("atoms(i)%q"), std::string::npos);
+}
+
+TEST(Layout, FortranSoaUsesPerFieldArrays) {
+  const std::string src = gen_fortran(/*soa=*/true);
+  EXPECT_EQ(src.find("TYPE :: atoms_t"), std::string::npos);
+  EXPECT_NE(src.find(":: atoms_q(0:15)"), std::string::npos);
+  EXPECT_NE(src.find(":: atoms_x(0:15)"), std::string::npos);
+  EXPECT_NE(src.find("atoms_q(i)"), std::string::npos);
+}
+
+TEST(Layout, CAosUsesStruct) {
+  const std::string src = gen_c(/*soa=*/false);
+  EXPECT_NE(src.find("typedef struct atoms_s"), std::string::npos);
+  EXPECT_NE(src.find("atoms[(i)].q"), std::string::npos);
+}
+
+TEST(Layout, CSoaUsesPerFieldArrays) {
+  const std::string src = gen_c(/*soa=*/true);
+  EXPECT_EQ(src.find("typedef struct"), std::string::npos);
+  EXPECT_NE(src.find("static double atoms_q[16];"), std::string::npos);
+  EXPECT_NE(src.find("atoms_q[(i)]"), std::string::npos);
+}
+
+TEST(Layout, BothLayoutsKeepOmpDirective) {
+  EXPECT_NE(gen_fortran(false).find("!$OMP PARALLEL DO"), std::string::npos);
+  EXPECT_NE(gen_fortran(true).find("!$OMP PARALLEL DO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace glaf

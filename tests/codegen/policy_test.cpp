@@ -1,0 +1,76 @@
+#include "codegen/directive_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace glaf {
+namespace {
+
+StepVerdict verdict_of(LoopClass c, bool parallel = true) {
+  StepVerdict v;
+  v.has_loop = c != LoopClass::kStraightLine;
+  v.parallelizable = parallel;
+  v.loop_class = c;
+  return v;
+}
+
+// Table 2: which loop classes keep directives under each policy.
+struct Case {
+  DirectivePolicy policy;
+  LoopClass cls;
+  bool kept;
+};
+
+class PolicyTable : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PolicyTable, MatchesTable2) {
+  const Case c = GetParam();
+  EXPECT_EQ(keep_directive(c.policy, verdict_of(c.cls)), c.kept);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, PolicyTable,
+    ::testing::Values(
+        // v0 keeps every parallelizable loop.
+        Case{DirectivePolicy::kV0, LoopClass::kInitZero, true},
+        Case{DirectivePolicy::kV0, LoopClass::kBroadcast, true},
+        Case{DirectivePolicy::kV0, LoopClass::kSimpleSingle, true},
+        Case{DirectivePolicy::kV0, LoopClass::kSimpleDouble, true},
+        Case{DirectivePolicy::kV0, LoopClass::kComplex, true},
+        // v1 drops init/broadcast.
+        Case{DirectivePolicy::kV1, LoopClass::kInitZero, false},
+        Case{DirectivePolicy::kV1, LoopClass::kBroadcast, false},
+        Case{DirectivePolicy::kV1, LoopClass::kSimpleSingle, true},
+        Case{DirectivePolicy::kV1, LoopClass::kSimpleDouble, true},
+        Case{DirectivePolicy::kV1, LoopClass::kComplex, true},
+        // v2 additionally drops simple single loops.
+        Case{DirectivePolicy::kV2, LoopClass::kSimpleSingle, false},
+        Case{DirectivePolicy::kV2, LoopClass::kSimpleDouble, true},
+        Case{DirectivePolicy::kV2, LoopClass::kComplex, true},
+        // v3 additionally drops simple double loops; complex only.
+        Case{DirectivePolicy::kV3, LoopClass::kInitZero, false},
+        Case{DirectivePolicy::kV3, LoopClass::kBroadcast, false},
+        Case{DirectivePolicy::kV3, LoopClass::kSimpleSingle, false},
+        Case{DirectivePolicy::kV3, LoopClass::kSimpleDouble, false},
+        Case{DirectivePolicy::kV3, LoopClass::kComplex, true}));
+
+TEST(Policy, NonParallelizableNeverKept) {
+  for (const DirectivePolicy p :
+       {DirectivePolicy::kV0, DirectivePolicy::kV1, DirectivePolicy::kV2,
+        DirectivePolicy::kV3}) {
+    EXPECT_FALSE(keep_directive(p, verdict_of(LoopClass::kComplex, false)));
+  }
+}
+
+TEST(Policy, StraightLineNeverKept) {
+  EXPECT_FALSE(keep_directive(DirectivePolicy::kV0,
+                              verdict_of(LoopClass::kStraightLine)));
+}
+
+TEST(Policy, Names) {
+  EXPECT_STREQ(to_string(DirectivePolicy::kV0), "v0");
+  EXPECT_STREQ(to_string(DirectivePolicy::kV3), "v3");
+  EXPECT_STREQ(to_string(Language::kFortran), "FORTRAN");
+}
+
+}  // namespace
+}  // namespace glaf

@@ -1,0 +1,64 @@
+#include "codegen/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "fuliou/glaf_kernels.hpp"
+#include "testing/programs.hpp"
+
+namespace glaf {
+namespace {
+
+TEST(Report, SummarizesCounts) {
+  const Program p = testing::saxpy_program();
+  const std::string report = parallelization_report(p, analyze_program(p));
+  EXPECT_NE(report.find("# Parallelization report: module saxpy_mod"),
+            std::string::npos);
+  EXPECT_NE(report.find("1 parallelizable loop(s), 0 serial loop(s)"),
+            std::string::npos);
+}
+
+TEST(Report, SerialLoopReported) {
+  const Program p = testing::prefix_program();
+  const std::string report = parallelization_report(p, analyze_program(p));
+  EXPECT_NE(report.find("0 parallelizable loop(s), 1 serial loop(s)"),
+            std::string::npos);
+  EXPECT_NE(report.find("loop-carried dependence"), std::string::npos);
+}
+
+TEST(Report, SarbReportListsEveryStep) {
+  const Program p = fuliou::build_sarb_program();
+  const std::string report = parallelization_report(p, analyze_program(p));
+  // Section per subroutine.
+  for (const std::string& name : fuliou::table1_subroutines()) {
+    EXPECT_NE(report.find("subroutine " + name), std::string::npos) << name;
+  }
+  // The complex loops with their policy retention.
+  EXPECT_NE(report.find("| le7 | complex | 120 |"), std::string::npos);
+  EXPECT_NE(report.find("v0 v1 v2 v3"), std::string::npos);
+  // Reduction clause surfaced.
+  EXPECT_NE(report.find("reduction(+:od_total)"), std::string::npos);
+}
+
+TEST(Report, MarkdownTableWellFormed) {
+  const Program p = fuliou::build_sarb_program();
+  const std::string report = parallelization_report(p, analyze_program(p));
+  // Every table row has the same number of pipes as the header.
+  std::istringstream lines(report);
+  std::string line;
+  int header_pipes = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("| step |", 0) == 0) {
+      header_pipes = static_cast<int>(std::count(line.begin(), line.end(), '|'));
+    } else if (!line.empty() && line[0] == '|' && header_pipes > 0) {
+      EXPECT_EQ(std::count(line.begin(), line.end(), '|'), header_pipes)
+          << line;
+    }
+  }
+  EXPECT_GT(header_pipes, 0);
+}
+
+}  // namespace
+}  // namespace glaf

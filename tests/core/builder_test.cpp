@@ -1,0 +1,147 @@
+#include "core/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/programs.hpp"
+
+namespace glaf {
+namespace {
+
+TEST(Builder, SaxpyProgramShape) {
+  const Program p = testing::saxpy_program();
+  EXPECT_EQ(p.module_name, "saxpy_mod");
+  EXPECT_EQ(p.global_grids.size(), 4u);
+  ASSERT_EQ(p.functions.size(), 1u);
+  const Function& fn = p.functions[0];
+  EXPECT_EQ(fn.name, "saxpy");
+  EXPECT_EQ(fn.return_type, DataType::kVoid);
+  ASSERT_EQ(fn.steps.size(), 1u);
+  EXPECT_EQ(fn.steps[0].loops.size(), 1u);
+  EXPECT_EQ(fn.steps[0].loops[0].index_var, "i");
+  ASSERT_EQ(fn.steps[0].body.size(), 1u);
+  EXPECT_EQ(fn.steps[0].body[0].kind, Stmt::Kind::kAssign);
+}
+
+TEST(Builder, GridOptsCarryIntegrationAttributes) {
+  const Program p = testing::integration_program();
+  const Grid* tsfc = p.find_grid("tsfc");
+  ASSERT_NE(tsfc, nullptr);
+  EXPECT_EQ(tsfc->external, ExternalKind::kModule);
+  EXPECT_EQ(tsfc->external_module, "fuliou_data");
+
+  const Grid* press = p.find_grid("press");
+  ASSERT_NE(press, nullptr);
+  EXPECT_EQ(press->external, ExternalKind::kCommon);
+  EXPECT_EQ(press->common_block, "atmos");
+
+  const Grid* accum = p.find_grid("accum");
+  ASSERT_NE(accum, nullptr);
+  EXPECT_TRUE(accum->module_scope);
+  EXPECT_EQ(accum->comment, "module-scope accumulator");
+
+  const Grid* charge = p.find_grid("charge");
+  ASSERT_NE(charge, nullptr);
+  EXPECT_EQ(charge->type_parent, "atom1");
+  EXPECT_EQ(charge->external_module, "particle_mod");
+}
+
+TEST(Builder, ParamsAreOrdered) {
+  ProgramBuilder pb("m");
+  auto fb = pb.function("f", DataType::kDouble);
+  auto a = fb.param("a", DataType::kDouble);
+  auto n = fb.param("n", DataType::kInt);
+  auto arr = fb.param("arr", DataType::kDouble, {E(n)});
+  fb.step("s").ret(E(a) + arr(liti(0)));
+  const Program p = pb.build().value();
+  const Function& fn = p.functions[0];
+  ASSERT_EQ(fn.params.size(), 3u);
+  EXPECT_EQ(p.grid(fn.params[0]).name, "a");
+  EXPECT_EQ(p.grid(fn.params[0]).param_index, 0);
+  EXPECT_EQ(p.grid(fn.params[2]).name, "arr");
+  EXPECT_EQ(p.grid(fn.params[2]).param_index, 2);
+}
+
+TEST(Builder, IfElseBodiesNest) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.if_(E(x) > 0.0,
+        [&](BodyBuilder& b) { b.assign(x(), E(x) * 2.0); },
+        [&](BodyBuilder& b) {
+          b.if_(E(x) < -1.0, [&](BodyBuilder& bb) { bb.assign(x(), 0.0); });
+        });
+  const Program p = pb.build().value();
+  const Stmt& stmt = p.functions[0].steps[0].body[0];
+  ASSERT_EQ(stmt.kind, Stmt::Kind::kIf);
+  ASSERT_EQ(stmt.arms.size(), 1u);
+  EXPECT_EQ(stmt.arms[0].body.size(), 1u);
+  ASSERT_EQ(stmt.else_body.size(), 1u);
+  EXPECT_EQ(stmt.else_body[0].kind, Stmt::Kind::kIf);
+}
+
+TEST(Builder, MultipleStepsAndFunctionsStayStable) {
+  // StepBuilder handles must stay valid across later function creation
+  // (index-based handles, not pointers).
+  ProgramBuilder pb("m");
+  auto g = pb.global("g", DataType::kDouble);
+  auto f1 = pb.function("first");
+  auto s1 = f1.step("a");
+  auto f2 = pb.function("second");
+  auto s2 = f2.step("b");
+  s1.assign(g(), 1.0);  // written after f2 was created
+  s2.assign(g(), 2.0);
+  const Program p = pb.build().value();
+  EXPECT_EQ(p.functions[0].steps[0].body.size(), 1u);
+  EXPECT_EQ(p.functions[1].steps[0].body.size(), 1u);
+}
+
+TEST(Builder, ForeachDimUsesGridExtent) {
+  ProgramBuilder pb("m");
+  auto img = pb.global("img", DataType::kInt, {4, 3});
+  auto fb = pb.function("touch");
+  auto s = fb.step("s");
+  s.foreach_dim("r", img, 0).foreach_dim("c", img, 1);
+  s.assign(img(idx("r"), idx("c")), 0);
+  const Program p = pb.build().value();
+  const Step& step = p.functions[0].steps[0];
+  ASSERT_EQ(step.loops.size(), 2u);
+  const auto end0 = fold_constant(*step.loops[0].end);
+  const auto end1 = fold_constant(*step.loops[1].end);
+  ASSERT_TRUE(end0 && end1);
+  EXPECT_EQ(std::get<std::int64_t>(*end0), 3);
+  EXPECT_EQ(std::get<std::int64_t>(*end1), 2);
+}
+
+TEST(Builder, CallSubAndRet) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  auto helper = pb.function("helper", DataType::kDouble);
+  {
+    auto hx = helper.param("hx", DataType::kDouble);
+    helper.step("s").ret(E(hx) * 2.0);
+  }
+  auto sub = pb.function("sub");
+  {
+    auto sx = sub.param("sx", DataType::kDouble);
+    sub.step("s").assign(x(), call("helper", {E(sx)}));
+  }
+  auto main_fn = pb.function("main_fn");
+  main_fn.step("s").call_sub("sub", {E(x)});
+  ASSERT_TRUE(pb.build().is_ok()) << pb.build().status().message();
+}
+
+TEST(Builder, BuildReturnsErrorForInvalidProgram) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble, {4});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  // Wrong subscript count: rank-1 grid with two subscripts.
+  s.assign(x(liti(0), liti(1)), 1.0);
+  const auto result = pb.build();
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("rank"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace glaf

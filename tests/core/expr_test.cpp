@@ -1,0 +1,105 @@
+#include "core/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace glaf {
+namespace {
+
+TEST(Expr, LiteralConstructors) {
+  EXPECT_EQ(make_int(3)->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(std::get<std::int64_t>(make_int(3)->literal), 3);
+  EXPECT_EQ(std::get<double>(make_real(2.5)->literal), 2.5);
+  EXPECT_TRUE(std::get<bool>(make_bool(true)->literal));
+}
+
+TEST(Expr, ToStringRendersNesting) {
+  // a[i][j+1] + 2.5
+  auto read = make_grid_read(
+      0, {make_index("i"), make_binary(BinOp::kAdd, make_index("j"),
+                                       make_int(1))});
+  auto e = make_binary(BinOp::kAdd, read, make_real(2.5));
+  EXPECT_EQ(expr_to_string(*e), "(g#0[i][(j + 1)] + 2.5)");
+}
+
+TEST(Expr, ToStringUsesNamer) {
+  auto e = make_grid_read(7, {make_index("k")});
+  const auto namer = [](GridId id) { return id == 7 ? "flux" : "?"; };
+  EXPECT_EQ(expr_to_string(*e, namer), "flux[k]");
+}
+
+TEST(Expr, StructuralEquality) {
+  auto a = make_binary(BinOp::kMul, make_index("i"), make_int(2));
+  auto b = make_binary(BinOp::kMul, make_index("i"), make_int(2));
+  auto c = make_binary(BinOp::kMul, make_index("i"), make_int(3));
+  EXPECT_TRUE(expr_equal(*a, *b));
+  EXPECT_FALSE(expr_equal(*a, *c));
+  EXPECT_FALSE(expr_equal(*a, *make_index("i")));
+}
+
+TEST(Expr, IsIndexFree) {
+  EXPECT_TRUE(is_index_free(*make_binary(BinOp::kAdd, make_int(1),
+                                         make_real(2.0))));
+  EXPECT_FALSE(is_index_free(*make_index("i")));
+  EXPECT_FALSE(is_index_free(*make_grid_read(0, {})));
+}
+
+TEST(Expr, VisitReachesAllNodes) {
+  auto e = make_call("ABS", {make_binary(BinOp::kSub, make_index("i"),
+                                         make_int(4))});
+  int count = 0;
+  visit_exprs(e, [&](const Expr&) { ++count; });
+  EXPECT_EQ(count, 4);  // call, binary, index, literal
+}
+
+TEST(FoldConstant, Arithmetic) {
+  auto e = make_binary(BinOp::kAdd, make_int(2),
+                       make_binary(BinOp::kMul, make_int(3), make_int(4)));
+  const auto v = fold_constant(*e);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(*v), 14);
+}
+
+TEST(FoldConstant, IntegerDivisionTruncates) {
+  auto e = make_binary(BinOp::kDiv, make_int(7), make_int(2));
+  const auto v = fold_constant(*e);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(*v), 3);
+}
+
+TEST(FoldConstant, NonConstantReturnsNullopt) {
+  EXPECT_FALSE(fold_constant(*make_index("i")).has_value());
+  EXPECT_FALSE(fold_constant(*make_grid_read(0, {})).has_value());
+  auto mixed = make_binary(BinOp::kAdd, make_int(1), make_index("i"));
+  EXPECT_FALSE(fold_constant(*mixed).has_value());
+}
+
+TEST(FoldConstant, Comparisons) {
+  auto e = make_binary(BinOp::kLe, make_int(3), make_int(3));
+  const auto v = fold_constant(*e);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(std::get<bool>(*v));
+}
+
+TEST(FoldConstant, UnaryNegation) {
+  auto e = make_unary(UnOp::kNeg, make_int(5));
+  ASSERT_TRUE(fold_constant(*e).has_value());
+  EXPECT_EQ(std::get<std::int64_t>(*fold_constant(*e)), -5);
+}
+
+TEST(FoldConstant, ModByZeroIsNullopt) {
+  auto e = make_binary(BinOp::kMod, make_int(5), make_int(0));
+  EXPECT_FALSE(fold_constant(*e).has_value());
+}
+
+TEST(OperatorStrings, Spellings) {
+  EXPECT_STREQ(to_string(BinOp::kPow), "**");
+  EXPECT_STREQ(to_string(BinOp::kNe), "!=");
+  EXPECT_STREQ(to_string(BinOp::kAnd), ".and.");
+  EXPECT_STREQ(to_string(UnOp::kNot), ".not.");
+  EXPECT_TRUE(is_relational(BinOp::kLe));
+  EXPECT_FALSE(is_relational(BinOp::kAdd));
+  EXPECT_TRUE(is_logical(BinOp::kOr));
+}
+
+}  // namespace
+}  // namespace glaf

@@ -1,0 +1,70 @@
+#include "core/libfuncs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace glaf {
+namespace {
+
+TEST(LibFuncs, LookupIsCaseInsensitive) {
+  EXPECT_NE(find_lib_func("abs"), nullptr);
+  EXPECT_NE(find_lib_func("Alog"), nullptr);
+  EXPECT_NE(find_lib_func("SUM"), nullptr);
+  EXPECT_EQ(find_lib_func("nope"), nullptr);
+}
+
+TEST(LibFuncs, PaperAddedFunctionsPresent) {
+  // §3.6: "we extended support for the ABS(), ALOG(), SUM(), and other
+  // functions".
+  for (const char* name : {"ABS", "ALOG", "SUM"}) {
+    const LibFunc* f = find_lib_func(name);
+    ASSERT_NE(f, nullptr) << name;
+    EXPECT_NE(f->eval, nullptr);
+  }
+}
+
+TEST(LibFuncs, EvalBasics) {
+  const double a1[] = {-2.5};
+  EXPECT_DOUBLE_EQ(find_lib_func("ABS")->eval(a1, 1), 2.5);
+  const double a2[] = {std::exp(2.0)};
+  EXPECT_NEAR(find_lib_func("ALOG")->eval(a2, 1), 2.0, 1e-12);
+  const double a3[] = {3.0, -4.0, 7.5};
+  EXPECT_DOUBLE_EQ(find_lib_func("MIN")->eval(a3, 3), -4.0);
+  EXPECT_DOUBLE_EQ(find_lib_func("MAX")->eval(a3, 3), 7.5);
+}
+
+TEST(LibFuncs, SumIsWholeGrid) {
+  const LibFunc* sum = find_lib_func("SUM");
+  ASSERT_NE(sum, nullptr);
+  EXPECT_TRUE(sum->whole_grid);
+  const double buf[] = {1.0, 2.0, 3.5};
+  EXPECT_DOUBLE_EQ(sum->eval(buf, 3), 6.5);
+}
+
+TEST(LibFuncs, FortranSignSemantics) {
+  const LibFunc* sign = find_lib_func("SIGN");
+  const double pos[] = {-3.0, 2.0};
+  EXPECT_DOUBLE_EQ(sign->eval(pos, 2), 3.0);
+  const double neg[] = {3.0, -2.0};
+  EXPECT_DOUBLE_EQ(sign->eval(neg, 2), -3.0);
+}
+
+TEST(LibFuncs, ArityMetadata) {
+  EXPECT_EQ(find_lib_func("ABS")->arity, 1);
+  EXPECT_EQ(find_lib_func("ATAN2")->arity, 2);
+  EXPECT_EQ(find_lib_func("MIN")->arity, -1);  // variadic
+}
+
+TEST(LibFuncs, RegistryHasNoDuplicates) {
+  const auto& all = all_lib_funcs();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i].name, all[j].name);
+    }
+  }
+  EXPECT_GE(all.size(), 20u);
+}
+
+}  // namespace
+}  // namespace glaf

@@ -1,0 +1,103 @@
+#include "core/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "testing/programs.hpp"
+
+namespace glaf {
+namespace {
+
+TEST(ProgramApi, FindersReturnNullForUnknown) {
+  const Program p = testing::saxpy_program();
+  EXPECT_EQ(p.find_function("nope"), nullptr);
+  EXPECT_EQ(p.find_grid("nope"), nullptr);
+  EXPECT_NE(p.find_function("saxpy"), nullptr);
+  EXPECT_NE(p.find_grid("y"), nullptr);
+}
+
+TEST(ProgramApi, GridNamerResolvesNames) {
+  const Program p = testing::saxpy_program();
+  const auto namer = p.grid_namer();
+  EXPECT_EQ(namer(p.find_grid("x")->id), "x");
+  EXPECT_EQ(namer(9999), "g#9999");
+}
+
+TEST(ProgramApi, UsedModulesCollectsDistinctSorted) {
+  const Program p = testing::integration_program();
+  const Function& fn = *p.find_function("update");
+  const std::vector<std::string> mods = p.used_modules(fn);
+  ASSERT_EQ(mods.size(), 2u);
+  EXPECT_EQ(mods[0], "fuliou_data");
+  EXPECT_EQ(mods[1], "particle_mod");
+}
+
+TEST(ProgramApi, ReferencedGridsIncludesExtentParameters) {
+  // press has extent E(nlev): referencing press must also pull in nlev.
+  const Program p = testing::integration_program();
+  const Function& fn = *p.find_function("update");
+  const std::vector<GridId> ids = p.referenced_grids(fn);
+  const auto has = [&](const char* name) {
+    const Grid* g = p.find_grid(name);
+    return g != nullptr &&
+           std::find(ids.begin(), ids.end(), g->id) != ids.end();
+  };
+  EXPECT_TRUE(has("press"));
+  EXPECT_TRUE(has("nlev"));
+  EXPECT_TRUE(has("accum"));
+  EXPECT_TRUE(has("tsfc"));
+}
+
+TEST(ProgramApi, ProgramToStringMentionsEverything) {
+  const Program p = testing::integration_program();
+  const std::string text = program_to_string(p);
+  EXPECT_NE(text.find("program module=integ_mod"), std::string::npos);
+  EXPECT_NE(text.find("use=fuliou_data"), std::string::npos);
+  EXPECT_NE(text.find("common=/atmos/"), std::string::npos);
+  EXPECT_NE(text.find("type_parent=atom1"), std::string::npos);
+  EXPECT_NE(text.find("module_scope"), std::string::npos);
+  EXPECT_NE(text.find("function update(0 params) -> void"),
+            std::string::npos);
+  EXPECT_NE(text.find("foreach k in [0, "), std::string::npos);
+}
+
+TEST(ProgramApi, StmtToStringRendersIfChains) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  auto fb = pb.function("f");
+  fb.step("s").if_(
+      E(x) > 0.0, [&](BodyBuilder& b) { b.assign(x(), 1.0); },
+      [&](BodyBuilder& b) { b.ret(); });
+  const Program p = pb.build().value();
+  const std::string text =
+      stmt_to_string(p, p.functions[0].steps[0].body[0]);
+  EXPECT_NE(text.find("if (x > 0.0):"), std::string::npos);
+  EXPECT_NE(text.find("x = 1.0"), std::string::npos);
+  EXPECT_NE(text.find("else:"), std::string::npos);
+  EXPECT_NE(text.find("return"), std::string::npos);
+}
+
+TEST(ProgramApi, WrittenGridsScansAllFunctions) {
+  const Program p = testing::integration_program();
+  const std::set<GridId> written = written_grids(p);
+  EXPECT_EQ(written.count(p.find_grid("accum")->id), 1u);
+  EXPECT_EQ(written.count(p.find_grid("press")->id), 0u);  // read-only
+}
+
+TEST(ProgramApi, FoldWithGlobalsRespectsExternalOwnership) {
+  // External grids never fold even when never written here (their values
+  // belong to the legacy code).
+  const Program p = testing::integration_program();
+  const Grid* tsfc = p.find_grid("tsfc");
+  auto read = make_grid_read(tsfc->id, {});
+  EXPECT_FALSE(fold_with_globals(p, *read).has_value());
+  // Owned never-written scalar with init folds.
+  const Grid* nlev = p.find_grid("nlev");
+  auto nread = make_grid_read(nlev->id, {});
+  const auto v = fold_with_globals(p, *nread);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(*v), 4);
+}
+
+}  // namespace
+}  // namespace glaf

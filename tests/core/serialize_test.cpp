@@ -1,0 +1,145 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "fuliou/glaf_kernels.hpp"
+#include "fuliou/harness.hpp"
+#include "fuliou/reference.hpp"
+#include "interp/machine.hpp"
+#include "testing/programs.hpp"
+
+namespace glaf {
+namespace {
+
+TEST(Serialize, RoundTripIsStable) {
+  // serialize(parse(serialize(p))) == serialize(p) — full fixpoint.
+  for (const Program& p :
+       {testing::saxpy_program(), testing::prefix_program(),
+        testing::reduce_program(), testing::integration_program()}) {
+    const std::string once = serialize_program(p);
+    const auto parsed = parse_program(once);
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+    EXPECT_EQ(serialize_program(parsed.value()), once);
+  }
+}
+
+TEST(Serialize, ParsedProgramStillValidates) {
+  const Program p = testing::integration_program();
+  const auto parsed = parse_program(serialize_program(p));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(is_valid(validate(parsed.value())))
+      << render_diagnostics(validate(parsed.value()));
+}
+
+TEST(Serialize, SarbProgramRoundTripsAndRunsIdentically) {
+  // The full 6-subroutine case-study program survives a round trip and
+  // produces bit-identical results through the interpreter.
+  const Program original = fuliou::build_sarb_program();
+  const std::string text = serialize_program(original);
+  const auto parsed = parse_program(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  EXPECT_EQ(serialize_program(parsed.value()), text);
+
+  const fuliou::AtmosphereProfile profile = fuliou::make_profile(3);
+  Machine m1(original);
+  Machine m2(parsed.value());
+  const auto r1 = fuliou::run_glaf_sarb(m1, profile);
+  const auto r2 = fuliou::run_glaf_sarb(m2, profile);
+  ASSERT_TRUE(r1.is_ok());
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_EQ(fuliou::max_abs_diff(r1.value(), r2.value()), 0.0);
+}
+
+TEST(Serialize, AttributesSurvive) {
+  const Program p = testing::integration_program();
+  const Program q = parse_program(serialize_program(p)).value();
+  const Grid* tsfc = q.find_grid("tsfc");
+  ASSERT_NE(tsfc, nullptr);
+  EXPECT_EQ(tsfc->external, ExternalKind::kModule);
+  EXPECT_EQ(tsfc->external_module, "fuliou_data");
+  const Grid* press = q.find_grid("press");
+  EXPECT_EQ(press->common_block, "atmos");
+  const Grid* accum = q.find_grid("accum");
+  EXPECT_TRUE(accum->module_scope);
+  EXPECT_EQ(accum->comment, "module-scope accumulator");
+  const Grid* charge = q.find_grid("charge");
+  EXPECT_EQ(charge->type_parent, "atom1");
+}
+
+TEST(Serialize, CommentsWithQuotesEscape) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble, {},
+                     {.comment = "a \"quoted\" \\ comment"});
+  pb.function("f").step("s").assign(x(), 1.0);
+  const Program p = pb.build().value();
+  const auto q = parse_program(serialize_program(p));
+  ASSERT_TRUE(q.is_ok()) << q.status().message();
+  EXPECT_EQ(q.value().find_grid("x")->comment, "a \"quoted\" \\ comment");
+}
+
+TEST(Serialize, InitDataTypesPreserved) {
+  ProgramBuilder pb("m");
+  pb.global("gi", DataType::kInt, {}, {.init = {std::int64_t{42}}});
+  pb.global("gd", DataType::kDouble, {}, {.init = {2.5}});
+  pb.global("gl", DataType::kLogical, {}, {.init = {true}});
+  auto x = pb.global("x", DataType::kDouble);
+  pb.function("f").step("s").assign(x(), 0.0);
+  const Program q = parse_program(serialize_program(pb.build().value())).value();
+  EXPECT_TRUE(std::holds_alternative<std::int64_t>(
+      q.find_grid("gi")->init_data[0]));
+  EXPECT_TRUE(std::holds_alternative<double>(q.find_grid("gd")->init_data[0]));
+  EXPECT_TRUE(std::holds_alternative<bool>(q.find_grid("gl")->init_data[0]));
+}
+
+TEST(Parse, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_program("").is_ok());
+  EXPECT_FALSE(parse_program("(").is_ok());
+  EXPECT_FALSE(parse_program("(glaf-program 1").is_ok());
+  EXPECT_FALSE(parse_program("(other-format 1)").is_ok());
+  EXPECT_FALSE(parse_program("(glaf-program 99 (module m))").is_ok());
+  EXPECT_FALSE(parse_program("(glaf-program 1 (module m) (bogus))").is_ok());
+  EXPECT_FALSE(parse_program("(glaf-program 1 (module m)) extra").is_ok());
+}
+
+TEST(Parse, RejectsOutOfOrderIds) {
+  const char* text =
+      "(glaf-program 1 (module m) (globals)"
+      " (grid 1 a double))";
+  const auto r = parse_program(text);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("id order"), std::string::npos);
+}
+
+TEST(Parse, RejectsUnknownExpressionHead) {
+  const char* text =
+      "(glaf-program 1 (module m) (globals 0)"
+      " (grid 0 x double)"
+      " (function 0 f void (params) (locals)"
+      "  (steps (step s (body (assign (lv 0) (wat 1)))))))";
+  const auto r = parse_program(text);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("unknown expression"),
+            std::string::npos);
+}
+
+TEST(Parse, LineCommentsIgnored) {
+  const char* text =
+      "; a saved GLAF program\n"
+      "(glaf-program 1 ; version\n"
+      " (module m) (globals 0)\n"
+      " (grid 0 x double)\n"
+      " (function 0 f void (params) (locals)\n"
+      "  (steps (step s (body (assign (lv 0) (lit 1.5)))))))";
+  const auto r = parse_program(text);
+  ASSERT_TRUE(r.is_ok()) << r.status().message();
+  EXPECT_EQ(r.value().module_name, "m");
+}
+
+TEST(Serialize, DeterministicOutput) {
+  const Program p = fuliou::build_sarb_program();
+  EXPECT_EQ(serialize_program(p), serialize_program(p));
+}
+
+}  // namespace
+}  // namespace glaf

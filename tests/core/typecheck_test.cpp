@@ -1,0 +1,86 @@
+#include "core/typecheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+
+namespace glaf {
+namespace {
+
+class TypecheckTest : public ::testing::Test {
+ protected:
+  TypecheckTest() : pb_("m") {
+    i_ = pb_.global("gi", DataType::kInt);
+    r_ = pb_.global("gr", DataType::kReal);
+    d_ = pb_.global("gd", DataType::kDouble);
+    l_ = pb_.global("gl", DataType::kLogical);
+    auto fb = pb_.function("valfn", DataType::kReal);
+    fb.step("s").ret(E(r_));
+    program_ = pb_.build_unchecked();
+  }
+
+  DataType type_of(const E& e) { return infer_type(program_, *e.node()); }
+
+  ProgramBuilder pb_;
+  GridHandle i_, r_, d_, l_;
+  Program program_;
+};
+
+TEST_F(TypecheckTest, PromotionLattice) {
+  EXPECT_EQ(promote(DataType::kInt, DataType::kInt), DataType::kInt);
+  EXPECT_EQ(promote(DataType::kInt, DataType::kReal), DataType::kReal);
+  EXPECT_EQ(promote(DataType::kReal, DataType::kDouble), DataType::kDouble);
+  EXPECT_EQ(promote(DataType::kInt, DataType::kDouble), DataType::kDouble);
+  EXPECT_EQ(promote(DataType::kLogical, DataType::kLogical),
+            DataType::kLogical);
+  EXPECT_EQ(promote(DataType::kLogical, DataType::kInt), DataType::kVoid);
+}
+
+TEST_F(TypecheckTest, Literals) {
+  EXPECT_EQ(type_of(liti(3)), DataType::kInt);
+  EXPECT_EQ(type_of(lit(2.5)), DataType::kDouble);
+  EXPECT_EQ(type_of(E(true)), DataType::kLogical);
+}
+
+TEST_F(TypecheckTest, IndexIsInt) {
+  EXPECT_EQ(type_of(idx("i")), DataType::kInt);
+}
+
+TEST_F(TypecheckTest, ArithmeticPromotes) {
+  EXPECT_EQ(type_of(E(i_) + liti(1)), DataType::kInt);
+  EXPECT_EQ(type_of(E(i_) + E(r_)), DataType::kReal);
+  EXPECT_EQ(type_of(E(r_) * E(d_)), DataType::kDouble);
+}
+
+TEST_F(TypecheckTest, ComparisonYieldsLogical) {
+  EXPECT_EQ(type_of(E(i_) < E(d_)), DataType::kLogical);
+  EXPECT_EQ(type_of(E(d_) == E(d_)), DataType::kLogical);
+}
+
+TEST_F(TypecheckTest, LogicalOpsRequireLogical) {
+  EXPECT_EQ(type_of(E(l_) && E(l_)), DataType::kLogical);
+  EXPECT_EQ(type_of(E(l_) && E(i_)), DataType::kVoid);
+  EXPECT_EQ(type_of(lnot(E(l_))), DataType::kLogical);
+  EXPECT_EQ(type_of(lnot(E(i_))), DataType::kVoid);
+}
+
+TEST_F(TypecheckTest, NegationKeepsNumericType) {
+  EXPECT_EQ(type_of(-E(i_)), DataType::kInt);
+  EXPECT_EQ(type_of(-E(d_)), DataType::kDouble);
+  EXPECT_EQ(type_of(-E(l_)), DataType::kVoid);
+}
+
+TEST_F(TypecheckTest, LibraryCallResults) {
+  EXPECT_EQ(type_of(call("ALOG", {E(r_)})), DataType::kDouble);
+  EXPECT_EQ(type_of(call("INT", {E(d_)})), DataType::kInt);
+  EXPECT_EQ(type_of(call("ABS", {E(i_)})), DataType::kInt);
+  EXPECT_EQ(type_of(call("MAX", {E(i_), E(d_)})), DataType::kDouble);
+}
+
+TEST_F(TypecheckTest, UserCallUsesReturnType) {
+  EXPECT_EQ(type_of(call("valfn", {})), DataType::kReal);
+  EXPECT_EQ(type_of(call("no_such_fn", {})), DataType::kVoid);
+}
+
+}  // namespace
+}  // namespace glaf

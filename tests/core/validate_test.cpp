@@ -1,0 +1,241 @@
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+
+namespace glaf {
+namespace {
+
+bool has_error_containing(const std::vector<Diagnostic>& diags,
+                          const std::string& needle) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError &&
+        d.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Validate, CleanProgramHasNoErrors) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  pb.function("f").step("s").assign(x(), 1.0);
+  EXPECT_TRUE(is_valid(validate(pb.build_unchecked())));
+}
+
+TEST(Validate, DuplicateFunctionNames) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  pb.function("f").step("s").assign(x(), 1.0);
+  pb.function("f").step("s").assign(x(), 2.0);
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "duplicate function name"));
+}
+
+TEST(Validate, FunctionNameCollidingWithLibrary) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  pb.function("abs").step("s").assign(x(), 1.0);
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "collides with a library function"));
+}
+
+TEST(Validate, ShadowingGlobalIsError) {
+  ProgramBuilder pb("m");
+  auto g = pb.global("v", DataType::kDouble);
+  auto fb = pb.function("f");
+  auto local = fb.local("v", DataType::kDouble);
+  fb.step("s").assign(local(), E(g));
+  EXPECT_TRUE(
+      has_error_containing(validate(pb.build_unchecked()), "shadows"));
+}
+
+TEST(Validate, ExternalGridMustBeGlobal) {
+  ProgramBuilder pb("m");
+  auto fb = pb.function("f");
+  auto bad = fb.local("t", DataType::kDouble, {},
+                      {.from_module = "other_mod"});
+  fb.step("s").assign(bad(), 1.0);
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "Global Scope"));
+}
+
+TEST(Validate, ExternalGridCannotHaveInitData) {
+  ProgramBuilder pb("m");
+  pb.global("t", DataType::kDouble, {},
+            {.from_module = "other_mod", .init = {1.0}});
+  pb.function("f").step("s");
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "initial data"));
+}
+
+TEST(Validate, TypeParentRequiresModule) {
+  ProgramBuilder pb("m");
+  pb.global("q", DataType::kDouble, {}, {.type_parent = "atom1"});
+  pb.function("f").step("s");
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "existing module"));
+}
+
+TEST(Validate, InitDataLengthMismatch) {
+  ProgramBuilder pb("m");
+  pb.global("a", DataType::kDouble, {3}, {.init = {1.0, 2.0}});
+  pb.function("f").step("s");
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "initial data"));
+}
+
+TEST(Validate, UndefinedIndexVariable) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {8});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 7);
+  s.assign(a(idx("j")), 0.0);  // j is not a loop index
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "index variable 'j'"));
+}
+
+TEST(Validate, DuplicateIndexVariable) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {8});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 7).foreach_("i", 0, 3);
+  s.assign(a(idx("i")), 0.0);
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "duplicate index variable"));
+}
+
+TEST(Validate, NonIntegerSubscript) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {8});
+  auto x = pb.global("x", DataType::kDouble);
+  auto fb = pb.function("f");
+  fb.step("s").assign(a(E(x)), 0.0);
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "subscript is not integer"));
+}
+
+TEST(Validate, ConditionMustBeLogical) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  auto fb = pb.function("f");
+  fb.step("s").if_(E(x) + 1.0, [&](BodyBuilder& b) { b.assign(x(), 0.0); });
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "condition is not logical"));
+}
+
+TEST(Validate, SubroutineReturningValueIsError) {
+  ProgramBuilder pb("m");
+  auto fb = pb.function("f");  // void
+  fb.step("s").ret(1.0);
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "subroutine"));
+}
+
+TEST(Validate, FunctionWithBareReturnIsError) {
+  ProgramBuilder pb("m");
+  auto fb = pb.function("f", DataType::kDouble);
+  fb.step("s").ret();
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "bare return"));
+}
+
+TEST(Validate, CallUnknownFunction) {
+  ProgramBuilder pb("m");
+  pb.function("f").step("s").call_sub("missing", {});
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "unknown function"));
+}
+
+TEST(Validate, CallArityMismatch) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  auto callee = pb.function("callee");
+  auto p = callee.param("p", DataType::kDouble);
+  callee.step("s").assign(p(), 1.0);
+  pb.function("caller").step("s").call_sub("callee", {E(x), E(x)});
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "expects 1 argument"));
+}
+
+TEST(Validate, CallValueFunctionAsSubroutine) {
+  ProgramBuilder pb("m");
+  auto f = pb.function("valfn", DataType::kDouble);
+  f.step("s").ret(1.0);
+  pb.function("caller").step("s").call_sub("valfn", {});
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "returns a value"));
+}
+
+TEST(Validate, SubroutineUsedInExpression) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  auto sub = pb.function("subr");
+  sub.step("s");
+  pb.function("caller").step("s").assign(x(), call("subr", {}));
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "returns no value"));
+}
+
+TEST(Validate, RecursionRejected) {
+  ProgramBuilder pb("m");
+  auto a = pb.function("fa");
+  a.step("s").call_sub("fb", {});
+  auto b = pb.function("fb");
+  b.step("s").call_sub("fa", {});
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "recursive"));
+}
+
+TEST(Validate, WholeGridOutsideCallRejected) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {4});
+  auto x = pb.global("x", DataType::kDouble);
+  // x = a  (whole-grid read outside a call argument)
+  pb.function("f").step("s").assign(x(), E(a));
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "whole-grid"));
+}
+
+TEST(Validate, WholeGridAllowedInSum) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {4});
+  auto x = pb.global("x", DataType::kDouble);
+  pb.function("f").step("s").assign(x(), call("SUM", {E(a)}));
+  EXPECT_TRUE(is_valid(validate(pb.build_unchecked())));
+}
+
+TEST(Validate, RankMismatchInWholeGridArgument) {
+  ProgramBuilder pb("m");
+  auto a2 = pb.global("a2", DataType::kDouble, {2, 2});
+  auto callee = pb.function("callee");
+  auto v = callee.param("v", DataType::kDouble, {4});
+  callee.step("s").assign(v(liti(0)), 1.0);
+  pb.function("caller").step("s").call_sub("callee", {E(a2)});
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()), "rank"));
+}
+
+TEST(Validate, NegativeExtentRejected) {
+  ProgramBuilder pb("m");
+  pb.global("a", DataType::kDouble, {liti(0)});
+  pb.function("f").step("s");
+  EXPECT_TRUE(has_error_containing(validate(pb.build_unchecked()),
+                                   "positive"));
+}
+
+TEST(Validate, RenderDiagnosticsFormat) {
+  std::vector<Diagnostic> diags = {
+      {Severity::kError, "function f", "boom"},
+      {Severity::kWarning, "grid g", "meh"},
+  };
+  const std::string text = render_diagnostics(diags);
+  EXPECT_NE(text.find("error: function f: boom"), std::string::npos);
+  EXPECT_NE(text.find("warning: grid g: meh"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace glaf

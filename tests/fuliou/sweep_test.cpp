@@ -1,0 +1,77 @@
+// Parameterized correctness sweeps for the SARB case study: every
+// (policy, thread-count) combination across several zones/seeds must
+// reproduce the original serial implementation — the full cross product
+// of the paper's §4.1.1 side-by-side methodology.
+
+#include <gtest/gtest.h>
+
+#include "fuliou/glaf_kernels.hpp"
+#include "fuliou/harness.hpp"
+#include "fuliou/reference.hpp"
+
+namespace glaf::fuliou {
+namespace {
+
+struct SweepCase {
+  DirectivePolicy policy;
+  int threads;
+};
+
+class SarbPolicyThreadSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static const Program& program() {
+    static const Program p = build_sarb_program();
+    return p;
+  }
+};
+
+TEST_P(SarbPolicyThreadSweep, MatchesOriginalAcrossZones) {
+  const SweepCase sc = GetParam();
+  InterpOptions opts;
+  opts.parallel = true;
+  opts.num_threads = sc.threads;
+  opts.policy = sc.policy;
+  Machine m(program(), opts);
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    const AtmosphereProfile profile = make_profile(seed);
+    const SarbOutputs reference = run_reference(profile);
+    const auto out = run_glaf_sarb(m, profile);
+    ASSERT_TRUE(out.is_ok()) << out.status().message();
+    EXPECT_LT(max_abs_diff(reference, out.value()), 1e-7)
+        << "seed " << seed << " policy " << to_string(sc.policy) << " "
+        << sc.threads << "T";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicyThreadCombos, SarbPolicyThreadSweep,
+    ::testing::Values(SweepCase{DirectivePolicy::kV0, 1},
+                      SweepCase{DirectivePolicy::kV0, 2},
+                      SweepCase{DirectivePolicy::kV0, 8},
+                      SweepCase{DirectivePolicy::kV1, 4},
+                      SweepCase{DirectivePolicy::kV2, 4},
+                      SweepCase{DirectivePolicy::kV3, 1},
+                      SweepCase{DirectivePolicy::kV3, 4},
+                      SweepCase{DirectivePolicy::kV3, 8}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(to_string(info.param.policy)) + "_" +
+             std::to_string(info.param.threads) + "T";
+    });
+
+class SarbSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SarbSeedSweep, SerialBitExactForSeed) {
+  static const Program p = build_sarb_program();
+  const AtmosphereProfile profile = make_profile(GetParam());
+  const SarbOutputs reference = run_reference(profile);
+  Machine m(p);
+  const auto out = run_glaf_sarb(m, profile);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(max_abs_diff(reference, out.value()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, SarbSeedSweep,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace glaf::fuliou

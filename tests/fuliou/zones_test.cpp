@@ -1,0 +1,96 @@
+#include "fuliou/zones.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace glaf::fuliou {
+namespace {
+
+TEST(Zones, CosineProfileSymmetricAboutEquator) {
+  const auto zones = make_zones(72, 180);
+  ASSERT_EQ(zones.size(), 72u);
+  // Symmetric sizes.
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    EXPECT_EQ(zones[i].columns, zones[zones.size() - 1 - i].columns) << i;
+  }
+  // Equator zones are the largest; poles the smallest.
+  EXPECT_GT(zones[36].columns, zones[0].columns);
+  EXPECT_GE(zones[0].columns, 1);
+  int max_cols = 0;
+  for (const Zone& z : zones) max_cols = std::max(max_cols, z.columns);
+  EXPECT_EQ(max_cols, zones[35].columns);
+}
+
+TEST(Zones, LatitudesSpanTheGlobe) {
+  const auto zones = make_zones(10, 100);
+  EXPECT_LT(zones.front().latitude_deg, -80.0);
+  EXPECT_GT(zones.back().latitude_deg, 80.0);
+  for (std::size_t i = 1; i < zones.size(); ++i) {
+    EXPECT_GT(zones[i].latitude_deg, zones[i - 1].latitude_deg);
+  }
+}
+
+void expect_complete_cover(const Schedule& s, std::size_t n_zones) {
+  std::set<int> seen;
+  for (const auto& rank : s.zones_per_rank) {
+    for (const int z : rank) {
+      EXPECT_TRUE(seen.insert(z).second) << "zone " << z << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), n_zones);
+}
+
+TEST(Zones, SchedulersCoverEveryZoneExactlyOnce) {
+  const auto zones = make_zones(72, 180);
+  expect_complete_cover(schedule_block(zones, 8), zones.size());
+  expect_complete_cover(schedule_lpt(zones, 8), zones.size());
+}
+
+TEST(Zones, LptNeverWorseThanBlock) {
+  for (const int ranks : {2, 4, 8, 16}) {
+    const auto zones = make_zones(72, 180);
+    const Schedule block = schedule_block(zones, ranks);
+    const Schedule lpt = schedule_lpt(zones, ranks);
+    EXPECT_LE(lpt.makespan, block.makespan) << ranks << " ranks";
+    EXPECT_DOUBLE_EQ(lpt.total_work, block.total_work);
+  }
+}
+
+TEST(Zones, LptWithinClassicBound) {
+  // LPT is a 4/3 - 1/(3m) approximation; check against the trivial lower
+  // bound max(total/m, largest zone).
+  const auto zones = make_zones(72, 180);
+  for (const int ranks : {3, 7, 12}) {
+    const Schedule lpt = schedule_lpt(zones, ranks);
+    double largest = 0.0;
+    for (const Zone& z : zones) largest = std::max(largest, double(z.columns));
+    const double lower = std::max(lpt.total_work / ranks, largest);
+    EXPECT_LE(lpt.makespan, lower * (4.0 / 3.0) + 1e-9) << ranks;
+  }
+}
+
+TEST(Zones, ImbalanceDefinition) {
+  const auto zones = make_zones(72, 180);
+  const Schedule s = schedule_lpt(zones, 8);
+  EXPECT_GE(s.imbalance, 1.0);
+  EXPECT_NEAR(s.imbalance, s.makespan / (s.total_work / 8.0), 1e-12);
+}
+
+TEST(Zones, SingleRankDegenerates) {
+  const auto zones = make_zones(10, 50);
+  const Schedule s = schedule_lpt(zones, 1);
+  EXPECT_DOUBLE_EQ(s.makespan, s.total_work);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.0);
+}
+
+TEST(Zones, IntraZoneSpeedupDividesMakespan) {
+  const auto zones = make_zones(72, 180);
+  const Schedule s = schedule_lpt(zones, 8);
+  // The paper's v3 kernels give 1.41x inside each zone.
+  EXPECT_NEAR(synoptic_hour_time(s, 1.41), s.makespan / 1.41, 1e-9);
+  EXPECT_DOUBLE_EQ(synoptic_hour_time(s, 1.0), s.makespan);
+}
+
+}  // namespace
+}  // namespace glaf::fuliou

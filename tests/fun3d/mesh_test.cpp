@@ -1,0 +1,102 @@
+#include "fun3d/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace glaf::fun3d {
+namespace {
+
+TEST(Mesh, Deterministic) {
+  const Mesh a = make_mesh(200, 7);
+  const Mesh b = make_mesh(200, 7);
+  EXPECT_EQ(a.cell_nodes, b.cell_nodes);
+  EXPECT_EQ(a.edge_a, b.edge_a);
+  EXPECT_EQ(a.q, b.q);
+  const Mesh c = make_mesh(200, 8);
+  EXPECT_NE(a.cell_nodes, c.cell_nodes);
+}
+
+TEST(Mesh, SizesScaleAsInPaper) {
+  // 1M cells -> ~10M edge visits in the paper's dataset; verify the ratio
+  // at a smaller scale.
+  const Mesh m = make_mesh(5000, 1);
+  EXPECT_EQ(m.n_cells, 5000);
+  const double edges_per_cell =
+      static_cast<double>(m.n_edges) / static_cast<double>(m.n_cells);
+  EXPECT_GE(edges_per_cell, 8.0);
+  EXPECT_LE(edges_per_cell, 12.0);
+  EXPECT_NEAR(edges_per_cell, 10.0, 1.0);
+}
+
+TEST(Mesh, CellNodesAreDistinctAndInRange) {
+  const Mesh m = make_mesh(1000, 3);
+  for (std::int64_t c = 0; c < m.n_cells; ++c) {
+    std::set<std::int32_t> nodes;
+    for (int i = 0; i < kNodesPerCell; ++i) {
+      const std::int32_t n =
+          m.cell_nodes[static_cast<std::size_t>(c) * kNodesPerCell + i];
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, m.n_nodes);
+      nodes.insert(n);
+    }
+    EXPECT_EQ(nodes.size(), static_cast<std::size_t>(kNodesPerCell)) << c;
+  }
+}
+
+TEST(Mesh, EdgeEndpointsBelongToCell) {
+  const Mesh m = make_mesh(500, 5);
+  for (std::int64_t c = 0; c < m.n_cells; ++c) {
+    std::set<std::int32_t> cell_node_set;
+    for (int i = 0; i < kNodesPerCell; ++i) {
+      cell_node_set.insert(
+          m.cell_nodes[static_cast<std::size_t>(c) * kNodesPerCell + i]);
+    }
+    for (std::int64_t e = m.edges_of_cell_begin(c); e < m.edges_of_cell_end(c);
+         ++e) {
+      EXPECT_EQ(cell_node_set.count(m.edge_a[static_cast<std::size_t>(e)]), 1u);
+      EXPECT_EQ(cell_node_set.count(m.edge_b[static_cast<std::size_t>(e)]), 1u);
+      EXPECT_NE(m.edge_a[static_cast<std::size_t>(e)],
+                m.edge_b[static_cast<std::size_t>(e)]);
+    }
+  }
+}
+
+TEST(Mesh, CsrAdjacencyIsSortedAndCoversEdges) {
+  const Mesh m = make_mesh(300, 11);
+  ASSERT_EQ(m.row_ptr.size(), static_cast<std::size_t>(m.n_nodes) + 1);
+  EXPECT_EQ(m.row_ptr[0], 0);
+  EXPECT_EQ(static_cast<std::size_t>(m.row_ptr.back()), m.col_idx.size());
+  for (std::int64_t n = 0; n < m.n_nodes; ++n) {
+    for (std::int32_t i = m.row_ptr[static_cast<std::size_t>(n)] + 1;
+         i < m.row_ptr[static_cast<std::size_t>(n) + 1]; ++i) {
+      EXPECT_LT(m.col_idx[static_cast<std::size_t>(i) - 1],
+                m.col_idx[static_cast<std::size_t>(i)]);
+    }
+  }
+  // Every edge endpoint pair appears in the adjacency.
+  for (std::int64_t e = 0; e < m.n_edges; e += 37) {
+    const std::int32_t a = m.edge_a[static_cast<std::size_t>(e)];
+    const std::int32_t b = m.edge_b[static_cast<std::size_t>(e)];
+    bool found = false;
+    for (std::int32_t i = m.row_ptr[static_cast<std::size_t>(a)];
+         i < m.row_ptr[static_cast<std::size_t>(a) + 1]; ++i) {
+      found = found || m.col_idx[static_cast<std::size_t>(i)] == b;
+    }
+    EXPECT_TRUE(found) << "edge " << e;
+  }
+}
+
+TEST(Mesh, SolutionVectorPlausible) {
+  const Mesh m = make_mesh(100, 2);
+  for (std::int64_t n = 0; n < m.n_nodes; ++n) {
+    const double density = m.q[static_cast<std::size_t>(n) * kNumEq];
+    const double energy = m.q[static_cast<std::size_t>(n) * kNumEq + 4];
+    EXPECT_GT(density, 0.5);
+    EXPECT_LT(density, 1.5);
+    EXPECT_GT(energy, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace glaf::fun3d

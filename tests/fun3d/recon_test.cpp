@@ -1,0 +1,166 @@
+// Correctness of the Jacobian-reconstruction implementations: the GLAF
+// decomposition (in all Figure 7 option combinations) and the manual
+// parallel version must reproduce the original's output, checked via the
+// paper's criterion — RMS agreement at 1e-7 absolute tolerance.
+
+#include "fun3d/recon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace glaf::fun3d {
+namespace {
+
+constexpr std::int64_t kCells = 600;
+constexpr std::uint64_t kSeed = 17;
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+TEST(Recon, OriginalIsDeterministic) {
+  const Mesh mesh = make_mesh(kCells, kSeed);
+  const ReconResult a = reconstruct_original(mesh);
+  const ReconResult b = reconstruct_original(mesh);
+  EXPECT_EQ(a.jac, b.jac);
+  EXPECT_GT(rms_of(a.jac), 0.0);
+  EXPECT_EQ(a.stats.allocations, 0u);  // stack temporaries
+  EXPECT_GT(a.stats.edge_calls, 0u);
+}
+
+TEST(Recon, GlafSerialMatchesOriginalExactly) {
+  const Mesh mesh = make_mesh(kCells, kSeed);
+  const ReconResult original = reconstruct_original(mesh);
+  const ReconResult glaf = reconstruct_glaf(mesh, {});
+  EXPECT_EQ(max_abs_diff(original.jac, glaf.jac), 0.0);
+}
+
+TEST(Recon, GlafSerialPaysReallocation) {
+  const Mesh mesh = make_mesh(kCells, kSeed);
+  const ReconResult glaf = reconstruct_glaf(mesh, {});
+  // 50 temporaries per edge_loop call.
+  EXPECT_EQ(glaf.stats.allocations,
+            glaf.stats.edge_calls * static_cast<std::uint64_t>(kEdgeTemps));
+  ReconOptions no_realloc;
+  no_realloc.no_realloc = true;
+  const ReconResult saved = reconstruct_glaf(mesh, no_realloc);
+  // SAVE'd buffers: at most one materialization per thread.
+  EXPECT_LE(saved.stats.allocations,
+            static_cast<std::uint64_t>(kEdgeTemps));
+  EXPECT_EQ(max_abs_diff(glaf.jac, saved.jac), 0.0);
+}
+
+struct OptionCase {
+  bool edgejp, cell, edge, ioff, norealloc;
+};
+
+class ReconOptionSweep : public ::testing::TestWithParam<OptionCase> {};
+
+TEST_P(ReconOptionSweep, MatchesOriginalWithinPaperTolerance) {
+  const OptionCase oc = GetParam();
+  const Mesh mesh = make_mesh(kCells, kSeed);
+  const ReconResult original = reconstruct_original(mesh);
+  const double reference_rms = rms_of(original.jac);
+
+  ReconOptions opt;
+  opt.par_edgejp = oc.edgejp;
+  opt.par_cell_loop = oc.cell;
+  opt.par_edge_loop = oc.edge;
+  opt.par_ioff_search = oc.ioff;
+  opt.no_realloc = oc.norealloc;
+  opt.threads = 4;
+  const ReconResult got = reconstruct_glaf(mesh, opt);
+  // The paper's check: RMS of the output arrays at 1e-7 absolute.
+  EXPECT_NEAR(rms_of(got.jac), reference_rms, 1e-7);
+  EXPECT_LT(max_abs_diff(original.jac, got.jac), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure7Combinations, ReconOptionSweep,
+    ::testing::Values(OptionCase{false, false, false, false, false},
+                      OptionCase{true, false, false, false, false},
+                      OptionCase{false, true, false, false, false},
+                      OptionCase{false, false, true, false, false},
+                      OptionCase{false, false, false, true, false},
+                      OptionCase{true, false, false, false, true},
+                      OptionCase{false, true, true, false, true},
+                      OptionCase{true, true, true, true, true},
+                      OptionCase{false, false, false, false, true}));
+
+TEST(Recon, ManualParallelMatchesOriginal) {
+  const Mesh mesh = make_mesh(kCells, kSeed);
+  const ReconResult original = reconstruct_original(mesh);
+  for (const int threads : {1, 2, 4, 16}) {
+    const ReconResult manual = reconstruct_manual(mesh, threads);
+    EXPECT_LT(max_abs_diff(original.jac, manual.jac), 1e-7)
+        << threads << " threads";
+    EXPECT_EQ(manual.stats.allocations, 0u);
+  }
+}
+
+TEST(Recon, ForkJoinAccountingMatchesStructure) {
+  const Mesh mesh = make_mesh(kCells, kSeed);
+  const ReconResult serial = reconstruct_glaf(mesh, {});
+  EXPECT_EQ(serial.stats.fork_joins, 0u);
+
+  ReconOptions outer;
+  outer.par_edgejp = true;
+  outer.threads = 4;
+  EXPECT_EQ(reconstruct_glaf(mesh, outer).stats.fork_joins, 1u);
+
+  ReconOptions cell;
+  cell.par_cell_loop = true;
+  cell.threads = 4;
+  const ReconResult cell_result = reconstruct_glaf(mesh, cell);
+  const std::uint64_t processed_cells =
+      static_cast<std::uint64_t>(mesh.n_cells) -
+      cell_result.stats.cells_skipped;
+  EXPECT_EQ(cell_result.stats.fork_joins, 2 * processed_cells);
+
+  ReconOptions edge;
+  edge.par_edge_loop = true;
+  edge.threads = 4;
+  EXPECT_EQ(reconstruct_glaf(mesh, edge).stats.fork_joins, processed_cells);
+
+  ReconOptions ioff;
+  ioff.par_ioff_search = true;
+  ioff.threads = 4;
+  const ReconResult ioff_result = reconstruct_glaf(mesh, ioff);
+  EXPECT_EQ(ioff_result.stats.fork_joins, ioff_result.stats.edge_calls);
+}
+
+TEST(Recon, AngleCheckSkipsSomeCellsButNotMost) {
+  const Mesh mesh = make_mesh(4000, 23);
+  const ReconResult r = reconstruct_original(mesh);
+  EXPECT_GT(r.stats.cells_skipped, 0u);
+  EXPECT_LT(r.stats.cells_skipped, static_cast<std::uint64_t>(mesh.n_cells / 2));
+}
+
+TEST(Recon, IoffSearchFindsCorrectOffsets) {
+  const Mesh mesh = make_mesh(200, 31);
+  for (std::int64_t e = 0; e < mesh.n_edges; e += 11) {
+    const std::int32_t a = mesh.edge_a[static_cast<std::size_t>(e)];
+    const std::int32_t b = mesh.edge_b[static_cast<std::size_t>(e)];
+    const std::int64_t off = ioff_search(mesh, a, b);
+    ASSERT_GE(off, 0);
+    EXPECT_EQ(mesh.col_idx[static_cast<std::size_t>(
+                  mesh.row_ptr[static_cast<std::size_t>(a)] + off)],
+              b);
+  }
+  // Absent target returns -1.
+  EXPECT_EQ(ioff_search(mesh, 0, -5), -1);
+}
+
+TEST(Recon, RmsOfBasics) {
+  EXPECT_DOUBLE_EQ(rms_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(rms_of({3.0, 4.0, 0.0, 0.0}), 2.5);
+}
+
+}  // namespace
+}  // namespace glaf::fun3d

@@ -1,0 +1,66 @@
+// Parameterized sweeps for the FUN3D mini-app: mesh sizes and seeds, all
+// reproducing the original's output; plus a GLAF-IR-vs-native sweep.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fun3d/glaf_full.hpp"
+#include "fun3d/recon.hpp"
+
+namespace glaf::fun3d {
+namespace {
+
+struct MeshCase {
+  std::int64_t cells;
+  std::uint64_t seed;
+};
+
+class MeshSweep : public ::testing::TestWithParam<MeshCase> {};
+
+TEST_P(MeshSweep, GlafDecompositionMatchesOriginal) {
+  const MeshCase mc = GetParam();
+  const Mesh mesh = make_mesh(mc.cells, mc.seed);
+  const ReconResult original = reconstruct_original(mesh);
+
+  ReconOptions best;  // the paper's best configuration
+  best.par_edgejp = true;
+  best.no_realloc = true;
+  best.threads = 4;
+  const ReconResult glaf = reconstruct_glaf(mesh, best);
+  EXPECT_NEAR(rms_of(glaf.jac), rms_of(original.jac), 1e-7);
+
+  const ReconResult manual = reconstruct_manual(mesh, 4);
+  EXPECT_NEAR(rms_of(manual.jac), rms_of(original.jac), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, MeshSweep,
+    ::testing::Values(MeshCase{100, 1}, MeshCase{100, 2}, MeshCase{500, 1},
+                      MeshCase{500, 3}, MeshCase{2000, 1},
+                      MeshCase{2000, 7}),
+    [](const ::testing::TestParamInfo<MeshCase>& info) {
+      return "c" + std::to_string(info.param.cells) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+class IrSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IrSweep, FullIrDecompositionBitEqualToNative) {
+  const Mesh mesh = make_mesh(64, GetParam());
+  const ReconResult native = reconstruct_original(mesh);
+  Machine m(build_fun3d_full_program(mesh));
+  ASSERT_TRUE(load_mesh(m, mesh).is_ok());
+  ASSERT_TRUE(m.call("edgejp").is_ok());
+  const std::vector<double> jac = extract_jacobian(m).value();
+  ASSERT_EQ(jac.size(), native.jac.size());
+  for (std::size_t i = 0; i < jac.size(); ++i) {
+    ASSERT_EQ(jac[i], native.jac[i]) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrSweep,
+                         ::testing::Range<std::uint64_t>(40, 48));
+
+}  // namespace
+}  // namespace glaf::fun3d

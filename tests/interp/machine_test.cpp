@@ -1,0 +1,269 @@
+#include "interp/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "testing/programs.hpp"
+
+namespace glaf {
+namespace {
+
+TEST(Machine, SaxpyComputes) {
+  Machine m(testing::saxpy_program());
+  ASSERT_TRUE(m.set_scalar("a", 2.0).is_ok());
+  ASSERT_TRUE(m.set_array("x", {1, 2, 3, 4, 5, 6, 7, 8}).is_ok());
+  ASSERT_TRUE(m.set_array("y", {1, 1, 1, 1, 1, 1, 1, 1}).is_ok());
+  ASSERT_TRUE(m.call("saxpy").is_ok());
+  const auto y = m.array("y");
+  ASSERT_TRUE(y.is_ok());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(y.value()[static_cast<std::size_t>(i)],
+                     2.0 * (i + 1) + 1.0);
+  }
+}
+
+TEST(Machine, PrefixSerialSemantics) {
+  Machine m(testing::prefix_program());
+  ASSERT_TRUE(m.set_array("arr", {5, 0, 0, 0, 0, 0, 0, 0}).is_ok());
+  ASSERT_TRUE(m.call("prefix").is_ok());
+  const auto arr = m.array("arr").value();
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(arr[i], 5.0 + i);
+}
+
+TEST(Machine, ReductionSum) {
+  Machine m(testing::reduce_program());
+  std::vector<double> x(16);
+  for (int i = 0; i < 16; ++i) x[i] = i + 1;
+  ASSERT_TRUE(m.set_array("x", x).is_ok());
+  ASSERT_TRUE(m.call("reduce_sum").is_ok());
+  EXPECT_DOUBLE_EQ(m.scalar("total").value(), 136.0);
+}
+
+TEST(Machine, FunctionReturnValue) {
+  ProgramBuilder pb("m");
+  auto fb = pb.function("twice", DataType::kDouble);
+  auto x = fb.param("x", DataType::kDouble);
+  fb.step("s").ret(E(x) * 2.0);
+  Machine m(pb.build().value());
+  const auto r = m.call("twice", {3.5});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_DOUBLE_EQ(r.value(), 7.0);
+}
+
+TEST(Machine, EarlyReturnStopsExecution) {
+  ProgramBuilder pb("m");
+  auto g = pb.global("g", DataType::kDouble);
+  auto fb = pb.function("f", DataType::kInt);
+  auto s1 = fb.step("s1");
+  s1.foreach_("i", 0, 99);
+  s1.if_(idx("i") == 3, [&](BodyBuilder& b) { b.ret(idx("i")); });
+  auto s2 = fb.step("s2");
+  s2.assign(g(), 99.0);  // must not run
+  Machine m(pb.build().value());
+  const auto r = m.call("f");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_DOUBLE_EQ(r.value(), 3.0);
+  EXPECT_DOUBLE_EQ(m.scalar("g").value(), 0.0);
+}
+
+TEST(Machine, NestedCallsByReference) {
+  ProgramBuilder pb("m");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{4}}});
+  auto buf = pb.global("buf", DataType::kDouble, {E(n)});
+  auto inner = pb.function("fill");
+  {
+    auto v = inner.param("v", DataType::kDouble, {E(n)});
+    auto s = inner.step("s");
+    s.foreach_("i", 0, E(n) - 1);
+    s.assign(v(idx("i")), idx("i") * 10);
+  }
+  auto outer = pb.function("driver");
+  outer.step("s").call_sub("fill", {E(buf)});
+  Machine m(pb.build().value());
+  ASSERT_TRUE(m.call("driver").is_ok());
+  const auto out = m.array("buf").value();
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[3], 30.0);
+}
+
+TEST(Machine, IntegerDivisionTruncates) {
+  ProgramBuilder pb("m");
+  auto i1 = pb.global("i1", DataType::kInt);
+  auto i2 = pb.global("i2", DataType::kInt);
+  auto out = pb.global("res", DataType::kInt);
+  pb.function("f").step("s").assign(out(), E(i1) / E(i2));
+  Machine m(pb.build().value());
+  ASSERT_TRUE(m.set_scalar("i1", 7).is_ok());
+  ASSERT_TRUE(m.set_scalar("i2", 2).is_ok());
+  ASSERT_TRUE(m.call("f").is_ok());
+  EXPECT_DOUBLE_EQ(m.scalar("res").value(), 3.0);
+}
+
+TEST(Machine, AssignToIntTruncates) {
+  ProgramBuilder pb("m");
+  auto out = pb.global("res", DataType::kInt);
+  pb.function("f").step("s").assign(out(), 2.9);
+  Machine m(pb.build().value());
+  ASSERT_TRUE(m.call("f").is_ok());
+  EXPECT_DOUBLE_EQ(m.scalar("res").value(), 2.0);
+}
+
+TEST(Machine, LibraryFunctions) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {4},
+                     {.init = {1.0, 2.0, 3.0, 4.0}});
+  auto r1 = pb.global("r1", DataType::kDouble);
+  auto r2 = pb.global("r2", DataType::kDouble);
+  auto r3 = pb.global("r3", DataType::kDouble);
+  auto fb = pb.function("f");
+  fb.step("s")
+      .assign(r1(), call("SUM", {E(a)}))
+      .assign(r2(), call("ABS", {lit(-2.5)}))
+      .assign(r3(), call("MAX", {lit(1.0), lit(7.0), lit(3.0)}));
+  Machine m(pb.build().value());
+  ASSERT_TRUE(m.call("f").is_ok());
+  EXPECT_DOUBLE_EQ(m.scalar("r1").value(), 10.0);
+  EXPECT_DOUBLE_EQ(m.scalar("r2").value(), 2.5);
+  EXPECT_DOUBLE_EQ(m.scalar("r3").value(), 7.0);
+}
+
+TEST(Machine, InitDataAppliedToGlobals) {
+  ProgramBuilder pb("m");
+  pb.global("tbl", DataType::kDouble, {3}, {.init = {1.5, 2.5, 3.5}});
+  auto x = pb.global("x", DataType::kDouble);
+  pb.function("noop").step("s").assign(x(), 0.0);
+  Machine m(pb.build().value());
+  const auto tbl = m.array("tbl").value();
+  EXPECT_DOUBLE_EQ(tbl[1], 2.5);
+}
+
+TEST(Machine, SymbolicExtentsFromScalarGlobals) {
+  ProgramBuilder pb("m");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{5}}});
+  auto a = pb.global("a", DataType::kDouble, {E(n) * 2});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, E(n) * 2 - 1);
+  s.assign(a(idx("i")), 1.0);
+  Machine m(pb.build().value());
+  ASSERT_TRUE(m.call("f").is_ok());
+  EXPECT_EQ(m.array("a").value().size(), 10u);
+}
+
+TEST(Machine, OutOfBoundsSubscriptReported) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {4});
+  auto k = pb.global("k", DataType::kInt);
+  auto fb = pb.function("f");
+  fb.step("s").assign(a(E(k)), 1.0);
+  Machine m(pb.build().value());
+  ASSERT_TRUE(m.set_scalar("k", 9).is_ok());
+  const auto r = m.call("f");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(Machine, StructGridFieldsIndependent) {
+  ProgramBuilder pb("m");
+  auto pts = pb.global("pts", DataType::kDouble, {4},
+                       {.fields = {{"px", DataType::kDouble},
+                                   {"py", DataType::kDouble}}});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 3);
+  s.assign(pts.at_field("px", idx("i")), idx("i") * 1.0);
+  s.assign(pts.at_field("py", idx("i")), idx("i") * -1.0);
+  Machine m(pb.build().value());
+  ASSERT_TRUE(m.call("f").is_ok());
+  EXPECT_DOUBLE_EQ(m.array("pts", "px").value()[2], 2.0);
+  EXPECT_DOUBLE_EQ(m.array("pts", "py").value()[2], -2.0);
+}
+
+TEST(Machine, SaveTemporariesReduceAllocations) {
+  ProgramBuilder pb("m");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{8}}});
+  auto a = pb.global("a", DataType::kDouble, {E(n)});
+  auto callee = pb.function("work");
+  {
+    auto t = callee.local("t", DataType::kDouble, {E(n)});
+    auto s = callee.step("s");
+    s.foreach_("i", 0, E(n) - 1);
+    s.assign(t(idx("i")), a(idx("i")));
+    s.assign(a(idx("i")), t(idx("i")) + 1.0);
+  }
+  auto driver = pb.function("driver");
+  {
+    auto s = driver.step("s");
+    s.foreach_("c", 0, 9);
+    s.call_sub("work", {});
+  }
+  const Program p = pb.build().value();
+
+  Machine realloc_m(p);
+  ASSERT_TRUE(realloc_m.call("driver").is_ok());
+  EXPECT_EQ(realloc_m.stats().local_allocations, 10u);
+
+  InterpOptions opts;
+  opts.save_temporaries = true;
+  Machine saved_m(p, opts);
+  ASSERT_TRUE(saved_m.call("driver").is_ok());
+  EXPECT_EQ(saved_m.stats().local_allocations, 1u);
+}
+
+TEST(Machine, StatsCountIterationsAndCalls) {
+  Machine m(testing::saxpy_program());
+  ASSERT_TRUE(m.call("saxpy").is_ok());
+  EXPECT_EQ(m.stats().loop_iterations, 8u);
+  EXPECT_EQ(m.stats().function_calls, 1u);
+  EXPECT_EQ(m.stats().steps_executed, 1u);
+}
+
+TEST(Machine, ErrorsForBadHostCalls) {
+  Machine m(testing::saxpy_program());
+  EXPECT_FALSE(m.call("missing").is_ok());
+  EXPECT_FALSE(m.set_scalar("missing", 1.0).is_ok());
+  EXPECT_FALSE(m.set_scalar("x", 1.0).is_ok());  // x is an array
+  EXPECT_FALSE(m.set_array("x", {1.0}).is_ok()); // wrong length
+  EXPECT_FALSE(m.array("missing").is_ok());
+}
+
+TEST(Machine, ConditionalBranching) {
+  ProgramBuilder pb("m");
+  auto x = pb.global("x", DataType::kDouble);
+  auto y = pb.global("y", DataType::kDouble);
+  auto fb = pb.function("f");
+  fb.step("s").if_(
+      E(x) > 0.0, [&](BodyBuilder& b) { b.assign(y(), 1.0); },
+      [&](BodyBuilder& b) { b.assign(y(), -1.0); });
+  const Program p = pb.build().value();
+  {
+    Machine m(p);
+    ASSERT_TRUE(m.set_scalar("x", 5.0).is_ok());
+    ASSERT_TRUE(m.call("f").is_ok());
+    EXPECT_DOUBLE_EQ(m.scalar("y").value(), 1.0);
+  }
+  {
+    Machine m(p);
+    ASSERT_TRUE(m.set_scalar("x", -5.0).is_ok());
+    ASSERT_TRUE(m.call("f").is_ok());
+    EXPECT_DOUBLE_EQ(m.scalar("y").value(), -1.0);
+  }
+}
+
+TEST(Machine, StrideLoops) {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {10});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 9, 2);
+  s.assign(a(idx("i")), 1.0);
+  Machine m(pb.build().value());
+  ASSERT_TRUE(m.call("f").is_ok());
+  const auto a_out = m.array("a").value();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a_out[i], i % 2 == 0 ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace glaf

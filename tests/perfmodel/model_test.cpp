@@ -1,0 +1,280 @@
+// Performance-model tests: the modeled Figure 5/6/7 series must reproduce
+// the paper's *shape* — orderings, crossovers, and rough factors — and
+// obey basic model laws (monotonicity, Amdahl bounds).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fuliou/glaf_kernels.hpp"
+#include "fuliou/harness.hpp"
+#include "perfmodel/fun3d_model.hpp"
+#include "perfmodel/machine_model.hpp"
+#include "perfmodel/sarb_model.hpp"
+
+namespace glaf {
+namespace {
+
+std::vector<fuliou::LoopInfo> sarb_inventory() {
+  static const Program program = fuliou::build_sarb_program();
+  static const ProgramAnalysis analysis = analyze_program(program);
+  return fuliou::sarb_loop_inventory(program, analysis);
+}
+
+std::map<std::string, double> as_map(const std::vector<SarbPoint>& pts) {
+  std::map<std::string, double> out;
+  for (const SarbPoint& p : pts) out[p.label] = p.speedup;
+  return out;
+}
+
+TEST(MachineModelTest, EffectiveParallelism) {
+  const MachineModel m = MachineModel::i5_2400();
+  EXPECT_DOUBLE_EQ(m.effective_parallelism(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.effective_parallelism(4), 4.0);
+  // Hyper-threads contribute only fractionally.
+  EXPECT_LT(m.effective_parallelism(8), 5.0);
+  EXPECT_GT(m.effective_parallelism(8), 4.0);
+  // Clamped at logical cores.
+  EXPECT_DOUBLE_EQ(m.effective_parallelism(64), m.effective_parallelism(8));
+}
+
+TEST(MachineModelTest, BandwidthCapApplies) {
+  const MachineModel xeon = MachineModel::dual_xeon_e5_2637v4();
+  EXPECT_LT(xeon.effective_bandwidth_parallelism(16),
+            xeon.effective_parallelism(16));
+  EXPECT_DOUBLE_EQ(xeon.effective_bandwidth_parallelism(2), 2.0);
+}
+
+TEST(SarbModel, Figure5ShapeHolds) {
+  const auto series = as_map(figure5_series(
+      sarb_inventory(), 4, MachineModel::i5_2400()));
+  const double serial = series.at("GLAF serial");
+  const double v0 = series.at("GLAF-parallel v0");
+  const double v1 = series.at("GLAF-parallel v1");
+  const double v2 = series.at("GLAF-parallel v2");
+  const double v3 = series.at("GLAF-parallel v3");
+
+  // Paper: 0.89 / 0.48 / 0.66 / 1.11 / 1.41.
+  EXPECT_LT(serial, 1.0);
+  EXPECT_GT(serial, 0.8);
+  EXPECT_LT(v0, v1);     // removing init/broadcast directives helps
+  EXPECT_LT(v1, serial); // v1 still loses to plain serial
+  EXPECT_LT(v1, v2);     // removing simple single loops helps more
+  EXPECT_GT(v2, 1.0);    // v2 crosses over the original serial
+  EXPECT_LT(v2, v3);     // keeping only the complex loops is best
+  EXPECT_GT(v3, 1.2);    // clearly faster than original serial
+  EXPECT_LT(v0, 0.8);    // naive v0 is clearly slower
+}
+
+TEST(SarbModel, Figure5RoughMagnitudes) {
+  const auto series = as_map(figure5_series(
+      sarb_inventory(), 4, MachineModel::i5_2400()));
+  // Within ~25% of the paper's bars.
+  EXPECT_NEAR(series.at("GLAF serial"), 0.89, 0.10);
+  EXPECT_NEAR(series.at("GLAF-parallel v0"), 0.48, 0.15);
+  EXPECT_NEAR(series.at("GLAF-parallel v1"), 0.66, 0.17);
+  EXPECT_NEAR(series.at("GLAF-parallel v2"), 1.11, 0.25);
+  EXPECT_NEAR(series.at("GLAF-parallel v3"), 1.41, 0.30);
+}
+
+TEST(SarbModel, Figure6ShapeHolds) {
+  const auto pts = figure6_series(sarb_inventory(), {1, 2, 4, 8},
+                                  MachineModel::i5_2400());
+  std::map<std::string, double> series;
+  for (const auto& p : pts) series[p.label] = p.speedup;
+  const double t1 = series.at("GLAF-parallel (1T)");
+  const double t2 = series.at("GLAF-parallel (2T)");
+  const double t4 = series.at("GLAF-parallel (4T)");
+  const double t8 = series.at("GLAF-parallel (8T)");
+  // Paper: 0.92 / 1.24 / 1.59 / 0.70.
+  EXPECT_LT(t1, 1.0);   // OMP runtime tax at one thread
+  EXPECT_GT(t1, 0.8);
+  EXPECT_GT(t2, t1);
+  EXPECT_GT(t4, t2);    // four threads is the sweet spot
+  EXPECT_GT(t4, 1.3);
+  EXPECT_LT(t8, t1);    // hyper-threaded oversubscription collapses
+}
+
+TEST(SarbModel, CollapseAblationCapsParallelism) {
+  // Without COLLAPSE(2), the 2-iteration hemisphere loops cap v3's
+  // parallel benefit (the ablation_collapse bench's law).
+  const auto inventory = sarb_inventory();
+  const MachineModel m = MachineModel::i5_2400();
+  SarbModelParams with;
+  SarbModelParams without;
+  without.collapse_directive = false;
+  const double t_with = model_sarb_time(
+      inventory, SarbVariant::kGlafParallel, DirectivePolicy::kV3, 4, m,
+      with);
+  const double t_without = model_sarb_time(
+      inventory, SarbVariant::kGlafParallel, DirectivePolicy::kV3, 4, m,
+      without);
+  EXPECT_GT(t_without, t_with);
+  // At one thread the clause makes no difference.
+  EXPECT_DOUBLE_EQ(
+      model_sarb_time(inventory, SarbVariant::kGlafParallel,
+                      DirectivePolicy::kV3, 1, m, with),
+      model_sarb_time(inventory, SarbVariant::kGlafParallel,
+                      DirectivePolicy::kV3, 1, m, without));
+}
+
+TEST(SarbModel, ParallelismNeverExceedsTripCount) {
+  // Model law: a 2-iteration loop cannot speed up more than 2x however
+  // many threads are modeled.
+  fuliou::LoopInfo tiny;
+  tiny.function = "f";
+  tiny.step = "s";
+  tiny.verdict.has_loop = true;
+  tiny.verdict.parallelizable = true;
+  tiny.verdict.loop_class = LoopClass::kComplex;
+  tiny.verdict.trip_count = 2;
+  tiny.verdict.outer_trip_count = 2;
+  tiny.stmt_count = 1000;  // big body so region costs are negligible
+  const MachineModel m = MachineModel::i5_2400();
+  const double serial = model_loop_time(tiny, SarbVariant::kOriginalSerial,
+                                        DirectivePolicy::kV0, 1, m, {});
+  const double parallel = model_loop_time(tiny, SarbVariant::kGlafParallel,
+                                          DirectivePolicy::kV3, 4, m, {});
+  EXPECT_GT(parallel, serial / 2.5);  // bounded by the 2-way trip count
+}
+
+TEST(SarbModel, MoreStatementsCostMore) {
+  const auto inventory = sarb_inventory();
+  const MachineModel m = MachineModel::i5_2400();
+  SarbModelParams params;
+  const double base = model_sarb_time(inventory, SarbVariant::kOriginalSerial,
+                                      DirectivePolicy::kV0, 1, m, params);
+  params.stmt_cost = 2.0;
+  const double doubled = model_sarb_time(
+      inventory, SarbVariant::kOriginalSerial, DirectivePolicy::kV0, 1, m,
+      params);
+  EXPECT_NEAR(doubled, 2.0 * base, 1e-9);
+}
+
+TEST(SarbModel, GlafSerialSlowerThanOriginal) {
+  const auto inventory = sarb_inventory();
+  const MachineModel m = MachineModel::i5_2400();
+  EXPECT_GT(model_sarb_time(inventory, SarbVariant::kGlafSerial,
+                            DirectivePolicy::kV0, 1, m),
+            model_sarb_time(inventory, SarbVariant::kOriginalSerial,
+                            DirectivePolicy::kV0, 1, m));
+}
+
+// ---- FUN3D / Figure 7 -------------------------------------------------
+
+Fun3dWorkload paper_workload() {
+  // The paper's dataset: ~1M cells, ~10M edge visits, ~5% skipped.
+  Fun3dWorkload w;
+  w.cells = 1000000;
+  w.processed_cells = 950000;
+  w.edges = 9500000;
+  w.avg_edges_per_cell = 10.0;
+  w.avg_row_entries = 8.0;
+  return w;
+}
+
+TEST(Fun3dModel, Figure7ShapeHolds) {
+  const auto series = figure7_series(paper_workload(), 16,
+                                     MachineModel::dual_xeon_e5_2637v4());
+  double manual = 0.0;
+  double best_glaf = 0.0;
+  std::string best_label;
+  for (const Fun3dPoint& p : series) {
+    if (p.manual) {
+      manual = p.speedup;
+    } else if (p.speedup > best_glaf) {
+      best_glaf = p.speedup;
+      best_label = p.label;
+    }
+  }
+  // Paper: manual 3.85x, best GLAF 1.67x (manual/best ~ 2.3).
+  EXPECT_GT(manual, 3.0);
+  EXPECT_LT(manual, 4.5);
+  EXPECT_GT(best_glaf, 1.2);
+  EXPECT_LT(best_glaf, 2.5);
+  EXPECT_GT(manual / best_glaf, 1.6);
+  EXPECT_LT(manual / best_glaf, 3.2);
+  // Best GLAF configuration is coarse-grained + no reallocation.
+  EXPECT_NE(best_label.find("EdgeJP"), std::string::npos) << best_label;
+  EXPECT_NE(best_label.find("no-realloc"), std::string::npos) << best_label;
+}
+
+TEST(Fun3dModel, InnerOnlyParallelismIsCatastrophic) {
+  const Fun3dWorkload w = paper_workload();
+  const MachineModel xeon = MachineModel::dual_xeon_e5_2637v4();
+  // cell_loop-only: a fork/join for every cell (the figure's deep 1/2^n
+  // bars).
+  Fun3dConfig cfg;
+  cfg.options.par_cell_loop = true;
+  cfg.options.threads = 16;
+  Fun3dConfig original;
+  original.manual = true;  // manual at 1 thread == the original serial
+  const double t_original = model_fun3d_time(w, original, 1, xeon);
+  const double t_cell = model_fun3d_time(w, cfg, 16, xeon);
+  // Figure 7's log scale: these bars sit around 1/16x..1/128x.
+  EXPECT_GT(t_cell, 10.0 * t_original);
+
+  // ioff-search parallelism forks per edge: even worse.
+  Fun3dConfig ioff;
+  ioff.options.par_ioff_search = true;
+  ioff.options.threads = 16;
+  EXPECT_GT(model_fun3d_time(w, ioff, 16, xeon), t_cell);
+}
+
+TEST(Fun3dModel, NoReallocHelpsEveryConfiguration) {
+  const Fun3dWorkload w = paper_workload();
+  const MachineModel xeon = MachineModel::dual_xeon_e5_2637v4();
+  for (int mask = 0; mask < 16; ++mask) {
+    Fun3dConfig with;
+    with.options.par_edgejp = (mask & 1) != 0;
+    with.options.par_cell_loop = (mask & 2) != 0;
+    with.options.par_edge_loop = (mask & 4) != 0;
+    with.options.par_ioff_search = (mask & 8) != 0;
+    with.options.threads = 16;
+    Fun3dConfig without = with;
+    with.options.no_realloc = true;
+    EXPECT_LT(model_fun3d_time(w, with, 16, xeon),
+              model_fun3d_time(w, without, 16, xeon))
+        << mask;
+  }
+}
+
+TEST(Fun3dModel, SeriesCoversAllCombinationsPlusManual) {
+  const auto series = figure7_series(paper_workload(), 16,
+                                     MachineModel::dual_xeon_e5_2637v4());
+  EXPECT_EQ(series.size(), 33u);  // 32 combinations + manual
+  int manual_count = 0;
+  for (const auto& p : series) manual_count += p.manual ? 1 : 0;
+  EXPECT_EQ(manual_count, 1);
+}
+
+TEST(Fun3dModel, WorkloadFromMeshAndStats) {
+  const fun3d::Mesh mesh = fun3d::make_mesh(500, 3);
+  const fun3d::ReconResult r = fun3d::reconstruct_original(mesh);
+  const Fun3dWorkload w = workload_from(mesh, r.stats);
+  EXPECT_EQ(w.cells, 500);
+  EXPECT_EQ(w.processed_cells,
+            500 - static_cast<std::int64_t>(r.stats.cells_skipped));
+  EXPECT_EQ(w.edges, static_cast<std::int64_t>(r.stats.edge_calls));
+  EXPECT_GT(w.avg_edges_per_cell, 8.0);
+  EXPECT_GT(w.avg_row_entries, 1.0);
+}
+
+TEST(Fun3dModel, ManualScalesWithThreadsUpToBandwidth) {
+  const Fun3dWorkload w = paper_workload();
+  const MachineModel xeon = MachineModel::dual_xeon_e5_2637v4();
+  Fun3dConfig manual;
+  manual.manual = true;
+  const double t1 = model_fun3d_time(w, manual, 1, xeon);
+  const double t2 = model_fun3d_time(w, manual, 2, xeon);
+  const double t4 = model_fun3d_time(w, manual, 4, xeon);
+  const double t16 = model_fun3d_time(w, manual, 16, xeon);
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t4);
+  // Bandwidth cap: 16T is essentially the same as 4T (the extra threads
+  // only add fork cost).
+  EXPECT_NEAR(t16 / t4, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace glaf

@@ -1,0 +1,59 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace glaf {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const CliArgs args = make({"--threads=8", "--name=hello"});
+  EXPECT_EQ(args.get_int("threads", 1), 8);
+  EXPECT_EQ(args.get("name", ""), "hello");
+}
+
+TEST(Cli, SpaceSeparatedForm) {
+  const CliArgs args = make({"--cells", "1000000"});
+  EXPECT_EQ(args.get_int("cells", 0), 1000000);
+}
+
+TEST(Cli, BareBooleanFlag) {
+  const CliArgs args = make({"--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+}
+
+TEST(Cli, BoolSpellings) {
+  EXPECT_TRUE(make({"--x=ON"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=Yes"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=false"}).get_bool("x", true));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const CliArgs args = make({});
+  EXPECT_EQ(args.get_int("n", 42), 42);
+  EXPECT_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(args.get("s", "dflt"), "dflt");
+  EXPECT_FALSE(args.has("n"));
+}
+
+TEST(Cli, PositionalArgumentsPreserved) {
+  const CliArgs args = make({"input.dat", "--n=3", "out.dat"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.dat");
+  EXPECT_EQ(args.positional()[1], "out.dat");
+}
+
+TEST(Cli, DoubleParsing) {
+  EXPECT_DOUBLE_EQ(make({"--tol=1e-7"}).get_double("tol", 0), 1e-7);
+}
+
+}  // namespace
+}  // namespace glaf

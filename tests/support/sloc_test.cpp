@@ -1,0 +1,60 @@
+#include "support/sloc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace glaf {
+namespace {
+
+TEST(Sloc, FortranCountsCodeNotComments) {
+  const char* src =
+      "! header comment\n"
+      "SUBROUTINE foo(x)\n"
+      "  REAL :: x\n"
+      "\n"
+      "  ! explain\n"
+      "  x = 1.0\n"
+      "END SUBROUTINE foo\n";
+  EXPECT_EQ(count_sloc(src, SlocLanguage::kFortran), 4);
+}
+
+TEST(Sloc, FortranCountsOmpSentinelsAsCode) {
+  const char* src =
+      "!$OMP PARALLEL DO\n"
+      "DO i = 0, 9\n"
+      "END DO\n"
+      "!$OMP END PARALLEL DO\n"
+      "! just a note\n";
+  EXPECT_EQ(count_sloc(src, SlocLanguage::kFortran), 4);
+}
+
+TEST(Sloc, FortranCaseInsensitiveSentinel) {
+  EXPECT_EQ(count_sloc("!$omp atomic\n", SlocLanguage::kFortran), 1);
+}
+
+TEST(Sloc, CLineCommentsExcluded) {
+  const char* src =
+      "// top\n"
+      "int x = 0;\n"
+      "  // indented\n"
+      "x++;\n";
+  EXPECT_EQ(count_sloc(src, SlocLanguage::kC), 2);
+}
+
+TEST(Sloc, CBlockComments) {
+  const char* src =
+      "/* one-liner */\n"
+      "int a;\n"
+      "/* spans\n"
+      "   lines */\n"
+      "int b;\n"
+      "/* close */ int c;\n";
+  EXPECT_EQ(count_sloc(src, SlocLanguage::kC), 3);
+}
+
+TEST(Sloc, EmptyInput) {
+  EXPECT_EQ(count_sloc("", SlocLanguage::kFortran), 0);
+  EXPECT_EQ(count_sloc("\n\n\n", SlocLanguage::kC), 0);
+}
+
+}  // namespace
+}  // namespace glaf

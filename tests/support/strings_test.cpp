@@ -1,0 +1,88 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace glaf {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitLinesDropsTrailingNewlineOnly) {
+  const auto lines = split_lines("one\ntwo\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+  EXPECT_EQ(split_lines("a\n\nb").size(), 3u);
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, ", "), "x, y, z");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(to_upper("omp parallel do"), "OMP PARALLEL DO");
+  EXPECT_EQ(to_lower("SUBROUTINE"), "subroutine");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("!$OMP PARALLEL", "!$OMP"));
+  EXPECT_FALSE(starts_with("OMP", "!$OMP"));
+  EXPECT_TRUE(ends_with("file.f90", ".f90"));
+  EXPECT_FALSE(ends_with("f90", ".f90"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");
+}
+
+TEST(Strings, RepeatBuildsPadding) {
+  EXPECT_EQ(repeat("ab", 3), "ababab");
+  EXPECT_EQ(repeat("x", 0), "");
+}
+
+TEST(Strings, FormatDoubleRoundTripsAndStaysFloat) {
+  EXPECT_EQ(format_double(1.0), "1.0");
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(-3.0), "-3.0");
+  // Shortest round-trip: parsing the text must recover the exact value.
+  for (const double v : {3.141592653589793, 1e-20, 6.02214076e23, 0.1}) {
+    const std::string text = format_double(v);
+    EXPECT_EQ(std::stod(text), v) << text;
+  }
+}
+
+TEST(Strings, IdentifierValidity) {
+  EXPECT_TRUE(is_valid_identifier("lw_spectral_integration"));
+  EXPECT_TRUE(is_valid_identifier("a1"));
+  EXPECT_FALSE(is_valid_identifier(""));
+  EXPECT_FALSE(is_valid_identifier("1a"));
+  EXPECT_FALSE(is_valid_identifier("has space"));
+  EXPECT_FALSE(is_valid_identifier("has-dash"));
+  EXPECT_FALSE(is_valid_identifier(std::string(64, 'a')));
+  EXPECT_TRUE(is_valid_identifier(std::string(63, 'a')));
+}
+
+TEST(Strings, CatConcatenatesMixedTypes) {
+  EXPECT_EQ(cat("n=", 42, ", x=", 1.5), "n=42, x=1.5");
+}
+
+}  // namespace
+}  // namespace glaf

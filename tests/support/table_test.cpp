@@ -1,0 +1,42 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/strings.hpp"
+
+namespace glaf {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Subroutine name", "SLOC"});
+  t.set_alignment({Align::kLeft, Align::kRight});
+  t.add_row({"adjust2", "38"});
+  t.add_row({"longwave_entropy_model", "422"});
+  const std::string out = t.render();
+  // Every line must be the same width.
+  const auto lines = split_lines(out);
+  ASSERT_GE(lines.size(), 6u);
+  for (const auto& line : lines) EXPECT_EQ(line.size(), lines[0].size());
+  EXPECT_NE(out.find("| adjust2"), std::string::npos);
+  EXPECT_NE(out.find(" 422 |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTable, RightAlignmentPadsLeft) {
+  TextTable t({"v"});
+  t.set_alignment({Align::kRight});
+  t.add_row({"7"});
+  t.add_row({"123"});
+  const auto lines = split_lines(t.render());
+  // Row with "7" should contain "   7 " style padding before the cell.
+  EXPECT_NE(lines[3].find("  7 |"), std::string::npos) << lines[3];
+}
+
+TEST(FormatSpeedup, TwoDecimalsWithSuffix) {
+  EXPECT_EQ(format_speedup(1.41), "1.41x");
+  EXPECT_EQ(format_speedup(0.479), "0.48x");
+  EXPECT_EQ(format_speedup(3.849), "3.85x");
+}
+
+}  // namespace
+}  // namespace glaf

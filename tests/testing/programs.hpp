@@ -1,0 +1,72 @@
+#pragma once
+// Canonical mini-programs shared across the test suites.
+
+#include "core/builder.hpp"
+
+namespace glaf::testing {
+
+/// y[i] = a * x[i] + y[i] over n elements — the classic parallelizable loop.
+/// Globals: n (scalar int, init 8), a (scalar), x, y (arrays of extent n).
+inline Program saxpy_program() {
+  ProgramBuilder pb("saxpy_mod");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{8}}});
+  auto a = pb.global("a", DataType::kDouble);
+  auto x = pb.global("x", DataType::kDouble, {E(n)});
+  auto y = pb.global("y", DataType::kDouble, {E(n)});
+  auto fb = pb.function("saxpy");
+  auto s = fb.step("Step1");
+  s.foreach_("i", 0, E(n) - 1);
+  s.assign(y(idx("i")), E(a) * x(idx("i")) + y(idx("i")));
+  return pb.build().value();
+}
+
+/// a[i] = a[i-1] + 1.0 — a loop-carried dependence (must stay serial).
+inline Program prefix_program() {
+  ProgramBuilder pb("prefix_mod");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{8}}});
+  auto arr = pb.global("arr", DataType::kDouble, {E(n)});
+  auto fb = pb.function("prefix");
+  auto s = fb.step("Step1");
+  s.foreach_("i", 1, E(n) - 1);
+  s.assign(arr(idx("i")), arr(idx("i") - 1) + 1.0);
+  return pb.build().value();
+}
+
+/// total = total + x[i] — a sum reduction.
+inline Program reduce_program() {
+  ProgramBuilder pb("reduce_mod");
+  auto n = pb.global("n", DataType::kInt, {}, {.init = {std::int64_t{16}}});
+  auto x = pb.global("x", DataType::kDouble, {E(n)});
+  auto total = pb.global("total", DataType::kDouble);
+  auto fb = pb.function("reduce_sum");
+  auto s = fb.step("Step1");
+  s.foreach_("i", 0, E(n) - 1);
+  s.assign(total(), E(total) + x(idx("i")));
+  return pb.build().value();
+}
+
+/// The §3 integration features in one program: a grid from an existing
+/// module, a COMMON-block grid, a module-scope grid, a TYPE element, and a
+/// subroutine writing them.
+inline Program integration_program() {
+  ProgramBuilder pb("integ_mod");
+  auto nlev = pb.global("nlev", DataType::kInt, {},
+                        {.init = {std::int64_t{4}}});
+  auto tsfc = pb.global("tsfc", DataType::kDouble, {},
+                        {.from_module = "fuliou_data"});
+  auto press = pb.global("press", DataType::kDouble, {E(nlev)},
+                         {.common_block = "atmos"});
+  auto accum = pb.global("accum", DataType::kDouble, {E(nlev)},
+                         {.comment = "module-scope accumulator",
+                          .module_scope = true});
+  auto charge = pb.global("charge", DataType::kDouble, {},
+                          {.from_module = "particle_mod",
+                           .type_parent = "atom1"});
+  auto fb = pb.function("update");  // void -> SUBROUTINE
+  auto s = fb.step("Step1");
+  s.foreach_("k", 0, E(nlev) - 1);
+  s.assign(accum(idx("k")), press(idx("k")) * E(tsfc) + E(charge));
+  return pb.build().value();
+}
+
+}  // namespace glaf::testing

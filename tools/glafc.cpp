@@ -1,0 +1,166 @@
+// glafc — the GLAF command-line driver.
+//
+// Loads a serialized GLAF program (or one of the built-in case-study
+// programs), validates it, runs the auto-parallelization analysis, and
+// emits code or reports:
+//
+//   glafc program.glaf --emit=fortran --policy=v3        # FORTRAN + OMP
+//   glafc --builtin=sarb --emit=c --serial               # C, no OpenMP
+//   glafc --builtin=fun3d --emit=opencl                  # kernels + host
+//   glafc program.glaf --report                          # Markdown report
+//   glafc --builtin=sarb --dump                          # IR text format
+//
+// Options: --emit=fortran|c|opencl, --policy=v0..v3, --serial, --soa,
+//          --save-temporaries, --no-collapse, --out=FILE,
+//          --opt=inline,fold (IR passes applied in order before analysis),
+//          --schedule=default|static|dynamic [--schedule-chunk=N].
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/transform.hpp"
+#include "codegen/c.hpp"
+#include "codegen/fortran.hpp"
+#include "codegen/opencl.hpp"
+#include "codegen/report.hpp"
+#include "core/serialize.hpp"
+#include "core/validate.hpp"
+#include "fuliou/glaf_kernels.hpp"
+#include "fun3d/glaf_fun3d.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+
+using namespace glaf;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "glafc: %s\n", message.c_str());
+  return 1;
+}
+
+StatusOr<Program> load_program(const CliArgs& args) {
+  const std::string builtin = args.get("builtin", "");
+  if (builtin == "sarb") return fuliou::build_sarb_program();
+  if (builtin == "fun3d") return fun3d::build_fun3d_glaf_program();
+  if (!builtin.empty()) {
+    return invalid_argument("unknown builtin '" + builtin +
+                            "' (try sarb or fun3d)");
+  }
+  if (args.positional().empty()) {
+    return invalid_argument(
+        "no input: pass a .glaf file or --builtin=sarb|fun3d");
+  }
+  std::ifstream in(args.positional()[0]);
+  if (!in) {
+    return not_found("cannot open '" + args.positional()[0] + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_program(text.str());
+}
+
+int write_output(const CliArgs& args, const std::string& content) {
+  const std::string path = args.get("out", "");
+  if (path.empty()) {
+    std::fputs(content.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(path);
+  if (!out) return fail("cannot write '" + path + "'");
+  out << content;
+  std::fprintf(stderr, "glafc: wrote %zu bytes to %s\n", content.size(),
+               path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+
+  auto loaded = load_program(args);
+  if (!loaded.is_ok()) return fail(loaded.status().message());
+  Program program = std::move(loaded).value();
+
+  // Optimization pipeline: named passes, applied in order.
+  for (const std::string& pass : split(args.get("opt", ""), ',')) {
+    if (pass.empty()) continue;
+    if (pass == "inline") {
+      InlineResult r = inline_trivial_calls(program);
+      std::fprintf(stderr, "glafc: inlined %d call(s)\n", r.inlined_calls);
+      program = std::move(r.program);
+    } else if (pass == "fold") {
+      FoldResult r = fold_constants(program);
+      std::fprintf(stderr, "glafc: folded %d constant expression(s)\n",
+                   r.folded_exprs);
+      program = std::move(r.program);
+    } else {
+      return fail("unknown --opt pass '" + pass + "' (inline|fold)");
+    }
+  }
+
+  const std::vector<Diagnostic> diags = validate(program);
+  for (const Diagnostic& d : diags) {
+    std::fprintf(stderr, "glafc: %s: %s: %s\n",
+                 d.severity == Severity::kError ? "error" : "warning",
+                 d.where.c_str(), d.message.c_str());
+  }
+  if (!is_valid(diags)) return 1;
+
+  if (args.get_bool("dump", false)) {
+    return write_output(args, serialize_program(program));
+  }
+
+  const ProgramAnalysis analysis = analyze_program(program);
+
+  if (args.get_bool("report", false)) {
+    return write_output(args, parallelization_report(program, analysis));
+  }
+
+  CodegenOptions opts;
+  const std::string policy = args.get("policy", "v0");
+  if (policy == "v0") {
+    opts.policy = DirectivePolicy::kV0;
+  } else if (policy == "v1") {
+    opts.policy = DirectivePolicy::kV1;
+  } else if (policy == "v2") {
+    opts.policy = DirectivePolicy::kV2;
+  } else if (policy == "v3") {
+    opts.policy = DirectivePolicy::kV3;
+  } else {
+    return fail("unknown policy '" + policy + "' (v0..v3)");
+  }
+  opts.enable_openmp = !args.get_bool("serial", false);
+  opts.soa_layout = args.get_bool("soa", false);
+  opts.save_temporaries = args.get_bool("save-temporaries", false);
+  opts.emit_collapse = !args.get_bool("no-collapse", false);
+  const std::string schedule = args.get("schedule", "default");
+  if (schedule == "dynamic") {
+    opts.schedule = OmpSchedule::kDynamic;
+  } else if (schedule == "static") {
+    opts.schedule = OmpSchedule::kStatic;
+  } else if (schedule != "default") {
+    return fail("unknown --schedule '" + schedule +
+                "' (default|static|dynamic)");
+  }
+  opts.schedule_chunk =
+      static_cast<int>(args.get_int("schedule-chunk", 0));
+
+  const std::string emit = args.get("emit", "fortran");
+  if (emit == "fortran") {
+    opts.language = Language::kFortran;
+    return write_output(args, generate_fortran(program, analysis, opts).source);
+  }
+  if (emit == "c") {
+    opts.language = Language::kC;
+    return write_output(args, generate_c(program, analysis, opts).source);
+  }
+  if (emit == "opencl") {
+    opts.language = Language::kOpenCL;
+    const OpenClCode code = generate_opencl(program, analysis, opts);
+    return write_output(args, code.kernels + "\n" + code.host);
+  }
+  return fail("unknown --emit '" + emit + "' (fortran|c|opencl)");
+}
