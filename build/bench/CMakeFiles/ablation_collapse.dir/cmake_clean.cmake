@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collapse.dir/ablation_collapse.cpp.o"
+  "CMakeFiles/ablation_collapse.dir/ablation_collapse.cpp.o.d"
+  "ablation_collapse"
+  "ablation_collapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_realloc.dir/ablation_realloc.cpp.o"
+  "CMakeFiles/ablation_realloc.dir/ablation_realloc.cpp.o.d"
+  "ablation_realloc"
+  "ablation_realloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_realloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_sarb_scaling.cpp" "bench/CMakeFiles/fig6_sarb_scaling.dir/fig6_sarb_scaling.cpp.o" "gcc" "bench/CMakeFiles/fig6_sarb_scaling.dir/fig6_sarb_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perfmodel/CMakeFiles/glaf_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuliou/CMakeFiles/glaf_fuliou.dir/DependInfo.cmake"
+  "/root/repo/build/src/fun3d/CMakeFiles/glaf_fun3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/glaf_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/glaf_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/glaf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/glaf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/glaf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/glaf_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

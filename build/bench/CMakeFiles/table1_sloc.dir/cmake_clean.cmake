@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sloc.dir/table1_sloc.cpp.o"
+  "CMakeFiles/table1_sloc.dir/table1_sloc.cpp.o.d"
+  "table1_sloc"
+  "table1_sloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fun3d_jacobian.dir/fun3d_jacobian.cpp.o"
+  "CMakeFiles/fun3d_jacobian.dir/fun3d_jacobian.cpp.o.d"
+  "fun3d_jacobian"
+  "fun3d_jacobian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fun3d_jacobian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_charges.dir/point_charges.cpp.o"
+  "CMakeFiles/point_charges.dir/point_charges.cpp.o.d"
+  "point_charges"
+  "point_charges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_charges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

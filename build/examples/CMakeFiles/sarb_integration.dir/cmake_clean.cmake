@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarb_integration.dir/sarb_integration.cpp.o"
+  "CMakeFiles/sarb_integration.dir/sarb_integration.cpp.o.d"
+  "sarb_integration"
+  "sarb_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarb_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

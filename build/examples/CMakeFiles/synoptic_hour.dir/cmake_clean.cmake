@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synoptic_hour.dir/synoptic_hour.cpp.o"
+  "CMakeFiles/synoptic_hour.dir/synoptic_hour.cpp.o.d"
+  "synoptic_hour"
+  "synoptic_hour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synoptic_hour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/access.cpp" "src/analysis/CMakeFiles/glaf_analysis.dir/access.cpp.o" "gcc" "src/analysis/CMakeFiles/glaf_analysis.dir/access.cpp.o.d"
+  "/root/repo/src/analysis/affine.cpp" "src/analysis/CMakeFiles/glaf_analysis.dir/affine.cpp.o" "gcc" "src/analysis/CMakeFiles/glaf_analysis.dir/affine.cpp.o.d"
+  "/root/repo/src/analysis/dependence.cpp" "src/analysis/CMakeFiles/glaf_analysis.dir/dependence.cpp.o" "gcc" "src/analysis/CMakeFiles/glaf_analysis.dir/dependence.cpp.o.d"
+  "/root/repo/src/analysis/loopclass.cpp" "src/analysis/CMakeFiles/glaf_analysis.dir/loopclass.cpp.o" "gcc" "src/analysis/CMakeFiles/glaf_analysis.dir/loopclass.cpp.o.d"
+  "/root/repo/src/analysis/parallelize.cpp" "src/analysis/CMakeFiles/glaf_analysis.dir/parallelize.cpp.o" "gcc" "src/analysis/CMakeFiles/glaf_analysis.dir/parallelize.cpp.o.d"
+  "/root/repo/src/analysis/reduction.cpp" "src/analysis/CMakeFiles/glaf_analysis.dir/reduction.cpp.o" "gcc" "src/analysis/CMakeFiles/glaf_analysis.dir/reduction.cpp.o.d"
+  "/root/repo/src/analysis/transform.cpp" "src/analysis/CMakeFiles/glaf_analysis.dir/transform.cpp.o" "gcc" "src/analysis/CMakeFiles/glaf_analysis.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/glaf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/glaf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glaf_analysis.dir/access.cpp.o"
+  "CMakeFiles/glaf_analysis.dir/access.cpp.o.d"
+  "CMakeFiles/glaf_analysis.dir/affine.cpp.o"
+  "CMakeFiles/glaf_analysis.dir/affine.cpp.o.d"
+  "CMakeFiles/glaf_analysis.dir/dependence.cpp.o"
+  "CMakeFiles/glaf_analysis.dir/dependence.cpp.o.d"
+  "CMakeFiles/glaf_analysis.dir/loopclass.cpp.o"
+  "CMakeFiles/glaf_analysis.dir/loopclass.cpp.o.d"
+  "CMakeFiles/glaf_analysis.dir/parallelize.cpp.o"
+  "CMakeFiles/glaf_analysis.dir/parallelize.cpp.o.d"
+  "CMakeFiles/glaf_analysis.dir/reduction.cpp.o"
+  "CMakeFiles/glaf_analysis.dir/reduction.cpp.o.d"
+  "CMakeFiles/glaf_analysis.dir/transform.cpp.o"
+  "CMakeFiles/glaf_analysis.dir/transform.cpp.o.d"
+  "libglaf_analysis.a"
+  "libglaf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glaf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/c.cpp" "src/codegen/CMakeFiles/glaf_codegen.dir/c.cpp.o" "gcc" "src/codegen/CMakeFiles/glaf_codegen.dir/c.cpp.o.d"
+  "/root/repo/src/codegen/directive_policy.cpp" "src/codegen/CMakeFiles/glaf_codegen.dir/directive_policy.cpp.o" "gcc" "src/codegen/CMakeFiles/glaf_codegen.dir/directive_policy.cpp.o.d"
+  "/root/repo/src/codegen/emitter.cpp" "src/codegen/CMakeFiles/glaf_codegen.dir/emitter.cpp.o" "gcc" "src/codegen/CMakeFiles/glaf_codegen.dir/emitter.cpp.o.d"
+  "/root/repo/src/codegen/fortran.cpp" "src/codegen/CMakeFiles/glaf_codegen.dir/fortran.cpp.o" "gcc" "src/codegen/CMakeFiles/glaf_codegen.dir/fortran.cpp.o.d"
+  "/root/repo/src/codegen/opencl.cpp" "src/codegen/CMakeFiles/glaf_codegen.dir/opencl.cpp.o" "gcc" "src/codegen/CMakeFiles/glaf_codegen.dir/opencl.cpp.o.d"
+  "/root/repo/src/codegen/report.cpp" "src/codegen/CMakeFiles/glaf_codegen.dir/report.cpp.o" "gcc" "src/codegen/CMakeFiles/glaf_codegen.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/glaf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/glaf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/glaf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

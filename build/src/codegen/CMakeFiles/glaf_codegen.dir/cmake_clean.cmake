@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glaf_codegen.dir/c.cpp.o"
+  "CMakeFiles/glaf_codegen.dir/c.cpp.o.d"
+  "CMakeFiles/glaf_codegen.dir/directive_policy.cpp.o"
+  "CMakeFiles/glaf_codegen.dir/directive_policy.cpp.o.d"
+  "CMakeFiles/glaf_codegen.dir/emitter.cpp.o"
+  "CMakeFiles/glaf_codegen.dir/emitter.cpp.o.d"
+  "CMakeFiles/glaf_codegen.dir/fortran.cpp.o"
+  "CMakeFiles/glaf_codegen.dir/fortran.cpp.o.d"
+  "CMakeFiles/glaf_codegen.dir/opencl.cpp.o"
+  "CMakeFiles/glaf_codegen.dir/opencl.cpp.o.d"
+  "CMakeFiles/glaf_codegen.dir/report.cpp.o"
+  "CMakeFiles/glaf_codegen.dir/report.cpp.o.d"
+  "libglaf_codegen.a"
+  "libglaf_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glaf_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

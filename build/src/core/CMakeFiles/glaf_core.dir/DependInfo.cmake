@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builder.cpp" "src/core/CMakeFiles/glaf_core.dir/builder.cpp.o" "gcc" "src/core/CMakeFiles/glaf_core.dir/builder.cpp.o.d"
+  "/root/repo/src/core/expr.cpp" "src/core/CMakeFiles/glaf_core.dir/expr.cpp.o" "gcc" "src/core/CMakeFiles/glaf_core.dir/expr.cpp.o.d"
+  "/root/repo/src/core/grid.cpp" "src/core/CMakeFiles/glaf_core.dir/grid.cpp.o" "gcc" "src/core/CMakeFiles/glaf_core.dir/grid.cpp.o.d"
+  "/root/repo/src/core/libfuncs.cpp" "src/core/CMakeFiles/glaf_core.dir/libfuncs.cpp.o" "gcc" "src/core/CMakeFiles/glaf_core.dir/libfuncs.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/core/CMakeFiles/glaf_core.dir/program.cpp.o" "gcc" "src/core/CMakeFiles/glaf_core.dir/program.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/glaf_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/glaf_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/stmt.cpp" "src/core/CMakeFiles/glaf_core.dir/stmt.cpp.o" "gcc" "src/core/CMakeFiles/glaf_core.dir/stmt.cpp.o.d"
+  "/root/repo/src/core/typecheck.cpp" "src/core/CMakeFiles/glaf_core.dir/typecheck.cpp.o" "gcc" "src/core/CMakeFiles/glaf_core.dir/typecheck.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/glaf_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/glaf_core.dir/types.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/glaf_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/glaf_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/glaf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glaf_core.dir/builder.cpp.o"
+  "CMakeFiles/glaf_core.dir/builder.cpp.o.d"
+  "CMakeFiles/glaf_core.dir/expr.cpp.o"
+  "CMakeFiles/glaf_core.dir/expr.cpp.o.d"
+  "CMakeFiles/glaf_core.dir/grid.cpp.o"
+  "CMakeFiles/glaf_core.dir/grid.cpp.o.d"
+  "CMakeFiles/glaf_core.dir/libfuncs.cpp.o"
+  "CMakeFiles/glaf_core.dir/libfuncs.cpp.o.d"
+  "CMakeFiles/glaf_core.dir/program.cpp.o"
+  "CMakeFiles/glaf_core.dir/program.cpp.o.d"
+  "CMakeFiles/glaf_core.dir/serialize.cpp.o"
+  "CMakeFiles/glaf_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/glaf_core.dir/stmt.cpp.o"
+  "CMakeFiles/glaf_core.dir/stmt.cpp.o.d"
+  "CMakeFiles/glaf_core.dir/typecheck.cpp.o"
+  "CMakeFiles/glaf_core.dir/typecheck.cpp.o.d"
+  "CMakeFiles/glaf_core.dir/types.cpp.o"
+  "CMakeFiles/glaf_core.dir/types.cpp.o.d"
+  "CMakeFiles/glaf_core.dir/validate.cpp.o"
+  "CMakeFiles/glaf_core.dir/validate.cpp.o.d"
+  "libglaf_core.a"
+  "libglaf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glaf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

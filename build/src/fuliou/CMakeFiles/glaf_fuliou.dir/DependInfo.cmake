@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuliou/glaf_kernels.cpp" "src/fuliou/CMakeFiles/glaf_fuliou.dir/glaf_kernels.cpp.o" "gcc" "src/fuliou/CMakeFiles/glaf_fuliou.dir/glaf_kernels.cpp.o.d"
+  "/root/repo/src/fuliou/harness.cpp" "src/fuliou/CMakeFiles/glaf_fuliou.dir/harness.cpp.o" "gcc" "src/fuliou/CMakeFiles/glaf_fuliou.dir/harness.cpp.o.d"
+  "/root/repo/src/fuliou/profile.cpp" "src/fuliou/CMakeFiles/glaf_fuliou.dir/profile.cpp.o" "gcc" "src/fuliou/CMakeFiles/glaf_fuliou.dir/profile.cpp.o.d"
+  "/root/repo/src/fuliou/reference.cpp" "src/fuliou/CMakeFiles/glaf_fuliou.dir/reference.cpp.o" "gcc" "src/fuliou/CMakeFiles/glaf_fuliou.dir/reference.cpp.o.d"
+  "/root/repo/src/fuliou/zones.cpp" "src/fuliou/CMakeFiles/glaf_fuliou.dir/zones.cpp.o" "gcc" "src/fuliou/CMakeFiles/glaf_fuliou.dir/zones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/glaf_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/glaf_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/glaf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/glaf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/glaf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/glaf_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

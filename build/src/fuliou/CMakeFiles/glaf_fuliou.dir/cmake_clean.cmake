@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glaf_fuliou.dir/glaf_kernels.cpp.o"
+  "CMakeFiles/glaf_fuliou.dir/glaf_kernels.cpp.o.d"
+  "CMakeFiles/glaf_fuliou.dir/harness.cpp.o"
+  "CMakeFiles/glaf_fuliou.dir/harness.cpp.o.d"
+  "CMakeFiles/glaf_fuliou.dir/profile.cpp.o"
+  "CMakeFiles/glaf_fuliou.dir/profile.cpp.o.d"
+  "CMakeFiles/glaf_fuliou.dir/reference.cpp.o"
+  "CMakeFiles/glaf_fuliou.dir/reference.cpp.o.d"
+  "CMakeFiles/glaf_fuliou.dir/zones.cpp.o"
+  "CMakeFiles/glaf_fuliou.dir/zones.cpp.o.d"
+  "libglaf_fuliou.a"
+  "libglaf_fuliou.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glaf_fuliou.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

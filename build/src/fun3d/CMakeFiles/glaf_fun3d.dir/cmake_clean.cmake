@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glaf_fun3d.dir/glaf_full.cpp.o"
+  "CMakeFiles/glaf_fun3d.dir/glaf_full.cpp.o.d"
+  "CMakeFiles/glaf_fun3d.dir/glaf_fun3d.cpp.o"
+  "CMakeFiles/glaf_fun3d.dir/glaf_fun3d.cpp.o.d"
+  "CMakeFiles/glaf_fun3d.dir/mesh.cpp.o"
+  "CMakeFiles/glaf_fun3d.dir/mesh.cpp.o.d"
+  "CMakeFiles/glaf_fun3d.dir/recon.cpp.o"
+  "CMakeFiles/glaf_fun3d.dir/recon.cpp.o.d"
+  "libglaf_fun3d.a"
+  "libglaf_fun3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glaf_fun3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

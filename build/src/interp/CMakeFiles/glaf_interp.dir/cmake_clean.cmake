@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glaf_interp.dir/machine.cpp.o"
+  "CMakeFiles/glaf_interp.dir/machine.cpp.o.d"
+  "libglaf_interp.a"
+  "libglaf_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glaf_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glaf_perfmodel.dir/calibrate.cpp.o"
+  "CMakeFiles/glaf_perfmodel.dir/calibrate.cpp.o.d"
+  "CMakeFiles/glaf_perfmodel.dir/fun3d_model.cpp.o"
+  "CMakeFiles/glaf_perfmodel.dir/fun3d_model.cpp.o.d"
+  "CMakeFiles/glaf_perfmodel.dir/machine_model.cpp.o"
+  "CMakeFiles/glaf_perfmodel.dir/machine_model.cpp.o.d"
+  "CMakeFiles/glaf_perfmodel.dir/sarb_model.cpp.o"
+  "CMakeFiles/glaf_perfmodel.dir/sarb_model.cpp.o.d"
+  "libglaf_perfmodel.a"
+  "libglaf_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glaf_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glaf_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/glaf_runtime.dir/thread_pool.cpp.o.d"
+  "libglaf_runtime.a"
+  "libglaf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glaf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

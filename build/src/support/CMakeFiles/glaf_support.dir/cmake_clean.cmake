@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glaf_support.dir/cli.cpp.o"
+  "CMakeFiles/glaf_support.dir/cli.cpp.o.d"
+  "CMakeFiles/glaf_support.dir/sloc.cpp.o"
+  "CMakeFiles/glaf_support.dir/sloc.cpp.o.d"
+  "CMakeFiles/glaf_support.dir/status.cpp.o"
+  "CMakeFiles/glaf_support.dir/status.cpp.o.d"
+  "CMakeFiles/glaf_support.dir/strings.cpp.o"
+  "CMakeFiles/glaf_support.dir/strings.cpp.o.d"
+  "CMakeFiles/glaf_support.dir/table.cpp.o"
+  "CMakeFiles/glaf_support.dir/table.cpp.o.d"
+  "libglaf_support.a"
+  "libglaf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glaf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

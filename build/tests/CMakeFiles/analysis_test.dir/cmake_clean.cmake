@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis/access_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/access_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/affine_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/affine_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/dependence_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/dependence_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/fold_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/fold_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/inline_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/inline_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/loopclass_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/loopclass_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/parallelize_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/parallelize_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/reduction_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/reduction_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/transform_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/transform_test.cpp.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

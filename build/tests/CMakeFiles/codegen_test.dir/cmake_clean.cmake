@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_test.dir/codegen/c_compile_test.cpp.o"
+  "CMakeFiles/codegen_test.dir/codegen/c_compile_test.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/codegen/c_test.cpp.o"
+  "CMakeFiles/codegen_test.dir/codegen/c_test.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/codegen/differential_test.cpp.o"
+  "CMakeFiles/codegen_test.dir/codegen/differential_test.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/codegen/emitter_test.cpp.o"
+  "CMakeFiles/codegen_test.dir/codegen/emitter_test.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/codegen/fortran_test.cpp.o"
+  "CMakeFiles/codegen_test.dir/codegen/fortran_test.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/codegen/golden_test.cpp.o"
+  "CMakeFiles/codegen_test.dir/codegen/golden_test.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/codegen/layout_test.cpp.o"
+  "CMakeFiles/codegen_test.dir/codegen/layout_test.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/codegen/opencl_test.cpp.o"
+  "CMakeFiles/codegen_test.dir/codegen/opencl_test.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/codegen/policy_test.cpp.o"
+  "CMakeFiles/codegen_test.dir/codegen/policy_test.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/codegen/report_test.cpp.o"
+  "CMakeFiles/codegen_test.dir/codegen/report_test.cpp.o.d"
+  "codegen_test"
+  "codegen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

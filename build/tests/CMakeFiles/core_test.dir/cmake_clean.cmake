@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/builder_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/builder_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/expr_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/expr_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/libfuncs_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/libfuncs_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/program_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/program_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/typecheck_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/typecheck_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/validate_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/validate_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

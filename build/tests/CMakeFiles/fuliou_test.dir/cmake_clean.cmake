@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuliou_test.dir/fuliou/sarb_test.cpp.o"
+  "CMakeFiles/fuliou_test.dir/fuliou/sarb_test.cpp.o.d"
+  "CMakeFiles/fuliou_test.dir/fuliou/sweep_test.cpp.o"
+  "CMakeFiles/fuliou_test.dir/fuliou/sweep_test.cpp.o.d"
+  "CMakeFiles/fuliou_test.dir/fuliou/window_test.cpp.o"
+  "CMakeFiles/fuliou_test.dir/fuliou/window_test.cpp.o.d"
+  "CMakeFiles/fuliou_test.dir/fuliou/zones_test.cpp.o"
+  "CMakeFiles/fuliou_test.dir/fuliou/zones_test.cpp.o.d"
+  "fuliou_test"
+  "fuliou_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuliou_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

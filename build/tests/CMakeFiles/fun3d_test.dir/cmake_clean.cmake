@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fun3d_test.dir/fun3d/c_compile_full_test.cpp.o"
+  "CMakeFiles/fun3d_test.dir/fun3d/c_compile_full_test.cpp.o.d"
+  "CMakeFiles/fun3d_test.dir/fun3d/c_compile_fun3d_test.cpp.o"
+  "CMakeFiles/fun3d_test.dir/fun3d/c_compile_fun3d_test.cpp.o.d"
+  "CMakeFiles/fun3d_test.dir/fun3d/glaf_full_test.cpp.o"
+  "CMakeFiles/fun3d_test.dir/fun3d/glaf_full_test.cpp.o.d"
+  "CMakeFiles/fun3d_test.dir/fun3d/glaf_fun3d_test.cpp.o"
+  "CMakeFiles/fun3d_test.dir/fun3d/glaf_fun3d_test.cpp.o.d"
+  "CMakeFiles/fun3d_test.dir/fun3d/mesh_test.cpp.o"
+  "CMakeFiles/fun3d_test.dir/fun3d/mesh_test.cpp.o.d"
+  "CMakeFiles/fun3d_test.dir/fun3d/recon_test.cpp.o"
+  "CMakeFiles/fun3d_test.dir/fun3d/recon_test.cpp.o.d"
+  "CMakeFiles/fun3d_test.dir/fun3d/sweep_test.cpp.o"
+  "CMakeFiles/fun3d_test.dir/fun3d/sweep_test.cpp.o.d"
+  "fun3d_test"
+  "fun3d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fun3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

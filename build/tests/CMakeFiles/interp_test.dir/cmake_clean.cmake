@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_test.dir/interp/failure_test.cpp.o"
+  "CMakeFiles/interp_test.dir/interp/failure_test.cpp.o.d"
+  "CMakeFiles/interp_test.dir/interp/machine_test.cpp.o"
+  "CMakeFiles/interp_test.dir/interp/machine_test.cpp.o.d"
+  "CMakeFiles/interp_test.dir/interp/parallel_test.cpp.o"
+  "CMakeFiles/interp_test.dir/interp/parallel_test.cpp.o.d"
+  "CMakeFiles/interp_test.dir/interp/trace_test.cpp.o"
+  "CMakeFiles/interp_test.dir/interp/trace_test.cpp.o.d"
+  "interp_test"
+  "interp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/serialize_test.cpp" "tests/CMakeFiles/serialize_test.dir/core/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/serialize_test.dir/core/serialize_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fuliou/CMakeFiles/glaf_fuliou.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/glaf_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/glaf_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/glaf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/glaf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/glaf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/glaf_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

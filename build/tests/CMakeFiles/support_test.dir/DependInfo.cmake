@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/cli_test.cpp" "tests/CMakeFiles/support_test.dir/support/cli_test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/cli_test.cpp.o.d"
+  "/root/repo/tests/support/rng_test.cpp" "tests/CMakeFiles/support_test.dir/support/rng_test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/rng_test.cpp.o.d"
+  "/root/repo/tests/support/sloc_test.cpp" "tests/CMakeFiles/support_test.dir/support/sloc_test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/sloc_test.cpp.o.d"
+  "/root/repo/tests/support/strings_test.cpp" "tests/CMakeFiles/support_test.dir/support/strings_test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/strings_test.cpp.o.d"
+  "/root/repo/tests/support/table_test.cpp" "tests/CMakeFiles/support_test.dir/support/table_test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fuliou/CMakeFiles/glaf_fuliou.dir/DependInfo.cmake"
+  "/root/repo/build/src/fun3d/CMakeFiles/glaf_fun3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/glaf_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/glaf_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/glaf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/glaf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/glaf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/glaf_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glafc.dir/glafc.cpp.o"
+  "CMakeFiles/glafc.dir/glafc.cpp.o.d"
+  "glafc"
+  "glafc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glafc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
