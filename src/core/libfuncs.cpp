@@ -40,14 +40,19 @@ double ev_dim(const double* a, int) {
 double ev_hypot(const double* a, int) { return std::hypot(a[0], a[1]); }
 double ev_erf(const double* a, int) { return std::erf(a[0]); }
 double ev_gamma(const double* a, int) { return std::tgamma(a[0]); }
+// MIN/MAX fold exactly like the emitted C helpers (glaf_min/glaf_max):
+// left-associative with the accumulator as the first operand. std::min
+// would keep the accumulator on NaN where the C helper takes the new
+// value — the differential oracle requires both backends to agree even
+// on NaN operands.
 double ev_min(const double* a, int n) {
   double m = a[0];
-  for (int i = 1; i < n; ++i) m = std::min(m, a[i]);
+  for (int i = 1; i < n; ++i) m = m < a[i] ? m : a[i];
   return m;
 }
 double ev_max(const double* a, int n) {
   double m = a[0];
-  for (int i = 1; i < n; ++i) m = std::max(m, a[i]);
+  for (int i = 1; i < n; ++i) m = m > a[i] ? m : a[i];
   return m;
 }
 // Whole-grid reductions: the interpreter feeds the flattened buffer.

@@ -1,0 +1,117 @@
+#include "core/rewrite.hpp"
+
+namespace glaf {
+
+ExprPtr rewrite_expr(const ExprPtr& root, const ExprRewriter& fn) {
+  if (!root) return nullptr;
+  bool changed = false;
+  std::vector<ExprPtr> new_args;
+  new_args.reserve(root->args.size());
+  for (const ExprPtr& a : root->args) {
+    ExprPtr r = rewrite_expr(a, fn);
+    changed = changed || r != a;
+    new_args.push_back(std::move(r));
+  }
+  ExprPtr node = root;
+  if (changed) {
+    auto copy = std::make_shared<Expr>(*root);
+    copy->args = std::move(new_args);
+    node = std::move(copy);
+  }
+  if (ExprPtr replacement = fn(node)) return replacement;
+  return node;
+}
+
+void rewrite_stmt_exprs(Stmt& stmt, const ExprRewriter& fn) {
+  switch (stmt.kind) {
+    case Stmt::Kind::kAssign:
+      for (ExprPtr& sub : stmt.lhs.subscripts) sub = rewrite_expr(sub, fn);
+      stmt.rhs = rewrite_expr(stmt.rhs, fn);
+      break;
+    case Stmt::Kind::kIf:
+      for (IfArm& arm : stmt.arms) {
+        arm.cond = rewrite_expr(arm.cond, fn);
+        rewrite_body_exprs(arm.body, fn);
+      }
+      rewrite_body_exprs(stmt.else_body, fn);
+      break;
+    case Stmt::Kind::kCallSub:
+      for (ExprPtr& a : stmt.args) a = rewrite_expr(a, fn);
+      break;
+    case Stmt::Kind::kReturn:
+      stmt.ret = rewrite_expr(stmt.ret, fn);
+      break;
+  }
+}
+
+void rewrite_body_exprs(std::vector<Stmt>& body, const ExprRewriter& fn) {
+  for (Stmt& s : body) rewrite_stmt_exprs(s, fn);
+}
+
+void rewrite_function_exprs(Function& fn_ir, const ExprRewriter& fn) {
+  for (Step& step : fn_ir.steps) {
+    for (LoopSpec& loop : step.loops) {
+      loop.begin = rewrite_expr(loop.begin, fn);
+      loop.end = rewrite_expr(loop.end, fn);
+      loop.stride = rewrite_expr(loop.stride, fn);
+    }
+    rewrite_body_exprs(step.body, fn);
+  }
+}
+
+void rewrite_program_exprs(Program& program, const ExprRewriter& fn) {
+  for (Grid& g : program.grids) {
+    for (Dim& d : g.dims) d.extent = rewrite_expr(d.extent, fn);
+  }
+  for (Function& f : program.functions) rewrite_function_exprs(f, fn);
+}
+
+ExprPtr substitute_index(const ExprPtr& root, const std::string& name,
+                         const ExprPtr& replacement) {
+  return rewrite_expr(root, [&](const ExprPtr& e) -> ExprPtr {
+    if (e->kind == Expr::Kind::kIndex && e->index_name == name) {
+      return replacement;
+    }
+    return nullptr;
+  });
+}
+
+int count_statements(const std::vector<Stmt>& body) {
+  int n = 0;
+  for (const Stmt& s : body) {
+    ++n;
+    if (s.kind == Stmt::Kind::kIf) {
+      for (const IfArm& arm : s.arms) n += count_statements(arm.body);
+      n += count_statements(s.else_body);
+    }
+  }
+  return n;
+}
+
+int count_statements(const Program& program) {
+  int n = 0;
+  for (const Function& fn : program.functions) {
+    for (const Step& step : fn.steps) n += count_statements(step.body);
+  }
+  return n;
+}
+
+int count_expr_nodes(const ExprPtr& root) {
+  if (!root) return 0;
+  int n = 1;
+  for (const ExprPtr& a : root->args) n += count_expr_nodes(a);
+  return n;
+}
+
+int count_expr_nodes(const Program& program) {
+  int n = 0;
+  const ExprRewriter counter = [&n](const ExprPtr&) -> ExprPtr {
+    ++n;
+    return nullptr;
+  };
+  Program copy = program;  // rewrite_* wants mutable access; nodes shared
+  rewrite_program_exprs(copy, counter);
+  return n;
+}
+
+}  // namespace glaf

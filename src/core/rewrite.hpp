@@ -1,0 +1,53 @@
+#pragma once
+// Structural rewriting helpers over the (immutable-expression) GLAF IR.
+//
+// Expressions are shared immutable nodes, so "mutation" means rebuilding
+// the spine above a replaced node. These helpers centralize that pattern
+// for every client that transforms programs — the optimization passes,
+// the fuzzing shrinker, and tests that perturb programs — instead of each
+// re-implementing a recursive copy.
+
+#include <functional>
+
+#include "core/program.hpp"
+
+namespace glaf {
+
+/// Bottom-up expression rewriting: children are rewritten first, then
+/// `fn` is offered the (possibly rebuilt) node. Returning null keeps the
+/// node; returning a replacement substitutes it. Unchanged subtrees are
+/// shared, not copied.
+using ExprRewriter = std::function<ExprPtr(const ExprPtr&)>;
+
+ExprPtr rewrite_expr(const ExprPtr& root, const ExprRewriter& fn);
+
+/// Apply `fn` to every expression slot of a statement (rhs, subscripts,
+/// conditions, call arguments, return values), recursing into if bodies.
+void rewrite_stmt_exprs(Stmt& stmt, const ExprRewriter& fn);
+void rewrite_body_exprs(std::vector<Stmt>& body, const ExprRewriter& fn);
+
+/// Apply `fn` to every expression in a function: loop bounds and strides
+/// of every step plus all statement expression slots.
+void rewrite_function_exprs(Function& fn_ir, const ExprRewriter& fn);
+
+/// Apply `fn` to every expression in the program, including grid
+/// dimension extents.
+void rewrite_program_exprs(Program& program, const ExprRewriter& fn);
+
+/// Replace every read of index variable `name` with `replacement`
+/// (used when a loop is eliminated and its index pinned to a constant).
+ExprPtr substitute_index(const ExprPtr& root, const std::string& name,
+                         const ExprPtr& replacement);
+
+/// Recursive statement count (if arms and else bodies included).
+int count_statements(const std::vector<Stmt>& body);
+/// Total statement count across all functions and steps.
+int count_statements(const Program& program);
+
+/// Number of expression nodes in a tree (null-safe: 0 for null).
+int count_expr_nodes(const ExprPtr& root);
+/// Total expression node count across the whole program (loop bounds,
+/// statement slots and grid extents).
+int count_expr_nodes(const Program& program);
+
+}  // namespace glaf

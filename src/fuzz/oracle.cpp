@@ -1,0 +1,380 @@
+#include "fuzz/oracle.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "analysis/parallelize.hpp"
+#include "codegen/c.hpp"
+#include "fuzz/generator.hpp"
+#include "interp/machine.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace glaf::fuzz {
+namespace {
+
+constexpr int kMaxDivergencesPerBackend = 16;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string fmt17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// One comparable global: its grid and folded element count.
+struct GlobalSpec {
+  const Grid* grid = nullptr;
+  std::int64_t elements = 1;
+};
+
+StatusOr<std::vector<GlobalSpec>> global_specs(const Program& p) {
+  std::vector<GlobalSpec> specs;
+  for (const GridId id : p.global_grids) {
+    const Grid& g = p.grid(id);
+    if (g.is_struct()) {
+      return unimplemented(
+          cat("oracle: struct grid '", g.name, "' is not supported"));
+    }
+    GlobalSpec spec;
+    spec.grid = &g;
+    for (const Dim& d : g.dims) {
+      const auto v = fold_with_globals(p, *d.extent);
+      if (!v) {
+        return unimplemented(
+            cat("oracle: grid '", g.name, "' has a non-constant extent"));
+      }
+      spec.elements *= static_cast<std::int64_t>(value_as_double(*v));
+    }
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+/// Deterministic inputs for external grids, derived from the grid *name*
+/// so corpus replays are reproducible without knowing the original seed.
+std::vector<double> external_inputs(const Grid& g, std::int64_t elements) {
+  SplitMix64 rng(fnv1a(g.name));
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(elements));
+  for (std::int64_t i = 0; i < elements; ++i) {
+    switch (g.elem_type) {
+      case DataType::kInt:
+        values.push_back(
+            static_cast<double>(static_cast<std::int64_t>(rng.next_below(19)) - 9));
+        break;
+      case DataType::kLogical:
+        values.push_back(static_cast<double>(rng.next_below(2)));
+        break;
+      default:
+        values.push_back(rng.next_double() * 4.0 - 2.0);
+        break;
+    }
+  }
+  return values;
+}
+
+/// Final values of every global, in global_grids order.
+using Snapshot = std::vector<std::vector<double>>;
+
+StatusOr<Snapshot> run_interpreter(const Program& program,
+                                   const std::string& entry,
+                                   const std::vector<GlobalSpec>& specs,
+                                   const InterpOptions& options) {
+  try {
+    Machine m(program, options);
+    for (const GlobalSpec& spec : specs) {
+      if (spec.grid->external == ExternalKind::kNone) continue;
+      const std::vector<double> inputs =
+          external_inputs(*spec.grid, spec.elements);
+      Status s = spec.grid->dims.empty()
+                     ? m.set_scalar(spec.grid->name, inputs[0])
+                     : m.set_array(spec.grid->name, inputs);
+      if (!s.is_ok()) return s;
+    }
+    const StatusOr<double> result = m.call(entry);
+    if (!result.is_ok()) return result.status();
+    Snapshot snap;
+    for (const GlobalSpec& spec : specs) {
+      if (spec.grid->dims.empty()) {
+        const StatusOr<double> v = m.scalar(spec.grid->name);
+        if (!v.is_ok()) return v.status();
+        snap.push_back({v.value()});
+      } else {
+        StatusOr<std::vector<double>> v = m.array(spec.grid->name);
+        if (!v.is_ok()) return v.status();
+        snap.push_back(std::move(v).value());
+      }
+    }
+    return snap;
+  } catch (const std::exception& e) {
+    return internal_error(cat("interpreter exception: ", e.what()));
+  }
+}
+
+std::string c_elem_type(DataType t) {
+  switch (t) {
+    case DataType::kInt: return "long";
+    case DataType::kReal: return "float";
+    case DataType::kLogical: return "int";
+    default: return "double";
+  }
+}
+
+std::string c_base_name(const Grid& g) {
+  if (g.external == ExternalKind::kCommon) {
+    return cat(g.common_block, "_.", g.name);
+  }
+  return g.name;
+}
+
+/// The appended driver: defines storage for external grids (the role the
+/// legacy FORTRAN objects play in the paper), feeds the deterministic
+/// inputs, calls the entry point and prints every global element-wise.
+std::string harness_text(const std::string& entry,
+                         const std::vector<GlobalSpec>& specs) {
+  std::vector<std::string> out;
+  out.push_back("");
+  out.push_back("/* ---- differential-oracle harness ---- */");
+  out.push_back("#include <stdio.h>");
+  // Storage definitions for imported-module variables and COMMON blocks.
+  std::map<std::string, bool> common_defined;
+  for (const GlobalSpec& spec : specs) {
+    const Grid& g = *spec.grid;
+    if (g.external == ExternalKind::kModule) {
+      const std::string suffix =
+          g.dims.empty() ? "" : cat("[", spec.elements, "]");
+      out.push_back(cat(c_elem_type(g.elem_type), " ", g.name, suffix, ";"));
+    } else if (g.external == ExternalKind::kCommon &&
+               !common_defined[g.common_block]) {
+      common_defined[g.common_block] = true;
+      out.push_back(cat("struct ", g.common_block, "_common ",
+                        g.common_block, "_;"));
+    }
+  }
+  out.push_back("int main(void) {");
+  for (const GlobalSpec& spec : specs) {
+    const Grid& g = *spec.grid;
+    if (g.external == ExternalKind::kNone) continue;
+    const std::vector<double> inputs = external_inputs(g, spec.elements);
+    for (std::int64_t i = 0; i < spec.elements; ++i) {
+      const std::string lhs =
+          g.dims.empty() ? c_base_name(g) : cat(c_base_name(g), "[", i, "]");
+      out.push_back(cat("  ", lhs, " = (", c_elem_type(g.elem_type), ")",
+                        fmt17(inputs[static_cast<std::size_t>(i)]), ";"));
+    }
+  }
+  out.push_back(cat("  ", entry, "();"));
+  for (const GlobalSpec& spec : specs) {
+    const Grid& g = *spec.grid;
+    if (g.dims.empty()) {
+      out.push_back(cat("  printf(\"%.17g\\n\", (double)", c_base_name(g),
+                        ");"));
+    } else {
+      out.push_back(cat("  { long i; for (i = 0; i < ", spec.elements,
+                        "; ++i) printf(\"%.17g\\n\", (double)", c_base_name(g),
+                        "[i]); }"));
+    }
+  }
+  out.push_back("  return 0;");
+  out.push_back("}");
+  return join(out, "\n");
+}
+
+/// Run a shell command, capturing combined stdout+stderr and exit status.
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_command(const std::string& command) {
+  RunResult result;
+  FILE* pipe = popen(cat(command, " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) result.output += buf;
+  const int status = pclose(pipe);
+  result.exit_code = status;
+  return result;
+}
+
+StatusOr<Snapshot> run_compiled_c(const Program& program,
+                                  const std::string& entry,
+                                  const std::vector<GlobalSpec>& specs,
+                                  const OracleOptions& opts) {
+  const ProgramAnalysis analysis = analyze_program(program);
+  CodegenOptions copts;
+  copts.language = Language::kC;
+  copts.enable_openmp = false;  // the serial C build of §4.1.1
+  copts.emit_comments = false;
+  std::string source = generate_c(program, analysis, copts).source;
+  if (opts.c_source_transform) source = opts.c_source_transform(source);
+  source += harness_text(entry, specs);
+
+  static std::atomic<int> counter{0};
+  const std::string stem = cat(opts.work_dir, "/glaf_fuzz_", getpid(), "_",
+                               counter.fetch_add(1));
+  const std::string src_path = cat(stem, ".c");
+  const std::string bin_path = cat(stem, ".bin");
+  {
+    std::ofstream out(src_path);
+    if (!out) return internal_error(cat("cannot write ", src_path));
+    out << source;
+  }
+  // -ffp-contract=off: FMA contraction would produce differently-rounded
+  // results than the interpreter's plain double arithmetic.
+  const RunResult compile = run_command(cat(
+      opts.cc, " -O1 -ffp-contract=off -o ", bin_path, " ", src_path, " -lm"));
+  if (compile.exit_code != 0) {
+    std::remove(src_path.c_str());
+    return internal_error(
+        cat("C compilation failed: ", compile.output.substr(0, 2000)));
+  }
+  const RunResult run = run_command(bin_path);
+  std::remove(src_path.c_str());
+  std::remove(bin_path.c_str());
+  if (run.exit_code != 0) {
+    return internal_error(cat("compiled program exited with status ",
+                                run.exit_code));
+  }
+
+  std::vector<double> values;
+  const char* cursor = run.output.c_str();
+  char* end = nullptr;
+  for (double v = std::strtod(cursor, &end); end != cursor;
+       v = std::strtod(cursor, &end)) {
+    values.push_back(v);
+    cursor = end;
+  }
+  std::int64_t expected = 0;
+  for (const GlobalSpec& spec : specs) expected += spec.elements;
+  if (static_cast<std::int64_t>(values.size()) != expected) {
+    return internal_error(cat("compiled program printed ", values.size(),
+                                " values, expected ", expected));
+  }
+  Snapshot snap;
+  std::size_t at = 0;
+  for (const GlobalSpec& spec : specs) {
+    snap.emplace_back(values.begin() + static_cast<std::ptrdiff_t>(at),
+                      values.begin() +
+                          static_cast<std::ptrdiff_t>(at + spec.elements));
+    at += static_cast<std::size_t>(spec.elements);
+  }
+  return snap;
+}
+
+bool values_close(double a, double b, const OracleOptions& opts) {
+  if (std::isnan(a) && std::isnan(b)) return true;
+  if (a == b) return true;  // covers equal infinities
+  return std::fabs(a - b) <=
+         opts.atol + opts.rtol * std::max(std::fabs(a), std::fabs(b));
+}
+
+void compare_snapshots(const std::string& backend, const Snapshot& reference,
+                       const Snapshot& actual,
+                       const std::vector<GlobalSpec>& specs,
+                       const OracleOptions& opts, OracleReport* report) {
+  ++report->backends_compared;
+  int reported = 0;
+  for (std::size_t g = 0; g < specs.size(); ++g) {
+    for (std::size_t i = 0; i < reference[g].size(); ++i) {
+      if (values_close(reference[g][i], actual[g][i], opts)) continue;
+      if (reported++ >= kMaxDivergencesPerBackend) return;
+      report->divergences.push_back(Divergence{
+          backend, specs[g].grid->name, static_cast<std::int64_t>(i),
+          reference[g][i], actual[g][i]});
+    }
+  }
+}
+
+}  // namespace
+
+bool cc_available(const std::string& cc) {
+  static std::map<std::string, bool> cache;
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto it = cache.find(cc);
+  if (it != cache.end()) return it->second;
+  const RunResult probe = run_command(cat(cc, " --version"));
+  return cache[cc] = probe.exit_code == 0;
+}
+
+StatusOr<std::string> find_entry(const Program& program) {
+  for (const Function& fn : program.functions) {
+    if (fn.name == kEntryName) return std::string(fn.name);
+  }
+  for (const Function& fn : program.functions) {
+    if (fn.return_type == DataType::kVoid && fn.params.empty()) {
+      return std::string(fn.name);
+    }
+  }
+  return not_found("no zero-parameter subroutine to use as entry");
+}
+
+OracleReport run_oracle(const Program& program, const std::string& entry,
+                        const OracleOptions& opts) {
+  OracleReport report;
+  StatusOr<std::vector<GlobalSpec>> specs = global_specs(program);
+  if (!specs.is_ok()) {
+    report.errors.push_back(std::string(specs.status().message()));
+    return report;
+  }
+
+  InterpOptions serial;
+  serial.parallel = false;
+  const StatusOr<Snapshot> reference =
+      run_interpreter(program, entry, specs.value(), serial);
+  if (!reference.is_ok()) {
+    report.errors.push_back(
+        cat("serial interpreter: ", reference.status().message()));
+    return report;
+  }
+
+  if (opts.run_parallel) {
+    for (const DirectivePolicy policy : opts.policies) {
+      InterpOptions popts;
+      popts.parallel = true;
+      popts.num_threads = opts.num_threads;
+      popts.policy = policy;
+      const StatusOr<Snapshot> snap =
+          run_interpreter(program, entry, specs.value(), popts);
+      const std::string backend = cat("parallel-", to_string(policy));
+      if (!snap.is_ok()) {
+        report.errors.push_back(cat(backend, ": ", snap.status().message()));
+        continue;
+      }
+      compare_snapshots(backend, reference.value(), snap.value(), specs.value(), opts, &report);
+    }
+  }
+
+  if (opts.run_compiled_c && cc_available(opts.cc)) {
+    const StatusOr<Snapshot> snap =
+        run_compiled_c(program, entry, specs.value(), opts);
+    if (!snap.is_ok()) {
+      report.errors.push_back(cat("c: ", snap.status().message()));
+    } else {
+      report.c_backend_ran = true;
+      compare_snapshots("c", reference.value(), snap.value(), specs.value(), opts, &report);
+    }
+  }
+  return report;
+}
+
+}  // namespace glaf::fuzz

@@ -1,0 +1,79 @@
+#pragma once
+// Multi-backend differential oracle — the paper's §4.1.1 validation
+// methodology ("a code-wide side-by-side comparison of the results")
+// mechanized: one program is executed by
+//
+//   1. the serial interpreter (the reference),
+//   2. the parallel interpreter under each directive policy v0..v3,
+//   3. the generated C translation unit compiled with the system
+//      compiler and run in a subprocess,
+//
+// and every Global Scope grid is compared element-wise afterwards.
+// Agreement is |a-b| <= atol + rtol*max(|a|,|b|), with NaN==NaN; exact
+// backends match bitwise, while parallel reduction merges may
+// reassociate within the tolerance.
+//
+// External (imported-module / COMMON) grids receive deterministic
+// pseudo-random inputs derived from the *grid name*, so a corpus replay
+// feeds identical inputs regardless of which seed produced the program.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "codegen/options.hpp"
+#include "core/program.hpp"
+#include "support/status.hpp"
+
+namespace glaf::fuzz {
+
+struct OracleOptions {
+  double rtol = 1e-9;
+  double atol = 1e-9;
+  int num_threads = 4;
+  bool run_parallel = true;   ///< parallel interpreter backends
+  bool run_compiled_c = true; ///< compile-and-execute C backend
+  std::vector<DirectivePolicy> policies = {
+      DirectivePolicy::kV0, DirectivePolicy::kV1, DirectivePolicy::kV2,
+      DirectivePolicy::kV3};
+  std::string cc = "cc";        ///< system compiler command
+  std::string work_dir = "/tmp";
+  /// Test hook: rewrite the generated C source before compiling (used to
+  /// inject semantic bugs and prove the oracle catches them).
+  std::function<std::string(const std::string&)> c_source_transform;
+};
+
+/// One element-level disagreement against the serial reference.
+struct Divergence {
+  std::string backend;  ///< "parallel-v2", "c", ...
+  std::string grid;
+  std::int64_t index = 0;  ///< flat element index
+  double expected = 0.0;   ///< serial reference value
+  double actual = 0.0;
+};
+
+struct OracleReport {
+  std::vector<Divergence> divergences;  ///< capped per backend
+  std::vector<std::string> errors;      ///< infrastructure failures
+  bool c_backend_ran = false;
+  int backends_compared = 0;
+
+  /// All executed backends matched the reference and nothing failed.
+  [[nodiscard]] bool agreed() const {
+    return divergences.empty() && errors.empty();
+  }
+};
+
+/// Run every enabled backend and compare against the serial interpreter.
+OracleReport run_oracle(const Program& program, const std::string& entry,
+                        const OracleOptions& opts = {});
+
+/// The entry point for a program: `fz_main` when present, otherwise the
+/// first zero-parameter SUBROUTINE.
+StatusOr<std::string> find_entry(const Program& program);
+
+/// Whether `cc` can be invoked (result cached per command).
+bool cc_available(const std::string& cc);
+
+}  // namespace glaf::fuzz

@@ -1,0 +1,53 @@
+#include "fuzz/repro.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/serialize.hpp"
+#include "core/validate.hpp"
+
+namespace glaf::fuzz {
+
+Status write_repro(const std::string& path, const Program& program,
+                   const ReproInfo& info) {
+  std::ofstream out(path);
+  if (!out) return internal_error("cannot open " + path + " for writing");
+  out << "; glaf-fuzz repro\n";
+  out << "; seed: " << info.seed << "\n";
+  if (!info.note.empty()) out << "; note: " << info.note << "\n";
+  out << serialize_program(program);
+  out.close();
+  if (!out) return internal_error("write to " + path + " failed");
+  return Status();
+}
+
+StatusOr<Program> load_repro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return not_found("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = parse_program(text.str());
+  if (!parsed.is_ok()) return parsed;
+  Program program = std::move(parsed).value();
+  const auto diags = validate(program);
+  if (!is_valid(diags)) {
+    return invalid_argument(path + ": " + render_diagnostics(diags));
+  }
+  return program;
+}
+
+std::vector<std::string> list_corpus(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".glaf") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace glaf::fuzz

@@ -1,0 +1,33 @@
+#pragma once
+// Reproduction files: a failing fuzz case persisted as a serialized GLAF
+// program with a comment header recording provenance (generator seed,
+// divergence note). Repro files double as the regression corpus under
+// tests/fuzz/corpus/.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+#include "support/status.hpp"
+
+namespace glaf::fuzz {
+
+struct ReproInfo {
+  std::uint64_t seed = 0;
+  std::string note;  ///< one line: what diverged, or why this case matters
+};
+
+/// Write `program` to `path` with a `;` comment header carrying `info`.
+Status write_repro(const std::string& path, const Program& program,
+                   const ReproInfo& info);
+
+/// Parse and validate a repro file (header comments are skipped by the
+/// serializer's lexer).
+StatusOr<Program> load_repro(const std::string& path);
+
+/// Sorted paths of every `*.glaf` file directly inside `dir`. An absent
+/// directory yields an empty list (not an error).
+std::vector<std::string> list_corpus(const std::string& dir);
+
+}  // namespace glaf::fuzz

@@ -1,0 +1,535 @@
+#include "fuzz/shrink.hpp"
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "core/rewrite.hpp"
+#include "core/typecheck.hpp"
+#include "core/validate.hpp"
+
+namespace glaf::fuzz {
+namespace {
+
+// ---- size measure --------------------------------------------------------
+// Lexicographic tuple; every accepted reduction strictly decreases it, so
+// shrinking terminates. Components, most significant first:
+//   statements, steps, loop levels, functions,
+//   weighted expression nodes (non-literals count double, so replacing a
+//   grid read by a literal is a decrease even at equal node count),
+//   sum of scalar-Int initial values (size parameters).
+using Measure = std::array<long long, 6>;
+
+Measure measure_of(const Program& p) {
+  Measure m{};
+  m[0] = count_statements(p);
+  for (const Function& fn : p.functions) {
+    m[1] += static_cast<long long>(fn.steps.size());
+    for (const Step& step : fn.steps) {
+      m[2] += static_cast<long long>(step.loops.size());
+    }
+  }
+  m[3] = static_cast<long long>(p.functions.size());
+  long long weighted = 0;
+  Program copy = p;  // rewrite_* wants mutable access; nodes are shared
+  rewrite_program_exprs(copy, [&weighted](const ExprPtr& e) -> ExprPtr {
+    weighted += e->kind == Expr::Kind::kLiteral ? 1 : 2;
+    return nullptr;
+  });
+  m[4] = weighted;
+  for (const GridId id : p.global_grids) {
+    const Grid& g = p.grid(id);
+    if (g.is_scalar() && g.elem_type == DataType::kInt && !g.init_data.empty()) {
+      m[5] += static_cast<long long>(value_as_double(g.init_data[0]));
+    }
+  }
+  return m;
+}
+
+// ---- statement coordinates ----------------------------------------------
+// A path from a step body to one statement: (index, descend) pairs where
+// descend -1 means "this is the target", a >= 0 descends into if-arm a,
+// and -2 descends into the else body.
+struct StmtCoord {
+  int fn = 0;
+  int step = 0;
+  std::vector<std::pair<int, int>> path;
+};
+
+enum class StmtAction { kDrop, kFlattenThen, kFlattenElse };
+
+void enumerate_stmts(const std::vector<Stmt>& body,
+                     const StmtCoord& prefix,
+                     std::vector<std::pair<StmtCoord, StmtAction>>* out) {
+  for (int i = 0; i < static_cast<int>(body.size()); ++i) {
+    StmtCoord here = prefix;
+    here.path.emplace_back(i, -1);
+    out->emplace_back(here, StmtAction::kDrop);
+    const Stmt& s = body[static_cast<std::size_t>(i)];
+    if (s.kind != Stmt::Kind::kIf) continue;
+    out->emplace_back(here, StmtAction::kFlattenThen);
+    if (!s.else_body.empty()) out->emplace_back(here, StmtAction::kFlattenElse);
+    for (int a = 0; a < static_cast<int>(s.arms.size()); ++a) {
+      StmtCoord down = prefix;
+      down.path.emplace_back(i, a);
+      enumerate_stmts(s.arms[static_cast<std::size_t>(a)].body, down, out);
+    }
+    if (!s.else_body.empty()) {
+      StmtCoord down = prefix;
+      down.path.emplace_back(i, -2);
+      enumerate_stmts(s.else_body, down, out);
+    }
+  }
+}
+
+/// The body containing the coordinate's target statement (nullptr if the
+/// coordinate no longer resolves).
+std::vector<Stmt>* resolve_body(Program* p, const StmtCoord& c) {
+  if (c.fn >= static_cast<int>(p->functions.size())) return nullptr;
+  Function& fn = p->functions[static_cast<std::size_t>(c.fn)];
+  if (c.step >= static_cast<int>(fn.steps.size())) return nullptr;
+  std::vector<Stmt>* body = &fn.steps[static_cast<std::size_t>(c.step)].body;
+  for (std::size_t d = 0; d + 1 < c.path.size(); ++d) {
+    const auto [index, descend] = c.path[d];
+    if (index >= static_cast<int>(body->size())) return nullptr;
+    Stmt& s = (*body)[static_cast<std::size_t>(index)];
+    if (s.kind != Stmt::Kind::kIf) return nullptr;
+    if (descend == -2) {
+      body = &s.else_body;
+    } else if (descend >= 0 && descend < static_cast<int>(s.arms.size())) {
+      body = &s.arms[static_cast<std::size_t>(descend)].body;
+    } else {
+      return nullptr;
+    }
+  }
+  return body;
+}
+
+bool apply_stmt_action(Program* p, const StmtCoord& c, StmtAction action) {
+  std::vector<Stmt>* body = resolve_body(p, c);
+  if (body == nullptr || c.path.empty()) return false;
+  const int index = c.path.back().first;
+  if (index >= static_cast<int>(body->size())) return false;
+  const auto it = body->begin() + index;
+  if (action == StmtAction::kDrop) {
+    body->erase(it);
+    return true;
+  }
+  if (it->kind != Stmt::Kind::kIf) return false;
+  std::vector<Stmt> replacement;
+  if (action == StmtAction::kFlattenThen) {
+    if (it->arms.empty()) return false;
+    replacement = it->arms[0].body;
+  } else {
+    replacement = it->else_body;
+  }
+  const auto at = body->erase(it);
+  body->insert(at, replacement.begin(), replacement.end());
+  return true;
+}
+
+// ---- expression simplification -------------------------------------------
+// Expression slots are addressed as (statement coordinate, slot index);
+// nodes within a slot by preorder position.
+std::vector<ExprPtr*> stmt_slots(Stmt* s) {
+  std::vector<ExprPtr*> slots;
+  switch (s->kind) {
+    case Stmt::Kind::kAssign:
+      for (ExprPtr& sub : s->lhs.subscripts) slots.push_back(&sub);
+      slots.push_back(&s->rhs);
+      break;
+    case Stmt::Kind::kIf:
+      for (IfArm& arm : s->arms) slots.push_back(&arm.cond);
+      break;
+    case Stmt::Kind::kCallSub:
+      for (ExprPtr& a : s->args) slots.push_back(&a);
+      break;
+    case Stmt::Kind::kReturn:
+      if (s->ret) slots.push_back(&s->ret);
+      break;
+  }
+  return slots;
+}
+
+const ExprPtr* find_preorder(const ExprPtr& root, int target, int* counter) {
+  if (!root) return nullptr;
+  if ((*counter)++ == target) return &root;
+  for (const ExprPtr& a : root->args) {
+    if (const ExprPtr* hit = find_preorder(a, target, counter)) return hit;
+  }
+  return nullptr;
+}
+
+ExprPtr replace_preorder(const ExprPtr& root, int target, int* counter,
+                         const ExprPtr& replacement) {
+  if (!root) return root;
+  if ((*counter)++ == target) return replacement;
+  auto copy = std::make_shared<Expr>(*root);
+  for (ExprPtr& a : copy->args) a = replace_preorder(a, target, counter, replacement);
+  return copy;
+}
+
+/// Candidate replacements for one node: each argument of matching type
+/// (hoisting), then the simplest literal of the node's type.
+std::vector<ExprPtr> replacements_for(const Program& p, const ExprPtr& node) {
+  std::vector<ExprPtr> out;
+  const DataType t = infer_type(p, *node);
+  for (const ExprPtr& a : node->args) {
+    if (a && infer_type(p, *a) == t) out.push_back(a);
+  }
+  if (node->kind != Expr::Kind::kLiteral) {
+    switch (t) {
+      case DataType::kInt:
+        out.push_back(make_int(1));
+        break;
+      case DataType::kLogical:
+        out.push_back(make_bool(false));
+        out.push_back(make_bool(true));
+        break;
+      case DataType::kVoid:
+        break;
+      default:
+        out.push_back(make_real(1.0));
+        break;
+    }
+  }
+  return out;
+}
+
+// ---- size-parameter shrinking --------------------------------------------
+
+std::optional<std::vector<std::int64_t>> folded_extents(const Program& p,
+                                                        const Grid& g) {
+  std::vector<std::int64_t> exts;
+  for (const Dim& d : g.dims) {
+    const auto v = fold_with_globals(p, *d.extent);
+    if (!v) return std::nullopt;
+    exts.push_back(static_cast<std::int64_t>(value_as_double(*v)));
+  }
+  return exts;
+}
+
+/// After a size parameter changed, cut every dependent grid's initial data
+/// down to the sub-box that survives (row-major re-slice).
+bool reslice_init_data(Program* candidate,
+                       const std::vector<std::vector<std::int64_t>>& before) {
+  for (std::size_t i = 0; i < candidate->grids.size(); ++i) {
+    Grid& g = candidate->grids[i];
+    if (g.dims.empty() || g.init_data.empty()) continue;
+    const auto after = folded_extents(*candidate, g);
+    if (!after) return false;
+    if (*after == before[i]) continue;
+    const std::vector<std::int64_t>& old_ext = before[i];
+    if (after->size() != old_ext.size()) return false;
+    std::int64_t new_total = 1;
+    for (std::size_t d = 0; d < after->size(); ++d) {
+      if ((*after)[d] > old_ext[d]) return false;
+      new_total *= (*after)[d];
+    }
+    std::vector<Value> sliced;
+    sliced.reserve(static_cast<std::size_t>(new_total));
+    std::vector<std::int64_t> index(after->size(), 0);
+    for (std::int64_t n = 0; n < new_total; ++n) {
+      std::int64_t flat = 0;
+      for (std::size_t d = 0; d < old_ext.size(); ++d) {
+        flat = flat * old_ext[d] + index[d];
+      }
+      sliced.push_back(g.init_data[static_cast<std::size_t>(flat)]);
+      for (std::size_t d = after->size(); d-- > 0;) {
+        if (++index[d] < (*after)[d]) break;
+        index[d] = 0;
+      }
+    }
+    g.init_data = std::move(sliced);
+  }
+  return true;
+}
+
+// ---- the shrink driver ----------------------------------------------------
+
+class Shrinker {
+ public:
+  Shrinker(Program program, const ShrinkPredicate& predicate,
+           const ShrinkOptions& opts, ShrinkStats* stats)
+      : current_(std::move(program)),
+        predicate_(predicate),
+        opts_(opts),
+        stats_(stats) {}
+
+  Program run() {
+    measure_ = measure_of(current_);
+    bool changed = true;
+    while (changed && budget_left()) {
+      if (stats_ != nullptr) ++stats_->rounds;
+      changed = false;
+      changed = pass_drop_functions() || changed;
+      changed = pass_drop_steps() || changed;
+      changed = pass_drop_loops() || changed;
+      changed = pass_stmt_actions() || changed;
+      changed = pass_simplify_exprs() || changed;
+      changed = pass_shrink_sizes() || changed;
+    }
+    return std::move(current_);
+  }
+
+ private:
+  [[nodiscard]] bool budget_left() const {
+    return stats_ == nullptr || stats_->candidates_tried < opts_.max_candidates;
+  }
+
+  /// Gate a candidate: valid, strictly smaller, still interesting.
+  bool accept(Program candidate) {
+    if (stats_ != nullptr) {
+      if (!budget_left()) return false;
+      ++stats_->candidates_tried;
+    }
+    const Measure m = measure_of(candidate);
+    if (!(m < measure_)) return false;
+    if (!is_valid(validate(candidate))) return false;
+    if (!predicate_(candidate)) return false;
+    current_ = std::move(candidate);
+    measure_ = m;
+    if (stats_ != nullptr) ++stats_->candidates_accepted;
+    return true;
+  }
+
+  bool pass_drop_functions() {
+    bool any = false;
+    bool applied = true;
+    while (applied && budget_left()) {
+      applied = false;
+      for (std::size_t i = 0; i < current_.functions.size(); ++i) {
+        if (current_.functions[i].name == opts_.protected_function) continue;
+        Program candidate = current_;
+        candidate.functions.erase(candidate.functions.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+        // FunctionId is the vector index: renumber so function(id) stays
+        // coherent (nothing else stores FunctionIds).
+        for (std::size_t j = 0; j < candidate.functions.size(); ++j) {
+          candidate.functions[j].id = static_cast<FunctionId>(j);
+        }
+        if (accept(std::move(candidate))) {
+          any = applied = true;
+          break;
+        }
+      }
+    }
+    return any;
+  }
+
+  bool pass_drop_steps() {
+    bool any = false;
+    bool applied = true;
+    while (applied && budget_left()) {
+      applied = false;
+      for (std::size_t f = 0; f < current_.functions.size() && !applied; ++f) {
+        const std::size_t nsteps = current_.functions[f].steps.size();
+        for (std::size_t s = 0; s < nsteps; ++s) {
+          Program candidate = current_;
+          auto& steps = candidate.functions[f].steps;
+          steps.erase(steps.begin() + static_cast<std::ptrdiff_t>(s));
+          if (accept(std::move(candidate))) {
+            any = applied = true;
+            break;
+          }
+        }
+      }
+    }
+    return any;
+  }
+
+  bool pass_drop_loops() {
+    bool any = false;
+    bool applied = true;
+    while (applied && budget_left()) {
+      applied = false;
+      for (std::size_t f = 0; f < current_.functions.size() && !applied; ++f) {
+        for (std::size_t s = 0; s < current_.functions[f].steps.size() && !applied;
+             ++s) {
+          const std::size_t nloops =
+              current_.functions[f].steps[s].loops.size();
+          for (std::size_t l = 0; l < nloops; ++l) {
+            Program candidate = current_;
+            Step& step = candidate.functions[f].steps[s];
+            const LoopSpec dropped = step.loops[l];
+            step.loops.erase(step.loops.begin() +
+                             static_cast<std::ptrdiff_t>(l));
+            // Pin the index to the loop's begin everywhere it was visible:
+            // later loop bounds and the whole body.
+            for (std::size_t j = l; j < step.loops.size(); ++j) {
+              LoopSpec& inner = step.loops[j];
+              inner.begin =
+                  substitute_index(inner.begin, dropped.index_var, dropped.begin);
+              inner.end =
+                  substitute_index(inner.end, dropped.index_var, dropped.begin);
+              inner.stride = substitute_index(inner.stride, dropped.index_var,
+                                              dropped.begin);
+            }
+            rewrite_body_exprs(step.body, [&](const ExprPtr& e) -> ExprPtr {
+              if (e->kind == Expr::Kind::kIndex &&
+                  e->index_name == dropped.index_var) {
+                return dropped.begin;
+              }
+              return nullptr;
+            });
+            if (accept(std::move(candidate))) {
+              any = applied = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+    return any;
+  }
+
+  bool pass_stmt_actions() {
+    bool any = false;
+    bool applied = true;
+    while (applied && budget_left()) {
+      applied = false;
+      std::vector<std::pair<StmtCoord, StmtAction>> actions;
+      for (int f = 0; f < static_cast<int>(current_.functions.size()); ++f) {
+        const Function& fn = current_.functions[static_cast<std::size_t>(f)];
+        for (int s = 0; s < static_cast<int>(fn.steps.size()); ++s) {
+          StmtCoord prefix;
+          prefix.fn = f;
+          prefix.step = s;
+          enumerate_stmts(fn.steps[static_cast<std::size_t>(s)].body, prefix,
+                          &actions);
+        }
+      }
+      for (const auto& [coord, action] : actions) {
+        Program candidate = current_;
+        if (!apply_stmt_action(&candidate, coord, action)) continue;
+        if (accept(std::move(candidate))) {
+          any = applied = true;
+          break;
+        }
+      }
+    }
+    return any;
+  }
+
+  bool pass_simplify_exprs() {
+    bool any = false;
+    bool applied = true;
+    while (applied && budget_left()) {
+      applied = false;
+      std::vector<StmtCoord> coords;
+      {
+        std::vector<std::pair<StmtCoord, StmtAction>> actions;
+        for (int f = 0; f < static_cast<int>(current_.functions.size()); ++f) {
+          const Function& fn = current_.functions[static_cast<std::size_t>(f)];
+          for (int s = 0; s < static_cast<int>(fn.steps.size()); ++s) {
+            StmtCoord prefix;
+            prefix.fn = f;
+            prefix.step = s;
+            enumerate_stmts(fn.steps[static_cast<std::size_t>(s)].body, prefix,
+                            &actions);
+          }
+        }
+        for (const auto& [coord, action] : actions) {
+          if (action == StmtAction::kDrop) coords.push_back(coord);
+        }
+      }
+      for (const StmtCoord& coord : coords) {
+        if (try_simplify_stmt(coord)) {
+          any = applied = true;
+          break;
+        }
+      }
+    }
+    return any;
+  }
+
+  bool try_simplify_stmt(const StmtCoord& coord) {
+    std::vector<Stmt>* body = resolve_body(&current_, coord);
+    if (body == nullptr || coord.path.empty()) return false;
+    const int index = coord.path.back().first;
+    if (index >= static_cast<int>(body->size())) return false;
+    Stmt probe = (*body)[static_cast<std::size_t>(index)];
+    const std::vector<ExprPtr*> slots = stmt_slots(&probe);
+    for (std::size_t slot = 0; slot < slots.size(); ++slot) {
+      const ExprPtr root = *slots[slot];
+      const int nodes = count_expr_nodes(root);
+      for (int n = 0; n < nodes; ++n) {
+        int counter = 0;
+        const ExprPtr* node = find_preorder(root, n, &counter);
+        if (node == nullptr) continue;
+        for (const ExprPtr& replacement : replacements_for(current_, *node)) {
+          if (!budget_left()) return false;
+          int rebuild_counter = 0;
+          const ExprPtr rebuilt =
+              replace_preorder(root, n, &rebuild_counter, replacement);
+          Program candidate = current_;
+          std::vector<Stmt>* cbody = resolve_body(&candidate, coord);
+          if (cbody == nullptr) return false;
+          Stmt& target = (*cbody)[static_cast<std::size_t>(index)];
+          *stmt_slots(&target)[slot] = rebuilt;
+          if (accept(std::move(candidate))) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool pass_shrink_sizes() {
+    bool any = false;
+    bool applied = true;
+    while (applied && budget_left()) {
+      applied = false;
+      for (const GridId id : current_.global_grids) {
+        const Grid& g = current_.grid(id);
+        if (!g.is_scalar() || g.elem_type != DataType::kInt ||
+            g.init_data.empty()) {
+          continue;
+        }
+        const auto value =
+            static_cast<std::int64_t>(value_as_double(g.init_data[0]));
+        if (value <= 2) continue;
+        for (const std::int64_t target : {std::int64_t{2}, value - 1}) {
+          if (target >= value) continue;
+          std::vector<std::vector<std::int64_t>> before;
+          bool foldable = true;
+          for (const Grid& grid : current_.grids) {
+            const auto exts = folded_extents(current_, grid);
+            if (!exts) {
+              foldable = false;
+              break;
+            }
+            before.push_back(*exts);
+          }
+          if (!foldable) break;
+          Program candidate = current_;
+          candidate.grids[id].init_data[0] = Value{target};
+          if (!reslice_init_data(&candidate, before)) continue;
+          if (accept(std::move(candidate))) {
+            any = applied = true;
+            break;
+          }
+        }
+        if (applied) break;
+      }
+    }
+    return any;
+  }
+
+  Program current_;
+  const ShrinkPredicate& predicate_;
+  ShrinkOptions opts_;
+  ShrinkStats* stats_;
+  Measure measure_{};
+};
+
+}  // namespace
+
+Program shrink_program(Program program, const ShrinkPredicate& predicate,
+                       const ShrinkOptions& opts, ShrinkStats* stats) {
+  ShrinkStats local;
+  Shrinker shrinker(std::move(program), predicate, opts,
+                    stats != nullptr ? stats : &local);
+  return shrinker.run();
+}
+
+}  // namespace glaf::fuzz

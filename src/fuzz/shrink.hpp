@@ -1,0 +1,48 @@
+#pragma once
+// Greedy, deterministic test-case shrinker. Given a program and a
+// predicate ("still interesting" — typically "the oracle still reports a
+// divergence"), it repeatedly applies the smallest-first reductions
+//
+//   drop whole functions -> drop steps -> drop loop levels (pinning the
+//   index to the loop's begin) -> drop statements / flatten conditionals
+//   -> simplify expressions (hoist a subtree or replace with a literal)
+//   -> shrink size parameters (re-slicing dependent initial data)
+//
+// keeping a candidate only when it (1) still validates, (2) strictly
+// decreases a well-founded size measure, and (3) still satisfies the
+// predicate. The measure ordering guarantees termination; candidate
+// enumeration order is fixed, so shrinking is reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/program.hpp"
+
+namespace glaf::fuzz {
+
+/// Returns true while the candidate remains "interesting". Called only on
+/// programs that already passed validation.
+using ShrinkPredicate = std::function<bool(const Program&)>;
+
+struct ShrinkOptions {
+  /// Function that must never be dropped (the oracle's entry point).
+  std::string protected_function;
+  /// Safety valve on predicate evaluations (each may compile and run the
+  /// program, so this bounds total shrink cost).
+  int max_candidates = 4000;
+};
+
+struct ShrinkStats {
+  int rounds = 0;
+  int candidates_tried = 0;
+  int candidates_accepted = 0;
+};
+
+/// Shrink `program` as far as the predicate allows. The input program
+/// itself must satisfy the predicate; the result always does.
+Program shrink_program(Program program, const ShrinkPredicate& predicate,
+                       const ShrinkOptions& opts = {},
+                       ShrinkStats* stats = nullptr);
+
+}  // namespace glaf::fuzz

@@ -77,7 +77,7 @@ TEST(CGen, RowMajorFlattening) {
   EXPECT_TRUE(contains(src, "a[((i) * (5) + (j))]"));
 }
 
-TEST(CGen, MallocFreeForSymbolicLocals) {
+TEST(CGen, CallocFreeForSymbolicLocals) {
   ProgramBuilder pb("m");
   auto fb = pb.function("f");
   auto n = fb.param("n", DataType::kInt);
@@ -86,8 +86,23 @@ TEST(CGen, MallocFreeForSymbolicLocals) {
   s.foreach_("i", 0, E(n) - 1);
   s.assign(t(idx("i")), 0.0);
   const std::string src = gen(pb.build().value());
-  EXPECT_TRUE(contains(src, "malloc"));
+  // calloc, not malloc: interpreter instances start zero-filled, so the
+  // generated code must match (caught by the differential fuzzer).
+  EXPECT_TRUE(contains(src, "calloc"));
+  EXPECT_FALSE(contains(src, "malloc"));
   EXPECT_TRUE(contains(src, "free(t);"));
+}
+
+TEST(CGen, ScalarAndFixedLocalsZeroInitialized) {
+  ProgramBuilder pb("m");
+  auto fb = pb.function("f");
+  auto t = fb.local("t", DataType::kDouble);
+  auto a = fb.local("a", DataType::kDouble, {E(4)});
+  auto s = fb.step("s");
+  s.assign(t(), E(a(liti(0))) + 1.0);
+  const std::string src = gen(pb.build().value());
+  EXPECT_TRUE(contains(src, "double t = 0;"));
+  EXPECT_TRUE(contains(src, "double a[4] = {0};"));
 }
 
 TEST(CGen, SaveTemporariesUsesStaticGuard) {
@@ -114,7 +129,9 @@ TEST(CGen, VariadicMinFoldsToNestedCalls) {
   pb.function("f").step("s").assign(
       x(), call("MIN", {E(x), E(y), E(z)}));
   const std::string src = gen(pb.build().value());
-  EXPECT_TRUE(contains(src, "glaf_min(x, glaf_min(y, z))"));
+  // Left-associative like the interpreter's fold, so NaN propagation
+  // through the accumulator is identical in both backends.
+  EXPECT_TRUE(contains(src, "glaf_min(glaf_min(x, y), z)"));
 }
 
 TEST(CGen, IntegerModVsFmod) {

@@ -1,0 +1,53 @@
+// Regression corpus replay: every tests/fuzz/corpus/*.glaf file is a
+// previously-diverging (now fixed) or structurally interesting case.
+// Each must load, validate, and agree across all available backends.
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/repro.hpp"
+
+namespace glaf::fuzz {
+namespace {
+
+std::vector<std::string> corpus_paths() {
+  return list_corpus(GLAF_SOURCE_DIR "/tests/fuzz/corpus");
+}
+
+TEST(FuzzCorpus, CorpusIsNotEmpty) {
+  EXPECT_GE(corpus_paths().size(), 4u);
+}
+
+TEST(FuzzCorpus, EveryEntryLoadsAndValidates) {
+  for (const std::string& path : corpus_paths()) {
+    auto loaded = load_repro(path);
+    ASSERT_TRUE(loaded.is_ok())
+        << path << ": " << loaded.status().message();
+    EXPECT_TRUE(find_entry(loaded.value()).is_ok()) << path;
+  }
+}
+
+TEST(FuzzCorpus, EveryEntryAgreesAcrossBackends) {
+  OracleOptions opts;
+  opts.run_compiled_c = cc_available(opts.cc);
+  for (const std::string& path : corpus_paths()) {
+    auto loaded = load_repro(path);
+    ASSERT_TRUE(loaded.is_ok()) << path;
+    auto entry = find_entry(loaded.value());
+    ASSERT_TRUE(entry.is_ok()) << path;
+    const OracleReport report =
+        run_oracle(loaded.value(), entry.value(), opts);
+    EXPECT_TRUE(report.agreed()) << path << ": "
+        << (report.errors.empty()
+                ? (report.divergences.empty()
+                       ? "?"
+                       : report.divergences[0].backend + " diverged on " +
+                             report.divergences[0].grid)
+                : report.errors[0]);
+    EXPECT_GE(report.backends_compared, 4);
+  }
+}
+
+}  // namespace
+}  // namespace glaf::fuzz

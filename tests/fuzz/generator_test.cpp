@@ -1,0 +1,83 @@
+// Generator validity properties: every seed must yield a program that
+// validates, round-trips through the serializer, and (sampled) executes
+// under the serial interpreter without runtime failures.
+
+#include <gtest/gtest.h>
+
+#include "core/rewrite.hpp"
+#include "core/serialize.hpp"
+#include "core/typecheck.hpp"
+#include "core/validate.hpp"
+#include "fuzz/generator.hpp"
+#include "interp/machine.hpp"
+
+namespace glaf::fuzz {
+namespace {
+
+TEST(FuzzGenerator, FiveHundredSeedsValidate) {
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    auto generated = generate_program(seed);
+    ASSERT_TRUE(generated.is_ok()) << "seed " << seed;
+    const auto diags = validate(generated.value().program);
+    EXPECT_TRUE(is_valid(diags))
+        << "seed " << seed << ":\n" << render_diagnostics(diags);
+  }
+}
+
+TEST(FuzzGenerator, EverySubexpressionTypechecks) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    auto generated = generate_program(seed);
+    ASSERT_TRUE(generated.is_ok()) << "seed " << seed;
+    Program program = std::move(generated).value().program;
+    int ill_typed = 0;
+    rewrite_program_exprs(program, [&](const ExprPtr& e) -> ExprPtr {
+      if (infer_type(program, *e) == DataType::kVoid) ++ill_typed;
+      return nullptr;
+    });
+    EXPECT_EQ(ill_typed, 0) << "seed " << seed;
+  }
+}
+
+TEST(FuzzGenerator, Deterministic) {
+  for (std::uint64_t seed : {0ULL, 17ULL, 99ULL}) {
+    auto a = generate_program(seed);
+    auto b = generate_program(seed);
+    ASSERT_TRUE(a.is_ok() && b.is_ok());
+    EXPECT_EQ(serialize_program(a.value().program),
+              serialize_program(b.value().program));
+  }
+}
+
+TEST(FuzzGenerator, SeedsProduceDistinctPrograms) {
+  auto a = generate_program(1);
+  auto b = generate_program(2);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_NE(serialize_program(a.value().program),
+            serialize_program(b.value().program));
+}
+
+TEST(FuzzGenerator, SerializeRoundTrip) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    auto generated = generate_program(seed);
+    ASSERT_TRUE(generated.is_ok()) << "seed " << seed;
+    const std::string text = serialize_program(generated.value().program);
+    auto parsed = parse_program(text);
+    ASSERT_TRUE(parsed.is_ok())
+        << "seed " << seed << ": " << parsed.status().message();
+    EXPECT_EQ(text, serialize_program(parsed.value())) << "seed " << seed;
+  }
+}
+
+TEST(FuzzGenerator, SampledSeedsExecuteSerially) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    auto generated = generate_program(seed);
+    ASSERT_TRUE(generated.is_ok()) << "seed " << seed;
+    Machine machine(generated.value().program, InterpOptions{});
+    const auto result = machine.call(generated.value().entry);
+    EXPECT_TRUE(result.is_ok())
+        << "seed " << seed << ": " << result.status().message();
+  }
+}
+
+}  // namespace
+}  // namespace glaf::fuzz

@@ -1,0 +1,104 @@
+// Shrinker properties on synthetic, fully deterministic predicates: the
+// result must be minimal, still satisfy the predicate, and be reached
+// identically on every run.
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/rewrite.hpp"
+#include "core/serialize.hpp"
+#include "core/validate.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace glaf::fuzz {
+namespace {
+
+/// A program with an auxiliary function, two steps, a loop nest and
+/// several irrelevant statements around one TANH call.
+Program make_noisy_program() {
+  ProgramBuilder pb("shrinkme");
+  auto g = pb.global("g", DataType::kDouble, {E(4)});
+  auto h = pb.global("h", DataType::kDouble, {E(4)});
+  auto x = pb.global("x", DataType::kDouble, {}, {.init = {Value{0.5}}});
+
+  auto aux = pb.function("aux");
+  aux.step("a").assign(Access(h.id(), "", {liti(0).node()}), lit(2.0));
+
+  auto fb = pb.function("fz_main");
+  auto s1 = fb.step("one");
+  s1.foreach_("i0", 0, 3);
+  s1.foreach_("i1", 0, 3);
+  s1.assign(g(idx("i0")), call("TANH", {E(x)}) + E(idx("i1")) * 0.5);
+  s1.assign(h(idx("i0")), E(x) * 2.0 + 1.0);
+  auto s2 = fb.step("two");
+  s2.assign(x(), E(x) + 1.0);
+  return pb.build().value();
+}
+
+bool mentions_tanh(const Program& p) {
+  return serialize_program(p).find("TANH") != std::string::npos;
+}
+
+TEST(FuzzShrink, ReducesToSingleStatement) {
+  ShrinkOptions opts;
+  opts.protected_function = "fz_main";
+  ShrinkStats stats;
+  const Program shrunk =
+      shrink_program(make_noisy_program(), mentions_tanh, opts, &stats);
+
+  EXPECT_TRUE(mentions_tanh(shrunk));
+  EXPECT_TRUE(is_valid(validate(shrunk)));
+  EXPECT_EQ(count_statements(shrunk), 1);
+  ASSERT_EQ(shrunk.functions.size(), 1u);
+  EXPECT_EQ(shrunk.functions[0].name, "fz_main");
+  // Both loop levels are droppable: the surviving statement subscripts
+  // with the pinned loop-begin literal.
+  for (const Step& step : shrunk.functions[0].steps) {
+    EXPECT_TRUE(step.loops.empty());
+  }
+  EXPECT_GT(stats.candidates_accepted, 0);
+}
+
+TEST(FuzzShrink, DeterministicAcrossRuns) {
+  ShrinkOptions opts;
+  opts.protected_function = "fz_main";
+  const Program a = shrink_program(make_noisy_program(), mentions_tanh, opts);
+  const Program b = shrink_program(make_noisy_program(), mentions_tanh, opts);
+  EXPECT_EQ(serialize_program(a), serialize_program(b));
+}
+
+TEST(FuzzShrink, ResultAlwaysSatisfiesPredicate) {
+  // A predicate that also rejects some shrunk forms: require BOTH the
+  // TANH call and at least two statements.
+  const auto pred = [](const Program& p) {
+    return serialize_program(p).find("TANH") != std::string::npos &&
+           count_statements(p) >= 2;
+  };
+  ShrinkOptions opts;
+  opts.protected_function = "fz_main";
+  const Program shrunk = shrink_program(make_noisy_program(), pred, opts);
+  EXPECT_TRUE(pred(shrunk));
+  EXPECT_EQ(count_statements(shrunk), 2);
+}
+
+TEST(FuzzShrink, RespectsCandidateBudget) {
+  ShrinkOptions opts;
+  opts.protected_function = "fz_main";
+  opts.max_candidates = 3;
+  ShrinkStats stats;
+  shrink_program(make_noisy_program(), mentions_tanh, opts, &stats);
+  EXPECT_LE(stats.candidates_tried, 3);
+}
+
+TEST(FuzzShrink, FunctionIdsStayCoherentAfterDrop) {
+  ShrinkOptions opts;
+  opts.protected_function = "fz_main";
+  const Program shrunk =
+      shrink_program(make_noisy_program(), mentions_tanh, opts);
+  for (std::size_t i = 0; i < shrunk.functions.size(); ++i) {
+    EXPECT_EQ(shrunk.functions[i].id, static_cast<FunctionId>(i));
+  }
+}
+
+}  // namespace
+}  // namespace glaf::fuzz
