@@ -1,0 +1,211 @@
+// Execution-engine comparison: tree-walk interpreter vs the compiled
+// flat-plan VM, serial and parallel, over the Fu-Liou SARB kernels
+// (Table 1) and the FUN3D kernel program.
+//
+// Prints a table and writes BENCH_interp.json with per-kernel wall
+// times and speedups plus the serial geometric-mean speedup over the
+// SARB kernels (the checked-in acceptance number: >= 3x).
+//
+// Usage: interp_engine [--threads N] [--min-seconds X] [--out FILE]
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuliou/glaf_kernels.hpp"
+#include "fuliou/harness.hpp"
+#include "fuliou/profile.hpp"
+#include "fun3d/glaf_fun3d.hpp"
+#include "interp/machine.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+using namespace glaf;
+
+namespace {
+
+struct KernelResult {
+  std::string suite;  ///< "sarb" or "fun3d"
+  std::string name;
+  double serial_treewalk_s = 0.0;
+  double serial_plan_s = 0.0;
+  double parallel_treewalk_s = 0.0;
+  double parallel_plan_s = 0.0;
+};
+
+InterpOptions engine_opts(ExecEngine engine, bool parallel, int threads) {
+  InterpOptions o;
+  o.engine = engine;
+  o.parallel = parallel;
+  o.num_threads = threads;
+  return o;
+}
+
+/// Best wall time per call of `entry` on a fresh machine.
+double measure(const Program& program, const InterpOptions& opts,
+               const std::string& entry, double min_seconds,
+               const std::function<void(Machine&)>& prepare) {
+  Machine m(program, opts);
+  if (prepare) prepare(m);
+  const StatusOr<double> probe = m.call(entry);
+  if (!probe.is_ok()) {
+    std::fprintf(stderr, "interp_engine: %s: %s\n", entry.c_str(),
+                 probe.status().message().c_str());
+    return 0.0;
+  }
+  return time_best([&] { (void)m.call(entry); }, min_seconds, 3);
+}
+
+std::string fmt(double v, const char* spec = "%.3g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int threads = static_cast<int>(args.get_int("threads", 4));
+  const double min_seconds = args.get("min-seconds", "").empty()
+                                 ? 0.05
+                                 : std::stod(args.get("min-seconds", "0.05"));
+  const std::string out_path = args.get("out", "BENCH_interp.json");
+
+  std::vector<KernelResult> results;
+
+  // --- SARB: the six Table 1 subroutines, inputs from a synthetic
+  // profile (the role the legacy FORTRAN modules play in the paper).
+  const Program sarb = fuliou::build_sarb_program();
+  const fuliou::AtmosphereProfile profile = fuliou::make_profile(1);
+  const auto load_sarb = [&](Machine& m) {
+    const Status s = fuliou::load_profile(m, profile);
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "interp_engine: load_profile: %s\n",
+                   s.message().c_str());
+    }
+  };
+  for (const std::string& name : fuliou::table1_subroutines()) {
+    const Function* fn = sarb.find_function(name);
+    if (fn == nullptr || !fn->params.empty()) continue;
+    KernelResult r;
+    r.suite = "sarb";
+    r.name = name;
+    r.serial_treewalk_s =
+        measure(sarb, engine_opts(ExecEngine::kTreeWalk, false, threads),
+                name, min_seconds, load_sarb);
+    r.serial_plan_s =
+        measure(sarb, engine_opts(ExecEngine::kPlan, false, threads), name,
+                min_seconds, load_sarb);
+    r.parallel_treewalk_s =
+        measure(sarb, engine_opts(ExecEngine::kTreeWalk, true, threads),
+                name, min_seconds, load_sarb);
+    r.parallel_plan_s =
+        measure(sarb, engine_opts(ExecEngine::kPlan, true, threads), name,
+                min_seconds, load_sarb);
+    results.push_back(r);
+  }
+
+  // --- FUN3D kernels: deterministic synthetic mesh inputs.
+  const Program f3d = fun3d::build_fun3d_glaf_program();
+  const auto load_f3d = [&](Machine& m) {
+    std::vector<double> ea(fun3d::kGlafEdges), eb(fun3d::kGlafEdges);
+    std::vector<double> w(fun3d::kGlafEdges), q(fun3d::kGlafNodes);
+    for (int e = 0; e < fun3d::kGlafEdges; ++e) {
+      ea[static_cast<std::size_t>(e)] = e % fun3d::kGlafNodes;
+      eb[static_cast<std::size_t>(e)] = (e * 7 + 3) % fun3d::kGlafNodes;
+      w[static_cast<std::size_t>(e)] = 0.25 + 0.5 * (e % 3);
+    }
+    for (int k = 0; k < fun3d::kGlafNodes; ++k) {
+      q[static_cast<std::size_t>(k)] = 1.0 + 0.01 * k;
+    }
+    (void)m.set_array("edge_a", ea);
+    (void)m.set_array("edge_b", eb);
+    (void)m.set_array("w", w);
+    (void)m.set_array("q", q);
+  };
+  for (const std::string& name : {std::string("edge_scatter"),
+                                  std::string("smooth_q")}) {
+    KernelResult r;
+    r.suite = "fun3d";
+    r.name = name;
+    r.serial_treewalk_s =
+        measure(f3d, engine_opts(ExecEngine::kTreeWalk, false, threads),
+                name, min_seconds, load_f3d);
+    r.serial_plan_s =
+        measure(f3d, engine_opts(ExecEngine::kPlan, false, threads), name,
+                min_seconds, load_f3d);
+    r.parallel_treewalk_s =
+        measure(f3d, engine_opts(ExecEngine::kTreeWalk, true, threads),
+                name, min_seconds, load_f3d);
+    r.parallel_plan_s =
+        measure(f3d, engine_opts(ExecEngine::kPlan, true, threads), name,
+                min_seconds, load_f3d);
+    results.push_back(r);
+  }
+
+  // --- report
+  TextTable table({"kernel", "serial treewalk", "serial plan", "speedup",
+                   "parallel treewalk", "parallel plan", "speedup"});
+  table.set_alignment({Align::kLeft, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight});
+  double log_sum = 0.0;
+  int sarb_count = 0;
+  for (const KernelResult& r : results) {
+    const double s_speed =
+        r.serial_plan_s > 0.0 ? r.serial_treewalk_s / r.serial_plan_s : 0.0;
+    const double p_speed = r.parallel_plan_s > 0.0
+                               ? r.parallel_treewalk_s / r.parallel_plan_s
+                               : 0.0;
+    if (r.suite == "sarb" && s_speed > 0.0) {
+      log_sum += std::log(s_speed);
+      ++sarb_count;
+    }
+    table.add_row({r.suite + "/" + r.name,
+                   fmt(r.serial_treewalk_s * 1e6) + " us",
+                   fmt(r.serial_plan_s * 1e6) + " us",
+                   fmt(s_speed, "%.2f") + "x",
+                   fmt(r.parallel_treewalk_s * 1e6) + " us",
+                   fmt(r.parallel_plan_s * 1e6) + " us",
+                   fmt(p_speed, "%.2f") + "x"});
+  }
+  const double geomean =
+      sarb_count > 0 ? std::exp(log_sum / sarb_count) : 0.0;
+  std::printf("== interpreter engines: tree-walk vs flat plans (%d threads "
+              "for parallel rows) ==\n\n%s\n",
+              threads, table.render().c_str());
+  std::printf("SARB serial geomean speedup (plan vs tree-walk): %.2fx\n",
+              geomean);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "interp_engine: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"benchmark\": \"interp_engine\",\n"
+      << "  \"threads\": " << threads << ",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    const double s_speed =
+        r.serial_plan_s > 0.0 ? r.serial_treewalk_s / r.serial_plan_s : 0.0;
+    const double p_speed = r.parallel_plan_s > 0.0
+                               ? r.parallel_treewalk_s / r.parallel_plan_s
+                               : 0.0;
+    out << "    {\"suite\": \"" << r.suite << "\", \"name\": \"" << r.name
+        << "\", \"serial_treewalk_s\": " << fmt(r.serial_treewalk_s, "%.6g")
+        << ", \"serial_plan_s\": " << fmt(r.serial_plan_s, "%.6g")
+        << ", \"serial_speedup\": " << fmt(s_speed, "%.3f")
+        << ", \"parallel_treewalk_s\": " << fmt(r.parallel_treewalk_s, "%.6g")
+        << ", \"parallel_plan_s\": " << fmt(r.parallel_plan_s, "%.6g")
+        << ", \"parallel_speedup\": " << fmt(p_speed, "%.3f") << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"sarb_serial_geomean_speedup\": " << fmt(geomean, "%.3f")
+      << "\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -337,7 +337,10 @@ OracleReport run_oracle(const Program& program, const std::string& entry,
     return report;
   }
 
+  // The reference is always the serial tree-walk: it is the semantic
+  // definition both the plan engine and the generated code must match.
   InterpOptions serial;
+  serial.engine = ExecEngine::kTreeWalk;
   serial.parallel = false;
   const StatusOr<Snapshot> reference =
       run_interpreter(program, entry, specs.value(), serial);
@@ -347,20 +350,49 @@ OracleReport run_oracle(const Program& program, const std::string& entry,
     return report;
   }
 
+  if (opts.run_plan) {
+    InterpOptions plan_serial;
+    plan_serial.engine = ExecEngine::kPlan;
+    plan_serial.parallel = false;
+    const StatusOr<Snapshot> snap =
+        run_interpreter(program, entry, specs.value(), plan_serial);
+    if (!snap.is_ok()) {
+      report.errors.push_back(cat("plan: ", snap.status().message()));
+    } else {
+      compare_snapshots("plan", reference.value(), snap.value(),
+                        specs.value(), opts, &report);
+    }
+  }
+
   if (opts.run_parallel) {
     for (const DirectivePolicy policy : opts.policies) {
-      InterpOptions popts;
-      popts.parallel = true;
-      popts.num_threads = opts.num_threads;
-      popts.policy = policy;
-      const StatusOr<Snapshot> snap =
-          run_interpreter(program, entry, specs.value(), popts);
-      const std::string backend = cat("parallel-", to_string(policy));
-      if (!snap.is_ok()) {
-        report.errors.push_back(cat(backend, ": ", snap.status().message()));
-        continue;
+      struct EngineLeg {
+        ExecEngine engine;
+        const char* suffix;
+        bool enabled;
+      };
+      const EngineLeg legs[] = {
+          {ExecEngine::kTreeWalk, "", opts.run_treewalk_parallel},
+          {ExecEngine::kPlan, "-plan", opts.run_plan},
+      };
+      for (const EngineLeg& leg : legs) {
+        if (!leg.enabled) continue;
+        InterpOptions popts;
+        popts.engine = leg.engine;
+        popts.parallel = true;
+        popts.num_threads = opts.num_threads;
+        popts.policy = policy;
+        const StatusOr<Snapshot> snap =
+            run_interpreter(program, entry, specs.value(), popts);
+        const std::string backend =
+            cat("parallel-", to_string(policy), leg.suffix);
+        if (!snap.is_ok()) {
+          report.errors.push_back(cat(backend, ": ", snap.status().message()));
+          continue;
+        }
+        compare_snapshots(backend, reference.value(), snap.value(),
+                          specs.value(), opts, &report);
       }
-      compare_snapshots(backend, reference.value(), snap.value(), specs.value(), opts, &report);
     }
   }
 

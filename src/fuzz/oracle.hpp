@@ -3,9 +3,11 @@
 // methodology ("a code-wide side-by-side comparison of the results")
 // mechanized: one program is executed by
 //
-//   1. the serial interpreter (the reference),
-//   2. the parallel interpreter under each directive policy v0..v3,
-//   3. the generated C translation unit compiled with the system
+//   1. the serial tree-walk interpreter (the reference),
+//   2. the serial plan engine (compiled flat plans on the VM),
+//   3. the parallel interpreter under each directive policy v0..v3,
+//      on both execution engines,
+//   4. the generated C translation unit compiled with the system
 //      compiler and run in a subprocess,
 //
 // and every Global Scope grid is compared element-wise afterwards.
@@ -34,6 +36,11 @@ struct OracleOptions {
   int num_threads = 4;
   bool run_parallel = true;   ///< parallel interpreter backends
   bool run_compiled_c = true; ///< compile-and-execute C backend
+  /// Plan-engine legs: serial "plan" plus "parallel-vK-plan" per policy.
+  bool run_plan = true;
+  /// Tree-walk parallel legs ("parallel-vK"). Off + run_plan = plan-only
+  /// parallel testing (the glaf-fuzz --engine=plan mode).
+  bool run_treewalk_parallel = true;
   std::vector<DirectivePolicy> policies = {
       DirectivePolicy::kV0, DirectivePolicy::kV1, DirectivePolicy::kV2,
       DirectivePolicy::kV3};
@@ -46,7 +53,7 @@ struct OracleOptions {
 
 /// One element-level disagreement against the serial reference.
 struct Divergence {
-  std::string backend;  ///< "parallel-v2", "c", ...
+  std::string backend;  ///< "plan", "parallel-v2", "parallel-v2-plan", "c"
   std::string grid;
   std::int64_t index = 0;  ///< flat element index
   double expected = 0.0;   ///< serial reference value

@@ -9,40 +9,22 @@
 #include "codegen/directive_policy.hpp"
 #include "core/libfuncs.hpp"
 #include "core/typecheck.hpp"
+#include "interp/exec_common.hpp"
+#include "interp/plan.hpp"
+#include "interp/vm.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/strings.hpp"
 
 namespace glaf {
 
+// Shared with the plan VM (interp/exec_common.hpp): both engines must
+// agree exactly on error unwinding and reduction algebra.
+using interp::InterpError;
+using interp::fail;
+using interp::reduction_combine;
+using interp::reduction_identity;
+
 namespace {
-
-/// Internal unwinding for runtime errors; converted to Status at the API
-/// boundary.
-struct InterpError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
-
-[[noreturn]] void fail(const std::string& msg) { throw InterpError(msg); }
-
-double reduction_identity(ReduceOp op) {
-  switch (op) {
-    case ReduceOp::kSum: return 0.0;
-    case ReduceOp::kProd: return 1.0;
-    case ReduceOp::kMin: return std::numeric_limits<double>::infinity();
-    case ReduceOp::kMax: return -std::numeric_limits<double>::infinity();
-  }
-  return 0.0;
-}
-
-double reduction_combine(ReduceOp op, double a, double b) {
-  switch (op) {
-    case ReduceOp::kSum: return a + b;
-    case ReduceOp::kProd: return a * b;
-    case ReduceOp::kMin: return std::min(a, b);
-    case ReduceOp::kMax: return std::max(a, b);
-  }
-  return a;
-}
 
 /// Loop index bindings; tiny linear map (loop nests are 1-3 deep).
 class IndexEnv {
@@ -84,6 +66,15 @@ std::int64_t Instance::offset(const std::vector<std::int64_t>& idx) const {
                grid != nullptr ? grid->name : "?", "'"));
     }
     off = off * extents[d] + i;
+  }
+  return off;
+}
+
+std::int64_t Instance::offset_unchecked(
+    const std::vector<std::int64_t>& idx) const {
+  std::int64_t off = 0;
+  for (std::size_t d = 0; d < extents.size(); ++d) {
+    off = off * extents[d] + idx[d];
   }
   return off;
 }
@@ -672,6 +663,16 @@ Machine::Machine(Program program, InterpOptions options)
     scope.slots[id] = inst;
     globals_[id] = std::move(inst);
   }
+  // Plan engine: compile once per machine, and precompute the slot
+  // prototype (raw global pointers) every call frame starts from. Global
+  // instances are stable for the machine's lifetime, so the raw pointers
+  // stay valid.
+  plan_slots_proto_.assign(program_.grids.size(), nullptr);
+  for (const auto& [id, inst] : globals_) plan_slots_proto_[id] = inst.get();
+  if (options_.engine == ExecEngine::kPlan) {
+    plans_ = std::make_unique<interp::ProgramPlan>(
+        interp::compile_plans(program_, analysis_, atomic_grids_));
+  }
 }
 
 Machine::~Machine() = default;
@@ -745,35 +746,48 @@ StatusOr<double> Machine::call(const std::string& function,
                                 fn->params.size(), " arguments, got ",
                                 args.size()));
   }
-  Executor ex(*this);
   std::vector<InstancePtr> bound;
   bound.reserve(args.size());
-  try {
-    for (std::size_t i = 0; i < args.size(); ++i) {
-      const Grid& param = program_.grid(fn->params[i]);
-      if (const auto* name = std::get_if<std::string>(&args[i])) {
-        Instance* inst = find_global(*name);
-        if (inst == nullptr) {
-          return not_found(cat("argument ", i + 1, ": global grid '", *name,
-                               "'"));
-        }
-        // Borrow the global's storage by reference.
-        for (const auto& [id, shared] : globals_) {
-          if (shared.get() == inst) bound.push_back(shared);
-        }
-      } else {
-        auto tmp = std::make_shared<Instance>();
-        tmp->grid = &param;
-        tmp->data.assign(1, std::get<double>(args[i]));
-        bound.push_back(std::move(tmp));
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const Grid& param = program_.grid(fn->params[i]);
+    if (const auto* name = std::get_if<std::string>(&args[i])) {
+      Instance* inst = find_global(*name);
+      if (inst == nullptr) {
+        return not_found(cat("argument ", i + 1, ": global grid '", *name,
+                             "'"));
       }
+      // Borrow the global's storage by reference.
+      for (const auto& [id, shared] : globals_) {
+        if (shared.get() == inst) bound.push_back(shared);
+      }
+    } else {
+      auto tmp = std::make_shared<Instance>();
+      tmp->grid = &param;
+      tmp->data.assign(1, std::get<double>(args[i]));
+      bound.push_back(std::move(tmp));
     }
-    const double result = ex.call_function(*fn, std::move(bound));
-    stats_.steps_executed += ex.stats.steps_executed;
-    stats_.loop_iterations += ex.stats.loop_iterations;
-    stats_.local_allocations += ex.stats.local_allocations;
-    stats_.parallel_regions += ex.stats.parallel_regions;
-    stats_.function_calls += ex.stats.function_calls;
+  }
+  try {
+    double result = 0.0;
+    InterpStats call_stats;
+    if (options_.engine == ExecEngine::kPlan) {
+      interp::PlanExecutor ex(*this);
+      std::vector<Instance*> argv;
+      argv.reserve(bound.size());
+      for (const InstancePtr& b : bound) argv.push_back(b.get());
+      result =
+          ex.call_function(plans_->functions[fn->id], argv.data(), argv.size());
+      call_stats = ex.stats;
+    } else {
+      Executor ex(*this);
+      result = ex.call_function(*fn, std::move(bound));
+      call_stats = ex.stats;
+    }
+    stats_.steps_executed += call_stats.steps_executed;
+    stats_.loop_iterations += call_stats.loop_iterations;
+    stats_.local_allocations += call_stats.local_allocations;
+    stats_.parallel_regions += call_stats.parallel_regions;
+    stats_.function_calls += call_stats.function_calls;
     return result;
   } catch (const InterpError& err) {
     return failed_precondition(err.what());

@@ -32,6 +32,11 @@ namespace glaf {
 
 class ThreadPool;
 
+namespace interp {
+class PlanExecutor;
+struct ProgramPlan;
+}  // namespace interp
+
 /// Runtime storage for one grid instance. All numeric values are held as
 /// doubles (integers are exact below 2^53, far beyond any workload here);
 /// struct grids hold one buffer per field (SoA).
@@ -44,10 +49,24 @@ struct Instance {
   [[nodiscard]] std::int64_t element_count() const;
   /// Flat row-major offset (bounds-checked).
   [[nodiscard]] std::int64_t offset(const std::vector<std::int64_t>& idx) const;
+  /// Flat row-major offset without bounds checks — for the plan engine,
+  /// whose compiled accesses are guarded once per access instead of once
+  /// per dimension (see interp/vm.cpp).
+  [[nodiscard]] std::int64_t offset_unchecked(
+      const std::vector<std::int64_t>& idx) const;
+};
+
+/// Which execution engine runs function calls.
+enum class ExecEngine {
+  kTreeWalk,  ///< the reference AST interpreter (Executor in machine.cpp)
+  kPlan,      ///< compiled flat plans (plan.cpp) on the VM (vm.cpp)
 };
 
 /// Interpreter execution options.
 struct InterpOptions {
+  /// Execution engine; plans are the default, the tree-walk remains as the
+  /// semantic reference (the fuzz oracle cross-checks them).
+  ExecEngine engine = ExecEngine::kPlan;
   bool parallel = false;              ///< run directive-kept steps in parallel
   int num_threads = 4;
   DirectivePolicy policy = DirectivePolicy::kV0;
@@ -123,6 +142,7 @@ class Machine {
 
  private:
   friend class Executor;
+  friend class interp::PlanExecutor;
 
   Instance* find_global(const std::string& name);
   const Instance* find_global(const std::string& name) const;
@@ -135,6 +155,11 @@ class Machine {
   /// GridId -> storage for globals; save-cache for SAVE'd locals.
   std::map<GridId, std::shared_ptr<Instance>> globals_;
   std::map<GridId, std::shared_ptr<Instance>> saved_locals_;
+
+  /// Plan-engine state: compiled plans plus the slot prototype (raw
+  /// global-instance pointers, indexed by GridId) each call frame copies.
+  std::unique_ptr<interp::ProgramPlan> plans_;
+  std::vector<Instance*> plan_slots_proto_;
 
   InterpStats stats_;
   std::vector<TraceEntry> trace_;

@@ -1,7 +1,6 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 namespace glaf {
 
@@ -36,7 +35,7 @@ void ThreadPool::run_chunk(const Job& job, int chunk) {
   chunk_bounds(job.n, job.chunks, chunk, &begin, &end);
   if (begin >= end) return;
   try {
-    (*job.fn)(chunk, begin, end);
+    job.invoke(job.ctx, chunk, begin, end);
   } catch (...) {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (!first_error_) first_error_ = std::current_exception();
@@ -64,17 +63,16 @@ void ThreadPool::worker_main(int rank) {
   }
 }
 
-void ThreadPool::parallel_for(
-    std::int64_t n,
-    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+void ThreadPool::dispatch(std::int64_t n, ChunkFn invoke, void* ctx) {
   if (n <= 0) return;
   if (num_threads_ == 1) {
-    fn(0, 0, n);
+    invoke(ctx, 0, 0, n);
     return;
   }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    job_.fn = &fn;
+    job_.invoke = invoke;
+    job_.ctx = ctx;
     job_.n = n;
     job_.chunks = num_threads_;
     ++generation_;
@@ -92,26 +90,6 @@ void ThreadPool::parallel_for(
       std::rethrow_exception(e);
     }
   }
-}
-
-void ThreadPool::parallel_for_dynamic(
-    std::int64_t n, std::int64_t chunk,
-    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
-  if (n <= 0) return;
-  chunk = std::max<std::int64_t>(1, chunk);
-  std::atomic<std::int64_t> cursor{0};
-  // One static slot per worker; each slot drains the shared cursor.
-  parallel_for(num_threads_,
-               [&](int rank, std::int64_t begin, std::int64_t end) {
-                 (void)begin;
-                 (void)end;
-                 while (true) {
-                   const std::int64_t start =
-                       cursor.fetch_add(chunk, std::memory_order_relaxed);
-                   if (start >= n) break;
-                   fn(rank, start, std::min<std::int64_t>(n, start + chunk));
-                 }
-               });
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -4,17 +4,25 @@
 // static contiguous chunks (one per worker), matching OMP's default static
 // schedule for PARALLEL DO.
 //
+// The public entry points are templates over the callable: a job is
+// published to the workers as a raw function pointer plus an opaque
+// context pointer (a function_ref, in effect), so dispatching a parallel
+// region never allocates or copies a std::function. The callable only has
+// to outlive the call, which it does — parallel_for blocks.
+//
 // Concurrency discipline (Core Guidelines CP.2/CP.3): workers share only
 // the immutable job descriptor and a per-job atomic cursor; user code is
 // responsible for the independence of its chunks, which in this project is
 // established by the auto-parallelization verdicts.
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace glaf {
@@ -34,28 +42,56 @@ class ThreadPool {
   /// Run fn(thread_rank, begin, end) over a static partition of [0, n)
   /// into size() chunks. Blocks until every chunk finished. Exceptions
   /// from chunks are captured and the first one is rethrown here.
-  void parallel_for(
-      std::int64_t n,
-      const std::function<void(int, std::int64_t, std::int64_t)>& fn);
+  template <typename F>
+  void parallel_for(std::int64_t n, F&& fn) {
+    // The const_cast round-trips const callables through the opaque ctx
+    // pointer; the trampoline restores the exact deduced type.
+    dispatch(
+        n,
+        [](void* ctx, int rank, std::int64_t begin, std::int64_t end) {
+          (*static_cast<std::remove_reference_t<F>*>(ctx))(rank, begin, end);
+        },
+        const_cast<void*>(static_cast<const void*>(&fn)));
+  }
 
   /// OMP SCHEDULE(DYNAMIC, chunk): work is handed out in `chunk`-sized
   /// pieces from a shared cursor, so uneven iteration costs balance.
   /// Same calling convention and error behaviour as parallel_for.
-  void parallel_for_dynamic(
-      std::int64_t n, std::int64_t chunk,
-      const std::function<void(int, std::int64_t, std::int64_t)>& fn);
+  template <typename F>
+  void parallel_for_dynamic(std::int64_t n, std::int64_t chunk, F&& fn) {
+    if (n <= 0) return;
+    chunk = std::max<std::int64_t>(1, chunk);
+    std::atomic<std::int64_t> cursor{0};
+    // One static slot per worker; each slot drains the shared cursor.
+    parallel_for(num_threads_,
+                 [&](int rank, std::int64_t /*begin*/, std::int64_t /*end*/) {
+                   while (true) {
+                     const std::int64_t start =
+                         cursor.fetch_add(chunk, std::memory_order_relaxed);
+                     if (start >= n) break;
+                     fn(rank, start,
+                        std::min<std::int64_t>(n, start + chunk));
+                   }
+                 });
+  }
 
   /// Process-wide pool sized to the hardware (lazily constructed).
   static ThreadPool& shared();
 
  private:
+  /// Type-erased chunk invoker: ctx is the caller's callable.
+  using ChunkFn = void (*)(void* ctx, int rank, std::int64_t begin,
+                           std::int64_t end);
+
   struct Job {
-    const std::function<void(int, std::int64_t, std::int64_t)>* fn = nullptr;
+    ChunkFn invoke = nullptr;
+    void* ctx = nullptr;
     std::int64_t n = 0;
     int chunks = 0;
     std::int64_t generation = 0;
   };
 
+  void dispatch(std::int64_t n, ChunkFn invoke, void* ctx);
   void worker_main(int rank);
   void run_chunk(const Job& job, int chunk);
   static void chunk_bounds(std::int64_t n, int chunks, int chunk,

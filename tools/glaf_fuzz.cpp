@@ -15,6 +15,8 @@
 //   glaf-fuzz --dump-seed N            print the generated program and exit
 //   glaf-fuzz --no-cc                  skip the compiled-C backend
 //   glaf-fuzz --no-parallel            skip the parallel-interpreter backends
+//   glaf-fuzz --engine=E               interpreter engines to cross-check:
+//                                      plan, treewalk or both (default both)
 //   glaf-fuzz --threads N --rtol X --atol X
 //
 // Exit status: 0 all seeds agreed, 1 divergence found, 2 usage/setup error.
@@ -57,7 +59,7 @@ void usage(const char* argv0) {
                "usage: %s [--seeds A:B] [--time-budget SECONDS] [--shrink]\n"
                "          [--repro-dir DIR] [--replay FILE] [--dump-seed N]\n"
                "          [--threads N] [--rtol X] [--atol X] [--no-cc]\n"
-               "          [--no-parallel]\n",
+               "          [--no-parallel] [--engine=plan|treewalk|both]\n",
                argv0);
 }
 
@@ -109,6 +111,30 @@ bool parse_args(int argc, char** argv, CliOptions* opts) {
       opts->oracle.run_compiled_c = false;
     } else if (arg == "--no-parallel") {
       opts->oracle.run_parallel = false;
+    } else if (arg.rfind("--engine", 0) == 0) {
+      std::string value;
+      if (arg.size() > 8 && arg[8] == '=') {
+        value = arg.substr(9);
+      } else if (arg.size() == 8) {
+        const char* v = next();
+        if (v == nullptr) return false;
+        value = v;
+      } else {
+        return false;
+      }
+      if (value == "plan") {
+        opts->oracle.run_plan = true;
+        opts->oracle.run_treewalk_parallel = false;
+      } else if (value == "treewalk") {
+        opts->oracle.run_plan = false;
+        opts->oracle.run_treewalk_parallel = true;
+      } else if (value == "both") {
+        opts->oracle.run_plan = true;
+        opts->oracle.run_treewalk_parallel = true;
+      } else {
+        std::fprintf(stderr, "unknown engine: %s\n", value.c_str());
+        return false;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       std::exit(0);

@@ -9,11 +9,18 @@
 //   glafc --builtin=fun3d --emit=opencl                  # kernels + host
 //   glafc program.glaf --report                          # Markdown report
 //   glafc --builtin=sarb --dump                          # IR text format
+//   glafc program.glaf --run=ENTRY --engine=plan         # execute directly
 //
 // Options: --emit=fortran|c|opencl, --policy=v0..v3, --serial, --soa,
 //          --save-temporaries, --no-collapse, --out=FILE,
 //          --opt=inline,fold (IR passes applied in order before analysis),
 //          --schedule=default|static|dynamic [--schedule-chunk=N].
+// Run mode: --run[=ENTRY] executes the program on the interpreter
+//          (ENTRY defaults to the first zero-parameter subroutine);
+//          --engine=plan|treewalk selects the execution engine (plan is
+//          the default: compiled flat plans on the bytecode VM; treewalk
+//          is the reference AST interpreter), --parallel enables the
+//          auto-parallelized path under --policy, --threads=N sizes it.
 
 #include <cstdio>
 #include <fstream>
@@ -28,6 +35,7 @@
 #include "core/validate.hpp"
 #include "fuliou/glaf_kernels.hpp"
 #include "fun3d/glaf_fun3d.hpp"
+#include "interp/machine.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 
@@ -59,6 +67,66 @@ StatusOr<Program> load_program(const CliArgs& args) {
   std::ostringstream text;
   text << in.rdbuf();
   return parse_program(text.str());
+}
+
+StatusOr<DirectivePolicy> parse_policy(const std::string& policy) {
+  if (policy == "v0") return DirectivePolicy::kV0;
+  if (policy == "v1") return DirectivePolicy::kV1;
+  if (policy == "v2") return DirectivePolicy::kV2;
+  if (policy == "v3") return DirectivePolicy::kV3;
+  return invalid_argument("unknown policy '" + policy + "' (v0..v3)");
+}
+
+/// Execute the program on the interpreter (--run mode).
+int run_program(const CliArgs& args, Program program) {
+  InterpOptions iopts;
+  const std::string engine = args.get("engine", "plan");
+  if (engine == "plan") {
+    iopts.engine = ExecEngine::kPlan;
+  } else if (engine == "treewalk") {
+    iopts.engine = ExecEngine::kTreeWalk;
+  } else {
+    return fail("unknown --engine '" + engine + "' (plan|treewalk)");
+  }
+  const auto policy = parse_policy(args.get("policy", "v0"));
+  if (!policy.is_ok()) return fail(policy.status().message());
+  iopts.policy = policy.value();
+  iopts.parallel = args.get_bool("parallel", false);
+  iopts.num_threads = static_cast<int>(args.get_int("threads", 4));
+  iopts.save_temporaries = args.get_bool("save-temporaries", false);
+  iopts.dynamic_schedule = args.get("schedule", "default") == "dynamic";
+  if (args.has("schedule-chunk")) {
+    iopts.schedule_chunk = args.get_int("schedule-chunk", 4);
+  }
+
+  std::string entry = args.get("run", "");
+  if (entry == "true") entry.clear();  // bare --run (CliArgs boolean form)
+  if (entry.empty()) {
+    for (const Function& fn : program.functions) {
+      if (fn.return_type == DataType::kVoid && fn.params.empty()) {
+        entry = fn.name;
+        break;
+      }
+    }
+    if (entry.empty()) {
+      return fail("--run: no zero-parameter subroutine to use as entry");
+    }
+  }
+
+  Machine m(std::move(program), iopts);
+  const StatusOr<double> result = m.call(entry);
+  if (!result.is_ok()) {
+    return fail("run '" + entry + "': " + std::string(result.status().message()));
+  }
+  const InterpStats& st = m.stats();
+  std::fprintf(stderr,
+               "glafc: ran %s (engine=%s): result %.17g, %llu steps, "
+               "%llu iterations, %llu parallel regions\n",
+               entry.c_str(), engine.c_str(), result.value(),
+               static_cast<unsigned long long>(st.steps_executed),
+               static_cast<unsigned long long>(st.loop_iterations),
+               static_cast<unsigned long long>(st.parallel_regions));
+  return 0;
 }
 
 int write_output(const CliArgs& args, const std::string& content) {
@@ -113,6 +181,8 @@ int main(int argc, char** argv) {
     return write_output(args, serialize_program(program));
   }
 
+  if (args.has("run")) return run_program(args, std::move(program));
+
   const ProgramAnalysis analysis = analyze_program(program);
 
   if (args.get_bool("report", false)) {
@@ -120,18 +190,9 @@ int main(int argc, char** argv) {
   }
 
   CodegenOptions opts;
-  const std::string policy = args.get("policy", "v0");
-  if (policy == "v0") {
-    opts.policy = DirectivePolicy::kV0;
-  } else if (policy == "v1") {
-    opts.policy = DirectivePolicy::kV1;
-  } else if (policy == "v2") {
-    opts.policy = DirectivePolicy::kV2;
-  } else if (policy == "v3") {
-    opts.policy = DirectivePolicy::kV3;
-  } else {
-    return fail("unknown policy '" + policy + "' (v0..v3)");
-  }
+  const auto policy = parse_policy(args.get("policy", "v0"));
+  if (!policy.is_ok()) return fail(policy.status().message());
+  opts.policy = policy.value();
   opts.enable_openmp = !args.get_bool("serial", false);
   opts.soa_layout = args.get_bool("soa", false);
   opts.save_temporaries = args.get_bool("save-temporaries", false);
