@@ -1,10 +1,12 @@
 // Execution-engine comparison: tree-walk interpreter vs the compiled
-// flat-plan VM, serial and parallel, over the Fu-Liou SARB kernels
-// (Table 1) and the FUN3D kernel program.
+// flat-plan VM vs the native JIT engine, serial and parallel, over the
+// Fu-Liou SARB kernels (Table 1) and the FUN3D kernel program.
 //
 // Prints a table and writes BENCH_interp.json with per-kernel wall
-// times and speedups plus the serial geometric-mean speedup over the
-// SARB kernels (the checked-in acceptance number: >= 3x).
+// times and speedups plus the serial geometric-mean speedups over the
+// SARB kernels (the checked-in acceptance numbers: plan >= 3x over
+// tree-walk, native > 1x over plan). Native rows are skipped (zeros)
+// when no system compiler is present.
 //
 // Usage: interp_engine [--threads N] [--min-seconds X] [--out FILE]
 
@@ -32,8 +34,10 @@ struct KernelResult {
   std::string name;
   double serial_treewalk_s = 0.0;
   double serial_plan_s = 0.0;
+  double serial_native_s = 0.0;
   double parallel_treewalk_s = 0.0;
   double parallel_plan_s = 0.0;
+  double parallel_native_s = 0.0;
 };
 
 InterpOptions engine_opts(ExecEngine engine, bool parallel, int threads) {
@@ -44,11 +48,18 @@ InterpOptions engine_opts(ExecEngine engine, bool parallel, int threads) {
   return o;
 }
 
-/// Best wall time per call of `entry` on a fresh machine.
+/// Best wall time per call of `entry` on a fresh machine. Native
+/// measurements require the kernel to have actually loaded — a silent
+/// plan fallback would report plan numbers under the native label.
 double measure(const Program& program, const InterpOptions& opts,
                const std::string& entry, double min_seconds,
                const std::function<void(Machine&)>& prepare) {
   Machine m(program, opts);
+  if (opts.engine == ExecEngine::kNative && !m.native_report().available) {
+    std::fprintf(stderr, "interp_engine: native unavailable for %s: %s\n",
+                 entry.c_str(), m.native_report().fallback_reason.c_str());
+    return 0.0;
+  }
   if (prepare) prepare(m);
   const StatusOr<double> probe = m.call(entry);
   if (!probe.is_ok()) {
@@ -100,12 +111,18 @@ int main(int argc, char** argv) {
     r.serial_plan_s =
         measure(sarb, engine_opts(ExecEngine::kPlan, false, threads), name,
                 min_seconds, load_sarb);
+    r.serial_native_s =
+        measure(sarb, engine_opts(ExecEngine::kNative, false, threads),
+                name, min_seconds, load_sarb);
     r.parallel_treewalk_s =
         measure(sarb, engine_opts(ExecEngine::kTreeWalk, true, threads),
                 name, min_seconds, load_sarb);
     r.parallel_plan_s =
         measure(sarb, engine_opts(ExecEngine::kPlan, true, threads), name,
                 min_seconds, load_sarb);
+    r.parallel_native_s =
+        measure(sarb, engine_opts(ExecEngine::kNative, true, threads),
+                name, min_seconds, load_sarb);
     results.push_back(r);
   }
 
@@ -138,48 +155,68 @@ int main(int argc, char** argv) {
     r.serial_plan_s =
         measure(f3d, engine_opts(ExecEngine::kPlan, false, threads), name,
                 min_seconds, load_f3d);
+    r.serial_native_s =
+        measure(f3d, engine_opts(ExecEngine::kNative, false, threads),
+                name, min_seconds, load_f3d);
     r.parallel_treewalk_s =
         measure(f3d, engine_opts(ExecEngine::kTreeWalk, true, threads),
                 name, min_seconds, load_f3d);
     r.parallel_plan_s =
         measure(f3d, engine_opts(ExecEngine::kPlan, true, threads), name,
                 min_seconds, load_f3d);
+    r.parallel_native_s =
+        measure(f3d, engine_opts(ExecEngine::kNative, true, threads),
+                name, min_seconds, load_f3d);
     results.push_back(r);
   }
 
   // --- report
-  TextTable table({"kernel", "serial treewalk", "serial plan", "speedup",
-                   "parallel treewalk", "parallel plan", "speedup"});
+  TextTable table({"kernel", "serial treewalk", "serial plan",
+                   "serial native", "plan x", "native x",
+                   "parallel plan", "parallel native"});
   table.set_alignment({Align::kLeft, Align::kRight, Align::kRight,
                        Align::kRight, Align::kRight, Align::kRight,
-                       Align::kRight});
+                       Align::kRight, Align::kRight});
   double log_sum = 0.0;
+  double native_log_sum = 0.0;
   int sarb_count = 0;
+  int native_count = 0;
   for (const KernelResult& r : results) {
     const double s_speed =
         r.serial_plan_s > 0.0 ? r.serial_treewalk_s / r.serial_plan_s : 0.0;
-    const double p_speed = r.parallel_plan_s > 0.0
-                               ? r.parallel_treewalk_s / r.parallel_plan_s
+    // Native speedup over the *plan* engine: the number the native
+    // engine has to win to justify the compile round-trip.
+    const double n_speed = r.serial_native_s > 0.0
+                               ? r.serial_plan_s / r.serial_native_s
                                : 0.0;
     if (r.suite == "sarb" && s_speed > 0.0) {
       log_sum += std::log(s_speed);
       ++sarb_count;
     }
+    if (r.suite == "sarb" && n_speed > 0.0) {
+      native_log_sum += std::log(n_speed);
+      ++native_count;
+    }
     table.add_row({r.suite + "/" + r.name,
                    fmt(r.serial_treewalk_s * 1e6) + " us",
                    fmt(r.serial_plan_s * 1e6) + " us",
+                   fmt(r.serial_native_s * 1e6) + " us",
                    fmt(s_speed, "%.2f") + "x",
-                   fmt(r.parallel_treewalk_s * 1e6) + " us",
+                   fmt(n_speed, "%.2f") + "x",
                    fmt(r.parallel_plan_s * 1e6) + " us",
-                   fmt(p_speed, "%.2f") + "x"});
+                   fmt(r.parallel_native_s * 1e6) + " us"});
   }
   const double geomean =
       sarb_count > 0 ? std::exp(log_sum / sarb_count) : 0.0;
-  std::printf("== interpreter engines: tree-walk vs flat plans (%d threads "
-              "for parallel rows) ==\n\n%s\n",
+  const double native_geomean =
+      native_count > 0 ? std::exp(native_log_sum / native_count) : 0.0;
+  std::printf("== execution engines: tree-walk vs flat plans vs native JIT "
+              "(%d threads for parallel rows) ==\n\n%s\n",
               threads, table.render().c_str());
   std::printf("SARB serial geomean speedup (plan vs tree-walk): %.2fx\n",
               geomean);
+  std::printf("SARB serial geomean speedup (native vs plan):    %.2fx\n",
+              native_geomean);
 
   std::ofstream out(out_path);
   if (!out) {
@@ -192,20 +229,27 @@ int main(int argc, char** argv) {
     const KernelResult& r = results[i];
     const double s_speed =
         r.serial_plan_s > 0.0 ? r.serial_treewalk_s / r.serial_plan_s : 0.0;
+    const double n_speed = r.serial_native_s > 0.0
+                               ? r.serial_plan_s / r.serial_native_s
+                               : 0.0;
     const double p_speed = r.parallel_plan_s > 0.0
                                ? r.parallel_treewalk_s / r.parallel_plan_s
                                : 0.0;
     out << "    {\"suite\": \"" << r.suite << "\", \"name\": \"" << r.name
         << "\", \"serial_treewalk_s\": " << fmt(r.serial_treewalk_s, "%.6g")
         << ", \"serial_plan_s\": " << fmt(r.serial_plan_s, "%.6g")
+        << ", \"serial_native_s\": " << fmt(r.serial_native_s, "%.6g")
         << ", \"serial_speedup\": " << fmt(s_speed, "%.3f")
+        << ", \"serial_native_speedup\": " << fmt(n_speed, "%.3f")
         << ", \"parallel_treewalk_s\": " << fmt(r.parallel_treewalk_s, "%.6g")
         << ", \"parallel_plan_s\": " << fmt(r.parallel_plan_s, "%.6g")
+        << ", \"parallel_native_s\": " << fmt(r.parallel_native_s, "%.6g")
         << ", \"parallel_speedup\": " << fmt(p_speed, "%.3f") << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"sarb_serial_geomean_speedup\": " << fmt(geomean, "%.3f")
-      << "\n}\n";
+      << ",\n  \"sarb_serial_native_geomean_speedup\": "
+      << fmt(native_geomean, "%.3f") << "\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

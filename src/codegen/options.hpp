@@ -61,6 +61,15 @@ struct CodegenOptions {
 
   /// Emit explanatory comments (grid comments, directive rationale).
   bool emit_comments = true;
+
+  /// Interpreter-exact numeric model (the JIT engine's mode): every grid
+  /// and scalar is stored as a C double — the interpreter's "everything
+  /// is a double" model — with explicit trunc() on INTEGER stores,
+  /// trunc(a/b) for integer division and fmod for every MOD, so the
+  /// compiled kernel is bit-identical to the tree-walk/plan engines
+  /// instead of merely tolerance-close. False keeps the faithful typed
+  /// C (long/float/double) of the standalone back-end.
+  bool interp_math = false;
 };
 
 /// Result of generating a whole program.

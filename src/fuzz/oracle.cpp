@@ -9,29 +9,21 @@
 #include <exception>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <optional>
 
 #include "analysis/parallelize.hpp"
 #include "codegen/c.hpp"
 #include "fuzz/generator.hpp"
 #include "interp/machine.hpp"
+#include "support/hash.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
+#include "support/subprocess.hpp"
 
 namespace glaf::fuzz {
 namespace {
 
 constexpr int kMaxDivergencesPerBackend = 16;
-
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 std::string fmt17(double v) {
   char buf[64];
@@ -71,7 +63,7 @@ StatusOr<std::vector<GlobalSpec>> global_specs(const Program& p) {
 /// Deterministic inputs for external grids, derived from the grid *name*
 /// so corpus replays are reproducible without knowing the original seed.
 std::vector<double> external_inputs(const Grid& g, std::int64_t elements) {
-  SplitMix64 rng(fnv1a(g.name));
+  SplitMix64 rng(fnv1a64(g.name));
   std::vector<double> values;
   values.reserve(static_cast<std::size_t>(elements));
   for (std::int64_t i = 0; i < elements; ++i) {
@@ -198,23 +190,6 @@ std::string harness_text(const std::string& entry,
   return join(out, "\n");
 }
 
-/// Run a shell command, capturing combined stdout+stderr and exit status.
-struct RunResult {
-  int exit_code = -1;
-  std::string output;
-};
-
-RunResult run_command(const std::string& command) {
-  RunResult result;
-  FILE* pipe = popen(cat(command, " 2>&1").c_str(), "r");
-  if (pipe == nullptr) return result;
-  char buf[4096];
-  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) result.output += buf;
-  const int status = pclose(pipe);
-  result.exit_code = status;
-  return result;
-}
-
 StatusOr<Snapshot> run_compiled_c(const Program& program,
                                   const std::string& entry,
                                   const std::vector<GlobalSpec>& specs,
@@ -242,15 +217,21 @@ StatusOr<Snapshot> run_compiled_c(const Program& program,
   // results than the interpreter's plain double arithmetic.
   const RunResult compile = run_command(cat(
       opts.cc, " -O1 -ffp-contract=off -o ", bin_path, " ", src_path, " -lm"));
-  if (compile.exit_code != 0) {
+  if (!compile.ok()) {
     std::remove(src_path.c_str());
+    if (!compile.started) {
+      return internal_error("C compilation failed: compiler did not start");
+    }
     return internal_error(
         cat("C compilation failed: ", compile.output.substr(0, 2000)));
   }
   const RunResult run = run_command(bin_path);
   std::remove(src_path.c_str());
   std::remove(bin_path.c_str());
-  if (run.exit_code != 0) {
+  if (!run.ok()) {
+    if (!run.started) {
+      return internal_error("compiled program did not start");
+    }
     return internal_error(cat("compiled program exited with status ",
                                 run.exit_code));
   }
@@ -280,6 +261,58 @@ StatusOr<Snapshot> run_compiled_c(const Program& program,
   return snap;
 }
 
+/// The in-process native leg: the program is JIT-compiled to a shared
+/// object (src/jit) and the entry call runs inside this process. Any
+/// fallback is an oracle error — for programs that pass global_specs the
+/// kernel must compile, load and dispatch, or the engine has a bug.
+StatusOr<Snapshot> run_native(const Program& program, const std::string& entry,
+                              const std::vector<GlobalSpec>& specs,
+                              const OracleOptions& opts) {
+  try {
+    InterpOptions nopts;
+    nopts.engine = ExecEngine::kNative;
+    nopts.parallel = false;
+    nopts.native_cc = opts.cc;
+    nopts.native_cache_dir = opts.native_cache_dir.empty()
+                                 ? cat(opts.work_dir, "/glaf-fuzz-kernels")
+                                 : opts.native_cache_dir;
+    Machine m(program, nopts);
+    if (!m.native_report().available) {
+      return internal_error(
+          cat("kernel unavailable: ", m.native_report().fallback_reason));
+    }
+    for (const GlobalSpec& spec : specs) {
+      if (spec.grid->external == ExternalKind::kNone) continue;
+      const std::vector<double> inputs =
+          external_inputs(*spec.grid, spec.elements);
+      Status s = spec.grid->dims.empty()
+                     ? m.set_scalar(spec.grid->name, inputs[0])
+                     : m.set_array(spec.grid->name, inputs);
+      if (!s.is_ok()) return s;
+    }
+    const StatusOr<double> result = m.call(entry);
+    if (!result.is_ok()) return result.status();
+    if (m.native_report().native_calls == 0) {
+      return internal_error("entry call fell back to the plan engine");
+    }
+    Snapshot snap;
+    for (const GlobalSpec& spec : specs) {
+      if (spec.grid->dims.empty()) {
+        const StatusOr<double> v = m.scalar(spec.grid->name);
+        if (!v.is_ok()) return v.status();
+        snap.push_back({v.value()});
+      } else {
+        StatusOr<std::vector<double>> v = m.array(spec.grid->name);
+        if (!v.is_ok()) return v.status();
+        snap.push_back(std::move(v).value());
+      }
+    }
+    return snap;
+  } catch (const std::exception& e) {
+    return internal_error(cat("native engine exception: ", e.what()));
+  }
+}
+
 bool values_close(double a, double b, const OracleOptions& opts) {
   if (std::isnan(a) && std::isnan(b)) return true;
   if (a == b) return true;  // covers equal infinities
@@ -305,16 +338,6 @@ void compare_snapshots(const std::string& backend, const Snapshot& reference,
 }
 
 }  // namespace
-
-bool cc_available(const std::string& cc) {
-  static std::map<std::string, bool> cache;
-  static std::mutex mutex;
-  const std::lock_guard<std::mutex> lock(mutex);
-  const auto it = cache.find(cc);
-  if (it != cache.end()) return it->second;
-  const RunResult probe = run_command(cat(cc, " --version"));
-  return cache[cc] = probe.exit_code == 0;
-}
 
 StatusOr<std::string> find_entry(const Program& program) {
   for (const Function& fn : program.functions) {
@@ -393,6 +416,24 @@ OracleReport run_oracle(const Program& program, const std::string& entry,
         compare_snapshots(backend, reference.value(), snap.value(),
                           specs.value(), opts, &report);
       }
+    }
+  }
+
+  if (opts.run_native && cc_available(opts.cc)) {
+    const StatusOr<Snapshot> snap =
+        run_native(program, entry, specs.value(), opts);
+    if (!snap.is_ok()) {
+      report.errors.push_back(cat("native: ", snap.status().message()));
+    } else {
+      report.native_backend_ran = true;
+      // interp_math emission promises bit-identical arithmetic, so the
+      // native leg is held to exact equality (NaN==NaN), not the
+      // reassociation tolerance the parallel legs need.
+      OracleOptions exact = opts;
+      exact.rtol = 0.0;
+      exact.atol = 0.0;
+      compare_snapshots("native", reference.value(), snap.value(),
+                        specs.value(), exact, &report);
     }
   }
 

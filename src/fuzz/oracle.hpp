@@ -7,7 +7,10 @@
 //   2. the serial plan engine (compiled flat plans on the VM),
 //   3. the parallel interpreter under each directive policy v0..v3,
 //      on both execution engines,
-//   4. the generated C translation unit compiled with the system
+//   4. the native JIT engine (src/jit) running the kernel in-process —
+//      compared *bitwise* against the reference, since interp_math
+//      emission promises bit-identical arithmetic,
+//   5. the generated C translation unit compiled with the system
 //      compiler and run in a subprocess,
 //
 // and every Global Scope grid is compared element-wise afterwards.
@@ -27,6 +30,7 @@
 #include "codegen/options.hpp"
 #include "core/program.hpp"
 #include "support/status.hpp"
+#include "support/subprocess.hpp"  // cc_available, for backend gating
 
 namespace glaf::fuzz {
 
@@ -36,6 +40,9 @@ struct OracleOptions {
   int num_threads = 4;
   bool run_parallel = true;   ///< parallel interpreter backends
   bool run_compiled_c = true; ///< compile-and-execute C backend
+  /// In-process native JIT leg (gated on cc availability, like the C
+  /// backend, but with no subprocess round-trip). Compared bitwise.
+  bool run_native = true;
   /// Plan-engine legs: serial "plan" plus "parallel-vK-plan" per policy.
   bool run_plan = true;
   /// Tree-walk parallel legs ("parallel-vK"). Off + run_plan = plan-only
@@ -46,6 +53,10 @@ struct OracleOptions {
       DirectivePolicy::kV3};
   std::string cc = "cc";        ///< system compiler command
   std::string work_dir = "/tmp";
+  /// Kernel-cache directory for the native leg. Empty = a fuzz-private
+  /// directory under work_dir, so one-off fuzz kernels never pollute the
+  /// user's ~/.cache/glaf/kernels.
+  std::string native_cache_dir;
   /// Test hook: rewrite the generated C source before compiling (used to
   /// inject semantic bugs and prove the oracle catches them).
   std::function<std::string(const std::string&)> c_source_transform;
@@ -53,7 +64,7 @@ struct OracleOptions {
 
 /// One element-level disagreement against the serial reference.
 struct Divergence {
-  std::string backend;  ///< "plan", "parallel-v2", "parallel-v2-plan", "c"
+  std::string backend;  ///< "plan", "parallel-v2", ..., "native", "c"
   std::string grid;
   std::int64_t index = 0;  ///< flat element index
   double expected = 0.0;   ///< serial reference value
@@ -64,6 +75,7 @@ struct OracleReport {
   std::vector<Divergence> divergences;  ///< capped per backend
   std::vector<std::string> errors;      ///< infrastructure failures
   bool c_backend_ran = false;
+  bool native_backend_ran = false;
   int backends_compared = 0;
 
   /// All executed backends matched the reference and nothing failed.
@@ -79,8 +91,5 @@ OracleReport run_oracle(const Program& program, const std::string& entry,
 /// The entry point for a program: `fz_main` when present, otherwise the
 /// first zero-parameter SUBROUTINE.
 StatusOr<std::string> find_entry(const Program& program);
-
-/// Whether `cc` can be invoked (result cached per command).
-bool cc_available(const std::string& cc);
 
 }  // namespace glaf::fuzz

@@ -12,6 +12,7 @@
 #include "interp/exec_common.hpp"
 #include "interp/plan.hpp"
 #include "interp/vm.hpp"
+#include "jit/engine.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/strings.hpp"
 
@@ -666,12 +667,40 @@ Machine::Machine(Program program, InterpOptions options)
   // Plan engine: compile once per machine, and precompute the slot
   // prototype (raw global pointers) every call frame starts from. Global
   // instances are stable for the machine's lifetime, so the raw pointers
-  // stay valid.
+  // stay valid. kNative compiles plans too — they are its per-call
+  // fallback path.
   plan_slots_proto_.assign(program_.grids.size(), nullptr);
   for (const auto& [id, inst] : globals_) plan_slots_proto_[id] = inst.get();
-  if (options_.engine == ExecEngine::kPlan) {
+  if (options_.engine != ExecEngine::kTreeWalk) {
     plans_ = std::make_unique<interp::ProgramPlan>(
         interp::compile_plans(program_, analysis_, atomic_grids_));
+  }
+  if (options_.engine == ExecEngine::kNative) {
+    if (options_.trace) {
+      // The kernel cannot record per-step traces; run on plans instead.
+      native_report_.fallback_reason = "tracing requested";
+    } else {
+      jit::NativeEngine::Options nopts;
+      nopts.parallel = options_.parallel;
+      nopts.num_threads = options_.num_threads;
+      nopts.policy = options_.policy;
+      nopts.save_temporaries = options_.save_temporaries;
+      nopts.dynamic_schedule = options_.dynamic_schedule;
+      nopts.schedule_chunk = options_.schedule_chunk;
+      nopts.cc = options_.native_cc;
+      nopts.cache_dir = options_.native_cache_dir;
+      StatusOr<std::unique_ptr<jit::NativeEngine>> engine =
+          jit::NativeEngine::create(program_, analysis_, nopts);
+      if (engine.is_ok()) {
+        native_ = std::move(engine).value();
+        native_report_.available = true;
+        native_report_.cache_hit = native_->cache_hit();
+        native_report_.object_path = native_->object_path();
+      } else {
+        native_report_.fallback_reason =
+            std::string(engine.status().message());
+      }
+    }
   }
 }
 
@@ -746,6 +775,37 @@ StatusOr<double> Machine::call(const std::string& function,
                                 fn->params.size(), " arguments, got ",
                                 args.size()));
   }
+  // Native dispatch: the kernel handles calls whose arguments are all
+  // literal scalars (C passes scalar parameters by value, so a global
+  // passed by name — bound by reference in the interpreter — must take
+  // the plan path).
+  if (native_ != nullptr) {
+    const jit::AbiFunction* abi = native_->find(function);
+    const bool literal_args =
+        std::all_of(args.begin(), args.end(), [](const CallArg& a) {
+          return std::holds_alternative<double>(a);
+        });
+    if (abi != nullptr && abi->supported && literal_args) {
+      std::vector<double> scalars;
+      scalars.reserve(args.size());
+      for (const CallArg& a : args) scalars.push_back(std::get<double>(a));
+      std::vector<jit::GlobalBinding> bindings;
+      bindings.reserve(native_->slots().size());
+      for (const jit::AbiSlot& slot : native_->slots()) {
+        Instance* inst = globals_.at(slot.grid).get();
+        bindings.push_back(jit::GlobalBinding{
+            inst->data.data(),
+            static_cast<std::int64_t>(inst->data.size())});
+      }
+      StatusOr<double> result = native_->call(*abi, scalars, bindings);
+      if (!result.is_ok()) return result.status();
+      ++native_report_.native_calls;
+      ++stats_.function_calls;
+      return result;
+    }
+    ++native_report_.fallback_calls;
+  }
+
   std::vector<InstancePtr> bound;
   bound.reserve(args.size());
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -770,7 +830,7 @@ StatusOr<double> Machine::call(const std::string& function,
   try {
     double result = 0.0;
     InterpStats call_stats;
-    if (options_.engine == ExecEngine::kPlan) {
+    if (plans_ != nullptr) {
       interp::PlanExecutor ex(*this);
       std::vector<Instance*> argv;
       argv.reserve(bound.size());

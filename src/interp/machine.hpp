@@ -15,6 +15,7 @@
 // auto-generated subroutines, against the results from executing the
 // original code ... for both the serial and parallel versions".
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,6 +37,11 @@ namespace interp {
 class PlanExecutor;
 struct ProgramPlan;
 }  // namespace interp
+
+namespace jit {
+class NativeEngine;
+struct AbiFunction;
+}  // namespace jit
 
 /// Runtime storage for one grid instance. All numeric values are held as
 /// doubles (integers are exact below 2^53, far beyond any workload here);
@@ -60,6 +66,17 @@ struct Instance {
 enum class ExecEngine {
   kTreeWalk,  ///< the reference AST interpreter (Executor in machine.cpp)
   kPlan,      ///< compiled flat plans (plan.cpp) on the VM (vm.cpp)
+  kNative,    ///< JIT-compiled shared object (src/jit), plan fallback
+};
+
+/// Native (JIT) engine status for one machine (see native_report()).
+struct NativeReport {
+  bool available = false;       ///< the kernel compiled and loaded
+  std::string fallback_reason;  ///< why not, when !available
+  std::uint64_t native_calls = 0;    ///< calls run in the kernel
+  std::uint64_t fallback_calls = 0;  ///< calls routed to the plan engine
+  bool cache_hit = false;       ///< compilation skipped (kernel cache)
+  std::string object_path;      ///< published cache entry ("" if none)
 };
 
 /// Interpreter execution options.
@@ -81,6 +98,10 @@ struct InterpOptions {
   /// default static partition.
   bool dynamic_schedule = false;
   std::int64_t schedule_chunk = 4;
+  /// kNative: compiler command ("" resolves $GLAF_CC, then "cc") and
+  /// kernel-cache directory ("" resolves $GLAF_KERNEL_CACHE / XDG).
+  std::string native_cc;
+  std::string native_cache_dir;
 };
 
 /// One trace record: a step that executed.
@@ -140,6 +161,13 @@ class Machine {
   [[nodiscard]] const ProgramAnalysis& analysis() const { return analysis_; }
   [[nodiscard]] const Program& program() const { return program_; }
 
+  /// Native-engine status: whether the kernel loaded, the fallback
+  /// reason when it did not, and per-call dispatch counters. Meaningful
+  /// only under ExecEngine::kNative.
+  [[nodiscard]] const NativeReport& native_report() const {
+    return native_report_;
+  }
+
  private:
   friend class Executor;
   friend class interp::PlanExecutor;
@@ -160,6 +188,11 @@ class Machine {
   /// global-instance pointers, indexed by GridId) each call frame copies.
   std::unique_ptr<interp::ProgramPlan> plans_;
   std::vector<Instance*> plan_slots_proto_;
+
+  /// Native-engine state (kNative): the loaded kernel, or null when the
+  /// machine fell back to plans (see native_report_.fallback_reason).
+  std::unique_ptr<jit::NativeEngine> native_;
+  NativeReport native_report_;
 
   InterpStats stats_;
   std::vector<TraceEntry> trace_;

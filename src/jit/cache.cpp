@@ -1,0 +1,161 @@
+#include "jit/cache.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "jit/emit.hpp"
+#include "support/hash.hpp"
+#include "support/strings.hpp"
+#include "support/subprocess.hpp"
+
+namespace glaf::jit {
+namespace {
+
+struct AtomicStats {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> compiles{0};
+  std::atomic<std::uint64_t> corrupt_discards{0};
+};
+
+AtomicStats& stats() {
+  static AtomicStats s;
+  return s;
+}
+
+/// mkdir -p, permissive about pre-existing components.
+void make_dirs(const std::string& path) {
+  std::string at;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i] == '/' && i > 0) mkdir(at.c_str(), 0755);
+    at += path[i];
+  }
+  if (!at.empty()) mkdir(at.c_str(), 0755);
+}
+
+std::string default_dir() {
+  if (const char* env = std::getenv("GLAF_KERNEL_CACHE");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME");
+      xdg != nullptr && *xdg != '\0') {
+    return cat(xdg, "/glaf/kernels");
+  }
+  const char* home = std::getenv("HOME");
+  return cat(home != nullptr && *home != '\0' ? home : "/tmp",
+             "/.cache/glaf/kernels");
+}
+
+/// A published entry must at least still be an ELF object; truncated or
+/// overwritten files are discarded (dlopen failures are reported back
+/// via invalidate()).
+bool looks_valid(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[4] = {};
+  in.read(magic, 4);
+  return in.gcount() == 4 && magic[0] == '\x7f' && magic[1] == 'E' &&
+         magic[2] == 'L' && magic[3] == 'F';
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+KernelCacheStats kernel_cache_stats() {
+  const AtomicStats& s = stats();
+  return {s.hits.load(), s.misses.load(), s.compiles.load(),
+          s.corrupt_discards.load()};
+}
+
+void reset_kernel_cache_stats() {
+  AtomicStats& s = stats();
+  s.hits = 0;
+  s.misses = 0;
+  s.compiles = 0;
+  s.corrupt_discards = 0;
+}
+
+KernelCache::KernelCache(std::string dir)
+    : dir_(dir.empty() ? default_dir() : std::move(dir)) {}
+
+std::string KernelCache::key(const std::string& source, const std::string& cc,
+                             const std::string& flags) {
+  // Field separators ('\0') keep (a,bc) and (ab,c) from colliding.
+  Hash128 h = fnv1a128(cat("glaf-nat-abi-", kAbiVersion));
+  h = fnv1a128(std::string(1, '\0'), h);
+  h = fnv1a128(source, h);
+  h = fnv1a128(std::string(1, '\0'), h);
+  h = fnv1a128(compiler_identity(cc), h);
+  h = fnv1a128(std::string(1, '\0'), h);
+  h = fnv1a128(flags, h);
+  return hex_digest(h);
+}
+
+StatusOr<std::string> KernelCache::object_for(const std::string& source,
+                                              const std::string& cc,
+                                              const std::string& flags,
+                                              bool* was_hit) {
+  if (was_hit != nullptr) *was_hit = false;
+  if (!cc_available(cc)) {
+    return failed_precondition(cat("compiler '", cc, "' is not available"));
+  }
+  make_dirs(dir_);
+  const std::string digest = key(source, cc, flags);
+  const std::string object = cat(dir_, "/", digest, ".so");
+  if (file_exists(object)) {
+    if (looks_valid(object)) {
+      ++stats().hits;
+      if (was_hit != nullptr) *was_hit = true;
+      return object;
+    }
+    ++stats().corrupt_discards;
+    std::remove(object.c_str());
+  }
+  ++stats().misses;
+
+  // Compile to unique temp names, then rename() the object into place:
+  // concurrent writers each publish a complete file and the last rename
+  // wins without any reader ever seeing a partial object.
+  const std::string stem = cat(dir_, "/", digest, ".tmp", getpid());
+  const std::string src_tmp = cat(stem, ".c");
+  {
+    std::ofstream out(src_tmp);
+    if (!out) return internal_error(cat("cannot write ", src_tmp));
+    out << source;
+  }
+  const std::string obj_tmp = cat(stem, ".so");
+  ++stats().compiles;
+  const RunResult compile =
+      run_command(cat(cc, " ", flags, " -o ", obj_tmp, " ", src_tmp, " -lm"));
+  if (!compile.ok()) {
+    std::remove(src_tmp.c_str());
+    std::remove(obj_tmp.c_str());
+    if (!compile.started) {
+      return internal_error("could not spawn the compiler");
+    }
+    return internal_error(
+        cat("kernel compilation failed: ", compile.output.substr(0, 2000)));
+  }
+  // Keep the source beside the object for debugging.
+  std::rename(src_tmp.c_str(), cat(dir_, "/", digest, ".c").c_str());
+  if (std::rename(obj_tmp.c_str(), object.c_str()) != 0) {
+    std::remove(obj_tmp.c_str());
+    return internal_error(cat("cannot publish ", object));
+  }
+  return object;
+}
+
+void KernelCache::invalidate(const std::string& object_path) {
+  if (std::remove(object_path.c_str()) == 0) ++stats().corrupt_discards;
+}
+
+}  // namespace glaf::jit

@@ -1,0 +1,64 @@
+#pragma once
+// Content-addressed on-disk kernel cache. Compiled shared objects are
+// keyed by a stable 128-bit digest of (ABI version, emitted source,
+// compiler identity, compiler flags), so a source or toolchain change
+// misses cleanly and two processes can share one cache directory.
+// Publication is single-writer-safe: compile to a temp file in the cache
+// directory, then rename() into place (atomic on POSIX within one
+// filesystem). Corrupted entries (truncated/overwritten objects that no
+// longer look like ELF, or that later fail to dlopen) are discarded and
+// rebuilt.
+//
+// Location: $GLAF_KERNEL_CACHE when set, else ~/.cache/glaf/kernels
+// (XDG_CACHE_HOME honoured), resolved per KernelCache instance so tests
+// can redirect it.
+
+#include <cstdint>
+#include <string>
+
+#include "support/status.hpp"
+
+namespace glaf::jit {
+
+/// Process-wide cache counters (atomics behind the scenes).
+struct KernelCacheStats {
+  std::uint64_t hits = 0;      ///< valid cached object reused
+  std::uint64_t misses = 0;    ///< no entry for the key
+  std::uint64_t compiles = 0;  ///< compiler actually invoked
+  std::uint64_t corrupt_discards = 0;  ///< invalid entries unlinked
+};
+
+KernelCacheStats kernel_cache_stats();
+void reset_kernel_cache_stats();
+
+class KernelCache {
+ public:
+  /// `dir` == "" resolves $GLAF_KERNEL_CACHE / XDG default at
+  /// construction time.
+  explicit KernelCache(std::string dir = "");
+
+  /// Content key for one compile: hex digest over ABI version, source,
+  /// `cc`'s identity line and `flags`.
+  static std::string key(const std::string& source, const std::string& cc,
+                         const std::string& flags);
+
+  /// Path of the cached shared object for (source, cc, flags), compiling
+  /// and publishing it on a miss. Also writes `<key>.c` beside it for
+  /// debugging. `was_hit` (optional) reports whether compilation was
+  /// skipped. Fails when the compiler is unavailable or errors.
+  StatusOr<std::string> object_for(const std::string& source,
+                                   const std::string& cc,
+                                   const std::string& flags,
+                                   bool* was_hit = nullptr);
+
+  /// Discard one published object (e.g. it failed to dlopen); the next
+  /// object_for() recompiles it.
+  void invalidate(const std::string& object_path);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace glaf::jit

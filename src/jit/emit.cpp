@@ -1,0 +1,217 @@
+#include "jit/emit.hpp"
+
+#include <map>
+#include <vector>
+
+#include "codegen/c.hpp"
+#include "support/strings.hpp"
+
+namespace glaf::jit {
+namespace {
+
+/// The C spelling of a slot's storage inside the unit (mirrors the C
+/// back-end's base_name): COMMON members live in the interop struct,
+/// TYPE elements in their parent variable.
+std::string storage_name(const Grid& g) {
+  if (g.external == ExternalKind::kCommon) {
+    return cat(g.common_block, "_.", g.name);
+  }
+  if (!g.type_parent.empty()) return cat(g.type_parent, ".", g.name);
+  return g.name;
+}
+
+/// Definitions the generated TU leaves to "the legacy objects": TYPE
+/// parent variables (prepended — functions access parent.member), plus
+/// storage for module externs and COMMON blocks (appended).
+std::string prelude_text(const Program& p,
+                         const std::vector<AbiSlot>& slots) {
+  // Group TYPE elements by parent variable, in global_grids order.
+  std::vector<std::string> parents;
+  std::map<std::string, std::vector<const Grid*>> members;
+  for (const AbiSlot& slot : slots) {
+    const Grid& g = p.grid(slot.grid);
+    if (g.type_parent.empty()) continue;
+    if (members[g.type_parent].empty()) parents.push_back(g.type_parent);
+    members[g.type_parent].push_back(&g);
+  }
+  if (parents.empty()) return "";
+  std::vector<std::string> out;
+  out.push_back("/* TYPE parent variables (storage the legacy module"
+                " would provide) */");
+  for (const std::string& parent : parents) {
+    out.push_back(cat("static struct {"));
+    for (const Grid* g : members[parent]) {
+      // interp_math storage: everything is a double.
+      std::int64_t elems = 1;
+      for (const AbiSlot& slot : slots) {
+        if (&p.grid(slot.grid) == g) elems = slot.elements;
+      }
+      out.push_back(g->dims.empty()
+                        ? cat("  double ", g->name, ";")
+                        : cat("  double ", g->name, "[", elems, "];"));
+    }
+    out.push_back(cat("} ", parent, ";"));
+  }
+  out.push_back("");
+  return join(out, "\n") + "\n";
+}
+
+std::string wrapper_text(const Program& p, const std::vector<AbiSlot>& slots,
+                         const std::vector<AbiFunction>& functions) {
+  std::vector<std::string> out;
+  out.push_back("");
+  out.push_back("/* ---- native-engine ABI wrapper ---- */");
+  out.push_back("#include <string.h>");
+  out.push_back("");
+  // Storage for module externs and COMMON blocks (harness role).
+  std::map<std::string, bool> common_defined;
+  for (const AbiSlot& slot : slots) {
+    const Grid& g = p.grid(slot.grid);
+    if (g.external == ExternalKind::kModule && g.type_parent.empty()) {
+      out.push_back(g.dims.empty()
+                        ? cat("double ", g.name, ";")
+                        : cat("double ", g.name, "[", slot.elements, "];"));
+    } else if (g.external == ExternalKind::kCommon &&
+               !common_defined[g.common_block]) {
+      common_defined[g.common_block] = true;
+      out.push_back(cat("struct ", g.common_block, "_common ",
+                        g.common_block, "_;"));
+    }
+  }
+  out.push_back("");
+  // The flat argument block. Must match NativeEngine's host-side mirror
+  // (src/jit/engine.cpp) field for field.
+  out.push_back("typedef struct {");
+  out.push_back("  double* const* grids;   /* base pointer per slot */");
+  out.push_back("  const long* extents;    /* element count per slot */");
+  out.push_back("  const double* scalars;  /* entry call scalar args */");
+  out.push_back("  long num_threads;");
+  out.push_back("  double result;");
+  out.push_back("} glaf_nat_args;");
+  out.push_back("");
+  out.push_back(cat("long glaf_nat_abi_version(void) { return ", kAbiVersion,
+                    "; }"));
+  out.push_back(cat("long glaf_nat_num_slots(void) { return ", slots.size(),
+                    "; }"));
+  out.push_back("");
+  // Copy-in validates every slot's element count first (a nonzero return
+  // is 1 + the offending slot index), then copies host state into the
+  // unit's storage; copy-out is the mirror image.
+  out.push_back("static long glaf_nat_copy_in(const glaf_nat_args* glaf_nat_a) {");
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    out.push_back(cat("  if (glaf_nat_a->extents[", i, "] != ", slots[i].elements,
+                      ") return ", i + 1, ";"));
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const Grid& g = p.grid(slots[i].grid);
+    const std::string name = storage_name(g);
+    out.push_back(g.dims.empty()
+                      ? cat("  ", name, " = glaf_nat_a->grids[", i, "][0];")
+                      : cat("  memcpy(", name, ", glaf_nat_a->grids[", i, "], ",
+                            slots[i].elements, " * sizeof(double));"));
+  }
+  out.push_back("  return 0;");
+  out.push_back("}");
+  out.push_back("");
+  out.push_back("static void glaf_nat_copy_out(const glaf_nat_args* glaf_nat_a) {");
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const Grid& g = p.grid(slots[i].grid);
+    const std::string name = storage_name(g);
+    out.push_back(g.dims.empty()
+                      ? cat("  glaf_nat_a->grids[", i, "][0] = ", name, ";")
+                      : cat("  memcpy(glaf_nat_a->grids[", i, "], ", name, ", ",
+                            slots[i].elements, " * sizeof(double));"));
+  }
+  out.push_back("}");
+  for (const AbiFunction& fn : functions) {
+    if (!fn.supported) continue;
+    out.push_back("");
+    out.push_back(cat("long ", fn.symbol, "(glaf_nat_args* glaf_nat_a) {"));
+    out.push_back("  long status = glaf_nat_copy_in(glaf_nat_a);");
+    out.push_back("  if (status) return status;");
+    out.push_back("#ifdef _OPENMP");
+    out.push_back("  omp_set_num_threads((int)glaf_nat_a->num_threads);");
+    out.push_back("#endif");
+    std::vector<std::string> args;
+    for (int i = 0; i < fn.num_scalar_params; ++i) {
+      args.push_back(cat("glaf_nat_a->scalars[", i, "]"));
+    }
+    const std::string call = cat(fn.name, "(", join(args, ", "), ")");
+    if (fn.returns_value) {
+      out.push_back(cat("  glaf_nat_a->result = ", call, ";"));
+    } else {
+      out.push_back(cat("  ", call, ";"));
+      out.push_back("  glaf_nat_a->result = 0.0;");
+    }
+    out.push_back("  glaf_nat_copy_out(glaf_nat_a);");
+    out.push_back("  return 0;");
+    out.push_back("}");
+  }
+  out.push_back("");
+  return join(out, "\n");
+}
+
+}  // namespace
+
+StatusOr<KernelUnit> emit_kernel_unit(const Program& program,
+                                      const ProgramAnalysis& analysis,
+                                      const EmitOptions& options) {
+  KernelUnit unit;
+  for (const GridId id : program.global_grids) {
+    const Grid& g = program.grid(id);
+    if (g.is_struct()) {
+      return unimplemented(cat("native: struct global grid '", g.name,
+                               "' has no flat-argument-block layout"));
+    }
+    AbiSlot slot;
+    slot.grid = id;
+    slot.name = g.name;
+    for (const Dim& d : g.dims) {
+      const auto v = fold_with_globals(program, *d.extent);
+      if (!v) {
+        return unimplemented(cat("native: global grid '", g.name,
+                                 "' has a non-constant extent"));
+      }
+      slot.elements *= static_cast<std::int64_t>(value_as_double(*v));
+    }
+    unit.slots.push_back(std::move(slot));
+  }
+
+  for (const Function& fn : program.functions) {
+    AbiFunction abi;
+    abi.name = fn.name;
+    abi.symbol = cat("glaf_nat_call_", fn.name);
+    abi.num_scalar_params = static_cast<int>(fn.params.size());
+    abi.returns_value = fn.return_type != DataType::kVoid;
+    abi.supported = true;
+    for (const GridId id : fn.params) {
+      const Grid& g = program.grid(id);
+      if (!g.dims.empty() || g.is_struct()) {
+        // C passes scalar parameters by value; array/struct parameters
+        // would need host instances bound by name — per-call fallback.
+        abi.supported = false;
+        abi.reason = cat("parameter '", g.name, "' is not a plain scalar");
+        break;
+      }
+    }
+    unit.functions.push_back(std::move(abi));
+  }
+
+  CodegenOptions copts;
+  copts.language = Language::kC;
+  copts.interp_math = true;
+  copts.emit_comments = false;
+  copts.enable_openmp = options.parallel;
+  copts.policy = options.policy;
+  copts.save_temporaries = options.save_temporaries;
+  if (options.parallel && options.dynamic_schedule) {
+    copts.schedule = OmpSchedule::kDynamic;
+    copts.schedule_chunk = static_cast<int>(options.schedule_chunk);
+  }
+  unit.source = cat(prelude_text(program, unit.slots),
+                    generate_c(program, analysis, copts).source,
+                    wrapper_text(program, unit.slots, unit.functions));
+  return unit;
+}
+
+}  // namespace glaf::jit

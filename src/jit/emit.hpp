@@ -1,0 +1,69 @@
+#pragma once
+// Native-engine kernel emission: lower a whole GLAF program to one
+// self-contained C translation unit built around the C back-end's
+// interpreter-exact mode (CodegenOptions::interp_math), plus an
+// extern-"C" ABI wrapper per function. The wrapper takes a flat argument
+// block — grid base pointers in global_grids order, their element
+// counts, and the entry call's scalar arguments — copies the host's
+// global state into the unit's own storage, runs the function, and
+// copies it back out. Keeping storage inside the unit lets one emission
+// strategy cover every global kind (owned statics, module externs,
+// COMMON members, TYPE elements) with the copy as the only ABI surface.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/parallelize.hpp"
+#include "codegen/options.hpp"
+#include "core/program.hpp"
+#include "support/status.hpp"
+
+namespace glaf::jit {
+
+/// The ABI version baked into emitted units and checked after dlopen;
+/// bump on any layout or naming change so stale cached objects miss.
+inline constexpr long kAbiVersion = 1;
+
+/// One comparable/copyable global: position in the flat argument block
+/// is its position in program.global_grids.
+struct AbiSlot {
+  GridId grid = 0;
+  std::string name;
+  std::int64_t elements = 1;  ///< folded element count (1 for scalars)
+};
+
+/// Call surface of one GLAF function inside the unit.
+struct AbiFunction {
+  std::string name;        ///< GLAF function name
+  std::string symbol;      ///< wrapper symbol ("glaf_nat_call_<name>")
+  bool supported = false;  ///< callable through the flat-args wrapper
+  std::string reason;      ///< why not, when !supported
+  int num_scalar_params = 0;
+  bool returns_value = false;
+};
+
+/// A lowered program: complete C source plus its ABI description.
+struct KernelUnit {
+  std::string source;
+  std::vector<AbiSlot> slots;          ///< global_grids order
+  std::vector<AbiFunction> functions;  ///< program.functions order
+};
+
+/// Options controlling the lowered unit (mirrors InterpOptions).
+struct EmitOptions {
+  bool parallel = false;  ///< keep OpenMP pragmas (compiled with -fopenmp)
+  DirectivePolicy policy = DirectivePolicy::kV0;
+  bool save_temporaries = false;
+  bool dynamic_schedule = false;
+  std::int64_t schedule_chunk = 4;
+};
+
+/// Lower `program` to a native kernel unit. Fails (whole-engine
+/// fallback) when a global grid is a struct or has a non-foldable
+/// extent — the flat argument block cannot describe those.
+StatusOr<KernelUnit> emit_kernel_unit(const Program& program,
+                                      const ProgramAnalysis& analysis,
+                                      const EmitOptions& options = {});
+
+}  // namespace glaf::jit

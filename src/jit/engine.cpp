@@ -1,0 +1,174 @@
+#include "jit/engine.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "jit/cache.hpp"
+#include "support/strings.hpp"
+#include "support/subprocess.hpp"
+
+namespace glaf::jit {
+namespace {
+
+/// Host mirror of the emitted glaf_nat_args struct (emit.cpp keeps the
+/// layouts in lockstep; both are plain C-compatible PODs).
+struct NatArgs {
+  double* const* grids;
+  const long* extents;
+  const double* scalars;
+  long num_threads;
+  double result;
+};
+
+using WrapperFn = long (*)(NatArgs*);
+using MetaFn = long (*)(void);
+
+
+/// Copy the published object to a private temp file and dlopen that
+/// (see the header: per-engine static state), unlinking immediately so
+/// the copy lives exactly as long as the handle.
+StatusOr<void*> open_private_copy(const std::string& object_path) {
+  std::string copy_path = cat("/tmp/glaf_nat_", getpid(), "_XXXXXX");
+  const int fd = mkstemp(copy_path.data());
+  if (fd < 0) return internal_error("cannot create private kernel copy");
+  {
+    std::ifstream in(object_path, std::ios::binary);
+    std::ofstream out(copy_path, std::ios::binary);
+    out << in.rdbuf();
+    if (!in || !out) {
+      close(fd);
+      std::remove(copy_path.c_str());
+      return internal_error(cat("cannot copy ", object_path));
+    }
+  }
+  close(fd);
+  void* handle = dlopen(copy_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  std::remove(copy_path.c_str());
+  if (handle == nullptr) {
+    const char* err = dlerror();
+    return internal_error(
+        cat("dlopen failed: ", err != nullptr ? err : "unknown error"));
+  }
+  return handle;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<NativeEngine>> NativeEngine::create(
+    const Program& program, const ProgramAnalysis& analysis,
+    const Options& options) {
+  EmitOptions eopts;
+  eopts.parallel = options.parallel;
+  eopts.policy = options.policy;
+  eopts.save_temporaries = options.save_temporaries;
+  eopts.dynamic_schedule = options.dynamic_schedule;
+  eopts.schedule_chunk = options.schedule_chunk;
+  StatusOr<KernelUnit> unit = emit_kernel_unit(program, analysis, eopts);
+  if (!unit.is_ok()) return unit.status();
+
+  const std::string cc = default_cc(options.cc);
+  // -ffp-contract=off: FMA contraction would round differently than the
+  // interpreter's plain double arithmetic, breaking bit-identity.
+  // -fno-builtin: without it the compiler constant-folds libm calls on
+  // literal arguments (correctly rounded via MPFR), which can differ by
+  // an ulp from the runtime libm the interpreter calls.
+  std::string flags = "-shared -fPIC -O2 -ffp-contract=off -fno-builtin";
+  if (options.parallel) flags += " -fopenmp";
+
+  auto engine = std::unique_ptr<NativeEngine>(new NativeEngine());
+  engine->unit_ = std::move(unit).value();
+  engine->options_ = options;
+
+  KernelCache cache(options.cache_dir);
+  StatusOr<std::string> object =
+      cache.object_for(engine->unit_.source, cc, flags, &engine->cache_hit_);
+  if (!object.is_ok()) return object.status();
+  engine->object_path_ = std::move(object).value();
+
+  StatusOr<void*> handle = open_private_copy(engine->object_path_);
+  if (!handle.is_ok()) {
+    // The published entry may be stale or corrupted in a way the ELF
+    // sniff missed: discard it and rebuild once.
+    cache.invalidate(engine->object_path_);
+    object = cache.object_for(engine->unit_.source, cc, flags);
+    if (!object.is_ok()) return object.status();
+    engine->cache_hit_ = false;
+    engine->object_path_ = std::move(object).value();
+    handle = open_private_copy(engine->object_path_);
+    if (!handle.is_ok()) return handle.status();
+  }
+  engine->handle_ = handle.value();
+
+  // ABI sanity before any call goes through.
+  const auto meta = [&](const char* symbol) -> long {
+    auto* fn =
+        reinterpret_cast<MetaFn>(dlsym(engine->handle_, symbol));
+    return fn != nullptr ? fn() : -1;
+  };
+  if (meta("glaf_nat_abi_version") != kAbiVersion) {
+    return internal_error("kernel ABI version mismatch");
+  }
+  if (meta("glaf_nat_num_slots") !=
+      static_cast<long>(engine->unit_.slots.size())) {
+    return internal_error("kernel slot count mismatch");
+  }
+  engine->entry_points_.resize(engine->unit_.functions.size(), nullptr);
+  for (std::size_t i = 0; i < engine->unit_.functions.size(); ++i) {
+    const AbiFunction& fn = engine->unit_.functions[i];
+    if (!fn.supported) continue;
+    void* sym = dlsym(engine->handle_, fn.symbol.c_str());
+    if (sym == nullptr) {
+      return internal_error(cat("missing kernel symbol ", fn.symbol));
+    }
+    engine->entry_points_[i] = sym;
+  }
+  return engine;
+}
+
+NativeEngine::~NativeEngine() {
+  if (handle_ != nullptr) dlclose(handle_);
+}
+
+const AbiFunction* NativeEngine::find(const std::string& function) const {
+  for (const AbiFunction& fn : unit_.functions) {
+    if (fn.name == function) return &fn;
+  }
+  return nullptr;
+}
+
+StatusOr<double> NativeEngine::call(const AbiFunction& fn,
+                                    const std::vector<double>& scalars,
+                                    const std::vector<GlobalBinding>& bindings) {
+  if (bindings.size() != unit_.slots.size()) {
+    return invalid_argument(cat("native call bound ", bindings.size(),
+                                " globals, kernel has ",
+                                unit_.slots.size()));
+  }
+  const std::ptrdiff_t index = &fn - unit_.functions.data();
+  if (index < 0 ||
+      index >= static_cast<std::ptrdiff_t>(entry_points_.size()) ||
+      entry_points_[index] == nullptr) {
+    return failed_precondition(cat("'", fn.name, "' has no native entry"));
+  }
+  std::vector<double*> grids(bindings.size());
+  std::vector<long> extents(bindings.size());
+  for (std::size_t i = 0; i < bindings.size(); ++i) {
+    grids[i] = bindings[i].data;
+    extents[i] = static_cast<long>(bindings[i].elements);
+  }
+  NatArgs args{grids.data(), extents.data(), scalars.data(),
+               options_.num_threads, 0.0};
+  const long status =
+      reinterpret_cast<WrapperFn>(entry_points_[index])(&args);
+  if (status != 0) {
+    return internal_error(cat("native kernel rejected slot ", status - 1,
+                              " of '", fn.name, "' (extent mismatch)"));
+  }
+  return args.result;
+}
+
+}  // namespace glaf::jit

@@ -1,0 +1,94 @@
+#pragma once
+// The native execution engine: compiles the emitted kernel unit with the
+// system C compiler (through the content-addressed KernelCache), loads
+// the shared object with dlopen, and calls functions in-process through
+// the flat-argument-block ABI.
+//
+// Isolation: the cached object is copied to a private temp file before
+// dlopen (then unlinked). glibc dedupes dlopen by inode, so loading the
+// cache file directly would share one copy of the unit's static state
+// (SAVE'd locals, owned globals) between every Machine in the process;
+// the private copy gives each engine fresh statics, mirroring the
+// interpreter's per-Machine saved_locals_. Compilation — the expensive
+// step — is still shared through the cache.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/parallelize.hpp"
+#include "core/program.hpp"
+#include "jit/emit.hpp"
+#include "support/status.hpp"
+
+namespace glaf::jit {
+
+/// Host-side view of one global's storage (kept free of interpreter
+/// types: glaf_interp links glaf_jit, not the other way around).
+struct GlobalBinding {
+  double* data = nullptr;
+  std::int64_t elements = 0;
+};
+
+class NativeEngine {
+ public:
+  struct Options {
+    bool parallel = false;
+    int num_threads = 4;
+    DirectivePolicy policy = DirectivePolicy::kV0;
+    bool save_temporaries = false;
+    bool dynamic_schedule = false;
+    std::int64_t schedule_chunk = 4;
+    /// Compiler command; "" resolves $GLAF_CC, then "cc".
+    std::string cc;
+    /// Cache directory override ("" = $GLAF_KERNEL_CACHE / XDG default).
+    std::string cache_dir;
+  };
+
+  /// Emit, compile (or reuse the cached object) and load the program.
+  /// Any failure here means the whole engine is unavailable and the
+  /// caller should fall back.
+  static StatusOr<std::unique_ptr<NativeEngine>> create(
+      const Program& program, const ProgramAnalysis& analysis,
+      const Options& options);
+
+  ~NativeEngine();
+  NativeEngine(const NativeEngine&) = delete;
+  NativeEngine& operator=(const NativeEngine&) = delete;
+
+  /// ABI record for `function`, or nullptr when unknown. A record with
+  /// !supported means per-call fallback (with its reason).
+  [[nodiscard]] const AbiFunction* find(const std::string& function) const;
+
+  /// Call a supported function. `bindings` must follow slots() order;
+  /// `scalars` are the entry call's literal arguments.
+  StatusOr<double> call(const AbiFunction& fn,
+                        const std::vector<double>& scalars,
+                        const std::vector<GlobalBinding>& bindings);
+
+  [[nodiscard]] const std::vector<AbiSlot>& slots() const {
+    return unit_.slots;
+  }
+  /// Compilation was skipped because a valid cached object existed.
+  [[nodiscard]] bool cache_hit() const { return cache_hit_; }
+  [[nodiscard]] const std::string& object_path() const {
+    return object_path_;
+  }
+  [[nodiscard]] const std::string& source() const { return unit_.source; }
+
+ private:
+  NativeEngine() = default;
+
+  KernelUnit unit_;
+  Options options_;
+  std::string object_path_;  ///< published cache entry
+  bool cache_hit_ = false;
+  void* handle_ = nullptr;   ///< dlopen handle of the private copy
+  /// Resolved wrapper entry points, parallel to unit_.functions
+  /// (nullptr for unsupported entries) — the in-memory handle table
+  /// that makes repeat binds symbol-lookup-free.
+  std::vector<void*> entry_points_;
+};
+
+}  // namespace glaf::jit

@@ -1,0 +1,59 @@
+#pragma once
+// Stable content hashing. Two uses drive the requirements:
+//
+//  - the JIT kernel cache keys compiled shared objects by a digest of
+//    (emitted source, compiler identity, flags): the digest must be
+//    stable across processes and platforms, so it is pure arithmetic
+//    over the bytes — no pointers, no std::hash, no locale;
+//  - the fuzzer dedups generated programs by the digest of their
+//    serialized text, so equal programs from different seeds are
+//    executed once.
+//
+// Both FNV-1a widths are provided: the 64-bit lane for cheap in-memory
+// dedup maps, and the 128-bit lane (hex digest) for on-disk cache keys
+// where accidental collisions would silently alias two kernels.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace glaf {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ull;
+
+/// FNV-1a over `bytes`, continuing from `state` (defaults to the FNV
+/// offset basis, i.e. a fresh hash). Chain calls to hash several fields
+/// without concatenating: h = fnv1a64(b, fnv1a64(a)).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes,
+                                    std::uint64_t state = kFnv1a64Offset);
+
+/// A 128-bit digest (FNV-1a-128).
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Hash128& a, const Hash128& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Hash128& a, const Hash128& b) {
+    return !(a == b);
+  }
+};
+
+/// FNV-1a-128 over `bytes`, continuing from `state` (defaults to the
+/// 128-bit FNV offset basis).
+[[nodiscard]] Hash128 fnv1a128(std::string_view bytes);
+[[nodiscard]] Hash128 fnv1a128(std::string_view bytes, const Hash128& state);
+
+/// The 128-bit offset basis (exposed so tests can pin the constants).
+[[nodiscard]] Hash128 fnv1a128_offset();
+
+/// 32 lowercase hex characters, big-endian (hi lane first) — filesystem
+/// and URL safe, fixed width.
+[[nodiscard]] std::string hex_digest(const Hash128& h);
+
+/// Convenience: hex digest of one buffer.
+[[nodiscard]] std::string content_digest(std::string_view bytes);
+
+}  // namespace glaf

@@ -1,0 +1,77 @@
+#include "support/subprocess.hpp"
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace glaf {
+
+RunResult run_command(const std::string& command) {
+  RunResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;  // started stays false
+  result.started = true;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) result.output += buf;
+  const int status = pclose(pipe);
+  if (status == -1) {
+    result.exit_code = -1;
+  } else if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.exit_code = 128 + WTERMSIG(status);
+  } else {
+    result.exit_code = -1;
+  }
+  return result;
+}
+
+namespace {
+
+struct CompilerProbe {
+  bool available = false;
+  std::string identity;
+};
+
+const CompilerProbe& probe_compiler(const std::string& cc) {
+  static std::map<std::string, CompilerProbe> cache;
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto it = cache.find(cc);
+  if (it != cache.end()) return it->second;
+  CompilerProbe probe;
+  // Reject commands with shell metacharacters outright: the probe (and
+  // every later compile) interpolates `cc` into a shell line.
+  if (cc.find_first_of(";|&$`<>(){}!\n\"'") == std::string::npos &&
+      !cc.empty()) {
+    const RunResult r = run_command(cc + " --version");
+    probe.available = r.ok();
+    if (probe.available) {
+      const std::size_t eol = r.output.find('\n');
+      probe.identity = r.output.substr(0, eol);
+    }
+  }
+  return cache.emplace(cc, std::move(probe)).first->second;
+}
+
+}  // namespace
+
+bool cc_available(const std::string& cc) { return probe_compiler(cc).available; }
+
+const std::string& compiler_identity(const std::string& cc) {
+  return probe_compiler(cc).identity;
+}
+
+std::string default_cc(const std::string& preferred) {
+  if (!preferred.empty()) return preferred;
+  if (const char* env = std::getenv("GLAF_CC");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "cc";
+}
+
+}  // namespace glaf

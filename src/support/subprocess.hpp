@@ -1,0 +1,42 @@
+#pragma once
+// Shared subprocess / compiler-probe utility, used by the fuzz oracle's
+// compiled-C backend and the JIT engine's kernel compilation. One popen
+// wrapper with an explicit "did the process even start" bit — the
+// original oracle-local helper silently returned an empty capture when
+// popen itself failed, which was indistinguishable from a program that
+// printed nothing.
+
+#include <string>
+
+namespace glaf {
+
+/// Result of running one shell command with combined stdout+stderr
+/// capture.
+struct RunResult {
+  bool started = false;   ///< popen succeeded and the command was spawned
+  int exit_code = -1;     ///< WEXITSTATUS when the command exited; 128+sig
+                          ///< when killed by a signal; -1 when !started
+  std::string output;     ///< combined stdout+stderr
+
+  /// The command started and exited 0.
+  [[nodiscard]] bool ok() const { return started && exit_code == 0; }
+};
+
+/// Run `command` through the shell, capturing combined stdout+stderr.
+RunResult run_command(const std::string& command);
+
+/// Whether `cc` can be invoked (`cc --version` exits 0); cached per
+/// command for the process lifetime.
+bool cc_available(const std::string& cc);
+
+/// First line of `cc --version` (cached), or "" when unavailable. The
+/// JIT kernel cache folds this into its content key so objects compiled
+/// by different compilers never alias.
+const std::string& compiler_identity(const std::string& cc);
+
+/// The system compiler command to use: `preferred` when nonempty, else
+/// $GLAF_CC when set, else "cc". Shared by the JIT engine and the fuzz
+/// tool so GLAF_CC redirects (or disables) every compiler-backed path.
+std::string default_cc(const std::string& preferred = "");
+
+}  // namespace glaf

@@ -46,8 +46,10 @@ TEST(FuzzCorpus, EveryEntryAgreesAcrossBackends) {
                              report.divergences[0].grid)
                 : report.errors[0]);
     // Serial plan + 4 policies x {treewalk, plan} = 9 interpreter legs,
-    // plus the compiled-C backend when a system compiler is present.
-    EXPECT_GE(report.backends_compared, opts.run_compiled_c ? 10 : 9);
+    // plus the native-JIT and compiled-C backends when a system compiler
+    // is present (both gate on the same cc probe).
+    EXPECT_GE(report.backends_compared, opts.run_compiled_c ? 11 : 9);
+    EXPECT_EQ(report.native_backend_ran, opts.run_compiled_c) << path;
   }
 }
 

@@ -39,6 +39,8 @@ TEST(FuzzOracle, InjectedCBugIsCaughtAndShrunk) {
   // output passes through SIN must diverge.
   OracleOptions opts;
   opts.run_parallel = false;  // serial vs broken-C is the fast signal
+  opts.run_native = false;    // the bug is injected into the C leg only;
+                              // skip one kernel build per shrink candidate
   opts.c_source_transform = [](const std::string& src) {
     std::string out = src;
     std::size_t pos = 0;

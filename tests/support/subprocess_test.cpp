@@ -1,0 +1,61 @@
+// Subprocess helper tests: exit-status decoding, the explicit
+// "did-not-start" bit, and the compiler probe cache.
+
+#include <gtest/gtest.h>
+
+#include "support/subprocess.hpp"
+
+namespace glaf {
+namespace {
+
+TEST(RunCommand, CapturesOutputAndExitCode) {
+  const RunResult ok = run_command("printf 'hi\\n'");
+  EXPECT_TRUE(ok.started);
+  EXPECT_EQ(ok.exit_code, 0);
+  EXPECT_EQ(ok.output, "hi\n");
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(RunCommand, NonZeroExitIsNotOk) {
+  const RunResult r = run_command("exit 3");
+  EXPECT_TRUE(r.started);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RunCommand, CapturesStderrToo) {
+  const RunResult r = run_command("(echo oops 1>&2)");
+  EXPECT_TRUE(r.started);
+  EXPECT_EQ(r.output, "oops\n");
+}
+
+TEST(CcAvailable, MissingCompilerIsUnavailable) {
+  EXPECT_FALSE(cc_available("/nonexistent/compiler"));
+  EXPECT_TRUE(compiler_identity("/nonexistent/compiler").empty());
+}
+
+TEST(CcAvailable, ShellMetacharactersAreRejected) {
+  EXPECT_FALSE(cc_available("cc; rm -rf /"));
+  EXPECT_FALSE(cc_available(""));
+}
+
+TEST(DefaultCc, PreferredThenEnvThenCc) {
+  EXPECT_EQ(default_cc("clang"), "clang");
+  const char* saved = ::getenv("GLAF_CC");
+  ::setenv("GLAF_CC", "/opt/bin/mycc", 1);
+  EXPECT_EQ(default_cc(), "/opt/bin/mycc");
+  EXPECT_EQ(default_cc("clang"), "clang");  // explicit choice still wins
+  ::unsetenv("GLAF_CC");
+  EXPECT_EQ(default_cc(), "cc");
+  if (saved != nullptr) ::setenv("GLAF_CC", saved, 1);
+}
+
+TEST(CompilerIdentity, FirstVersionLineWhenAvailable) {
+  if (!cc_available("cc")) GTEST_SKIP() << "no system compiler";
+  const std::string& id = compiler_identity("cc");
+  EXPECT_FALSE(id.empty());
+  EXPECT_EQ(id.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace glaf

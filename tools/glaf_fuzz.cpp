@@ -14,10 +14,16 @@
 //   glaf-fuzz --replay FILE.glaf       run the oracle on one repro file
 //   glaf-fuzz --dump-seed N            print the generated program and exit
 //   glaf-fuzz --no-cc                  skip the compiled-C backend
+//   glaf-fuzz --no-native              skip the in-process native JIT backend
 //   glaf-fuzz --no-parallel            skip the parallel-interpreter backends
-//   glaf-fuzz --engine=E               interpreter engines to cross-check:
-//                                      plan, treewalk or both (default both)
+//   glaf-fuzz --engine=E               engines to cross-check: plan, treewalk
+//                                      or both (default both) select the
+//                                      interpreter legs; native runs only the
+//                                      in-process JIT leg (no subprocess C)
 //   glaf-fuzz --threads N --rtol X --atol X
+//
+// Duplicate generated programs (identical serialized text from different
+// seeds) are deduplicated by a stable FNV-1a digest and run once.
 //
 // Exit status: 0 all seeds agreed, 1 divergence found, 2 usage/setup error.
 
@@ -26,6 +32,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -36,6 +43,7 @@
 #include "fuzz/oracle.hpp"
 #include "fuzz/repro.hpp"
 #include "fuzz/shrink.hpp"
+#include "support/hash.hpp"
 
 namespace {
 
@@ -59,7 +67,8 @@ void usage(const char* argv0) {
                "usage: %s [--seeds A:B] [--time-budget SECONDS] [--shrink]\n"
                "          [--repro-dir DIR] [--replay FILE] [--dump-seed N]\n"
                "          [--threads N] [--rtol X] [--atol X] [--no-cc]\n"
-               "          [--no-parallel] [--engine=plan|treewalk|both]\n",
+               "          [--no-native] [--no-parallel]\n"
+               "          [--engine=plan|treewalk|both|native]\n",
                argv0);
 }
 
@@ -109,6 +118,8 @@ bool parse_args(int argc, char** argv, CliOptions* opts) {
       opts->oracle.atol = std::strtod(v, nullptr);
     } else if (arg == "--no-cc") {
       opts->oracle.run_compiled_c = false;
+    } else if (arg == "--no-native") {
+      opts->oracle.run_native = false;
     } else if (arg == "--no-parallel") {
       opts->oracle.run_parallel = false;
     } else if (arg.rfind("--engine", 0) == 0) {
@@ -131,6 +142,14 @@ bool parse_args(int argc, char** argv, CliOptions* opts) {
       } else if (value == "both") {
         opts->oracle.run_plan = true;
         opts->oracle.run_treewalk_parallel = true;
+      } else if (value == "native") {
+        // The fast in-process oracle: serial tree-walk reference vs the
+        // JIT kernel, no plan legs and no subprocess C round-trip.
+        opts->oracle.run_plan = false;
+        opts->oracle.run_treewalk_parallel = false;
+        opts->oracle.run_parallel = false;
+        opts->oracle.run_native = true;
+        opts->oracle.run_compiled_c = false;
       } else {
         std::fprintf(stderr, "unknown engine: %s\n", value.c_str());
         return false;
@@ -231,6 +250,7 @@ int replay(const CliOptions& opts) {
 
 int main(int argc, char** argv) {
   CliOptions opts;
+  opts.oracle.cc = default_cc();  // honor GLAF_CC for both compiled legs
   if (!parse_args(argc, argv, &opts)) {
     usage(argv[0]);
     return 2;
@@ -252,11 +272,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (opts.oracle.run_compiled_c && !cc_available(opts.oracle.cc)) {
+  if ((opts.oracle.run_compiled_c || opts.oracle.run_native) &&
+      !cc_available(opts.oracle.cc)) {
     std::fprintf(stderr,
-                 "note: compiler '%s' unavailable, skipping the C backend\n",
+                 "note: compiler '%s' unavailable, skipping the C and"
+                 " native backends\n",
                  opts.oracle.cc.c_str());
     opts.oracle.run_compiled_c = false;
+    opts.oracle.run_native = false;
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -269,6 +292,8 @@ int main(int argc, char** argv) {
 
   int failures = 0;
   std::uint64_t ran = 0;
+  std::uint64_t duplicates = 0;
+  std::set<std::uint64_t> seen_digests;
   const std::uint64_t end =
       opts.time_budget_s > 0.0 && opts.seed_end <= opts.seed_begin
           ? UINT64_MAX
@@ -284,6 +309,10 @@ int main(int argc, char** argv) {
       continue;
     }
     const FuzzProgram& fp = generated.value();
+    if (!seen_digests.insert(fnv1a64(serialize_program(fp.program))).second) {
+      ++duplicates;  // identical program already exercised this sweep
+      continue;
+    }
     const OracleReport report =
         run_oracle(fp.program, fp.entry, opts.oracle);
     ++ran;
@@ -297,7 +326,10 @@ int main(int argc, char** argv) {
 
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
-  std::printf("glaf-fuzz: %llu seeds, %d failures, %.1fs\n",
-              static_cast<unsigned long long>(ran), failures, elapsed.count());
+  std::printf("glaf-fuzz: %llu seeds, %llu duplicates skipped, %d failures,"
+              " %.1fs\n",
+              static_cast<unsigned long long>(ran),
+              static_cast<unsigned long long>(duplicates), failures,
+              elapsed.count());
   return failures == 0 ? 0 : 1;
 }

@@ -17,9 +17,11 @@
 //          --schedule=default|static|dynamic [--schedule-chunk=N].
 // Run mode: --run[=ENTRY] executes the program on the interpreter
 //          (ENTRY defaults to the first zero-parameter subroutine);
-//          --engine=plan|treewalk selects the execution engine (plan is
-//          the default: compiled flat plans on the bytecode VM; treewalk
-//          is the reference AST interpreter), --parallel enables the
+//          --engine=plan|treewalk|native selects the execution engine
+//          (plan is the default: compiled flat plans on the bytecode VM;
+//          treewalk is the reference AST interpreter; native JIT-compiles
+//          the program to a shared object and runs it in-process, falling
+//          back to plans when it cannot), --parallel enables the
 //          auto-parallelized path under --policy, --threads=N sizes it.
 
 #include <cstdio>
@@ -85,8 +87,10 @@ int run_program(const CliArgs& args, Program program) {
     iopts.engine = ExecEngine::kPlan;
   } else if (engine == "treewalk") {
     iopts.engine = ExecEngine::kTreeWalk;
+  } else if (engine == "native") {
+    iopts.engine = ExecEngine::kNative;
   } else {
-    return fail("unknown --engine '" + engine + "' (plan|treewalk)");
+    return fail("unknown --engine '" + engine + "' (plan|treewalk|native)");
   }
   const auto policy = parse_policy(args.get("policy", "v0"));
   if (!policy.is_ok()) return fail(policy.status().message());
@@ -114,6 +118,12 @@ int run_program(const CliArgs& args, Program program) {
   }
 
   Machine m(std::move(program), iopts);
+  if (iopts.engine == ExecEngine::kNative && !m.native_report().available) {
+    std::fprintf(stderr,
+                 "glafc: warning: native engine unavailable (%s);"
+                 " falling back to the plan engine\n",
+                 m.native_report().fallback_reason.c_str());
+  }
   const StatusOr<double> result = m.call(entry);
   if (!result.is_ok()) {
     return fail("run '" + entry + "': " + std::string(result.status().message()));
@@ -126,6 +136,15 @@ int run_program(const CliArgs& args, Program program) {
                static_cast<unsigned long long>(st.steps_executed),
                static_cast<unsigned long long>(st.loop_iterations),
                static_cast<unsigned long long>(st.parallel_regions));
+  if (iopts.engine == ExecEngine::kNative && m.native_report().available) {
+    const NativeReport& nr = m.native_report();
+    std::fprintf(stderr,
+                 "glafc: native kernel %s (%llu native call(s),"
+                 " %llu fallback call(s))\n",
+                 nr.cache_hit ? "loaded from cache" : "compiled",
+                 static_cast<unsigned long long>(nr.native_calls),
+                 static_cast<unsigned long long>(nr.fallback_calls));
+  }
   return 0;
 }
 
