@@ -8,12 +8,21 @@
 // tree-walk, native > 1x over plan). Native rows are skipped (zeros)
 // when no system compiler is present.
 //
-// Usage: interp_engine [--threads N] [--min-seconds X] [--out FILE]
+// Usage: interp_engine [--threads N] [--levels N] [--min-seconds X]
+//        [--out FILE]
+//
+// --levels scales the SARB atmosphere (default 60, the paper's size):
+// per-level extents and loop bounds are symbolic over the n_levels
+// grid, so larger atmospheres give the threaded engines enough work
+// per dispatch for the parallel rows to be meaningful. The checked-in
+// BENCH_interp.json is regenerated with:
+//   bench/interp_engine --threads 8 --levels 4096 --out BENCH_interp.json
 
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fuliou/glaf_kernels.hpp"
@@ -81,6 +90,8 @@ std::string fmt(double v, const char* spec = "%.3g") {
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const int threads = static_cast<int>(args.get_int("threads", 4));
+  const int levels =
+      static_cast<int>(args.get_int("levels", fuliou::kNumLevels));
   const double min_seconds = args.get("min-seconds", "").empty()
                                  ? 0.05
                                  : std::stod(args.get("min-seconds", "0.05"));
@@ -90,8 +101,8 @@ int main(int argc, char** argv) {
 
   // --- SARB: the six Table 1 subroutines, inputs from a synthetic
   // profile (the role the legacy FORTRAN modules play in the paper).
-  const Program sarb = fuliou::build_sarb_program();
-  const fuliou::AtmosphereProfile profile = fuliou::make_profile(1);
+  const Program sarb = fuliou::build_sarb_program(levels);
+  const fuliou::AtmosphereProfile profile = fuliou::make_profile(1, levels);
   const auto load_sarb = [&](Machine& m) {
     const Status s = fuliou::load_profile(m, profile);
     if (!s.is_ok()) {
@@ -173,14 +184,16 @@ int main(int argc, char** argv) {
   // --- report
   TextTable table({"kernel", "serial treewalk", "serial plan",
                    "serial native", "plan x", "native x",
-                   "parallel plan", "parallel native"});
+                   "parallel plan", "parallel native", "par native x"});
   table.set_alignment({Align::kLeft, Align::kRight, Align::kRight,
                        Align::kRight, Align::kRight, Align::kRight,
-                       Align::kRight, Align::kRight});
+                       Align::kRight, Align::kRight, Align::kRight});
   double log_sum = 0.0;
   double native_log_sum = 0.0;
+  double pnative_log_sum = 0.0;
   int sarb_count = 0;
   int native_count = 0;
+  int pnative_count = 0;
   for (const KernelResult& r : results) {
     const double s_speed =
         r.serial_plan_s > 0.0 ? r.serial_treewalk_s / r.serial_plan_s : 0.0;
@@ -189,6 +202,11 @@ int main(int argc, char** argv) {
     const double n_speed = r.serial_native_s > 0.0
                                ? r.serial_plan_s / r.serial_native_s
                                : 0.0;
+    // Parallel-native speedup over *serial native*: what threading the
+    // kernel itself buys on this host (bounded by its core count).
+    const double pn_speed = r.parallel_native_s > 0.0
+                                ? r.serial_native_s / r.parallel_native_s
+                                : 0.0;
     if (r.suite == "sarb" && s_speed > 0.0) {
       log_sum += std::log(s_speed);
       ++sarb_count;
@@ -197,6 +215,10 @@ int main(int argc, char** argv) {
       native_log_sum += std::log(n_speed);
       ++native_count;
     }
+    if (r.suite == "sarb" && pn_speed > 0.0) {
+      pnative_log_sum += std::log(pn_speed);
+      ++pnative_count;
+    }
     table.add_row({r.suite + "/" + r.name,
                    fmt(r.serial_treewalk_s * 1e6) + " us",
                    fmt(r.serial_plan_s * 1e6) + " us",
@@ -204,19 +226,25 @@ int main(int argc, char** argv) {
                    fmt(s_speed, "%.2f") + "x",
                    fmt(n_speed, "%.2f") + "x",
                    fmt(r.parallel_plan_s * 1e6) + " us",
-                   fmt(r.parallel_native_s * 1e6) + " us"});
+                   fmt(r.parallel_native_s * 1e6) + " us",
+                   fmt(pn_speed, "%.2f") + "x"});
   }
   const double geomean =
       sarb_count > 0 ? std::exp(log_sum / sarb_count) : 0.0;
   const double native_geomean =
       native_count > 0 ? std::exp(native_log_sum / native_count) : 0.0;
+  const double pnative_geomean =
+      pnative_count > 0 ? std::exp(pnative_log_sum / pnative_count) : 0.0;
+  const unsigned host_cores = std::thread::hardware_concurrency();
   std::printf("== execution engines: tree-walk vs flat plans vs native JIT "
-              "(%d threads for parallel rows) ==\n\n%s\n",
-              threads, table.render().c_str());
-  std::printf("SARB serial geomean speedup (plan vs tree-walk): %.2fx\n",
+              "(%d threads for parallel rows, %u host cores) ==\n\n%s\n",
+              threads, host_cores, table.render().c_str());
+  std::printf("SARB serial geomean speedup (plan vs tree-walk):      %.2fx\n",
               geomean);
-  std::printf("SARB serial geomean speedup (native vs plan):    %.2fx\n",
+  std::printf("SARB serial geomean speedup (native vs plan):         %.2fx\n",
               native_geomean);
+  std::printf("SARB parallel geomean speedup (native vs ser-native): %.2fx\n",
+              pnative_geomean);
 
   std::ofstream out(out_path);
   if (!out) {
@@ -224,7 +252,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << "{\n  \"benchmark\": \"interp_engine\",\n"
-      << "  \"threads\": " << threads << ",\n  \"kernels\": [\n";
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"levels\": " << levels << ",\n"
+      << "  \"host_cores\": " << host_cores << ",\n"
+      << "  \"regenerate\": \"bench/interp_engine --threads 8"
+         " --levels " << levels << " --out BENCH_interp.json\",\n"
+      << "  \"kernels\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const KernelResult& r = results[i];
     const double s_speed =
@@ -235,6 +268,9 @@ int main(int argc, char** argv) {
     const double p_speed = r.parallel_plan_s > 0.0
                                ? r.parallel_treewalk_s / r.parallel_plan_s
                                : 0.0;
+    const double pn_speed = r.parallel_native_s > 0.0
+                                ? r.serial_native_s / r.parallel_native_s
+                                : 0.0;
     out << "    {\"suite\": \"" << r.suite << "\", \"name\": \"" << r.name
         << "\", \"serial_treewalk_s\": " << fmt(r.serial_treewalk_s, "%.6g")
         << ", \"serial_plan_s\": " << fmt(r.serial_plan_s, "%.6g")
@@ -244,12 +280,15 @@ int main(int argc, char** argv) {
         << ", \"parallel_treewalk_s\": " << fmt(r.parallel_treewalk_s, "%.6g")
         << ", \"parallel_plan_s\": " << fmt(r.parallel_plan_s, "%.6g")
         << ", \"parallel_native_s\": " << fmt(r.parallel_native_s, "%.6g")
-        << ", \"parallel_speedup\": " << fmt(p_speed, "%.3f") << "}"
+        << ", \"parallel_speedup\": " << fmt(p_speed, "%.3f")
+        << ", \"parallel_native_speedup\": " << fmt(pn_speed, "%.3f") << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"sarb_serial_geomean_speedup\": " << fmt(geomean, "%.3f")
       << ",\n  \"sarb_serial_native_geomean_speedup\": "
-      << fmt(native_geomean, "%.3f") << "\n}\n";
+      << fmt(native_geomean, "%.3f")
+      << ",\n  \"sarb_parallel_native_geomean_speedup\": "
+      << fmt(pnative_geomean, "%.3f") << "\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -184,6 +184,58 @@ bool all_writes_atomic(const Program& p, const std::vector<Stmt>& body,
   return ok && saw;
 }
 
+/// Ownership dimension for a step's atomic grids: a loop dimension p
+/// inside the collapse band whose index variable is the *entire*
+/// subscript (coefficient 1, no constant, no symbol) at one position
+/// common to every access of each atomic grid. Partitioning iterations
+/// along p then assigns every element of those grids to exactly one
+/// band — updates happen in serial program order with no synchronization,
+/// so even float sums stay bitwise identical to serial execution. The
+/// common-position requirement matters: two accesses carrying the
+/// variable at different positions (A(v,c) and A(d,v)) can alias across
+/// bands. Returns -1 when no such dimension exists.
+int find_ownership_dim(const Step& step, const StepVerdict& v,
+                       const Buckets& buckets) {
+  const std::size_t band = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(v.collapse, 1)), step.loops.size());
+  for (std::size_t p = 0; p < band; ++p) {
+    const std::string& var = step.loops[p].index_var;
+    bool covers_all = true;
+    for (const GridId gid : v.atomic_grids) {
+      // Positions where the subscript is exactly `var`, intersected over
+      // every access of the grid (reads included: a band then only reads
+      // elements it owns, so it sees exactly the serial-order values).
+      std::uint64_t common = ~std::uint64_t{0};
+      bool saw_access = false;
+      for (const auto& [loc, accs] : buckets) {
+        if (loc.first != gid) continue;
+        for (const ArrayAccess* a : accs) {
+          saw_access = true;
+          std::uint64_t mask = 0;
+          if (!a->whole_grid) {
+            for (std::size_t s = 0; s < a->subs.size() && s < 64; ++s) {
+              const AffineForm& f = a->subs[s];
+              if (f.affine && f.constant == 0 && f.symbol.empty() &&
+                  f.coeffs.size() == 1 &&
+                  f.coeffs.begin()->first == var &&
+                  f.coeffs.begin()->second == 1) {
+                mask |= std::uint64_t{1} << s;
+              }
+            }
+          }
+          common &= mask;
+        }
+      }
+      if (!saw_access || common == 0) {
+        covers_all = false;
+        break;
+      }
+    }
+    if (covers_all) return static_cast<int>(p);
+  }
+  return -1;
+}
+
 /// Is `grid` a local of `fn` (not a parameter, not global)?
 bool is_function_local(const Function& fn, GridId grid) {
   return std::find(fn.locals.begin(), fn.locals.end(), grid) !=
@@ -412,6 +464,42 @@ StepVerdict analyze_step(const Program& program, const Function& fn,
                             !accesses.has_return &&
                             v.loop_class != LoopClass::kComplex;
 
+  // Bitwise-deterministic classification (consumed by the parallel
+  // native engine and the deterministic interpreter mode). Exact
+  // reductions are +/min/max over integer-valued elements: the
+  // interpreter stores them as doubles, where small-integer sums are
+  // associative and min/max carry no ±0 ties, so any combine order
+  // reproduces the serial result bitwise. Callees are excluded both for
+  // exactness (hidden state) and because nested dispatch would re-enter
+  // the single-job thread pool.
+  if (v.parallelizable && !v.needs_critical && accesses.callees.empty() &&
+      !accesses.has_return) {
+    bool exact = true;
+    for (const ReductionClause& r : v.reductions) {
+      const DataType t = program.grid(r.grid).field_type(r.field);
+      const bool int_valued = t == DataType::kInt || t == DataType::kLogical;
+      if (!int_valued || r.op == ReduceOp::kProd) {
+        exact = false;
+        break;
+      }
+    }
+    int owner_dim = -1;
+    if (exact && !v.atomic_grids.empty()) {
+      owner_dim = find_ownership_dim(step, v, buckets);
+      if (owner_dim < 0) exact = false;
+    }
+    if (exact) {
+      v.bit_exact = true;
+      v.exact_partition_dim = owner_dim;
+      v.notes.push_back(
+          owner_dim < 0
+              ? "bit-exact under any partition"
+              : cat("bit-exact when banded on '",
+                    step.loops[static_cast<std::size_t>(owner_dim)].index_var,
+                    "'"));
+    }
+  }
+
   return v;
 }
 
@@ -462,6 +550,11 @@ std::string verdict_to_string(const Program& program, const StepVerdict& v) {
     out += cat(" atomic(", join(names, ","), ")");
   }
   if (v.needs_critical) out += " critical";
+  if (v.bit_exact) {
+    out += v.exact_partition_dim < 0
+               ? " bit-exact"
+               : cat(" bit-exact[dim=", v.exact_partition_dim, "]");
+  }
   return out;
 }
 

@@ -53,6 +53,21 @@ struct StepVerdict {
   std::int64_t outer_trip_count = -1;  ///< outermost loop's trip alone
   bool compiler_vectorizable = false;
 
+  /// Bitwise-deterministic parallel execution is possible: no critical
+  /// section, no callees or early returns, only exact reductions
+  /// (+/min/max over integer or logical elements — order-independent in
+  /// double arithmetic), and every atomic grid covered by an ownership
+  /// dimension (below). Such a step produces results identical to serial
+  /// execution under any partition of the validated iteration space.
+  bool bit_exact = false;
+  /// Partition constraint that makes `bit_exact` hold: -1 = the collapsed
+  /// flat iteration space may be split freely; >= 0 = split only along
+  /// this loop dimension, whose index variable appears as a plain
+  /// subscript at one common position in every access of every atomic
+  /// grid — each element is then updated by exactly one band, in serial
+  /// program order, so the "atomic" float sums need no atomics at all.
+  int exact_partition_dim = -1;
+
   std::vector<std::string> notes;  ///< human-readable reasoning trail
 };
 

@@ -62,6 +62,16 @@ struct CodegenOptions {
   /// Emit explanatory comments (grid comments, directive rationale).
   bool emit_comments = true;
 
+  /// Host-driven parallel emission (the parallel JIT engine's mode):
+  /// bit-exact parallelizable steps (StepVerdict::bit_exact) that keep
+  /// their directive under `policy` are emitted as static range functions
+  /// over a banded iteration space, dispatched through an exported
+  /// `glaf_set_pfor` callback so the host's thread pool — not an OpenMP
+  /// runtime — partitions the work. Per-thread reduction scratch is
+  /// combined in rank order, keeping results identical to the serial
+  /// kernel. Steps that are not bit-exact run serially inside the unit.
+  bool host_parallel = false;
+
   /// Interpreter-exact numeric model (the JIT engine's mode): every grid
   /// and scalar is stored as a C double — the interpreter's "everything
   /// is a double" model — with explicit trunc() on INTEGER stores,

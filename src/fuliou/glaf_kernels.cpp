@@ -22,10 +22,10 @@ struct Grids {
   GridHandle adjusted_flux, baseline, entropy_total, wc_flux;
 };
 
-Grids declare_grids(ProgramBuilder& pb) {
+Grids declare_grids(ProgramBuilder& pb, int num_levels) {
   Grids g;
   g.n_levels = pb.global("n_levels", DataType::kInt, {},
-                         {.init = {std::int64_t{kNumLevels}}});
+                         {.init = {std::int64_t{num_levels}}});
   g.n_lwbands = pb.global("n_lwbands", DataType::kInt, {},
                           {.init = {std::int64_t{kNumLwBands}}});
   g.n_swbands = pb.global("n_swbands", DataType::kInt, {},
@@ -354,9 +354,9 @@ void build_window_channel_model(ProgramBuilder& pb, const Grids& g) {
 
 }  // namespace
 
-Program build_sarb_program() {
+Program build_sarb_program(int num_levels) {
   ProgramBuilder pb("sarb_kernels");
-  const Grids g = declare_grids(pb);
+  const Grids g = declare_grids(pb, num_levels);
   build_lw_spectral_integration(pb, g);
   build_longwave_entropy_model(pb, g);
   build_sw_spectral_integration(pb, g);

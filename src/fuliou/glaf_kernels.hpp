@@ -16,14 +16,18 @@
 
 #include "core/builder.hpp"
 #include "core/program.hpp"
+#include "fuliou/profile.hpp"
 
 namespace glaf::fuliou {
 
 /// Build the complete SARB kernel program ("sarb_kernels" module).
 /// Functions: lw_spectral_integration, longwave_entropy_model,
 /// sw_spectral_integration, shortwave_entropy_model, adjust2, and the
-/// driver entropy_interface.
-Program build_sarb_program();
+/// driver entropy_interface. Every per-level extent and loop bound is
+/// symbolic over the `n_levels` grid, whose init is `num_levels` — the
+/// benchmarks scale the atmosphere this way to give the threaded
+/// engines enough work per dispatch.
+Program build_sarb_program(int num_levels = kNumLevels);
 
 /// Names of the six Table 1 subroutines in paper order.
 const std::vector<std::string>& table1_subroutines();

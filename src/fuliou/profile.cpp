@@ -7,18 +7,18 @@
 
 namespace glaf::fuliou {
 
-AtmosphereProfile make_profile(std::uint64_t seed) {
+AtmosphereProfile make_profile(std::uint64_t seed, int num_levels) {
   SplitMix64 rng(seed * 0x9E3779B97F4A7C15ULL + 1);
   AtmosphereProfile p;
-  p.pressure.resize(kNumLevels);
-  p.temperature.resize(kNumLevels);
-  p.humidity.resize(kNumLevels);
-  p.o3.resize(kNumLevels);
-  p.cloud_frac.resize(kNumLevels);
-  p.tau.resize(kNumLevels);
-  for (int k = 0; k < kNumLevels; ++k) {
-    // Level 0 = top of atmosphere, level 59 = surface.
-    const double frac = static_cast<double>(k) / (kNumLevels - 1);
+  p.pressure.resize(num_levels);
+  p.temperature.resize(num_levels);
+  p.humidity.resize(num_levels);
+  p.o3.resize(num_levels);
+  p.cloud_frac.resize(num_levels);
+  p.tau.resize(num_levels);
+  for (int k = 0; k < num_levels; ++k) {
+    // Level 0 = top of atmosphere, level num_levels-1 = surface.
+    const double frac = static_cast<double>(k) / (num_levels - 1);
     p.pressure[k] = 1.0 + 1012.0 * frac * frac;  // quadratic with height
     p.temperature[k] = 190.0 + 100.0 * frac + rng.uniform(-3.0, 3.0);
     p.humidity[k] = std::clamp(frac * rng.uniform(0.2, 0.9), 0.0, 1.0);

@@ -37,8 +37,10 @@ struct AtmosphereProfile {
 };
 
 /// Deterministically synthesize a plausible profile for `seed` (one seed
-/// per zone/synoptic hour in the benchmarks).
-AtmosphereProfile make_profile(std::uint64_t seed);
+/// per zone/synoptic hour in the benchmarks). `num_levels` sizes the
+/// per-level fields and must match the `build_sarb_program` it feeds.
+AtmosphereProfile make_profile(std::uint64_t seed,
+                               int num_levels = kNumLevels);
 
 /// All outputs the six subroutines produce (the side-by-side comparison
 /// checks every field).

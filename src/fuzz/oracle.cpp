@@ -265,13 +265,19 @@ StatusOr<Snapshot> run_compiled_c(const Program& program,
 /// object (src/jit) and the entry call runs inside this process. Any
 /// fallback is an oracle error — for programs that pass global_specs the
 /// kernel must compile, load and dispatch, or the engine has a bug.
+/// `parallel` runs the host-driven parallel kernel under `policy`; its
+/// results must still be bit-identical to the serial reference.
 StatusOr<Snapshot> run_native(const Program& program, const std::string& entry,
                               const std::vector<GlobalSpec>& specs,
-                              const OracleOptions& opts) {
+                              const OracleOptions& opts, bool parallel,
+                              DirectivePolicy policy) {
   try {
     InterpOptions nopts;
     nopts.engine = ExecEngine::kNative;
-    nopts.parallel = false;
+    nopts.parallel = parallel;
+    nopts.num_threads = opts.num_threads;
+    nopts.policy = policy;
+    nopts.deterministic_parallel = parallel;
     nopts.native_cc = opts.cc;
     nopts.native_cache_dir = opts.native_cache_dir.empty()
                                  ? cat(opts.work_dir, "/glaf-fuzz-kernels")
@@ -419,21 +425,60 @@ OracleReport run_oracle(const Program& program, const std::string& entry,
     }
   }
 
+  // interp_math emission promises bit-identical arithmetic, so the
+  // native legs — serial and parallel alike — are held to exact
+  // equality (NaN==NaN), not the reassociation tolerance above.
+  OracleOptions exact = opts;
+  exact.rtol = 0.0;
+  exact.atol = 0.0;
+
   if (opts.run_native && cc_available(opts.cc)) {
-    const StatusOr<Snapshot> snap =
-        run_native(program, entry, specs.value(), opts);
+    const StatusOr<Snapshot> snap = run_native(
+        program, entry, specs.value(), opts, false, DirectivePolicy::kV0);
     if (!snap.is_ok()) {
       report.errors.push_back(cat("native: ", snap.status().message()));
     } else {
       report.native_backend_ran = true;
-      // interp_math emission promises bit-identical arithmetic, so the
-      // native leg is held to exact equality (NaN==NaN), not the
-      // reassociation tolerance the parallel legs need.
-      OracleOptions exact = opts;
-      exact.rtol = 0.0;
-      exact.atol = 0.0;
       compare_snapshots("native", reference.value(), snap.value(),
                         specs.value(), exact, &report);
+    }
+  }
+
+  if (opts.run_native_parallel && cc_available(opts.cc)) {
+    for (const DirectivePolicy policy : opts.policies) {
+      // The parallel kernel: threaded range functions for bit-exact
+      // steps, serial execution for everything else — bitwise equal to
+      // the serial reference by construction.
+      const std::string backend =
+          cat("parallel-", to_string(policy), "-native");
+      const StatusOr<Snapshot> snap =
+          run_native(program, entry, specs.value(), opts, true, policy);
+      if (!snap.is_ok()) {
+        report.errors.push_back(cat(backend, ": ", snap.status().message()));
+      } else {
+        report.native_backend_ran = true;
+        compare_snapshots(backend, reference.value(), snap.value(),
+                          specs.value(), exact, &report);
+      }
+      // The plan engine under the same deterministic contract closes
+      // the triangle: parallel-native == reference == parallel-plan-det.
+      InterpOptions dopts;
+      dopts.engine = ExecEngine::kPlan;
+      dopts.parallel = true;
+      dopts.num_threads = opts.num_threads;
+      dopts.policy = policy;
+      dopts.deterministic_parallel = true;
+      const std::string det_backend =
+          cat("parallel-", to_string(policy), "-plan-det");
+      const StatusOr<Snapshot> det_snap =
+          run_interpreter(program, entry, specs.value(), dopts);
+      if (!det_snap.is_ok()) {
+        report.errors.push_back(
+            cat(det_backend, ": ", det_snap.status().message()));
+      } else {
+        compare_snapshots(det_backend, reference.value(), det_snap.value(),
+                          specs.value(), exact, &report);
+      }
     }
   }
 

@@ -10,7 +10,10 @@
 //   4. the native JIT engine (src/jit) running the kernel in-process —
 //      compared *bitwise* against the reference, since interp_math
 //      emission promises bit-identical arithmetic,
-//   5. the generated C translation unit compiled with the system
+//   5. (opt-in) the *parallel* native kernel under each policy, plus the
+//      plan engine in deterministic-parallel mode — also compared
+//      bitwise: threaded bit-exact steps must not change a single bit,
+//   6. the generated C translation unit compiled with the system
 //      compiler and run in a subprocess,
 //
 // and every Global Scope grid is compared element-wise afterwards.
@@ -43,6 +46,12 @@ struct OracleOptions {
   /// In-process native JIT leg (gated on cc availability, like the C
   /// backend, but with no subprocess round-trip). Compared bitwise.
   bool run_native = true;
+  /// Parallel native legs ("parallel-vK-native"), one per policy, plus
+  /// deterministic parallel plan legs ("parallel-vK-plan-det") — every
+  /// one held to bitwise equality against the serial reference (and so,
+  /// transitively, against the serial native kernel and each other).
+  /// Off by default: each policy costs an extra kernel compile.
+  bool run_native_parallel = false;
   /// Plan-engine legs: serial "plan" plus "parallel-vK-plan" per policy.
   bool run_plan = true;
   /// Tree-walk parallel legs ("parallel-vK"). Off + run_plan = plan-only

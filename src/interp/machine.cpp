@@ -264,7 +264,12 @@ double Executor::call_function(const Function& fn,
     const bool parallel =
         m_.options_.parallel && !in_parallel_region && verdict != nullptr &&
         verdict->has_loop && !verdict->needs_critical &&
-        keep_directive(m_.options_.policy, *verdict) && m_.pool_ != nullptr;
+        keep_directive(m_.options_.policy, *verdict) && m_.pool_ != nullptr &&
+        // Deterministic mode only threads steps whose parallel execution
+        // is bitwise identical to serial under a flat partition (the
+        // interpreter's banding); ownership-banded steps run serially.
+        (!m_.options_.deterministic_parallel ||
+         (verdict->bit_exact && verdict->exact_partition_dim < 0));
     const std::uint64_t iterations_before = stats.loop_iterations;
     if (parallel) {
       ++stats.parallel_regions;
@@ -372,9 +377,17 @@ void Executor::exec_step_parallel(Frame& frame, const Step& step,
         for (const GridId id : verdict.firstprivate_grids) {
           thread_local_copy(id, std::make_shared<Instance>(*frame.slots[id]));
         }
-        // Reductions: identity-initialized per-thread copies.
+        // Reductions: identity-initialized per-thread copies. Snapshot
+        // under the merge mutex: a faster chunk may already be combining
+        // its results into the shared instance while this one is still
+        // setting up (the racing buffer is refilled with the identity
+        // below, but the copy itself must not race those writes).
         for (const ReductionClause& r : verdict.reductions) {
-          auto copy = std::make_shared<Instance>(*frame.slots[r.grid]);
+          InstancePtr copy;
+          {
+            const std::lock_guard<std::mutex> lock(merge_mutex);
+            copy = std::make_shared<Instance>(*frame.slots[r.grid]);
+          }
           auto& buf = copy->grid->is_struct() ? copy->fields.at(r.field)
                                               : copy->data;
           std::fill(buf.begin(), buf.end(), reduction_identity(r.op));
@@ -687,6 +700,7 @@ Machine::Machine(Program program, InterpOptions options)
       nopts.save_temporaries = options_.save_temporaries;
       nopts.dynamic_schedule = options_.dynamic_schedule;
       nopts.schedule_chunk = options_.schedule_chunk;
+      nopts.pool = pool_.get();
       nopts.cc = options_.native_cc;
       nopts.cache_dir = options_.native_cache_dir;
       StatusOr<std::unique_ptr<jit::NativeEngine>> engine =
@@ -696,6 +710,7 @@ Machine::Machine(Program program, InterpOptions options)
         native_report_.available = true;
         native_report_.cache_hit = native_->cache_hit();
         native_report_.object_path = native_->object_path();
+        native_report_.num_threads = pool_ != nullptr ? pool_->size() : 1;
       } else {
         native_report_.fallback_reason =
             std::string(engine.status().message());
@@ -797,12 +812,22 @@ StatusOr<double> Machine::call(const std::string& function,
             inst->data.data(),
             static_cast<std::int64_t>(inst->data.size())});
       }
+      const std::uint64_t regions_before = native_->parallel_regions();
       StatusOr<double> result = native_->call(*abi, scalars, bindings);
       if (!result.is_ok()) return result.status();
+      const std::uint64_t regions =
+          native_->parallel_regions() - regions_before;
+      native_report_.parallel_regions += regions;
+      if (regions > 0) ++native_report_.parallel_calls;
       ++native_report_.native_calls;
       ++stats_.function_calls;
       return result;
     }
+  }
+  // Count every kNative call the kernel did not run — per-call routing
+  // (unsupported ABI, grid-name arguments) and whole-engine
+  // unavailability alike — so --strict-engine can refuse both.
+  if (options_.engine == ExecEngine::kNative) {
     ++native_report_.fallback_calls;
   }
 

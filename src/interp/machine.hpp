@@ -75,6 +75,13 @@ struct NativeReport {
   std::string fallback_reason;  ///< why not, when !available
   std::uint64_t native_calls = 0;    ///< calls run in the kernel
   std::uint64_t fallback_calls = 0;  ///< calls routed to the plan engine
+  /// Native calls that dispatched at least one threaded range (subset of
+  /// native_calls; a parallel kernel whose steps all lost their
+  /// directives under the policy counts as serial).
+  std::uint64_t parallel_calls = 0;
+  /// Total parallel regions dispatched through the host pfor trampoline.
+  std::uint64_t parallel_regions = 0;
+  int num_threads = 1;          ///< pool width behind parallel kernels
   bool cache_hit = false;       ///< compilation skipped (kernel cache)
   std::string object_path;      ///< published cache entry ("" if none)
 };
@@ -98,6 +105,13 @@ struct InterpOptions {
   /// default static partition.
   bool dynamic_schedule = false;
   std::int64_t schedule_chunk = 4;
+  /// Restrict parallel execution to steps the analysis proved bitwise
+  /// deterministic (StepVerdict::bit_exact without an ownership-band
+  /// constraint); everything else runs serially. Results are then
+  /// bit-identical to a serial run at any thread count — the contract
+  /// the parallel native engine provides by construction, surfaced here
+  /// so plan/tree-walk legs can be held to exact equality too.
+  bool deterministic_parallel = false;
   /// kNative: compiler command ("" resolves $GLAF_CC, then "cc") and
   /// kernel-cache directory ("" resolves $GLAF_KERNEL_CACHE / XDG).
   std::string native_cc;

@@ -424,7 +424,11 @@ double PlanExecutor::call_function(const FunctionPlan& plan,
     const bool parallel =
         m_.options_.parallel && !in_parallel_region && verdict != nullptr &&
         verdict->has_loop && !verdict->needs_critical &&
-        keep_directive(m_.options_.policy, *verdict) && m_.pool_ != nullptr;
+        keep_directive(m_.options_.policy, *verdict) && m_.pool_ != nullptr &&
+        // Deterministic mode: thread only steps proved bitwise identical
+        // to serial under a flat partition (see InterpOptions).
+        (!m_.options_.deterministic_parallel ||
+         (verdict->bit_exact && verdict->exact_partition_dim < 0));
     const std::uint64_t iterations_before = stats.loop_iterations;
     if (parallel) {
       ++stats.parallel_regions;
@@ -539,9 +543,16 @@ void PlanExecutor::run_step_parallel(CallScratch& cs, const FunctionPlan& plan,
         thread_local_copy(id, std::move(copy));
       }
       // Reductions: identity-initialized copies of the shared instances.
+      // Snapshot under the merge mutex: a faster rank may already be
+      // combining its results into the shared instance while this rank
+      // is still setting up (the racing buffer is refilled with the
+      // identity below, but the copy itself must not race the writes).
       for (const ReductionClause& r : verdict.reductions) {
         auto copy = w.cached_copy(r.grid);
-        *copy = *cs.frame.slots[r.grid];
+        {
+          const std::lock_guard<std::mutex> lock(merge_mutex);
+          *copy = *cs.frame.slots[r.grid];
+        }
         auto& buf = copy->grid->is_struct() ? copy->fields.at(r.field)
                                             : copy->data;
         std::fill(buf.begin(), buf.end(), reduction_identity(r.op));

@@ -88,7 +88,8 @@ KernelCache::KernelCache(std::string dir)
     : dir_(dir.empty() ? default_dir() : std::move(dir)) {}
 
 std::string KernelCache::key(const std::string& source, const std::string& cc,
-                             const std::string& flags) {
+                             const std::string& flags,
+                             const std::string& config) {
   // Field separators ('\0') keep (a,bc) and (ab,c) from colliding.
   Hash128 h = fnv1a128(cat("glaf-nat-abi-", kAbiVersion));
   h = fnv1a128(std::string(1, '\0'), h);
@@ -97,19 +98,22 @@ std::string KernelCache::key(const std::string& source, const std::string& cc,
   h = fnv1a128(compiler_identity(cc), h);
   h = fnv1a128(std::string(1, '\0'), h);
   h = fnv1a128(flags, h);
+  h = fnv1a128(std::string(1, '\0'), h);
+  h = fnv1a128(config, h);
   return hex_digest(h);
 }
 
 StatusOr<std::string> KernelCache::object_for(const std::string& source,
                                               const std::string& cc,
                                               const std::string& flags,
-                                              bool* was_hit) {
+                                              bool* was_hit,
+                                              const std::string& config) {
   if (was_hit != nullptr) *was_hit = false;
   if (!cc_available(cc)) {
     return failed_precondition(cat("compiler '", cc, "' is not available"));
   }
   make_dirs(dir_);
-  const std::string digest = key(source, cc, flags);
+  const std::string digest = key(source, cc, flags, config);
   const std::string object = cat(dir_, "/", digest, ".so");
   if (file_exists(object)) {
     if (looks_valid(object)) {

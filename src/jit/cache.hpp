@@ -38,18 +38,22 @@ class KernelCache {
   explicit KernelCache(std::string dir = "");
 
   /// Content key for one compile: hex digest over ABI version, source,
-  /// `cc`'s identity line and `flags`.
+  /// `cc`'s identity line, `flags`, and an engine-configuration string
+  /// (parallel mode, directive policy, emit version) so serial and
+  /// parallel objects of one program coexist in the cache.
   static std::string key(const std::string& source, const std::string& cc,
-                         const std::string& flags);
+                         const std::string& flags,
+                         const std::string& config = "");
 
-  /// Path of the cached shared object for (source, cc, flags), compiling
-  /// and publishing it on a miss. Also writes `<key>.c` beside it for
-  /// debugging. `was_hit` (optional) reports whether compilation was
-  /// skipped. Fails when the compiler is unavailable or errors.
+  /// Path of the cached shared object for (source, cc, flags, config),
+  /// compiling and publishing it on a miss. Also writes `<key>.c` beside
+  /// it for debugging. `was_hit` (optional) reports whether compilation
+  /// was skipped. Fails when the compiler is unavailable or errors.
   StatusOr<std::string> object_for(const std::string& source,
                                    const std::string& cc,
                                    const std::string& flags,
-                                   bool* was_hit = nullptr);
+                                   bool* was_hit = nullptr,
+                                   const std::string& config = "");
 
   /// Discard one published object (e.g. it failed to dlopen); the next
   /// object_for() recompiles it.

@@ -57,7 +57,8 @@ std::string prelude_text(const Program& p,
 }
 
 std::string wrapper_text(const Program& p, const std::vector<AbiSlot>& slots,
-                         const std::vector<AbiFunction>& functions) {
+                         const std::vector<AbiFunction>& functions,
+                         bool parallel) {
   std::vector<std::string> out;
   out.push_back("");
   out.push_back("/* ---- native-engine ABI wrapper ---- */");
@@ -93,6 +94,10 @@ std::string wrapper_text(const Program& p, const std::vector<AbiSlot>& slots,
                     "; }"));
   out.push_back(cat("long glaf_nat_num_slots(void) { return ", slots.size(),
                     "; }"));
+  // Whether this unit was emitted with host-driven parallel ranges (the
+  // engine installs its pool through glaf_set_pfor when so).
+  out.push_back(cat("long glaf_nat_parallel(void) { return ",
+                    parallel ? 1 : 0, "; }"));
   out.push_back("");
   // Copy-in validates every slot's element count first (a nonzero return
   // is 1 + the offending slot index), then copies host state into the
@@ -129,9 +134,6 @@ std::string wrapper_text(const Program& p, const std::vector<AbiSlot>& slots,
     out.push_back(cat("long ", fn.symbol, "(glaf_nat_args* glaf_nat_a) {"));
     out.push_back("  long status = glaf_nat_copy_in(glaf_nat_a);");
     out.push_back("  if (status) return status;");
-    out.push_back("#ifdef _OPENMP");
-    out.push_back("  omp_set_num_threads((int)glaf_nat_a->num_threads);");
-    out.push_back("#endif");
     std::vector<std::string> args;
     for (int i = 0; i < fn.num_scalar_params; ++i) {
       args.push_back(cat("glaf_nat_a->scalars[", i, "]"));
@@ -201,16 +203,17 @@ StatusOr<KernelUnit> emit_kernel_unit(const Program& program,
   copts.language = Language::kC;
   copts.interp_math = true;
   copts.emit_comments = false;
-  copts.enable_openmp = options.parallel;
+  // Parallel units are host-driven: bit-exact steps become range
+  // functions dispatched through glaf_set_pfor. No OpenMP pragmas are
+  // emitted — the schedule is the host pool's choice, not the kernel's.
+  copts.enable_openmp = false;
+  copts.host_parallel = options.parallel;
   copts.policy = options.policy;
   copts.save_temporaries = options.save_temporaries;
-  if (options.parallel && options.dynamic_schedule) {
-    copts.schedule = OmpSchedule::kDynamic;
-    copts.schedule_chunk = static_cast<int>(options.schedule_chunk);
-  }
   unit.source = cat(prelude_text(program, unit.slots),
                     generate_c(program, analysis, copts).source,
-                    wrapper_text(program, unit.slots, unit.functions));
+                    wrapper_text(program, unit.slots, unit.functions,
+                                 options.parallel));
   return unit;
 }
 

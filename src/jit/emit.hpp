@@ -23,7 +23,8 @@ namespace glaf::jit {
 
 /// The ABI version baked into emitted units and checked after dlopen;
 /// bump on any layout or naming change so stale cached objects miss.
-inline constexpr long kAbiVersion = 1;
+/// v2: host-driven parallel ranges (glaf_set_pfor / glaf_nat_parallel).
+inline constexpr long kAbiVersion = 2;
 
 /// One comparable/copyable global: position in the flat argument block
 /// is its position in program.global_grids.
@@ -52,9 +53,13 @@ struct KernelUnit {
 
 /// Options controlling the lowered unit (mirrors InterpOptions).
 struct EmitOptions {
-  bool parallel = false;  ///< keep OpenMP pragmas (compiled with -fopenmp)
+  /// Emit host-driven parallel range functions for bit-exact steps (the
+  /// engine installs its thread pool through the exported glaf_set_pfor).
+  bool parallel = false;
   DirectivePolicy policy = DirectivePolicy::kV0;
   bool save_temporaries = false;
+  /// Host-side dispatch knobs (they do not change the emitted source —
+  /// the engine folds them into the cache-key config instead).
   bool dynamic_schedule = false;
   std::int64_t schedule_chunk = 4;
 };

@@ -27,6 +27,38 @@ struct NatArgs {
 using WrapperFn = long (*)(NatArgs*);
 using MetaFn = long (*)(void);
 
+// C-side pfor callback types (must match the emitted typedefs).
+using RangeFn = void (*)(void* ctx, long lo, long hi, long rank);
+using PforFn = void (*)(void* hctx, RangeFn fn, void* ctx, long n);
+using SetPforFn = void (*)(PforFn pf, void* hctx, long nranks);
+
+/// The trampoline the kernel calls for every ranged step: partitions
+/// [0, n) across the host pool. Static chunks match OMP's default
+/// schedule; dynamic drains chunk-sized pieces from a shared cursor.
+/// Either way each rank only ever touches its own reduction scratch
+/// row, and the kernel combines rows in rank order afterwards, so the
+/// result is identical to running the range serially.
+void pfor_trampoline(void* hctx, RangeFn fn, void* ctx, long n) {
+  auto* host = static_cast<PforHost*>(hctx);
+  host->regions.fetch_add(1, std::memory_order_relaxed);
+  if (host->pool == nullptr || n <= 1) {
+    fn(ctx, 0, n, 0);
+    return;
+  }
+  if (host->dynamic_schedule) {
+    host->pool->parallel_for_dynamic(
+        n, host->schedule_chunk,
+        [&](int rank, std::int64_t begin, std::int64_t end) {
+          fn(ctx, begin, end, rank);
+        });
+    return;
+  }
+  host->pool->parallel_for(n,
+                           [&](int rank, std::int64_t begin, std::int64_t end) {
+                             if (begin < end) fn(ctx, begin, end, rank);
+                           });
+}
+
 
 /// Copy the published object to a private temp file and dlopen that
 /// (see the header: per-engine static state), unlinking immediately so
@@ -76,16 +108,25 @@ StatusOr<std::unique_ptr<NativeEngine>> NativeEngine::create(
   // -fno-builtin: without it the compiler constant-folds libm calls on
   // literal arguments (correctly rounded via MPFR), which can differ by
   // an ulp from the runtime libm the interpreter calls.
-  std::string flags = "-shared -fPIC -O2 -ffp-contract=off -fno-builtin";
-  if (options.parallel) flags += " -fopenmp";
+  const std::string flags =
+      "-shared -fPIC -O2 -ffp-contract=off -fno-builtin";
+  // The emitted source already encodes the parallel partitioning, but
+  // folding the engine configuration into the key as well keeps serial
+  // and parallel objects (and per-policy / per-schedule variants) as
+  // distinct cache entries even when their sources coincide.
+  const std::string config =
+      cat("parallel=", options.parallel ? 1 : 0, ";policy=",
+          to_string(options.policy), ";sched=",
+          options.dynamic_schedule ? "dynamic" : "static", ";chunk=",
+          options.schedule_chunk, ";emit=", kAbiVersion);
 
   auto engine = std::unique_ptr<NativeEngine>(new NativeEngine());
   engine->unit_ = std::move(unit).value();
   engine->options_ = options;
 
   KernelCache cache(options.cache_dir);
-  StatusOr<std::string> object =
-      cache.object_for(engine->unit_.source, cc, flags, &engine->cache_hit_);
+  StatusOr<std::string> object = cache.object_for(
+      engine->unit_.source, cc, flags, &engine->cache_hit_, config);
   if (!object.is_ok()) return object.status();
   engine->object_path_ = std::move(object).value();
 
@@ -94,7 +135,8 @@ StatusOr<std::unique_ptr<NativeEngine>> NativeEngine::create(
     // The published entry may be stale or corrupted in a way the ELF
     // sniff missed: discard it and rebuild once.
     cache.invalidate(engine->object_path_);
-    object = cache.object_for(engine->unit_.source, cc, flags);
+    object = cache.object_for(engine->unit_.source, cc, flags, nullptr,
+                              config);
     if (!object.is_ok()) return object.status();
     engine->cache_hit_ = false;
     engine->object_path_ = std::move(object).value();
@@ -115,6 +157,22 @@ StatusOr<std::unique_ptr<NativeEngine>> NativeEngine::create(
   if (meta("glaf_nat_num_slots") !=
       static_cast<long>(engine->unit_.slots.size())) {
     return internal_error("kernel slot count mismatch");
+  }
+  if (meta("glaf_nat_parallel") != (options.parallel ? 1 : 0)) {
+    return internal_error("kernel parallel-mode mismatch");
+  }
+  if (options.parallel) {
+    auto* set_pfor = reinterpret_cast<SetPforFn>(
+        dlsym(engine->handle_, "glaf_set_pfor"));
+    if (set_pfor == nullptr) {
+      return internal_error("parallel kernel lacks glaf_set_pfor");
+    }
+    engine->pfor_host_ = std::make_unique<PforHost>();
+    engine->pfor_host_->pool = options.pool;
+    engine->pfor_host_->dynamic_schedule = options.dynamic_schedule;
+    engine->pfor_host_->schedule_chunk = options.schedule_chunk;
+    set_pfor(pfor_trampoline, engine->pfor_host_.get(),
+             options.pool != nullptr ? options.pool->size() : 1);
   }
   engine->entry_points_.resize(engine->unit_.functions.size(), nullptr);
   for (std::size_t i = 0; i < engine->unit_.functions.size(); ++i) {

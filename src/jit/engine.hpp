@@ -12,6 +12,7 @@
 // interpreter's per-Machine saved_locals_. Compilation — the expensive
 // step — is still shared through the cache.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -20,9 +21,21 @@
 #include "analysis/parallelize.hpp"
 #include "core/program.hpp"
 #include "jit/emit.hpp"
+#include "runtime/thread_pool.hpp"
 #include "support/status.hpp"
 
 namespace glaf::jit {
+
+/// Host context behind the kernel's exported glaf_set_pfor hook: the
+/// thread pool and dispatch knobs the trampoline consults, plus a count
+/// of parallel regions actually dispatched. Heap-held by the engine so
+/// its address stays stable for the kernel's whole lifetime.
+struct PforHost {
+  ThreadPool* pool = nullptr;
+  bool dynamic_schedule = false;
+  std::int64_t schedule_chunk = 4;
+  std::atomic<std::uint64_t> regions{0};
+};
 
 /// Host-side view of one global's storage (kept free of interpreter
 /// types: glaf_interp links glaf_jit, not the other way around).
@@ -40,6 +53,10 @@ class NativeEngine {
     bool save_temporaries = false;
     bool dynamic_schedule = false;
     std::int64_t schedule_chunk = 4;
+    /// Pool for parallel kernels (borrowed, must outlive the engine).
+    /// nullptr runs parallel units serially through the same range
+    /// functions — results are identical either way.
+    ThreadPool* pool = nullptr;
     /// Compiler command; "" resolves $GLAF_CC, then "cc".
     std::string cc;
     /// Cache directory override ("" = $GLAF_KERNEL_CACHE / XDG default).
@@ -70,6 +87,13 @@ class NativeEngine {
   [[nodiscard]] const std::vector<AbiSlot>& slots() const {
     return unit_.slots;
   }
+  /// Parallel regions dispatched through the pfor trampoline so far
+  /// (0 for serial units).
+  [[nodiscard]] std::uint64_t parallel_regions() const {
+    return pfor_host_ != nullptr
+               ? pfor_host_->regions.load(std::memory_order_relaxed)
+               : 0;
+  }
   /// Compilation was skipped because a valid cached object existed.
   [[nodiscard]] bool cache_hit() const { return cache_hit_; }
   [[nodiscard]] const std::string& object_path() const {
@@ -85,6 +109,9 @@ class NativeEngine {
   std::string object_path_;  ///< published cache entry
   bool cache_hit_ = false;
   void* handle_ = nullptr;   ///< dlopen handle of the private copy
+  /// Set when the unit was emitted parallel: the context installed via
+  /// the kernel's glaf_set_pfor.
+  std::unique_ptr<PforHost> pfor_host_;
   /// Resolved wrapper entry points, parallel to unit_.functions
   /// (nullptr for unsupported entries) — the in-memory handle table
   /// that makes repeat binds symbol-lookup-free.

@@ -1,0 +1,63 @@
+// CLI-level checks for the glafc driver's --strict-engine contract:
+// with --engine=native it must exit non-zero whenever the native
+// engine falls back — whole-engine unavailability or per-call plan
+// routing — and print the reason; without fallback it must exit 0.
+// Runs the real binary (path injected by CMake) through the shell.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/subprocess.hpp"
+
+namespace glaf {
+namespace {
+
+std::string glafc() { return std::string(GLAF_GLAFC_PATH); }
+
+bool have_cc() { return cc_available(default_cc()); }
+
+TEST(GlafcStrictEngine, SucceedsWhenTheNativeEngineHandlesEveryCall) {
+  if (!have_cc()) GTEST_SKIP() << "no system compiler";
+  const RunResult r = run_command(
+      glafc() +
+      " --builtin=sarb --run --engine=native --parallel --threads 2"
+      " --strict-engine 2>&1");
+  ASSERT_TRUE(r.started);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("native kernel"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("0 fallback call(s)"), std::string::npos)
+      << r.output;
+}
+
+TEST(GlafcStrictEngine, FailsWithReasonWhenTheEngineIsUnavailable) {
+  const RunResult r = run_command(
+      "GLAF_CC=/nonexistent/compiler " + glafc() +
+      " --builtin=sarb --run --engine=native --strict-engine 2>&1");
+  ASSERT_TRUE(r.started);
+  EXPECT_NE(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("native engine unavailable"), std::string::npos)
+      << r.output;
+}
+
+TEST(GlafcStrictEngine, WithoutStrictTheSameFallbackOnlyWarns) {
+  const RunResult r = run_command(
+      "GLAF_CC=/nonexistent/compiler " + glafc() +
+      " --builtin=sarb --run --engine=native 2>&1");
+  ASSERT_TRUE(r.started);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("native engine unavailable"), std::string::npos)
+      << r.output;
+}
+
+TEST(GlafcStrictEngine, RejectsNonNativeEngines) {
+  const RunResult r = run_command(
+      glafc() + " --builtin=sarb --run --engine=plan --strict-engine 2>&1");
+  ASSERT_TRUE(r.started);
+  EXPECT_NE(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("requires --engine=native"), std::string::npos)
+      << r.output;
+}
+
+}  // namespace
+}  // namespace glaf

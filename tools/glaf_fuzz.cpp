@@ -20,6 +20,11 @@
 //                                      or both (default both) select the
 //                                      interpreter legs; native runs only the
 //                                      in-process JIT leg (no subprocess C)
+//   glaf-fuzz --parallel               add the parallel-native + deterministic
+//                                      parallel-plan legs, held to bitwise
+//                                      equality under every selected policy
+//   glaf-fuzz --policies=all|v0,v2,..  directive policies for those legs
+//                                      (default all of v0..v3)
 //   glaf-fuzz --threads N --rtol X --atol X
 //
 // Duplicate generated programs (identical serialized text from different
@@ -67,7 +72,8 @@ void usage(const char* argv0) {
                "usage: %s [--seeds A:B] [--time-budget SECONDS] [--shrink]\n"
                "          [--repro-dir DIR] [--replay FILE] [--dump-seed N]\n"
                "          [--threads N] [--rtol X] [--atol X] [--no-cc]\n"
-               "          [--no-native] [--no-parallel]\n"
+               "          [--no-native] [--no-parallel] [--parallel]\n"
+               "          [--policies=all|v0,v1,...]\n"
                "          [--engine=plan|treewalk|both|native]\n",
                argv0);
 }
@@ -122,6 +128,43 @@ bool parse_args(int argc, char** argv, CliOptions* opts) {
       opts->oracle.run_native = false;
     } else if (arg == "--no-parallel") {
       opts->oracle.run_parallel = false;
+    } else if (arg == "--parallel") {
+      opts->oracle.run_native_parallel = true;
+    } else if (arg.rfind("--policies", 0) == 0) {
+      std::string value;
+      if (arg.size() > 10 && arg[10] == '=') {
+        value = arg.substr(11);
+      } else if (arg.size() == 10) {
+        const char* v = next();
+        if (v == nullptr) return false;
+        value = v;
+      } else {
+        return false;
+      }
+      if (value != "all") {
+        std::vector<DirectivePolicy> policies;
+        std::size_t at = 0;
+        while (at <= value.size()) {
+          const std::size_t comma = value.find(',', at);
+          const std::string name = value.substr(
+              at, comma == std::string::npos ? comma : comma - at);
+          if (name == "v0") {
+            policies.push_back(DirectivePolicy::kV0);
+          } else if (name == "v1") {
+            policies.push_back(DirectivePolicy::kV1);
+          } else if (name == "v2") {
+            policies.push_back(DirectivePolicy::kV2);
+          } else if (name == "v3") {
+            policies.push_back(DirectivePolicy::kV3);
+          } else {
+            std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
+            return false;
+          }
+          if (comma == std::string::npos) break;
+          at = comma + 1;
+        }
+        opts->oracle.policies = policies;
+      }
     } else if (arg.rfind("--engine", 0) == 0) {
       std::string value;
       if (arg.size() > 8 && arg[8] == '=') {
@@ -272,7 +315,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if ((opts.oracle.run_compiled_c || opts.oracle.run_native) &&
+  if ((opts.oracle.run_compiled_c || opts.oracle.run_native ||
+       opts.oracle.run_native_parallel) &&
       !cc_available(opts.oracle.cc)) {
     std::fprintf(stderr,
                  "note: compiler '%s' unavailable, skipping the C and"
@@ -280,6 +324,7 @@ int main(int argc, char** argv) {
                  opts.oracle.cc.c_str());
     opts.oracle.run_compiled_c = false;
     opts.oracle.run_native = false;
+    opts.oracle.run_native_parallel = false;
   }
 
   const auto start = std::chrono::steady_clock::now();

@@ -23,6 +23,9 @@
 //          the program to a shared object and runs it in-process, falling
 //          back to plans when it cannot), --parallel enables the
 //          auto-parallelized path under --policy, --threads=N sizes it.
+//          --strict-engine turns any native-engine fallback — whole-engine
+//          unavailability or per-call plan routing — into a non-zero exit
+//          instead of a warning.
 
 #include <cstdio>
 #include <fstream>
@@ -117,8 +120,16 @@ int run_program(const CliArgs& args, Program program) {
     }
   }
 
+  const bool strict_engine = args.get_bool("strict-engine", false);
+  if (strict_engine && iopts.engine != ExecEngine::kNative) {
+    return fail("--strict-engine requires --engine=native");
+  }
   Machine m(std::move(program), iopts);
   if (iopts.engine == ExecEngine::kNative && !m.native_report().available) {
+    if (strict_engine) {
+      return fail("native engine unavailable (" +
+                  m.native_report().fallback_reason + ")");
+    }
     std::fprintf(stderr,
                  "glafc: warning: native engine unavailable (%s);"
                  " falling back to the plan engine\n",
@@ -140,10 +151,19 @@ int run_program(const CliArgs& args, Program program) {
     const NativeReport& nr = m.native_report();
     std::fprintf(stderr,
                  "glafc: native kernel %s (%llu native call(s),"
-                 " %llu fallback call(s))\n",
+                 " %llu fallback call(s), %llu parallel call(s),"
+                 " %llu parallel region(s), %d thread(s))\n",
                  nr.cache_hit ? "loaded from cache" : "compiled",
                  static_cast<unsigned long long>(nr.native_calls),
-                 static_cast<unsigned long long>(nr.fallback_calls));
+                 static_cast<unsigned long long>(nr.fallback_calls),
+                 static_cast<unsigned long long>(nr.parallel_calls),
+                 static_cast<unsigned long long>(nr.parallel_regions),
+                 nr.num_threads);
+    if (strict_engine && nr.fallback_calls > 0) {
+      return fail(cat(nr.fallback_calls,
+                      " call(s) fell back to the plan engine"
+                      " (--strict-engine)"));
+    }
   }
   return 0;
 }
