@@ -8,8 +8,18 @@
 // tree-walk, native > 1x over plan). Native rows are skipped (zeros)
 // when no system compiler is present.
 //
+// Parallel native is measured twice: *gated* (the default calibrated
+// profit gate, which keeps regions whose modeled work cannot pay for a
+// fork/join on the calling thread) and *ungated* (gate 0, every region
+// dispatched) — the gap between the two is what the cost model buys.
+// Fused-region counts come from the kernel's ABI-v3 metadata.
+//
 // Usage: interp_engine [--threads N] [--levels N] [--min-seconds X]
-//        [--out FILE]
+//        [--out FILE] [--check-gate X]
+//
+// --check-gate X exits nonzero when any gated parallel-native kernel
+// runs slower than X times serial native — the CI smoke that the gate
+// never lets dispatch overhead win (0.9 allows measurement noise).
 //
 // --levels scales the SARB atmosphere (default 60, the paper's size):
 // per-level extents and loop bounds are symbolic over the n_levels
@@ -19,6 +29,7 @@
 //   bench/interp_engine --threads 8 --levels 4096 --out BENCH_interp.json
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -46,14 +57,23 @@ struct KernelResult {
   double serial_native_s = 0.0;
   double parallel_treewalk_s = 0.0;
   double parallel_plan_s = 0.0;
+  /// Parallel native under the calibrated profit gate (the default).
   double parallel_native_s = 0.0;
+  /// Parallel native with the gate off (every region dispatched).
+  double parallel_native_ungated_s = 0.0;
+  /// ABI-v3 region metadata and gate activity from the gated run.
+  std::uint64_t regions_total = 0;
+  std::uint64_t regions_fused = 0;
+  std::uint64_t gated_regions = 0;
 };
 
-InterpOptions engine_opts(ExecEngine engine, bool parallel, int threads) {
+InterpOptions engine_opts(ExecEngine engine, bool parallel, int threads,
+                          std::int64_t gate_min_units = -1) {
   InterpOptions o;
   o.engine = engine;
   o.parallel = parallel;
   o.num_threads = threads;
+  o.gate_min_units = gate_min_units;
   return o;
 }
 
@@ -62,7 +82,8 @@ InterpOptions engine_opts(ExecEngine engine, bool parallel, int threads) {
 /// plan fallback would report plan numbers under the native label.
 double measure(const Program& program, const InterpOptions& opts,
                const std::string& entry, double min_seconds,
-               const std::function<void(Machine&)>& prepare) {
+               const std::function<void(Machine&)>& prepare,
+               NativeReport* report_out = nullptr) {
   Machine m(program, opts);
   if (opts.engine == ExecEngine::kNative && !m.native_report().available) {
     std::fprintf(stderr, "interp_engine: native unavailable for %s: %s\n",
@@ -76,7 +97,9 @@ double measure(const Program& program, const InterpOptions& opts,
                  probe.status().message().c_str());
     return 0.0;
   }
-  return time_best([&] { (void)m.call(entry); }, min_seconds, 3);
+  const double best = time_best([&] { (void)m.call(entry); }, min_seconds, 3);
+  if (report_out != nullptr) *report_out = m.native_report();
+  return best;
 }
 
 std::string fmt(double v, const char* spec = "%.3g") {
@@ -96,6 +119,9 @@ int main(int argc, char** argv) {
                                  ? 0.05
                                  : std::stod(args.get("min-seconds", "0.05"));
   const std::string out_path = args.get("out", "BENCH_interp.json");
+  const std::string check_gate_arg = args.get("check-gate", "");
+  const double check_gate =
+      check_gate_arg.empty() ? 0.0 : std::stod(check_gate_arg);
 
   std::vector<KernelResult> results;
 
@@ -131,9 +157,16 @@ int main(int argc, char** argv) {
     r.parallel_plan_s =
         measure(sarb, engine_opts(ExecEngine::kPlan, true, threads), name,
                 min_seconds, load_sarb);
+    NativeReport nrep;
     r.parallel_native_s =
         measure(sarb, engine_opts(ExecEngine::kNative, true, threads),
+                name, min_seconds, load_sarb, &nrep);
+    r.parallel_native_ungated_s =
+        measure(sarb, engine_opts(ExecEngine::kNative, true, threads, 0),
                 name, min_seconds, load_sarb);
+    r.regions_total = nrep.regions_total;
+    r.regions_fused = nrep.regions_fused;
+    r.gated_regions = nrep.gated_serial_regions;
     results.push_back(r);
   }
 
@@ -175,25 +208,39 @@ int main(int argc, char** argv) {
     r.parallel_plan_s =
         measure(f3d, engine_opts(ExecEngine::kPlan, true, threads), name,
                 min_seconds, load_f3d);
+    NativeReport nrep;
     r.parallel_native_s =
         measure(f3d, engine_opts(ExecEngine::kNative, true, threads),
+                name, min_seconds, load_f3d, &nrep);
+    r.parallel_native_ungated_s =
+        measure(f3d, engine_opts(ExecEngine::kNative, true, threads, 0),
                 name, min_seconds, load_f3d);
+    r.regions_total = nrep.regions_total;
+    r.regions_fused = nrep.regions_fused;
+    r.gated_regions = nrep.gated_serial_regions;
     results.push_back(r);
   }
 
   // --- report
   TextTable table({"kernel", "serial treewalk", "serial plan",
                    "serial native", "plan x", "native x",
-                   "parallel plan", "parallel native", "par native x"});
+                   "parallel plan", "par native gated", "gated x",
+                   "par native ungated", "ungated x", "regions",
+                   "fused", "gated"});
   table.set_alignment({Align::kLeft, Align::kRight, Align::kRight,
                        Align::kRight, Align::kRight, Align::kRight,
-                       Align::kRight, Align::kRight, Align::kRight});
+                       Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight});
   double log_sum = 0.0;
   double native_log_sum = 0.0;
   double pnative_log_sum = 0.0;
+  double ungated_log_sum = 0.0;
   int sarb_count = 0;
   int native_count = 0;
   int pnative_count = 0;
+  int ungated_count = 0;
+  int gate_violations = 0;
   for (const KernelResult& r : results) {
     const double s_speed =
         r.serial_plan_s > 0.0 ? r.serial_treewalk_s / r.serial_plan_s : 0.0;
@@ -204,9 +251,15 @@ int main(int argc, char** argv) {
                                : 0.0;
     // Parallel-native speedup over *serial native*: what threading the
     // kernel itself buys on this host (bounded by its core count).
+    // Gated is the default configuration; ungated (gate 0) shows what
+    // the profit gate saved by keeping sub-threshold regions serial.
     const double pn_speed = r.parallel_native_s > 0.0
                                 ? r.serial_native_s / r.parallel_native_s
                                 : 0.0;
+    const double pu_speed =
+        r.parallel_native_ungated_s > 0.0
+            ? r.serial_native_s / r.parallel_native_ungated_s
+            : 0.0;
     if (r.suite == "sarb" && s_speed > 0.0) {
       log_sum += std::log(s_speed);
       ++sarb_count;
@@ -219,6 +272,17 @@ int main(int argc, char** argv) {
       pnative_log_sum += std::log(pn_speed);
       ++pnative_count;
     }
+    if (r.suite == "sarb" && pu_speed > 0.0) {
+      ungated_log_sum += std::log(pu_speed);
+      ++ungated_count;
+    }
+    if (check_gate > 0.0 && pn_speed > 0.0 && pn_speed < check_gate) {
+      std::fprintf(stderr,
+                   "interp_engine: GATE CHECK FAILED: %s/%s gated parallel"
+                   " native is %.3fx serial native (< %.2fx)\n",
+                   r.suite.c_str(), r.name.c_str(), pn_speed, check_gate);
+      ++gate_violations;
+    }
     table.add_row({r.suite + "/" + r.name,
                    fmt(r.serial_treewalk_s * 1e6) + " us",
                    fmt(r.serial_plan_s * 1e6) + " us",
@@ -227,7 +291,12 @@ int main(int argc, char** argv) {
                    fmt(n_speed, "%.2f") + "x",
                    fmt(r.parallel_plan_s * 1e6) + " us",
                    fmt(r.parallel_native_s * 1e6) + " us",
-                   fmt(pn_speed, "%.2f") + "x"});
+                   fmt(pn_speed, "%.2f") + "x",
+                   fmt(r.parallel_native_ungated_s * 1e6) + " us",
+                   fmt(pu_speed, "%.2f") + "x",
+                   std::to_string(r.regions_total),
+                   std::to_string(r.regions_fused),
+                   std::to_string(r.gated_regions)});
   }
   const double geomean =
       sarb_count > 0 ? std::exp(log_sum / sarb_count) : 0.0;
@@ -235,6 +304,8 @@ int main(int argc, char** argv) {
       native_count > 0 ? std::exp(native_log_sum / native_count) : 0.0;
   const double pnative_geomean =
       pnative_count > 0 ? std::exp(pnative_log_sum / pnative_count) : 0.0;
+  const double ungated_geomean =
+      ungated_count > 0 ? std::exp(ungated_log_sum / ungated_count) : 0.0;
   const unsigned host_cores = std::thread::hardware_concurrency();
   std::printf("== execution engines: tree-walk vs flat plans vs native JIT "
               "(%d threads for parallel rows, %u host cores) ==\n\n%s\n",
@@ -243,8 +314,10 @@ int main(int argc, char** argv) {
               geomean);
   std::printf("SARB serial geomean speedup (native vs plan):         %.2fx\n",
               native_geomean);
-  std::printf("SARB parallel geomean speedup (native vs ser-native): %.2fx\n",
+  std::printf("SARB parallel geomean speedup (gated vs ser-native):  %.2fx\n",
               pnative_geomean);
+  std::printf("SARB parallel geomean speedup (ungated vs ser-nat):   %.2fx\n",
+              ungated_geomean);
 
   std::ofstream out(out_path);
   if (!out) {
@@ -271,6 +344,10 @@ int main(int argc, char** argv) {
     const double pn_speed = r.parallel_native_s > 0.0
                                 ? r.serial_native_s / r.parallel_native_s
                                 : 0.0;
+    const double pu_speed =
+        r.parallel_native_ungated_s > 0.0
+            ? r.serial_native_s / r.parallel_native_ungated_s
+            : 0.0;
     out << "    {\"suite\": \"" << r.suite << "\", \"name\": \"" << r.name
         << "\", \"serial_treewalk_s\": " << fmt(r.serial_treewalk_s, "%.6g")
         << ", \"serial_plan_s\": " << fmt(r.serial_plan_s, "%.6g")
@@ -281,14 +358,27 @@ int main(int argc, char** argv) {
         << ", \"parallel_plan_s\": " << fmt(r.parallel_plan_s, "%.6g")
         << ", \"parallel_native_s\": " << fmt(r.parallel_native_s, "%.6g")
         << ", \"parallel_speedup\": " << fmt(p_speed, "%.3f")
-        << ", \"parallel_native_speedup\": " << fmt(pn_speed, "%.3f") << "}"
+        << ", \"parallel_native_speedup\": " << fmt(pn_speed, "%.3f")
+        << ", \"parallel_native_ungated_s\": "
+        << fmt(r.parallel_native_ungated_s, "%.6g")
+        << ", \"parallel_native_ungated_speedup\": " << fmt(pu_speed, "%.3f")
+        << ", \"regions_total\": " << r.regions_total
+        << ", \"regions_fused\": " << r.regions_fused
+        << ", \"gated_regions\": " << r.gated_regions << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"sarb_serial_geomean_speedup\": " << fmt(geomean, "%.3f")
       << ",\n  \"sarb_serial_native_geomean_speedup\": "
       << fmt(native_geomean, "%.3f")
       << ",\n  \"sarb_parallel_native_geomean_speedup\": "
-      << fmt(pnative_geomean, "%.3f") << "\n}\n";
+      << fmt(pnative_geomean, "%.3f")
+      << ",\n  \"sarb_parallel_native_ungated_geomean_speedup\": "
+      << fmt(ungated_geomean, "%.3f") << "\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
+  if (gate_violations > 0) {
+    std::fprintf(stderr, "interp_engine: %d kernel(s) failed the"
+                 " --check-gate %.2f floor\n", gate_violations, check_gate);
+    return 1;
+  }
   return 0;
 }

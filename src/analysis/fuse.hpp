@@ -1,0 +1,66 @@
+#pragma once
+// Fusion legality for host-parallel range dispatch: decide which maximal
+// runs of adjacent parallelizable steps may share one fork/join. Two
+// steps fuse when their partitioned loops are interchangeable (identical
+// canonical bounds over a single loop) and every storage location one
+// step writes and the other touches is partition-aligned in both — each
+// rank then covers the same element set in every member step, so fused
+// execution replays serial program order per element and the bit-identity
+// contract of the range ABI survives fusion.
+//
+// This module is policy-free: the caller (the C back-end) decides which
+// steps are actually emitted as range units under the active directive
+// policy and passes that in as the `ranged` mask.
+
+#include <string>
+#include <vector>
+
+#include "analysis/access.hpp"
+#include "analysis/parallelize.hpp"
+#include "core/program.hpp"
+
+namespace glaf {
+
+/// A run of adjacent steps dispatched as one parallel region (singletons
+/// included — `step_count == 1` covers serial and lone-ranged steps).
+struct FusedRegion {
+  std::size_t first_step = 0;
+  std::size_t step_count = 1;
+};
+
+/// The partition signature of a ranged step: which loop the dispatch
+/// range [lo, hi) covers, and a canonical serialization of that loop's
+/// bounds. Steps whose dispatch spans more than one collapsed loop
+/// (flat multi-dimensional banding) have no signature and never fuse.
+struct PartitionSig {
+  bool valid = false;
+  std::size_t loop_index = 0;  ///< partitioned loop within the step
+  std::string bounds;          ///< canonical "begin;end;stride"
+};
+
+/// Compute the partition signature of `step` under its verdict.
+/// Ownership-banded steps partition the exact dimension; otherwise the
+/// step must collapse to a single loop.
+PartitionSig partition_signature(const Step& step, const StepVerdict& v);
+
+/// Can steps `earlier` and `later` (indices into `fn.steps`, earlier <
+/// later in program order) legally share one parallel region? Checks
+/// partition-signature equality, partition alignment of every shared
+/// written location, and that no reduction target, private copy, or
+/// host-evaluated loop bound crosses the step boundary.
+bool steps_fusable(const Program& program, const Function& fn,
+                   std::size_t earlier, std::size_t later,
+                   const std::vector<StepVerdict>& verdicts,
+                   const EffectsMap& effects);
+
+/// Partition every step of `fn` into regions: maximal runs of adjacent
+/// ranged steps that are pairwise fusable (each candidate is checked
+/// against every step already in the region, not just its neighbour),
+/// with non-ranged steps as singleton regions. The returned regions
+/// cover fn.steps exactly, in order.
+std::vector<FusedRegion> plan_fused_regions(
+    const Program& program, const Function& fn,
+    const std::vector<StepVerdict>& verdicts,
+    const std::vector<bool>& ranged, const EffectsMap& effects);
+
+}  // namespace glaf

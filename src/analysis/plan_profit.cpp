@@ -1,0 +1,102 @@
+#include "analysis/plan_profit.hpp"
+
+#include <algorithm>
+
+#include "core/expr.hpp"
+
+namespace glaf {
+namespace {
+
+constexpr std::int64_t kUnknownTrips = 16;
+constexpr std::int64_t kCallWeight = 16;
+
+/// Node-count weight of an expression; library/user calls count extra
+/// for the transfer and the (unseen) callee body.
+std::int64_t expr_units(const ExprPtr& e) {
+  if (!e) return 0;
+  std::int64_t units = 0;
+  visit_exprs(e, [&](const Expr& node) {
+    units += node.kind == Expr::Kind::kCall ? 8 : 1;
+  });
+  return units;
+}
+
+std::int64_t body_units(const std::vector<Stmt>& body);
+
+std::int64_t stmt_units(const Stmt& s) {
+  switch (s.kind) {
+    case Stmt::Kind::kAssign: {
+      std::int64_t units = 1 + expr_units(s.rhs);
+      for (const ExprPtr& sub : s.lhs.subscripts) units += expr_units(sub);
+      return units;
+    }
+    case Stmt::Kind::kIf: {
+      // One arm executes: cost the condition chain plus the widest arm.
+      std::int64_t units = 0;
+      std::int64_t widest = body_units(s.else_body);
+      for (const IfArm& arm : s.arms) {
+        units += expr_units(arm.cond);
+        widest = std::max(widest, body_units(arm.body));
+      }
+      return units + widest;
+    }
+    case Stmt::Kind::kCallSub: {
+      std::int64_t units = kCallWeight;
+      for (const ExprPtr& a : s.args) units += expr_units(a);
+      return units;
+    }
+    case Stmt::Kind::kReturn:
+      return 1 + expr_units(s.ret);
+  }
+  return 1;
+}
+
+std::int64_t body_units(const std::vector<Stmt>& body) {
+  std::int64_t units = 0;
+  for (const Stmt& s : body) units += stmt_units(s);
+  return units;
+}
+
+/// Trip count of one loop, folded through never-written globals;
+/// unfoldable bounds get a nominal estimate.
+std::int64_t loop_trips(const Program& program, const LoopSpec& loop) {
+  const auto fold = [&](const ExprPtr& e) -> std::optional<std::int64_t> {
+    if (!e) return std::nullopt;
+    const auto v = fold_with_globals(program, *e);
+    if (!v) return std::nullopt;
+    return static_cast<std::int64_t>(value_as_double(*v));
+  };
+  const auto begin = fold(loop.begin);
+  const auto end = fold(loop.end);
+  const std::int64_t stride = loop.stride ? fold(loop.stride).value_or(1) : 1;
+  if (!begin || !end || stride == 0) return kUnknownTrips;
+  const std::int64_t span = stride > 0 ? *end - *begin : *begin - *end;
+  if (span < 0) return 0;
+  return span / (stride < 0 ? -stride : stride) + 1;
+}
+
+}  // namespace
+
+std::int64_t step_units_per_iter(const Program& program, const Step& step,
+                                 const StepVerdict& v) {
+  const std::size_t depth = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(v.collapse, 1)), step.loops.size());
+  std::int64_t units = std::max<std::int64_t>(1, body_units(step.body));
+  for (std::size_t d = 0; d < step.loops.size(); ++d) {
+    // Loops covered by the dispatch range contribute no per-iteration
+    // multiplier: the owner dimension for banded steps, the whole
+    // collapse band for flat dispatch.
+    const bool covered = v.exact_partition_dim >= 0
+                             ? static_cast<int>(d) == v.exact_partition_dim
+                             : d < depth;
+    if (covered) continue;
+    const std::int64_t trips =
+        std::max<std::int64_t>(0, loop_trips(program, step.loops[d]));
+    units *= std::min<std::int64_t>(std::max<std::int64_t>(trips, 1),
+                                    kMaxUnitsPerIter);
+    if (units >= kMaxUnitsPerIter) return kMaxUnitsPerIter;
+  }
+  return std::min(std::max<std::int64_t>(units, 1), kMaxUnitsPerIter);
+}
+
+}  // namespace glaf

@@ -1,0 +1,30 @@
+#pragma once
+// Static work estimate for gated parallel dispatch: abstract "units" of
+// work per partitioned iteration of a ranged step. The JIT bakes the
+// estimate into each region's dispatch guard; at run time the guard
+// compares trip_count x units against a calibrated threshold
+// (perfmodel/machine_model.hpp ParallelGate) and keeps sub-threshold
+// regions on the calling thread, so tiny kernels never pay a fork/join
+// they cannot amortize.
+
+#include <cstdint>
+
+#include "analysis/parallelize.hpp"
+#include "core/program.hpp"
+
+namespace glaf {
+
+/// Units of work one iteration of the dispatch range performs: the
+/// step's per-statement weight multiplied by the trip counts of every
+/// loop *not* covered by the dispatch range (inner loops below the
+/// collapse band; for ownership-banded steps, the non-owner band
+/// dimensions too). Trip counts fold through never-written globals;
+/// an unfoldable bound contributes a nominal 16 iterations. The result
+/// is clamped to [1, 2^20] so `n * units` never overflows the guard's
+/// long arithmetic.
+std::int64_t step_units_per_iter(const Program& program, const Step& step,
+                                 const StepVerdict& v);
+
+inline constexpr std::int64_t kMaxUnitsPerIter = std::int64_t{1} << 20;
+
+}  // namespace glaf

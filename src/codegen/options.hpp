@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace glaf {
 
@@ -72,6 +73,13 @@ struct CodegenOptions {
   /// kernel. Steps that are not bit-exact run serially inside the unit.
   bool host_parallel = false;
 
+  /// Fuse maximal runs of adjacent range-dispatched steps that share a
+  /// partition dimension and have no cross-step carried dependence
+  /// (analysis/fuse.hpp) into a single region entry point, so a function
+  /// call pays one fork/join per region instead of per step. Only
+  /// meaningful with host_parallel.
+  bool fuse_regions = true;
+
   /// Interpreter-exact numeric model (the JIT engine's mode): every grid
   /// and scalar is stored as a C double — the interpreter's "everything
   /// is a double" model — with explicit trunc() on INTEGER stores,
@@ -82,11 +90,24 @@ struct CodegenOptions {
   bool interp_math = false;
 };
 
+/// One host-dispatched parallel region in the emitted unit (a single
+/// ranged step, or a fused run of adjacent ranged steps).
+struct ParallelRegion {
+  std::string function;
+  std::size_t first_step = 0;
+  std::size_t step_count = 1;
+  /// Static work estimate baked into the region's dispatch guard
+  /// (analysis/plan_profit.hpp units per partitioned iteration).
+  std::int64_t units_per_iter = 1;
+};
+
 /// Result of generating a whole program.
 struct GeneratedCode {
   std::string source;  ///< complete translation unit
   /// Per-subprogram source excerpt (used by the Table 1 SLOC experiment).
   std::map<std::string, std::string> per_function;
+  /// Host-parallel regions, in emission order (host_parallel only).
+  std::vector<ParallelRegion> regions;
 };
 
 }  // namespace glaf

@@ -270,7 +270,7 @@ StatusOr<Snapshot> run_compiled_c(const Program& program,
 StatusOr<Snapshot> run_native(const Program& program, const std::string& entry,
                               const std::vector<GlobalSpec>& specs,
                               const OracleOptions& opts, bool parallel,
-                              DirectivePolicy policy) {
+                              DirectivePolicy policy, bool fuse = false) {
   try {
     InterpOptions nopts;
     nopts.engine = ExecEngine::kNative;
@@ -278,6 +278,11 @@ StatusOr<Snapshot> run_native(const Program& program, const std::string& entry,
     nopts.num_threads = opts.num_threads;
     nopts.policy = policy;
     nopts.deterministic_parallel = parallel;
+    nopts.fuse_regions = fuse;
+    // The oracle exists to exercise the dispatch paths, so the profit
+    // gate must not divert regions to serial (on a small host the
+    // calibrated gate would serialize every fuzz-sized kernel).
+    nopts.gate_min_units = 0;
     nopts.native_cc = opts.cc;
     nopts.native_cache_dir = opts.native_cache_dir.empty()
                                  ? cat(opts.work_dir, "/glaf-fuzz-kernels")
@@ -477,6 +482,26 @@ OracleReport run_oracle(const Program& program, const std::string& entry,
             cat(det_backend, ": ", det_snap.status().message()));
       } else {
         compare_snapshots(det_backend, reference.value(), det_snap.value(),
+                          specs.value(), exact, &report);
+      }
+    }
+  }
+
+  if (opts.run_native_fused && cc_available(opts.cc)) {
+    for (const DirectivePolicy policy : opts.policies) {
+      // The same parallel kernel with adjacent fusable steps merged
+      // into single range entry points (ABI v3): fusion only changes
+      // how many fork/joins the dispatch costs, so the leg is held to
+      // the same bitwise contract as the unfused one.
+      const std::string backend =
+          cat("parallel-", to_string(policy), "-fused-native");
+      const StatusOr<Snapshot> snap = run_native(
+          program, entry, specs.value(), opts, true, policy, true);
+      if (!snap.is_ok()) {
+        report.errors.push_back(cat(backend, ": ", snap.status().message()));
+      } else {
+        report.native_backend_ran = true;
+        compare_snapshots(backend, reference.value(), snap.value(),
                           specs.value(), exact, &report);
       }
     }

@@ -51,7 +51,15 @@ struct OracleOptions {
   /// one held to bitwise equality against the serial reference (and so,
   /// transitively, against the serial native kernel and each other).
   /// Off by default: each policy costs an extra kernel compile.
+  /// These legs run with region fusion *off* — per-step dispatch, the
+  /// historical ABI-v2 shape.
   bool run_native_parallel = false;
+  /// Fused-region parallel native legs ("parallel-vK-fused-native"):
+  /// the same kernels with adjacent fusable steps merged into single
+  /// range entry points (ABI v3), also compared bitwise. Together with
+  /// run_native_parallel this differentially pins fusion as a pure
+  /// dispatch-cost optimization. Off by default (extra compiles).
+  bool run_native_fused = false;
   /// Plan-engine legs: serial "plan" plus "parallel-vK-plan" per policy.
   bool run_plan = true;
   /// Tree-walk parallel legs ("parallel-vK"). Off + run_plan = plan-only

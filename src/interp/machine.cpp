@@ -700,6 +700,8 @@ Machine::Machine(Program program, InterpOptions options)
       nopts.save_temporaries = options_.save_temporaries;
       nopts.dynamic_schedule = options_.dynamic_schedule;
       nopts.schedule_chunk = options_.schedule_chunk;
+      nopts.fuse_regions = options_.fuse_regions;
+      nopts.gate_min_units = options_.gate_min_units;
       nopts.pool = pool_.get();
       nopts.cc = options_.native_cc;
       nopts.cache_dir = options_.native_cache_dir;
@@ -711,6 +713,9 @@ Machine::Machine(Program program, InterpOptions options)
         native_report_.cache_hit = native_->cache_hit();
         native_report_.object_path = native_->object_path();
         native_report_.num_threads = pool_ != nullptr ? pool_->size() : 1;
+        native_report_.regions_total = native_->regions_total();
+        native_report_.regions_fused = native_->fused_regions();
+        native_report_.gate_min_units = native_->gate_min_units();
       } else {
         native_report_.fallback_reason =
             std::string(engine.status().message());
@@ -813,11 +818,14 @@ StatusOr<double> Machine::call(const std::string& function,
             static_cast<std::int64_t>(inst->data.size())});
       }
       const std::uint64_t regions_before = native_->parallel_regions();
+      const std::uint64_t gated_before = native_->gated_regions();
       StatusOr<double> result = native_->call(*abi, scalars, bindings);
       if (!result.is_ok()) return result.status();
       const std::uint64_t regions =
           native_->parallel_regions() - regions_before;
       native_report_.parallel_regions += regions;
+      native_report_.gated_serial_regions +=
+          native_->gated_regions() - gated_before;
       if (regions > 0) ++native_report_.parallel_calls;
       ++native_report_.native_calls;
       ++stats_.function_calls;

@@ -81,6 +81,16 @@ struct NativeReport {
   std::uint64_t parallel_calls = 0;
   /// Total parallel regions dispatched through the host pfor trampoline.
   std::uint64_t parallel_regions = 0;
+  /// Region dispatches the profit gate kept on the calling thread
+  /// (estimated work below gate_min_units).
+  std::uint64_t gated_serial_regions = 0;
+  /// Static dispatch regions in the kernel, and how many of them fused
+  /// two or more adjacent steps into a single fork/join.
+  std::uint64_t regions_total = 0;
+  std::uint64_t regions_fused = 0;
+  /// The profit-gate threshold installed into the kernel (work units;
+  /// 0 = gating off).
+  std::int64_t gate_min_units = 0;
   int num_threads = 1;          ///< pool width behind parallel kernels
   bool cache_hit = false;       ///< compilation skipped (kernel cache)
   std::string object_path;      ///< published cache entry ("" if none)
@@ -116,6 +126,13 @@ struct InterpOptions {
   /// kernel-cache directory ("" resolves $GLAF_KERNEL_CACHE / XDG).
   std::string native_cc;
   std::string native_cache_dir;
+  /// kNative parallel kernels: fuse adjacent fusable steps into single
+  /// region dispatches (one fork/join per region instead of per step).
+  bool fuse_regions = true;
+  /// kNative parallel kernels: profit-gate threshold in work units
+  /// (NativeEngine::Options::gate_min_units; -1 = calibrated auto,
+  /// 0 = always dispatch).
+  std::int64_t gate_min_units = -1;
 };
 
 /// One trace record: a step that executed.

@@ -58,7 +58,8 @@ std::string prelude_text(const Program& p,
 
 std::string wrapper_text(const Program& p, const std::vector<AbiSlot>& slots,
                          const std::vector<AbiFunction>& functions,
-                         bool parallel) {
+                         bool parallel,
+                         const std::vector<ParallelRegion>& regions) {
   std::vector<std::string> out;
   out.push_back("");
   out.push_back("/* ---- native-engine ABI wrapper ---- */");
@@ -98,6 +99,16 @@ std::string wrapper_text(const Program& p, const std::vector<AbiSlot>& slots,
   // engine installs its pool through glaf_set_pfor when so).
   out.push_back(cat("long glaf_nat_parallel(void) { return ",
                     parallel ? 1 : 0, "; }"));
+  // Static region metadata: how many dispatch regions the unit carries
+  // and how many of them fused two or more steps into one fork/join.
+  std::size_t fused = 0;
+  for (const ParallelRegion& r : regions) {
+    if (r.step_count >= 2) ++fused;
+  }
+  out.push_back(cat("long glaf_nat_regions(void) { return ", regions.size(),
+                    "; }"));
+  out.push_back(cat("long glaf_nat_fused_regions(void) { return ", fused,
+                    "; }"));
   out.push_back("");
   // Copy-in validates every slot's element count first (a nonzero return
   // is 1 + the offending slot index), then copies host state into the
@@ -208,12 +219,14 @@ StatusOr<KernelUnit> emit_kernel_unit(const Program& program,
   // emitted — the schedule is the host pool's choice, not the kernel's.
   copts.enable_openmp = false;
   copts.host_parallel = options.parallel;
+  copts.fuse_regions = options.fuse_regions;
   copts.policy = options.policy;
   copts.save_temporaries = options.save_temporaries;
-  unit.source = cat(prelude_text(program, unit.slots),
-                    generate_c(program, analysis, copts).source,
+  GeneratedCode code = generate_c(program, analysis, copts);
+  unit.regions = code.regions;
+  unit.source = cat(prelude_text(program, unit.slots), code.source,
                     wrapper_text(program, unit.slots, unit.functions,
-                                 options.parallel));
+                                 options.parallel, unit.regions));
   return unit;
 }
 

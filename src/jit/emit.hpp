@@ -24,7 +24,10 @@ namespace glaf::jit {
 /// The ABI version baked into emitted units and checked after dlopen;
 /// bump on any layout or naming change so stale cached objects miss.
 /// v2: host-driven parallel ranges (glaf_set_pfor / glaf_nat_parallel).
-inline constexpr long kAbiVersion = 2;
+/// v3: fused region entry points (glaf_rg_*), the profit gate
+///     (glaf_set_pfor grew a gate argument; glaf_nat_gated counter) and
+///     region metadata (glaf_nat_regions / glaf_nat_fused_regions).
+inline constexpr long kAbiVersion = 3;
 
 /// One comparable/copyable global: position in the flat argument block
 /// is its position in program.global_grids.
@@ -49,6 +52,9 @@ struct KernelUnit {
   std::string source;
   std::vector<AbiSlot> slots;          ///< global_grids order
   std::vector<AbiFunction> functions;  ///< program.functions order
+  /// Host-parallel dispatch regions the unit was emitted with (empty
+  /// for serial units).
+  std::vector<ParallelRegion> regions;
 };
 
 /// Options controlling the lowered unit (mirrors InterpOptions).
@@ -58,6 +64,10 @@ struct EmitOptions {
   bool parallel = false;
   DirectivePolicy policy = DirectivePolicy::kV0;
   bool save_temporaries = false;
+  /// Fuse adjacent fusable ranged steps into single region entry points
+  /// (codegen fuse_regions); changes the emitted source, so the engine
+  /// also folds it into the cache key.
+  bool fuse_regions = true;
   /// Host-side dispatch knobs (they do not change the emitted source —
   /// the engine folds them into the cache-key config instead).
   bool dynamic_schedule = false;

@@ -7,7 +7,10 @@
 #include <cstdlib>
 #include <fstream>
 
+#include <thread>
+
 #include "jit/cache.hpp"
+#include "perfmodel/machine_model.hpp"
 #include "support/strings.hpp"
 #include "support/subprocess.hpp"
 
@@ -30,7 +33,7 @@ using MetaFn = long (*)(void);
 // C-side pfor callback types (must match the emitted typedefs).
 using RangeFn = void (*)(void* ctx, long lo, long hi, long rank);
 using PforFn = void (*)(void* hctx, RangeFn fn, void* ctx, long n);
-using SetPforFn = void (*)(PforFn pf, void* hctx, long nranks);
+using SetPforFn = void (*)(PforFn pf, void* hctx, long nranks, long gate);
 
 /// The trampoline the kernel calls for every ranged step: partitions
 /// [0, n) across the host pool. Static chunks match OMP's default
@@ -99,6 +102,7 @@ StatusOr<std::unique_ptr<NativeEngine>> NativeEngine::create(
   eopts.save_temporaries = options.save_temporaries;
   eopts.dynamic_schedule = options.dynamic_schedule;
   eopts.schedule_chunk = options.schedule_chunk;
+  eopts.fuse_regions = options.fuse_regions;
   StatusOr<KernelUnit> unit = emit_kernel_unit(program, analysis, eopts);
   if (!unit.is_ok()) return unit.status();
 
@@ -114,11 +118,15 @@ StatusOr<std::unique_ptr<NativeEngine>> NativeEngine::create(
   // folding the engine configuration into the key as well keeps serial
   // and parallel objects (and per-policy / per-schedule variants) as
   // distinct cache entries even when their sources coincide.
+  // The gate threshold is installed at run time through glaf_set_pfor
+  // and deliberately NOT part of the key: retuning the gate must never
+  // recompile or split the cache.
   const std::string config =
       cat("parallel=", options.parallel ? 1 : 0, ";policy=",
           to_string(options.policy), ";sched=",
           options.dynamic_schedule ? "dynamic" : "static", ";chunk=",
-          options.schedule_chunk, ";emit=", kAbiVersion);
+          options.schedule_chunk, ";fuse=", options.fuse_regions ? 1 : 0,
+          ";emit=", kAbiVersion);
 
   auto engine = std::unique_ptr<NativeEngine>(new NativeEngine());
   engine->unit_ = std::move(unit).value();
@@ -171,8 +179,16 @@ StatusOr<std::unique_ptr<NativeEngine>> NativeEngine::create(
     engine->pfor_host_->pool = options.pool;
     engine->pfor_host_->dynamic_schedule = options.dynamic_schedule;
     engine->pfor_host_->schedule_chunk = options.schedule_chunk;
-    set_pfor(pfor_trampoline, engine->pfor_host_.get(),
-             options.pool != nullptr ? options.pool->size() : 1);
+    const int ranks = options.pool != nullptr ? options.pool->size() : 1;
+    engine->gate_units_ = resolve_gate_units(
+        options.gate_min_units, ranks, std::thread::hardware_concurrency());
+    set_pfor(pfor_trampoline, engine->pfor_host_.get(), ranks,
+             engine->gate_units_);
+    engine->gated_fn_ = reinterpret_cast<long (*)()>(
+        dlsym(engine->handle_, "glaf_nat_gated"));
+    if (engine->gated_fn_ == nullptr) {
+      return internal_error("parallel kernel lacks glaf_nat_gated");
+    }
   }
   engine->entry_points_.resize(engine->unit_.functions.size(), nullptr);
   for (std::size_t i = 0; i < engine->unit_.functions.size(); ++i) {
@@ -227,6 +243,15 @@ StatusOr<double> NativeEngine::call(const AbiFunction& fn,
                               " of '", fn.name, "' (extent mismatch)"));
   }
   return args.result;
+}
+
+std::int64_t resolve_gate_units(std::int64_t requested, int pool_threads,
+                                unsigned hardware_threads) {
+  if (requested >= 0) return requested;
+  if (pool_threads <= 1 || hardware_threads <= 1) {
+    return ParallelGate::kAlwaysSerialUnits;
+  }
+  return ParallelGate{}.threshold_units(pool_threads);
 }
 
 }  // namespace glaf::jit

@@ -53,6 +53,16 @@ class NativeEngine {
     bool save_temporaries = false;
     bool dynamic_schedule = false;
     std::int64_t schedule_chunk = 4;
+    /// Fuse adjacent fusable ranged steps into one region entry point
+    /// (one fork/join per region instead of per step).
+    bool fuse_regions = true;
+    /// Profit-gate threshold in plan_profit work units: a region
+    /// dispatches to the pool only when trip_count x units reaches it.
+    /// 0 disables gating (always dispatch); -1 resolves a calibrated
+    /// default from the pool size and the hardware (always-serial on a
+    /// single-core host). Installed at load time, so it never splits the
+    /// kernel cache.
+    std::int64_t gate_min_units = -1;
     /// Pool for parallel kernels (borrowed, must outlive the engine).
     /// nullptr runs parallel units serially through the same range
     /// functions — results are identical either way.
@@ -94,6 +104,25 @@ class NativeEngine {
                ? pfor_host_->regions.load(std::memory_order_relaxed)
                : 0;
   }
+  /// Region dispatches the profit gate kept on the calling thread so far
+  /// (0 for serial units).
+  [[nodiscard]] std::uint64_t gated_regions() const {
+    return gated_fn_ != nullptr ? static_cast<std::uint64_t>(gated_fn_())
+                                : 0;
+  }
+  /// Static dispatch regions in the unit, and how many fused >= 2 steps.
+  [[nodiscard]] std::size_t regions_total() const {
+    return unit_.regions.size();
+  }
+  [[nodiscard]] std::size_t fused_regions() const {
+    std::size_t fused = 0;
+    for (const ParallelRegion& r : unit_.regions) {
+      if (r.step_count >= 2) ++fused;
+    }
+    return fused;
+  }
+  /// The gate threshold actually installed into the kernel.
+  [[nodiscard]] std::int64_t gate_min_units() const { return gate_units_; }
   /// Compilation was skipped because a valid cached object existed.
   [[nodiscard]] bool cache_hit() const { return cache_hit_; }
   [[nodiscard]] const std::string& object_path() const {
@@ -112,10 +141,23 @@ class NativeEngine {
   /// Set when the unit was emitted parallel: the context installed via
   /// the kernel's glaf_set_pfor.
   std::unique_ptr<PforHost> pfor_host_;
+  /// Resolved kernel-side gated-region counter (glaf_nat_gated) and the
+  /// gate threshold installed at load time.
+  long (*gated_fn_)() = nullptr;
+  std::int64_t gate_units_ = 0;
   /// Resolved wrapper entry points, parallel to unit_.functions
   /// (nullptr for unsupported entries) — the in-memory handle table
   /// that makes repeat binds symbol-lookup-free.
   std::vector<void*> entry_points_;
 };
+
+/// Resolve an Options::gate_min_units request against the execution
+/// environment: explicit values (>= 0) pass through; auto (-1) is
+/// always-serial when only one rank could run (pool_threads <= 1 or a
+/// single-core host) and the calibrated ParallelGate break-even
+/// threshold for `pool_threads` ranks otherwise. Pure — exposed for the
+/// gating tests.
+std::int64_t resolve_gate_units(std::int64_t requested, int pool_threads,
+                                unsigned hardware_threads);
 
 }  // namespace glaf::jit

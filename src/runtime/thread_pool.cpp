@@ -45,20 +45,43 @@ void ThreadPool::run_chunk(const Job& job, int chunk) {
 void ThreadPool::worker_main(int rank) {
   std::int64_t seen_generation = 0;
   while (true) {
+    // Spin phase: lock-free relaxed probes of the generation counter.
+    // Back-to-back dispatches (a fused-region kernel issuing its next
+    // region, the benchmark loop's next call) land here and never pay a
+    // futex wakeup.
+    for (int i = 0; i < kSpinIterations; ++i) {
+      if (generation_.load(std::memory_order_acquire) != seen_generation) {
+        break;
+      }
+    }
     Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
+      if (!stop_ &&
+          generation_.load(std::memory_order_relaxed) == seen_generation) {
+        // Spin budget exhausted with no new job: park. parked_ is
+        // maintained under the mutex, and the dispatcher bumps the
+        // generation under the same mutex, so the park decision cannot
+        // race a concurrent dispatch into a missed wakeup.
+        ++parked_;
+        parks_.fetch_add(1, std::memory_order_relaxed);
+        start_cv_.wait(lock, [&] {
+          return stop_ || generation_.load(std::memory_order_relaxed) !=
+                              seen_generation;
+        });
+        --parked_;
+      }
       if (stop_) return;
-      seen_generation = generation_;
+      seen_generation = generation_.load(std::memory_order_relaxed);
       job = job_;
     }
     run_chunk(job, rank);
-    {
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last chunk done: wake the caller. Taking the mutex before the
+      // notify pairs with the caller's predicate check under the same
+      // mutex, closing the missed-wakeup window.
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (--pending_ == 0) done_cv_.notify_all();
+      done_cv_.notify_all();
     }
   }
 }
@@ -69,21 +92,33 @@ void ThreadPool::dispatch(std::int64_t n, ChunkFn invoke, void* ctx) {
     invoke(ctx, 0, 0, n);
     return;
   }
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  bool anyone_parked = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job_.invoke = invoke;
     job_.ctx = ctx;
     job_.n = n;
     job_.chunks = num_threads_;
-    ++generation_;
-    pending_ = num_threads_ - 1;
     first_error_ = nullptr;
+    pending_.store(num_threads_ - 1, std::memory_order_relaxed);
+    // Publish last, with release: a spinning worker that observes the
+    // new generation sees the whole job descriptor.
+    generation_.fetch_add(1, std::memory_order_release);
+    anyone_parked = parked_ > 0;
   }
-  start_cv_.notify_all();
+  if (anyone_parked) start_cv_.notify_all();
   run_chunk(job_, 0);  // rank 0 = calling thread
+  // Spin for the workers' tails before blocking: with chunks this even,
+  // they finish within the budget almost always.
+  for (int i = 0; i < kSpinIterations; ++i) {
+    if (pending_.load(std::memory_order_acquire) == 0) break;
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    done_cv_.wait(lock, [&] {
+      return pending_.load(std::memory_order_relaxed) == 0;
+    });
     if (first_error_) {
       std::exception_ptr e = first_error_;
       first_error_ = nullptr;

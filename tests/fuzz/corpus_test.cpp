@@ -51,8 +51,10 @@ TEST_P(CorpusReplay, AgreesAcrossBackends) {
   opts.run_compiled_c = cc_available(opts.cc);
   // Replay each repro through the parallel native legs too: every
   // directive policy, threaded kernels held bitwise to serial native
-  // and to the deterministic parallel plan engine.
+  // and to the deterministic parallel plan engine — both per-step
+  // (unfused) and with fused region dispatch.
   opts.run_native_parallel = opts.run_compiled_c;
+  opts.run_native_fused = opts.run_compiled_c;
   auto loaded = load_repro(GetParam());
   ASSERT_TRUE(loaded.is_ok()) << GetParam();
   auto entry = find_entry(loaded.value());
@@ -68,9 +70,9 @@ TEST_P(CorpusReplay, AgreesAcrossBackends) {
               : report.errors[0]);
   // Serial plan + 4 policies x {treewalk, plan} = 9 interpreter legs,
   // plus the native-JIT and compiled-C backends and 4 policies x
-  // {parallel-native, parallel-plan-det} when a system compiler is
-  // present (all gate on the same cc probe).
-  EXPECT_GE(report.backends_compared, opts.run_compiled_c ? 19 : 9);
+  // {parallel-native, parallel-plan-det, parallel-fused-native} when a
+  // system compiler is present (all gate on the same cc probe).
+  EXPECT_GE(report.backends_compared, opts.run_compiled_c ? 23 : 9);
   EXPECT_EQ(report.native_backend_ran, opts.run_compiled_c) << GetParam();
 }
 

@@ -85,6 +85,10 @@ InterpOptions parallel_native(DirectivePolicy policy, int threads = 4,
   o.num_threads = threads;
   o.policy = policy;
   o.dynamic_schedule = dynamic;
+  // These tests exercise the dispatch machinery itself, so the profit
+  // gate must not divert small regions to the serial path (on a 1-core
+  // host the calibrated gate would serialize everything).
+  o.gate_min_units = 0;
   return o;
 }
 

@@ -1,0 +1,182 @@
+// Persistent-worker tests for the spin-then-park thread pool. The pool
+// spawns its workers once; between dispatches they spin briefly on the
+// job generation counter and park on a condition variable when the spin
+// budget runs out. These tests pin down the lifecycle invariants the
+// fused-region dispatch path depends on (and run under TSan in CI via
+// the `jit` label):
+//
+//  - worker identity is stable: a long burst of dispatches reuses the
+//    same ranks, never spawning or losing a worker;
+//  - the park/wake handshake cannot deadlock: dispatches that arrive
+//    while workers spin AND dispatches that arrive long after every
+//    worker parked both complete;
+//  - exceptions keep propagating, and the pool stays usable afterwards.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool.hpp"
+
+namespace glaf {
+namespace {
+
+constexpr int kDispatches = 100;
+
+TEST(PersistentWorkers, StableRankSetAcrossManyDispatches) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.size(), 4);
+  std::mutex mu;
+  std::set<std::thread::id> worker_ids;
+  std::vector<std::int64_t> sums(static_cast<std::size_t>(kDispatches), 0);
+  for (int d = 0; d < kDispatches; ++d) {
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(1000, [&](int rank, std::int64_t begin,
+                                std::int64_t end) {
+      ASSERT_GE(rank, 0);
+      ASSERT_LT(rank, pool.size());
+      std::int64_t local = 0;
+      for (std::int64_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local, std::memory_order_relaxed);
+      if (rank != 0) {
+        const std::lock_guard<std::mutex> lock(mu);
+        worker_ids.insert(std::this_thread::get_id());
+      }
+    });
+    sums[static_cast<std::size_t>(d)] = sum.load();
+  }
+  for (const std::int64_t s : sums) EXPECT_EQ(s, 999 * 1000 / 2);
+  // Workers are persistent: across 100 dispatches only the three
+  // constructor-spawned threads ever ran a non-zero rank.
+  EXPECT_LE(worker_ids.size(), 3u);
+  EXPECT_GE(worker_ids.size(), 1u);
+  EXPECT_EQ(pool.dispatches(), static_cast<std::uint64_t>(kDispatches));
+}
+
+TEST(PersistentWorkers, BackToBackDispatchesStayOnTheSpinPath) {
+  ThreadPool pool(4);
+  // Drive a hot burst with no idle gaps. Absolute park counts depend on
+  // scheduling, so assert only the invariant: the pool completes every
+  // dispatch and never needs more wakeups than dispatches * workers.
+  std::atomic<std::int64_t> total{0};
+  for (int d = 0; d < kDispatches; ++d) {
+    pool.parallel_for(64, [&](int, std::int64_t begin, std::int64_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 64 * kDispatches);
+  EXPECT_LE(pool.parks(),
+            static_cast<std::uint64_t>(kDispatches + 1) * 3u);
+}
+
+TEST(PersistentWorkers, WakesParkedWorkersWithoutDeadlock) {
+  ThreadPool pool(4);
+  pool.parallel_for(16, [](int, std::int64_t, std::int64_t) {});
+  // Let every worker exhaust its spin budget and park (the budget is
+  // thousands of relaxed loads — microseconds; poll rather than guess).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (pool.parks() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(pool.parks(), 3u) << "workers never parked";
+  // A dispatch against a fully parked pool must wake all of them.
+  std::atomic<int> ranks_seen{0};
+  pool.parallel_for(4, [&](int, std::int64_t begin, std::int64_t end) {
+    ranks_seen.fetch_add(static_cast<int>(end - begin),
+                         std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ranks_seen.load(), 4);
+  // And the park/wake cycle is repeatable.
+  for (int round = 0; round < 3; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::atomic<std::int64_t> n{0};
+    pool.parallel_for(100, [&](int, std::int64_t begin, std::int64_t end) {
+      n.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(n.load(), 100) << round;
+  }
+}
+
+TEST(PersistentWorkers, ExceptionsPropagateAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [](int, std::int64_t begin, std::int64_t) {
+                          if (begin == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The failed dispatch must not wedge the generation/pending protocol.
+  for (int d = 0; d < 10; ++d) {
+    std::atomic<std::int64_t> n{0};
+    pool.parallel_for(32, [&](int, std::int64_t begin, std::int64_t end) {
+      n.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(n.load(), 32) << d;
+  }
+}
+
+TEST(PersistentWorkers, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::int64_t sum = 0;
+  pool.parallel_for(10, [&](int rank, std::int64_t begin, std::int64_t end) {
+    EXPECT_EQ(rank, 0);
+    for (std::int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 45);
+  // Inline execution bypasses the dispatch protocol entirely.
+  EXPECT_EQ(pool.dispatches(), 0u);
+  EXPECT_EQ(pool.parks(), 0u);
+}
+
+TEST(PersistentWorkers, DynamicScheduleDrainsEverything) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for_dynamic(200, 7, [&](int, std::int64_t begin,
+                                        std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(PersistentWorkers, ConcurrentCallersFromDifferentPoolsDoNotInterfere) {
+  // Two pools side by side: each keeps its own generation protocol.
+  ThreadPool a(2);
+  ThreadPool b(3);
+  std::atomic<std::int64_t> total_a{0};
+  std::atomic<std::int64_t> total_b{0};
+  std::thread ta([&] {
+    for (int d = 0; d < 50; ++d) {
+      a.parallel_for(128, [&](int, std::int64_t begin, std::int64_t end) {
+        total_a.fetch_add(end - begin, std::memory_order_relaxed);
+      });
+    }
+  });
+  std::thread tb([&] {
+    for (int d = 0; d < 50; ++d) {
+      b.parallel_for(128, [&](int, std::int64_t begin, std::int64_t end) {
+        total_b.fetch_add(end - begin, std::memory_order_relaxed);
+      });
+    }
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(total_a.load(), 128 * 50);
+  EXPECT_EQ(total_b.load(), 128 * 50);
+}
+
+}  // namespace
+}  // namespace glaf
