@@ -20,6 +20,15 @@ const char* to_string(OmpSchedule schedule) {
   return "?";
 }
 
+const char* to_string(NumericModel model) {
+  switch (model) {
+    case NumericModel::kTyped: return "typed";
+    case NumericModel::kInterp: return "interp";
+    case NumericModel::kOpt: return "opt";
+  }
+  return "?";
+}
+
 const char* to_string(DirectivePolicy policy) {
   switch (policy) {
     case DirectivePolicy::kV0: return "v0";

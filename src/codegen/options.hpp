@@ -34,6 +34,25 @@ enum class OmpSchedule : std::uint8_t {
 
 const char* to_string(OmpSchedule schedule);
 
+/// Numeric model of the emitted C: how grids and scalars are stored and
+/// how arithmetic is allowed to differ from the interpreter.
+enum class NumericModel : std::uint8_t {
+  /// Faithful typed C (long/float/double) of the standalone back-end.
+  kTyped,
+  /// Interpreter-exact all-double model: every grid and scalar is a C
+  /// double with explicit trunc() on INTEGER stores, trunc(a/b) for
+  /// integer division and fmod for MOD, so the compiled kernel is
+  /// bit-identical to the tree-walk/plan engines.
+  kInterp,
+  /// Optimized tier: native storage widths like kTyped, plus
+  /// restrict-qualified storage pointers and applied S4 loop
+  /// interchange so the innermost loop walks stride-1 memory. Compared
+  /// against the interpreter under ulp budgets, not bitwise.
+  kOpt,
+};
+
+const char* to_string(NumericModel model);
+
 /// All options consumed by the generators.
 struct CodegenOptions {
   Language language = Language::kFortran;
@@ -80,14 +99,11 @@ struct CodegenOptions {
   /// meaningful with host_parallel.
   bool fuse_regions = true;
 
-  /// Interpreter-exact numeric model (the JIT engine's mode): every grid
-  /// and scalar is stored as a C double — the interpreter's "everything
-  /// is a double" model — with explicit trunc() on INTEGER stores,
-  /// trunc(a/b) for integer division and fmod for every MOD, so the
-  /// compiled kernel is bit-identical to the tree-walk/plan engines
-  /// instead of merely tolerance-close. False keeps the faithful typed
-  /// C (long/float/double) of the standalone back-end.
-  bool interp_math = false;
+  /// Numeric model of the emitted C. kTyped is the standalone
+  /// back-end's faithful typed C; kInterp is the JIT's bit-identical
+  /// all-double model; kOpt is the JIT's fast tier (typed storage,
+  /// restrict pointers, applied loop interchange).
+  NumericModel numeric_model = NumericModel::kTyped;
 };
 
 /// One host-dispatched parallel region in the emitted unit (a single

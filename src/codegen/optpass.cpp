@@ -1,0 +1,94 @@
+#include "codegen/optpass.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/transform.hpp"
+
+namespace glaf {
+namespace {
+
+/// Index variables read anywhere inside one subscript expression.
+void index_vars(const ExprPtr& e, std::vector<std::string>* out) {
+  if (!e) return;
+  visit_exprs(e, [&](const Expr& node) {
+    if (node.kind == Expr::Kind::kIndex) out->push_back(node.index_name);
+  });
+}
+
+/// Per-variable locality score over every subscripted access of a step:
+/// +1 each time the variable drives the last (stride-1, row-major)
+/// subscript, -1 each time it drives an earlier (strided) one. The loop
+/// whose variable scores highest wants to be innermost.
+std::map<std::string, long> locality_scores(const Step& step) {
+  std::map<std::string, long> score;
+  const auto tally = [&](const std::vector<ExprPtr>& subs) {
+    if (subs.empty()) return;
+    for (std::size_t d = 0; d < subs.size(); ++d) {
+      std::vector<std::string> vars;
+      index_vars(subs[d], &vars);
+      for (const std::string& v : vars) {
+        score[v] += d + 1 == subs.size() ? 1 : -1;
+      }
+    }
+  };
+  const auto scan_expr = [&](const ExprPtr& e) {
+    if (!e) return;
+    visit_exprs(e, [&](const Expr& node) {
+      if (node.kind == Expr::Kind::kGridRead) tally(node.args);
+    });
+  };
+  visit_stmts(step.body, [&](const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kAssign:
+        tally(s.lhs.subscripts);
+        for (const ExprPtr& sub : s.lhs.subscripts) scan_expr(sub);
+        scan_expr(s.rhs);
+        break;
+      case Stmt::Kind::kIf:
+        for (const IfArm& arm : s.arms) scan_expr(arm.cond);
+        break;
+      case Stmt::Kind::kCallSub:
+        for (const ExprPtr& a : s.args) scan_expr(a);
+        break;
+      case Stmt::Kind::kReturn:
+        scan_expr(s.ret);
+        break;
+    }
+  });
+  return score;
+}
+
+}  // namespace
+
+OptPassResult apply_opt_loop_transforms(const Program& program) {
+  OptPassResult result;
+  result.program = program;
+  for (const Function& fn : program.functions) {
+    for (const Step& step : fn.steps) {
+      if (step.loops.size() < 2) continue;
+      const std::map<std::string, long> score = locality_scores(step);
+      const auto score_of = [&](const LoopSpec& loop) {
+        const auto it = score.find(loop.index_var);
+        return it == score.end() ? 0L : it->second;
+      };
+      const std::size_t inner = step.loops.size() - 1;
+      std::size_t best = inner;
+      for (std::size_t i = 0; i < inner; ++i) {
+        if (score_of(step.loops[i]) > score_of(step.loops[best])) best = i;
+      }
+      if (best == inner) continue;
+      // Legality (rectangular fully-parallel band) is can_interchange's
+      // job; an ineligible nest is simply left in program order.
+      auto swapped = interchange_loops(result.program, fn.name, step.name,
+                                      best, inner);
+      if (!swapped.is_ok()) continue;
+      result.program = std::move(swapped).value();
+      ++result.interchanged_steps;
+    }
+  }
+  return result;
+}
+
+}  // namespace glaf

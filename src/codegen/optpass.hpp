@@ -1,0 +1,24 @@
+#pragma once
+// S4 loop transforms applied ahead of the opt emit tier: legality-checked
+// loop interchange (analysis/transform.hpp) driven by a stride-1 locality
+// heuristic, so the innermost loop of each nest walks contiguous memory
+// and the C compiler's vectorizer has something to work with.
+
+#include "analysis/parallelize.hpp"
+#include "core/program.hpp"
+
+namespace glaf {
+
+struct OptPassResult {
+  Program program;
+  int interchanged_steps = 0;  ///< steps whose loop order changed
+};
+
+/// Reorder each step's parallel loop band so the loop whose index appears
+/// most often in the last (fastest-varying, row-major) subscript position
+/// runs innermost. Every swap goes through `can_interchange`, so only
+/// provably independent rectangular bands are touched; everything else is
+/// returned unchanged.
+OptPassResult apply_opt_loop_transforms(const Program& program);
+
+}  // namespace glaf

@@ -19,6 +19,7 @@
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/subprocess.hpp"
+#include "support/ulp.hpp"
 
 namespace glaf::fuzz {
 namespace {
@@ -270,7 +271,8 @@ StatusOr<Snapshot> run_compiled_c(const Program& program,
 StatusOr<Snapshot> run_native(const Program& program, const std::string& entry,
                               const std::vector<GlobalSpec>& specs,
                               const OracleOptions& opts, bool parallel,
-                              DirectivePolicy policy, bool fuse = false) {
+                              DirectivePolicy policy, bool fuse = false,
+                              NumericModel model = NumericModel::kInterp) {
   try {
     InterpOptions nopts;
     nopts.engine = ExecEngine::kNative;
@@ -279,6 +281,7 @@ StatusOr<Snapshot> run_native(const Program& program, const std::string& entry,
     nopts.policy = policy;
     nopts.deterministic_parallel = parallel;
     nopts.fuse_regions = fuse;
+    nopts.native_model = model;
     // The oracle exists to exercise the dispatch paths, so the profit
     // gate must not divert regions to serial (on a small host the
     // calibrated gate would serialize every fuzz-sized kernel).
@@ -324,22 +327,34 @@ StatusOr<Snapshot> run_native(const Program& program, const std::string& entry,
   }
 }
 
-bool values_close(double a, double b, const OracleOptions& opts) {
+/// How a backend's snapshot is held to the reference. The bitwise and
+/// tolerance modes are rtol/atol with NaN==NaN (rtol=atol=0 for exact
+/// backends); the opt tier instead forks to the ulp comparator, whose
+/// budget is the numeric contract that emission tier advertises.
+struct Comparator {
+  double rtol = 0.0;
+  double atol = 0.0;
+  bool use_ulp = false;
+  std::uint64_t max_ulp = 0;
+};
+
+bool values_close(double a, double b, const Comparator& cmp) {
+  if (cmp.use_ulp) return ulp_close(a, b, cmp.max_ulp, cmp.rtol, cmp.atol);
   if (std::isnan(a) && std::isnan(b)) return true;
   if (a == b) return true;  // covers equal infinities
   return std::fabs(a - b) <=
-         opts.atol + opts.rtol * std::max(std::fabs(a), std::fabs(b));
+         cmp.atol + cmp.rtol * std::max(std::fabs(a), std::fabs(b));
 }
 
 void compare_snapshots(const std::string& backend, const Snapshot& reference,
                        const Snapshot& actual,
                        const std::vector<GlobalSpec>& specs,
-                       const OracleOptions& opts, OracleReport* report) {
+                       const Comparator& cmp, OracleReport* report) {
   ++report->backends_compared;
   int reported = 0;
   for (std::size_t g = 0; g < specs.size(); ++g) {
     for (std::size_t i = 0; i < reference[g].size(); ++i) {
-      if (values_close(reference[g][i], actual[g][i], opts)) continue;
+      if (values_close(reference[g][i], actual[g][i], cmp)) continue;
       if (reported++ >= kMaxDivergencesPerBackend) return;
       report->divergences.push_back(Divergence{
           backend, specs[g].grid->name, static_cast<std::int64_t>(i),
@@ -371,6 +386,10 @@ OracleReport run_oracle(const Program& program, const std::string& entry,
     return report;
   }
 
+  // Interpreter-family and subprocess-C legs merge parallel reductions
+  // within the configured tolerance; exact backends are bitwise.
+  const Comparator tol{opts.rtol, opts.atol, false, 0};
+
   // The reference is always the serial tree-walk: it is the semantic
   // definition both the plan engine and the generated code must match.
   InterpOptions serial;
@@ -394,7 +413,7 @@ OracleReport run_oracle(const Program& program, const std::string& entry,
       report.errors.push_back(cat("plan: ", snap.status().message()));
     } else {
       compare_snapshots("plan", reference.value(), snap.value(),
-                        specs.value(), opts, &report);
+                        specs.value(), tol, &report);
     }
   }
 
@@ -425,7 +444,7 @@ OracleReport run_oracle(const Program& program, const std::string& entry,
           continue;
         }
         compare_snapshots(backend, reference.value(), snap.value(),
-                          specs.value(), opts, &report);
+                          specs.value(), tol, &report);
       }
     }
   }
@@ -433,9 +452,7 @@ OracleReport run_oracle(const Program& program, const std::string& entry,
   // interp_math emission promises bit-identical arithmetic, so the
   // native legs — serial and parallel alike — are held to exact
   // equality (NaN==NaN), not the reassociation tolerance above.
-  OracleOptions exact = opts;
-  exact.rtol = 0.0;
-  exact.atol = 0.0;
+  const Comparator exact{};
 
   if (opts.run_native && cc_available(opts.cc)) {
     const StatusOr<Snapshot> snap = run_native(
@@ -507,6 +524,25 @@ OracleReport run_oracle(const Program& program, const std::string& entry,
     }
   }
 
+  if (opts.run_native_opt && cc_available(opts.cc)) {
+    // The opt tier rounds differently by design (-O3, contraction on,
+    // typed storage), so this is the one native leg the comparator
+    // forks away from bitwise: each element must land within the ulp
+    // budget (plus any configured rtol/atol band) of the reference.
+    const Comparator ulp{opts.opt_rtol, opts.opt_atol, true,
+                         opts.opt_max_ulp};
+    const StatusOr<Snapshot> snap =
+        run_native(program, entry, specs.value(), opts, false,
+                   DirectivePolicy::kV0, false, NumericModel::kOpt);
+    if (!snap.is_ok()) {
+      report.errors.push_back(cat("native-opt: ", snap.status().message()));
+    } else {
+      report.opt_backend_ran = true;
+      compare_snapshots("native-opt", reference.value(), snap.value(),
+                        specs.value(), ulp, &report);
+    }
+  }
+
   if (opts.run_compiled_c && cc_available(opts.cc)) {
     const StatusOr<Snapshot> snap =
         run_compiled_c(program, entry, specs.value(), opts);
@@ -514,7 +550,7 @@ OracleReport run_oracle(const Program& program, const std::string& entry,
       report.errors.push_back(cat("c: ", snap.status().message()));
     } else {
       report.c_backend_ran = true;
-      compare_snapshots("c", reference.value(), snap.value(), specs.value(), opts, &report);
+      compare_snapshots("c", reference.value(), snap.value(), specs.value(), tol, &report);
     }
   }
   return report;

@@ -15,6 +15,9 @@
 //      bitwise: threaded bit-exact steps must not change a single bit,
 //   6. the generated C translation unit compiled with the system
 //      compiler and run in a subprocess,
+//   7. (opt-in) the opt-tier native kernel — typed storage, restrict,
+//      -O3 with contraction — compared under a per-element ulp budget
+//      instead of bitwise, the numeric contract that tier advertises,
 //
 // and every Global Scope grid is compared element-wise afterwards.
 // Agreement is |a-b| <= atol + rtol*max(|a|,|b|), with NaN==NaN; exact
@@ -60,6 +63,17 @@ struct OracleOptions {
   /// run_native_parallel this differentially pins fusion as a pure
   /// dispatch-cost optimization. Off by default (extra compiles).
   bool run_native_fused = false;
+  /// Opt-tier native leg ("native-opt"): the same program JIT-compiled
+  /// under NumericModel::kOpt — typed storage, restrict pointers,
+  /// -O3 -ffp-contract=fast -march=native. Unlike every other native
+  /// leg this one is *not* bitwise: contraction and vectorization round
+  /// differently, so the comparator forks to a per-element ulp budget
+  /// (ulp_close with opt_max_ulp, plus an optional rtol/atol band).
+  /// Off by default: an extra kernel compile per program.
+  bool run_native_opt = false;
+  std::uint64_t opt_max_ulp = 64;  ///< per-element budget for the opt leg
+  double opt_rtol = 0.0;           ///< optional relative band on top
+  double opt_atol = 0.0;           ///< optional absolute band on top
   /// Plan-engine legs: serial "plan" plus "parallel-vK-plan" per policy.
   bool run_plan = true;
   /// Tree-walk parallel legs ("parallel-vK"). Off + run_plan = plan-only
@@ -93,6 +107,7 @@ struct OracleReport {
   std::vector<std::string> errors;      ///< infrastructure failures
   bool c_backend_ran = false;
   bool native_backend_ran = false;
+  bool opt_backend_ran = false;
   int backends_compared = 0;
 
   /// All executed backends matched the reference and nothing failed.

@@ -705,6 +705,8 @@ Machine::Machine(Program program, InterpOptions options)
       nopts.pool = pool_.get();
       nopts.cc = options_.native_cc;
       nopts.cache_dir = options_.native_cache_dir;
+      nopts.model = options_.native_model;
+      nopts.portable = options_.native_portable;
       StatusOr<std::unique_ptr<jit::NativeEngine>> engine =
           jit::NativeEngine::create(program_, analysis_, nopts);
       if (engine.is_ok()) {
@@ -716,6 +718,11 @@ Machine::Machine(Program program, InterpOptions options)
         native_report_.regions_total = native_->regions_total();
         native_report_.regions_fused = native_->fused_regions();
         native_report_.gate_min_units = native_->gate_min_units();
+        native_report_.model = native_->model();
+        native_report_.compiler = native_->compiler();
+        native_report_.compiler_version = native_->compiler_version();
+        native_report_.compile_flags = native_->compile_flags();
+        native_report_.host_key = native_->host_key();
       } else {
         native_report_.fallback_reason =
             std::string(engine.status().message());

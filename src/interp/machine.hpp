@@ -94,6 +94,17 @@ struct NativeReport {
   int num_threads = 1;          ///< pool width behind parallel kernels
   bool cache_hit = false;       ///< compilation skipped (kernel cache)
   std::string object_path;      ///< published cache entry ("" if none)
+  /// Numeric model the kernel was emitted with (kInterp = bit-identical,
+  /// kOpt = typed/ulp-bounded).
+  NumericModel model = NumericModel::kInterp;
+  /// Build provenance as keyed into the kernel cache: the resolved
+  /// compiler command, its --version identity line, the exact flag
+  /// string, and the host-CPU fingerprint for -march=native objects
+  /// ("" when the object is portable).
+  std::string compiler;
+  std::string compiler_version;
+  std::string compile_flags;
+  std::string host_key;
 };
 
 /// Interpreter execution options.
@@ -133,6 +144,15 @@ struct InterpOptions {
   /// (NativeEngine::Options::gate_min_units; -1 = calibrated auto,
   /// 0 = always dispatch).
   std::int64_t gate_min_units = -1;
+  /// kNative: numeric model of the emitted kernel. kInterp is the
+  /// bit-identical all-double tier; kOpt stores grids in native widths
+  /// and compiles -O3 -march=native — fast, but compared against the
+  /// interpreter under ulp budgets rather than bitwise. kOpt kernels
+  /// are always serial.
+  NumericModel native_model = NumericModel::kInterp;
+  /// kNative opt tier: compile a portable object (generic -O3, no
+  /// -march=native). Also forced by $GLAF_NATIVE_PORTABLE.
+  bool native_portable = false;
 };
 
 /// One trace record: a step that executed.

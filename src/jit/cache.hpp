@@ -1,8 +1,12 @@
 #pragma once
 // Content-addressed on-disk kernel cache. Compiled shared objects are
 // keyed by a stable 128-bit digest of (ABI version, emitted source,
-// compiler identity, compiler flags), so a source or toolchain change
-// misses cleanly and two processes can share one cache directory.
+// compiler identity, compiler flags, engine config — the config carries
+// the numeric model and, for -march=native objects, the host CPU
+// fingerprint), so a source, toolchain, tier, or host change misses
+// cleanly and two processes — or two hosts sharing a network cache
+// directory — can share one cache without ever serving an incompatible
+// object.
 // Publication is single-writer-safe: compile to a temp file in the cache
 // directory, then rename() into place (atomic on POSIX within one
 // filesystem). Corrupted entries (truncated/overwritten objects that no

@@ -3,7 +3,9 @@
 #include <map>
 #include <vector>
 
+#include "analysis/access.hpp"
 #include "codegen/c.hpp"
+#include "codegen/optpass.hpp"
 #include "support/strings.hpp"
 
 namespace glaf::jit {
@@ -20,11 +22,27 @@ std::string storage_name(const Grid& g) {
   return g.name;
 }
 
+/// Storage type of one grid inside the unit: the interp tier stores
+/// everything as double (the interpreter's model); the opt tier uses the
+/// native width the typed C back-end would pick. Must agree with
+/// CGen::ctype for the same numeric model.
+std::string nat_type(DataType t, NumericModel model) {
+  if (model != NumericModel::kOpt) return "double";
+  switch (t) {
+    case DataType::kInt: return "long";
+    case DataType::kReal: return "float";
+    case DataType::kDouble: return "double";
+    case DataType::kLogical: return "int";
+    case DataType::kVoid: break;
+  }
+  return "double";
+}
+
 /// Definitions the generated TU leaves to "the legacy objects": TYPE
 /// parent variables (prepended — functions access parent.member), plus
 /// storage for module externs and COMMON blocks (appended).
-std::string prelude_text(const Program& p,
-                         const std::vector<AbiSlot>& slots) {
+std::string prelude_text(const Program& p, const std::vector<AbiSlot>& slots,
+                         NumericModel model) {
   // Group TYPE elements by parent variable, in global_grids order.
   std::vector<std::string> parents;
   std::map<std::string, std::vector<const Grid*>> members;
@@ -41,14 +59,14 @@ std::string prelude_text(const Program& p,
   for (const std::string& parent : parents) {
     out.push_back(cat("static struct {"));
     for (const Grid* g : members[parent]) {
-      // interp_math storage: everything is a double.
+      const std::string ty = nat_type(g->elem_type, model);
       std::int64_t elems = 1;
       for (const AbiSlot& slot : slots) {
         if (&p.grid(slot.grid) == g) elems = slot.elements;
       }
       out.push_back(g->dims.empty()
-                        ? cat("  double ", g->name, ";")
-                        : cat("  double ", g->name, "[", elems, "];"));
+                        ? cat("  ", ty, " ", g->name, ";")
+                        : cat("  ", ty, " ", g->name, "[", elems, "];"));
     }
     out.push_back(cat("} ", parent, ";"));
   }
@@ -59,7 +77,8 @@ std::string prelude_text(const Program& p,
 std::string wrapper_text(const Program& p, const std::vector<AbiSlot>& slots,
                          const std::vector<AbiFunction>& functions,
                          bool parallel,
-                         const std::vector<ParallelRegion>& regions) {
+                         const std::vector<ParallelRegion>& regions,
+                         NumericModel model) {
   std::vector<std::string> out;
   out.push_back("");
   out.push_back("/* ---- native-engine ABI wrapper ---- */");
@@ -70,9 +89,10 @@ std::string wrapper_text(const Program& p, const std::vector<AbiSlot>& slots,
   for (const AbiSlot& slot : slots) {
     const Grid& g = p.grid(slot.grid);
     if (g.external == ExternalKind::kModule && g.type_parent.empty()) {
+      const std::string ty = nat_type(g.elem_type, model);
       out.push_back(g.dims.empty()
-                        ? cat("double ", g.name, ";")
-                        : cat("double ", g.name, "[", slot.elements, "];"));
+                        ? cat(ty, " ", g.name, ";")
+                        : cat(ty, " ", g.name, "[", slot.elements, "];"));
     } else if (g.external == ExternalKind::kCommon &&
                !common_defined[g.common_block]) {
       common_defined[g.common_block] = true;
@@ -109,11 +129,35 @@ std::string wrapper_text(const Program& p, const std::vector<AbiSlot>& slots,
                     "; }"));
   out.push_back(cat("long glaf_nat_fused_regions(void) { return ", fused,
                     "; }"));
+  // Numeric-model tier of this unit (0 = interp/bit-identical, 1 = opt/
+  // typed): the engine refuses a cached object whose tier disagrees with
+  // the one it was asked to run.
+  out.push_back(cat("long glaf_nat_model(void) { return ",
+                    model == NumericModel::kOpt ? 1 : 0, "; }"));
   out.push_back("");
   // Copy-in validates every slot's element count first (a nonzero return
   // is 1 + the offending slot index), then copies host state into the
-  // unit's storage; copy-out is the mirror image.
-  out.push_back("static long glaf_nat_copy_in(const glaf_nat_args* glaf_nat_a) {");
+  // unit's storage; copy-out is the mirror image. The host block is
+  // always double*: the interp tier memcpys it straight through, the opt
+  // tier converts element-wise into the slot's native width here — this
+  // boundary is the only place the two storage models meet.
+  //
+  // The opt tier additionally threads a per-entry slot mask through both
+  // copies: entry wrappers only move the globals their function
+  // (transitively) touches — copy-in for any access, copy-out for
+  // writes. Written grids always appear in the copy-in mask too, so a
+  // partial write exports the host's own values for untouched elements.
+  // Small entry points over large programs would otherwise be dominated
+  // by boundary traffic rather than kernel work.
+  const bool masked = model == NumericModel::kOpt;
+  const char* mask_param =
+      masked ? ", const unsigned char* restrict glaf_nat_m" : "";
+  auto guard = [&](std::size_t i, const std::string& line) {
+    return masked ? cat("  if (glaf_nat_m[", i, "]) {", line.substr(1), " }")
+                  : line;
+  };
+  out.push_back(cat("static long glaf_nat_copy_in(const glaf_nat_args* "
+                    "glaf_nat_a", mask_param, ") {"));
   for (std::size_t i = 0; i < slots.size(); ++i) {
     out.push_back(cat("  if (glaf_nat_a->extents[", i, "] != ", slots[i].elements,
                       ") return ", i + 1, ";"));
@@ -121,29 +165,84 @@ std::string wrapper_text(const Program& p, const std::vector<AbiSlot>& slots,
   for (std::size_t i = 0; i < slots.size(); ++i) {
     const Grid& g = p.grid(slots[i].grid);
     const std::string name = storage_name(g);
-    out.push_back(g.dims.empty()
-                      ? cat("  ", name, " = glaf_nat_a->grids[", i, "][0];")
-                      : cat("  memcpy(", name, ", glaf_nat_a->grids[", i, "], ",
-                            slots[i].elements, " * sizeof(double));"));
+    const std::string ty = nat_type(g.elem_type, model);
+    if (g.dims.empty()) {
+      out.push_back(guard(i, cat("  ", name, " = (", ty,
+                                 ")glaf_nat_a->grids[", i, "][0];")));
+    } else if (ty == "double") {
+      out.push_back(guard(i, cat("  memcpy(", name, ", glaf_nat_a->grids[", i,
+                                 "], ", slots[i].elements,
+                                 " * sizeof(double));")));
+    } else {
+      out.push_back(guard(i, cat("  { const double* restrict glaf_s = "
+                                 "glaf_nat_a->grids[", i, "]; ", ty,
+                                 "* restrict glaf_d = ", name, "; long glaf_k; "
+                                 "for (glaf_k = 0; glaf_k < ",
+                                 slots[i].elements,
+                                 "; ++glaf_k) glaf_d[glaf_k] = (", ty,
+                                 ")glaf_s[glaf_k]; }")));
+    }
   }
   out.push_back("  return 0;");
   out.push_back("}");
   out.push_back("");
-  out.push_back("static void glaf_nat_copy_out(const glaf_nat_args* glaf_nat_a) {");
+  out.push_back(cat("static void glaf_nat_copy_out(const glaf_nat_args* "
+                    "glaf_nat_a", mask_param, ") {"));
   for (std::size_t i = 0; i < slots.size(); ++i) {
     const Grid& g = p.grid(slots[i].grid);
     const std::string name = storage_name(g);
-    out.push_back(g.dims.empty()
-                      ? cat("  glaf_nat_a->grids[", i, "][0] = ", name, ";")
-                      : cat("  memcpy(glaf_nat_a->grids[", i, "], ", name, ", ",
-                            slots[i].elements, " * sizeof(double));"));
+    const std::string ty = nat_type(g.elem_type, model);
+    if (g.dims.empty()) {
+      out.push_back(guard(i, cat("  glaf_nat_a->grids[", i, "][0] = (double)",
+                                 name, ";")));
+    } else if (ty == "double") {
+      out.push_back(guard(i, cat("  memcpy(glaf_nat_a->grids[", i, "], ",
+                                 name, ", ", slots[i].elements,
+                                 " * sizeof(double));")));
+    } else {
+      out.push_back(guard(i, cat("  { const ", ty, "* restrict glaf_s = ",
+                                 name,
+                                 "; double* restrict glaf_d = "
+                                 "glaf_nat_a->grids[", i,
+                                 "]; long glaf_k; for (glaf_k = 0; glaf_k < ",
+                                 slots[i].elements,
+                                 "; ++glaf_k) glaf_d[glaf_k] = "
+                                 "(double)glaf_s[glaf_k]; }")));
+    }
   }
   out.push_back("}");
+  const EffectsMap effects = masked ? compute_effects(p) : EffectsMap{};
   for (const AbiFunction& fn : functions) {
     if (!fn.supported) continue;
     out.push_back("");
+    std::string touch_arg;
+    std::string write_arg;
+    if (masked) {
+      // Transitive side-effect summary of this entry; a missing summary
+      // degrades to copying everything, never to skipping a live slot.
+      const Function* f = p.find_function(fn.name);
+      const auto it = f != nullptr ? effects.find(f->id) : effects.end();
+      std::vector<std::string> touch(slots.size(), "1");
+      std::vector<std::string> write(slots.size(), "1");
+      if (it != effects.end()) {
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+          const bool reads = it->second.global_reads.count(slots[i].grid) > 0;
+          const bool writes =
+              it->second.global_writes.count(slots[i].grid) > 0;
+          touch[i] = reads || writes ? "1" : "0";
+          write[i] = writes ? "1" : "0";
+        }
+      }
+      out.push_back(cat("static const unsigned char glaf_nat_touch_",
+                        fn.symbol, "[] = {", join(touch, ","), "};"));
+      out.push_back(cat("static const unsigned char glaf_nat_write_",
+                        fn.symbol, "[] = {", join(write, ","), "};"));
+      touch_arg = cat(", glaf_nat_touch_", fn.symbol);
+      write_arg = cat(", glaf_nat_write_", fn.symbol);
+    }
     out.push_back(cat("long ", fn.symbol, "(glaf_nat_args* glaf_nat_a) {"));
-    out.push_back("  long status = glaf_nat_copy_in(glaf_nat_a);");
+    out.push_back(cat("  long status = glaf_nat_copy_in(glaf_nat_a",
+                      touch_arg, ");"));
     out.push_back("  if (status) return status;");
     std::vector<std::string> args;
     for (int i = 0; i < fn.num_scalar_params; ++i) {
@@ -156,7 +255,7 @@ std::string wrapper_text(const Program& p, const std::vector<AbiSlot>& slots,
       out.push_back(cat("  ", call, ";"));
       out.push_back("  glaf_nat_a->result = 0.0;");
     }
-    out.push_back("  glaf_nat_copy_out(glaf_nat_a);");
+    out.push_back(cat("  glaf_nat_copy_out(glaf_nat_a", write_arg, ");"));
     out.push_back("  return 0;");
     out.push_back("}");
   }
@@ -210,23 +309,47 @@ StatusOr<KernelUnit> emit_kernel_unit(const Program& program,
     unit.functions.push_back(std::move(abi));
   }
 
+  // The opt tier applies the S4 interchange pass before lowering; a
+  // reordered program needs a fresh analysis (verdict collapse depths and
+  // partition dimensions are positional).
+  const Program* prog = &program;
+  const ProgramAnalysis* anal = &analysis;
+  Program transformed;
+  ProgramAnalysis reanalysis;
+  if (options.model == NumericModel::kOpt) {
+    OptPassResult pass = apply_opt_loop_transforms(program);
+    if (pass.interchanged_steps > 0) {
+      transformed = std::move(pass.program);
+      reanalysis = analyze_program(transformed);
+      prog = &transformed;
+      anal = &reanalysis;
+    }
+  }
+
+  // The host-parallel range ABI is an interp-tier feature (its bit-exact
+  // partitioning argument is meaningless under reordered typed math), so
+  // opt units are always serial.
+  const bool parallel =
+      options.parallel && options.model != NumericModel::kOpt;
+
   CodegenOptions copts;
   copts.language = Language::kC;
-  copts.interp_math = true;
+  copts.numeric_model = options.model;
   copts.emit_comments = false;
   // Parallel units are host-driven: bit-exact steps become range
   // functions dispatched through glaf_set_pfor. No OpenMP pragmas are
   // emitted — the schedule is the host pool's choice, not the kernel's.
   copts.enable_openmp = false;
-  copts.host_parallel = options.parallel;
+  copts.host_parallel = parallel;
   copts.fuse_regions = options.fuse_regions;
   copts.policy = options.policy;
   copts.save_temporaries = options.save_temporaries;
-  GeneratedCode code = generate_c(program, analysis, copts);
+  GeneratedCode code = generate_c(*prog, *anal, copts);
   unit.regions = code.regions;
-  unit.source = cat(prelude_text(program, unit.slots), code.source,
-                    wrapper_text(program, unit.slots, unit.functions,
-                                 options.parallel, unit.regions));
+  unit.source = cat(prelude_text(*prog, unit.slots, options.model),
+                    code.source,
+                    wrapper_text(*prog, unit.slots, unit.functions, parallel,
+                                 unit.regions, options.model));
   return unit;
 }
 

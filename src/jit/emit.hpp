@@ -1,7 +1,8 @@
 #pragma once
 // Native-engine kernel emission: lower a whole GLAF program to one
 // self-contained C translation unit built around the C back-end's
-// interpreter-exact mode (CodegenOptions::interp_math), plus an
+// numeric models (CodegenOptions::NumericModel — the bit-identical
+// kInterp tier or the typed, ulp-bounded kOpt tier), plus an
 // extern-"C" ABI wrapper per function. The wrapper takes a flat argument
 // block — grid base pointers in global_grids order, their element
 // counts, and the entry call's scalar arguments — copies the host's
@@ -27,7 +28,10 @@ namespace glaf::jit {
 /// v3: fused region entry points (glaf_rg_*), the profit gate
 ///     (glaf_set_pfor grew a gate argument; glaf_nat_gated counter) and
 ///     region metadata (glaf_nat_regions / glaf_nat_fused_regions).
-inline constexpr long kAbiVersion = 3;
+/// v4: numeric-model tiers — opt units store grids in native widths and
+///     convert element-wise at the copy-in/copy-out boundary (the host
+///     block stays double*); glaf_nat_model() reports the tier.
+inline constexpr long kAbiVersion = 4;
 
 /// One comparable/copyable global: position in the flat argument block
 /// is its position in program.global_grids.
@@ -72,6 +76,12 @@ struct EmitOptions {
   /// the engine folds them into the cache-key config instead).
   bool dynamic_schedule = false;
   std::int64_t schedule_chunk = 4;
+  /// Numeric model of the lowered unit. kInterp is the bit-identical
+  /// tier; kOpt stores grids in native widths, restrict-qualifies
+  /// pointers, and applies the S4 interchange pass — its results are
+  /// compared under ulp budgets. kOpt units are always serial (the
+  /// host-parallel range ABI is an interp-tier feature).
+  NumericModel model = NumericModel::kInterp;
 };
 
 /// Lower `program` to a native kernel unit. Fails (whole-engine

@@ -96,41 +96,68 @@ StatusOr<void*> open_private_copy(const std::string& object_path) {
 StatusOr<std::unique_ptr<NativeEngine>> NativeEngine::create(
     const Program& program, const ProgramAnalysis& analysis,
     const Options& options) {
+  // The opt tier is serial by construction (emit.cpp clamps the same
+  // way); resolve it once here so the ABI check, the pfor installation
+  // and the cache key all agree.
+  const bool opt_tier = options.model == NumericModel::kOpt;
+  const bool parallel = options.parallel && !opt_tier;
+
   EmitOptions eopts;
-  eopts.parallel = options.parallel;
+  eopts.parallel = parallel;
   eopts.policy = options.policy;
   eopts.save_temporaries = options.save_temporaries;
   eopts.dynamic_schedule = options.dynamic_schedule;
   eopts.schedule_chunk = options.schedule_chunk;
   eopts.fuse_regions = options.fuse_regions;
+  eopts.model = options.model;
   StatusOr<KernelUnit> unit = emit_kernel_unit(program, analysis, eopts);
   if (!unit.is_ok()) return unit.status();
 
   const std::string cc = default_cc(options.cc);
-  // -ffp-contract=off: FMA contraction would round differently than the
-  // interpreter's plain double arithmetic, breaking bit-identity.
-  // -fno-builtin: without it the compiler constant-folds libm calls on
-  // literal arguments (correctly rounded via MPFR), which can differ by
-  // an ulp from the runtime libm the interpreter calls.
+  const bool portable =
+      options.portable || std::getenv("GLAF_NATIVE_PORTABLE") != nullptr;
+  // interp tier: -ffp-contract=off because FMA contraction would round
+  // differently than the interpreter's plain double arithmetic, breaking
+  // bit-identity; -fno-builtin because the compiler constant-folds libm
+  // calls on literal arguments (correctly rounded via MPFR), which can
+  // differ by an ulp from the runtime libm the interpreter calls.
+  // opt tier: the opposite trade — typed storage, -O3 with contraction
+  // on, -fno-math-errno so libm calls vectorize, and -march=native
+  // unless a portable object was requested. Its output is compared
+  // under ulp budgets, never bitwise.
   const std::string flags =
-      "-shared -fPIC -O2 -ffp-contract=off -fno-builtin";
+      opt_tier
+          ? cat("-shared -fPIC -O3 -ffp-contract=fast -fno-math-errno",
+                portable ? "" : " -march=native")
+          : "-shared -fPIC -O2 -ffp-contract=off -fno-builtin";
   // The emitted source already encodes the parallel partitioning, but
   // folding the engine configuration into the key as well keeps serial
-  // and parallel objects (and per-policy / per-schedule variants) as
-  // distinct cache entries even when their sources coincide.
+  // and parallel objects (and per-policy / per-schedule / per-tier
+  // variants) as distinct cache entries even when their sources
+  // coincide. -march=native objects additionally key the host CPU
+  // fingerprint, so a cache directory shared across hosts can never
+  // serve an incompatible object (the compiler identity is already part
+  // of every key via KernelCache::key).
   // The gate threshold is installed at run time through glaf_set_pfor
   // and deliberately NOT part of the key: retuning the gate must never
   // recompile or split the cache.
+  const std::string host_key =
+      opt_tier && !portable ? host_arch_fingerprint() : std::string();
   const std::string config =
-      cat("parallel=", options.parallel ? 1 : 0, ";policy=",
+      cat("parallel=", parallel ? 1 : 0, ";policy=",
           to_string(options.policy), ";sched=",
           options.dynamic_schedule ? "dynamic" : "static", ";chunk=",
           options.schedule_chunk, ";fuse=", options.fuse_regions ? 1 : 0,
+          ";model=", to_string(options.model), ";host=", host_key,
           ";emit=", kAbiVersion);
 
   auto engine = std::unique_ptr<NativeEngine>(new NativeEngine());
   engine->unit_ = std::move(unit).value();
   engine->options_ = options;
+  engine->cc_ = cc;
+  engine->cc_identity_ = compiler_identity(cc);
+  engine->flags_ = flags;
+  engine->host_key_ = host_key;
 
   KernelCache cache(options.cache_dir);
   StatusOr<std::string> object = cache.object_for(
@@ -166,10 +193,13 @@ StatusOr<std::unique_ptr<NativeEngine>> NativeEngine::create(
       static_cast<long>(engine->unit_.slots.size())) {
     return internal_error("kernel slot count mismatch");
   }
-  if (meta("glaf_nat_parallel") != (options.parallel ? 1 : 0)) {
+  if (meta("glaf_nat_parallel") != (parallel ? 1 : 0)) {
     return internal_error("kernel parallel-mode mismatch");
   }
-  if (options.parallel) {
+  if (meta("glaf_nat_model") != (opt_tier ? 1 : 0)) {
+    return internal_error("kernel numeric-model mismatch");
+  }
+  if (parallel) {
     auto* set_pfor = reinterpret_cast<SetPforFn>(
         dlsym(engine->handle_, "glaf_set_pfor"));
     if (set_pfor == nullptr) {

@@ -71,6 +71,16 @@ class NativeEngine {
     std::string cc;
     /// Cache directory override ("" = $GLAF_KERNEL_CACHE / XDG default).
     std::string cache_dir;
+    /// Numeric model of the emitted unit: kInterp compiles the
+    /// bit-identical all-double tier (-O2, contraction off); kOpt
+    /// compiles the typed tier with -O3 -march=native and contraction
+    /// on — its results are ulp-close, not bitwise. kOpt units are
+    /// always serial (the range ABI is an interp-tier feature).
+    NumericModel model = NumericModel::kInterp;
+    /// Compile the opt tier without -march=native (generic -O3), for
+    /// cache directories or objects that must run on any host. Also
+    /// forced by the GLAF_NATIVE_PORTABLE environment variable.
+    bool portable = false;
   };
 
   /// Emit, compile (or reuse the cached object) and load the program.
@@ -129,6 +139,18 @@ class NativeEngine {
     return object_path_;
   }
   [[nodiscard]] const std::string& source() const { return unit_.source; }
+  /// Numeric model the unit was emitted with.
+  [[nodiscard]] NumericModel model() const { return options_.model; }
+  /// Build provenance, recorded into NativeReport: the resolved compiler
+  /// command, its --version identity, the exact flag string, and the
+  /// host fingerprint keyed for -march=native objects ("" when the
+  /// object is portable).
+  [[nodiscard]] const std::string& compiler() const { return cc_; }
+  [[nodiscard]] const std::string& compiler_version() const {
+    return cc_identity_;
+  }
+  [[nodiscard]] const std::string& compile_flags() const { return flags_; }
+  [[nodiscard]] const std::string& host_key() const { return host_key_; }
 
  private:
   NativeEngine() = default;
@@ -137,6 +159,11 @@ class NativeEngine {
   Options options_;
   std::string object_path_;  ///< published cache entry
   bool cache_hit_ = false;
+  /// Build provenance (see the accessors above).
+  std::string cc_;
+  std::string cc_identity_;
+  std::string flags_;
+  std::string host_key_;
   void* handle_ = nullptr;   ///< dlopen handle of the private copy
   /// Set when the unit was emitted parallel: the context installed via
   /// the kernel's glaf_set_pfor.

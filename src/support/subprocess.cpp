@@ -1,5 +1,6 @@
 #include "support/subprocess.hpp"
 
+#include <sys/utsname.h>
 #include <sys/wait.h>
 
 #include <cstdio>
@@ -63,6 +64,38 @@ bool cc_available(const std::string& cc) { return probe_compiler(cc).available; 
 
 const std::string& compiler_identity(const std::string& cc) {
   return probe_compiler(cc).identity;
+}
+
+const std::string& host_arch_fingerprint() {
+  static const std::string fingerprint = [] {
+    std::string arch = "unknown";
+    utsname u{};
+    if (uname(&u) == 0) arch = u.machine;
+    // First "model name" line of /proc/cpuinfo (absent on some
+    // architectures; the uname machine field alone still keys those).
+    std::string model;
+    if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+      char buf[512];
+      while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+        std::string line(buf);
+        if (line.rfind("model name", 0) != 0) continue;
+        const std::size_t colon = line.find(':');
+        if (colon != std::string::npos) {
+          model = line.substr(colon + 1);
+          // Trim whitespace and the trailing newline.
+          const std::size_t lo = model.find_first_not_of(" \t\n");
+          const std::size_t hi = model.find_last_not_of(" \t\n");
+          model = lo == std::string::npos
+                      ? std::string()
+                      : model.substr(lo, hi - lo + 1);
+        }
+        break;
+      }
+      std::fclose(f);
+    }
+    return model.empty() ? arch : arch + ":" + model;
+  }();
+  return fingerprint;
 }
 
 std::string default_cc(const std::string& preferred) {

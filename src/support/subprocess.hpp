@@ -39,4 +39,11 @@ const std::string& compiler_identity(const std::string& cc);
 /// tool so GLAF_CC redirects (or disables) every compiler-backed path.
 std::string default_cc(const std::string& preferred = "");
 
+/// Stable fingerprint of the host microarchitecture: "machine:cpu model"
+/// from uname + /proc/cpuinfo (cached). The JIT kernel cache folds this
+/// into the key of any object compiled with -march=native, so a cache
+/// directory shared across hosts can never serve an object built for a
+/// different CPU.
+const std::string& host_arch_fingerprint();
+
 }  // namespace glaf

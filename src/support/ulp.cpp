@@ -1,0 +1,45 @@
+#include "support/ulp.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace glaf {
+namespace {
+
+/// Map a double's bits onto a single monotone unsigned number line:
+/// positive values land at sign-bit + magnitude, negative values at
+/// sign-bit - magnitude. Monotone in the represented value, adjacent
+/// representable values differ by exactly 1, and -0/+0 share one slot
+/// (so -x to +x measures 2 * (x to 0), not 2 * (...) + 1).
+std::uint64_t monotone_key(double x) {
+  std::uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(x), "double must be 64-bit");
+  std::memcpy(&u, &x, sizeof(u));
+  constexpr std::uint64_t kSign = std::uint64_t{1} << 63;
+  return (u & kSign) != 0 ? kSign - (u & ~kSign) : kSign + u;
+}
+
+}  // namespace
+
+std::uint64_t ulp_distance(double a, double b) {
+  const bool nan_a = std::isnan(a);
+  const bool nan_b = std::isnan(b);
+  if (nan_a && nan_b) return 0;  // payloads and NaN sign are irrelevant
+  if (nan_a || nan_b) return kUlpIncomparable;
+  if (a == b) return 0;  // covers the +0/-0 pair
+  const std::uint64_t ka = monotone_key(a);
+  const std::uint64_t kb = monotone_key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+bool ulp_close(double a, double b, std::uint64_t max_ulp, double rtol,
+               double atol) {
+  const std::uint64_t dist = ulp_distance(a, b);
+  if (dist <= max_ulp) return true;
+  if (dist == kUlpIncomparable) return false;  // exactly one NaN
+  if (std::isinf(a) || std::isinf(b)) return false;
+  return std::fabs(a - b) <= atol + rtol * std::fmax(std::fabs(a),
+                                                     std::fabs(b));
+}
+
+}  // namespace glaf

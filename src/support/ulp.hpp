@@ -1,0 +1,35 @@
+#pragma once
+// Ulp-distance comparison for the opt emit tier's differential wall. The
+// interp tier is compared bitwise; the opt tier (typed storage, -O3,
+// contraction on) legitimately rounds differently, so its legs are held
+// to a per-kernel budget measured in units-in-the-last-place — the
+// tightest numeric contract that still admits reassociation-free
+// compiler optimization.
+
+#include <cstdint>
+
+namespace glaf {
+
+/// Sentinel distance for incomparable pairs (exactly one NaN).
+inline constexpr std::uint64_t kUlpIncomparable = ~std::uint64_t{0};
+
+/// Unsigned distance between two doubles on the monotone integer number
+/// line of IEEE-754 (denormals and the ±0 pair are single steps, like
+/// any other neighbors; DBL_MAX to +inf is one step).
+///   - bit-identical values, the +0/-0 pair, and any two NaNs (payload
+///     and sign ignored) are distance 0;
+///   - exactly one NaN is kUlpIncomparable;
+///   - mixed-sign finite pairs measure through zero (-x to +x is twice
+///     the distance of x to 0), so a sign flip is never "close" unless
+///     both values are tiny.
+std::uint64_t ulp_distance(double a, double b);
+
+/// The opt-tier comparator: true when the values are bit-identical /
+/// both NaN, within `max_ulp` ulps, or (finite values only) within the
+/// absolute/relative band `atol + rtol * max(|a|, |b|)`. The band covers
+/// kernels whose error is better expressed relatively (long float
+/// accumulations); pass rtol = atol = 0 for a pure ulp budget.
+bool ulp_close(double a, double b, std::uint64_t max_ulp, double rtol = 0.0,
+               double atol = 0.0);
+
+}  // namespace glaf

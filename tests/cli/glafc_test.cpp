@@ -2,6 +2,8 @@
 // with --engine=native it must exit non-zero whenever the native
 // engine falls back — whole-engine unavailability or per-call plan
 // routing — and print the reason; without fallback it must exit 0.
+// Also covers the run-mode --emit tier switch (interp|opt) and its
+// interaction with --engine/--strict-engine.
 // Runs the real binary (path injected by CMake) through the shell.
 
 #include <gtest/gtest.h>
@@ -57,6 +59,67 @@ TEST(GlafcStrictEngine, RejectsNonNativeEngines) {
   EXPECT_NE(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("requires --engine=native"), std::string::npos)
       << r.output;
+}
+
+TEST(GlafcEmitTier, OptTierRunsNativelyUnderStrictEngine) {
+  if (!have_cc()) GTEST_SKIP() << "no system compiler";
+  // Opt kernels dispatch serially, so every call must still be native:
+  // --strict-engine holds the tier to zero fallbacks.
+  const RunResult r = run_command(
+      glafc() +
+      " --builtin=sarb --run --engine=native --emit=opt"
+      " --strict-engine 2>&1");
+  ASSERT_TRUE(r.started);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("model=opt"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("0 fallback call(s)"), std::string::npos)
+      << r.output;
+}
+
+TEST(GlafcEmitTier, DefaultTierIsInterp) {
+  if (!have_cc()) GTEST_SKIP() << "no system compiler";
+  const RunResult r = run_command(
+      glafc() + " --builtin=sarb --run --engine=native 2>&1");
+  ASSERT_TRUE(r.started);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("model=interp"), std::string::npos) << r.output;
+}
+
+TEST(GlafcEmitTier, PortableOptTierRuns) {
+  if (!have_cc()) GTEST_SKIP() << "no system compiler";
+  // --portable drops -march=native; the kernel must still build and run.
+  const RunResult r = run_command(
+      glafc() +
+      " --builtin=sarb --run --engine=native --emit=opt --portable"
+      " --strict-engine 2>&1");
+  ASSERT_TRUE(r.started);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("model=opt"), std::string::npos) << r.output;
+}
+
+TEST(GlafcEmitTier, OptRequiresTheNativeEngine) {
+  const RunResult r = run_command(
+      glafc() + " --builtin=sarb --run --engine=plan --emit=opt 2>&1");
+  ASSERT_TRUE(r.started);
+  EXPECT_NE(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("requires --engine=native"), std::string::npos)
+      << r.output;
+}
+
+TEST(GlafcEmitTier, RejectsUnknownRunModeTier) {
+  const RunResult r = run_command(
+      glafc() + " --builtin=sarb --run --engine=native --emit=fast 2>&1");
+  ASSERT_TRUE(r.started);
+  EXPECT_NE(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("interp|opt"), std::string::npos) << r.output;
+}
+
+TEST(GlafcEmitTier, CodegenModeEmitStillSelectsLanguages) {
+  // Outside run mode --emit keeps its original meaning (target language).
+  const RunResult r = run_command(
+      glafc() + " --builtin=sarb --emit=c --serial 2>&1 | head -5");
+  ASSERT_TRUE(r.started);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
 }  // namespace

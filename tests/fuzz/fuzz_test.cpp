@@ -31,6 +31,35 @@ TEST(FuzzOracle, BoundedSeedSweepAgrees) {
   }
 }
 
+TEST(FuzzOracle, OptTierLegAgreesUnderUlpBudget) {
+  if (!cc_available("cc")) GTEST_SKIP() << "no C compiler available";
+
+  // The opt-tier leg (typed storage, -O3, contraction on) under its ulp
+  // comparator, alongside the bitwise serial-native leg: the comparator
+  // fork must hold both contracts in one oracle run.
+  OracleOptions opts;
+  opts.run_parallel = false;
+  opts.run_plan = false;
+  opts.run_compiled_c = false;
+  opts.run_native = true;
+  opts.run_native_opt = true;
+  opts.opt_max_ulp = 64;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto generated = generate_program(seed);
+    ASSERT_TRUE(generated.is_ok()) << "seed " << seed;
+    const OracleReport report =
+        run_oracle(generated.value().program, generated.value().entry, opts);
+    EXPECT_TRUE(report.opt_backend_ran) << "seed " << seed;
+    EXPECT_TRUE(report.agreed()) << "seed " << seed << ": "
+        << (report.errors.empty()
+                ? (report.divergences.empty()
+                       ? "?"
+                       : report.divergences[0].backend + " diverged on " +
+                             report.divergences[0].grid)
+                : report.errors[0]);
+  }
+}
+
 TEST(FuzzOracle, InjectedCBugIsCaughtAndShrunk) {
   if (!cc_available("cc")) GTEST_SKIP() << "no C compiler available";
 

@@ -1,0 +1,113 @@
+#include "support/ulp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace glaf {
+namespace {
+
+double from_bits(std::uint64_t bits) {
+  double d = 0.0;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+double next_up(double x) { return std::nextafter(x, INFINITY); }
+double next_down(double x) { return std::nextafter(x, -INFINITY); }
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kMax = std::numeric_limits<double>::max();
+constexpr double kDenormMin = std::numeric_limits<double>::denorm_min();
+
+TEST(UlpDistance, IdenticalValuesAreZero) {
+  EXPECT_EQ(ulp_distance(1.0, 1.0), 0u);
+  EXPECT_EQ(ulp_distance(-3.25, -3.25), 0u);
+  EXPECT_EQ(ulp_distance(kInf, kInf), 0u);
+  EXPECT_EQ(ulp_distance(-kInf, -kInf), 0u);
+}
+
+TEST(UlpDistance, Neighbors) {
+  EXPECT_EQ(ulp_distance(1.0, next_up(1.0)), 1u);
+  EXPECT_EQ(ulp_distance(1.0, next_down(1.0)), 1u);
+  EXPECT_EQ(ulp_distance(next_down(1.0), next_up(1.0)), 2u);
+  EXPECT_EQ(ulp_distance(-1.0, next_down(-1.0)), 1u);
+}
+
+TEST(UlpDistance, SignedZerosAreEqual) {
+  EXPECT_EQ(ulp_distance(0.0, -0.0), 0u);
+  EXPECT_EQ(ulp_distance(-0.0, 0.0), 0u);
+}
+
+TEST(UlpDistance, DenormalsAreOrdinarySteps) {
+  // 0 -> smallest denormal is one step; denormal neighbors are one step.
+  EXPECT_EQ(ulp_distance(0.0, kDenormMin), 1u);
+  EXPECT_EQ(ulp_distance(kDenormMin, 2 * kDenormMin), 1u);
+  // -denorm_min to +denorm_min crosses zero: two steps.
+  EXPECT_EQ(ulp_distance(-kDenormMin, kDenormMin), 2u);
+}
+
+TEST(UlpDistance, MixedSignNeighborsMeasureThroughZero) {
+  // -x to +x is exactly twice the distance of 0 to x.
+  const double x = 1.5e-300;
+  EXPECT_EQ(ulp_distance(-x, x), 2 * ulp_distance(0.0, x));
+  // A sign flip on a normal-sized value is astronomically far.
+  EXPECT_GT(ulp_distance(-1.0, 1.0), std::uint64_t{1} << 62);
+}
+
+TEST(UlpDistance, InfinityIsAdjacentToMax) {
+  EXPECT_EQ(ulp_distance(kMax, kInf), 1u);
+  EXPECT_EQ(ulp_distance(-kMax, -kInf), 1u);
+  EXPECT_GT(ulp_distance(kInf, -kInf), std::uint64_t{1} << 62);
+  EXPECT_GT(ulp_distance(1.0, kInf), std::uint64_t{1} << 52);
+}
+
+TEST(UlpDistance, NanPayloadsAndSignsAllCompareEqual) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  // Distinct payloads and a sign-flipped NaN.
+  const double payload1 = from_bits(0x7ff8000000000001ull);
+  const double payload2 = from_bits(0x7ff80000deadbeefull);
+  const double negnan = from_bits(0xfff8000000000042ull);
+  ASSERT_TRUE(std::isnan(payload1));
+  ASSERT_TRUE(std::isnan(payload2));
+  ASSERT_TRUE(std::isnan(negnan));
+  EXPECT_EQ(ulp_distance(qnan, qnan), 0u);
+  EXPECT_EQ(ulp_distance(payload1, payload2), 0u);
+  EXPECT_EQ(ulp_distance(qnan, negnan), 0u);
+}
+
+TEST(UlpDistance, OneNanIsIncomparable) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(ulp_distance(qnan, 1.0), kUlpIncomparable);
+  EXPECT_EQ(ulp_distance(0.0, qnan), kUlpIncomparable);
+  EXPECT_EQ(ulp_distance(qnan, kInf), kUlpIncomparable);
+}
+
+TEST(UlpClose, PureUlpBudget) {
+  EXPECT_TRUE(ulp_close(1.0, 1.0, 0));
+  EXPECT_TRUE(ulp_close(1.0, next_up(1.0), 1));
+  EXPECT_FALSE(ulp_close(1.0, next_up(next_up(1.0)), 1));
+  EXPECT_TRUE(ulp_close(0.0, -0.0, 0));
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(ulp_close(qnan, qnan, 0));
+  EXPECT_FALSE(ulp_close(qnan, 1.0, 1u << 20));
+  // Infinities only match themselves, never through the band.
+  EXPECT_TRUE(ulp_close(kInf, kInf, 0));
+  EXPECT_FALSE(ulp_close(kInf, kMax, 0, 1e-2, 1e300));
+}
+
+TEST(UlpClose, RelativeBandCoversWhatUlpsDoNot) {
+  // 1 + 1e-12 is thousands of ulps from 1.0 but relatively tiny.
+  const double a = 1.0;
+  const double b = 1.0 + 1e-12;
+  EXPECT_FALSE(ulp_close(a, b, 64));
+  EXPECT_TRUE(ulp_close(a, b, 64, 1e-9, 0.0));
+  EXPECT_TRUE(ulp_close(a, b, 64, 0.0, 1e-9));
+  EXPECT_FALSE(ulp_close(1.0, 2.0, 64, 1e-9, 1e-9));
+}
+
+}  // namespace
+}  // namespace glaf

@@ -28,6 +28,14 @@
 //                                      share one fork/join), also bitwise
 //   glaf-fuzz --policies=all|v0,v2,..  directive policies for those legs
 //                                      (default all of v0..v3)
+//   glaf-fuzz --emit=opt               add the opt-tier native leg (typed
+//                                      storage, -O3, contraction on). The
+//                                      comparator forks: every interp-tier
+//                                      leg stays bitwise while this leg is
+//                                      held to a per-element ulp budget
+//   glaf-fuzz --max-ulp N              that budget (default 64); --opt-rtol
+//                                      and --opt-atol add a tolerance band
+//                                      on top for finite values
 //   glaf-fuzz --threads N --rtol X --atol X
 //
 // Duplicate generated programs (identical serialized text from different
@@ -77,7 +85,9 @@ void usage(const char* argv0) {
                "          [--threads N] [--rtol X] [--atol X] [--no-cc]\n"
                "          [--no-native] [--no-parallel] [--parallel] [--fuse]\n"
                "          [--policies=all|v0,v1,...]\n"
-               "          [--engine=plan|treewalk|both|native]\n",
+               "          [--engine=plan|treewalk|both|native]\n"
+               "          [--emit=interp|opt] [--max-ulp N]\n"
+               "          [--opt-rtol X] [--opt-atol X]\n",
                argv0);
 }
 
@@ -202,6 +212,45 @@ bool parse_args(int argc, char** argv, CliOptions* opts) {
         std::fprintf(stderr, "unknown engine: %s\n", value.c_str());
         return false;
       }
+    } else if (arg.rfind("--emit", 0) == 0) {
+      std::string value;
+      if (arg.size() > 6 && arg[6] == '=') {
+        value = arg.substr(7);
+      } else if (arg.size() == 6) {
+        const char* v = next();
+        if (v == nullptr) return false;
+        value = v;
+      } else {
+        return false;
+      }
+      if (value == "interp") {
+        opts->oracle.run_native_opt = false;
+      } else if (value == "opt") {
+        opts->oracle.run_native_opt = true;
+      } else {
+        std::fprintf(stderr, "unknown emit tier: %s\n", value.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--max-ulp", 0) == 0) {
+      std::string value;
+      if (arg.size() > 9 && arg[9] == '=') {
+        value = arg.substr(10);
+      } else if (arg.size() == 9) {
+        const char* v = next();
+        if (v == nullptr) return false;
+        value = v;
+      } else {
+        return false;
+      }
+      opts->oracle.opt_max_ulp = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--opt-rtol") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->oracle.opt_rtol = std::strtod(v, nullptr);
+    } else if (arg == "--opt-atol") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->oracle.opt_atol = std::strtod(v, nullptr);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       std::exit(0);
@@ -321,7 +370,8 @@ int main(int argc, char** argv) {
   }
 
   if ((opts.oracle.run_compiled_c || opts.oracle.run_native ||
-       opts.oracle.run_native_parallel || opts.oracle.run_native_fused) &&
+       opts.oracle.run_native_parallel || opts.oracle.run_native_fused ||
+       opts.oracle.run_native_opt) &&
       !cc_available(opts.oracle.cc)) {
     std::fprintf(stderr,
                  "note: compiler '%s' unavailable, skipping the C and"
@@ -331,6 +381,7 @@ int main(int argc, char** argv) {
     opts.oracle.run_native = false;
     opts.oracle.run_native_parallel = false;
     opts.oracle.run_native_fused = false;
+    opts.oracle.run_native_opt = false;
   }
 
   const auto start = std::chrono::steady_clock::now();

@@ -26,6 +26,12 @@
 //          --strict-engine turns any native-engine fallback — whole-engine
 //          unavailability or per-call plan routing — into a non-zero exit
 //          instead of a warning.
+//          With --engine=native, --emit=interp|opt selects the emission
+//          tier: interp (default) is the bit-identical all-double kernel;
+//          opt stores grids in native widths with restrict pointers and
+//          compiles -O3 with contraction on (serial dispatch, results
+//          within a ulp budget of the interpreter). --portable drops
+//          -march=native from the opt tier for relocatable kernel caches.
 
 #include <cstdio>
 #include <fstream>
@@ -106,6 +112,19 @@ int run_program(const CliArgs& args, Program program) {
     iopts.schedule_chunk = args.get_int("schedule-chunk", 4);
   }
 
+  // In run mode --emit selects the native emission tier, not a target
+  // language: interp is the bitwise contract, opt the ulp-bounded one.
+  const std::string tier = args.get("emit", "interp");
+  if (tier == "opt") {
+    if (iopts.engine != ExecEngine::kNative) {
+      return fail("--emit=opt requires --engine=native");
+    }
+    iopts.native_model = NumericModel::kOpt;
+  } else if (tier != "interp") {
+    return fail("unknown --emit '" + tier + "' in run mode (interp|opt)");
+  }
+  iopts.native_portable = args.get_bool("portable", false);
+
   std::string entry = args.get("run", "");
   if (entry == "true") entry.clear();  // bare --run (CliArgs boolean form)
   if (entry.empty()) {
@@ -150,10 +169,11 @@ int run_program(const CliArgs& args, Program program) {
   if (iopts.engine == ExecEngine::kNative && m.native_report().available) {
     const NativeReport& nr = m.native_report();
     std::fprintf(stderr,
-                 "glafc: native kernel %s (%llu native call(s),"
+                 "glafc: native kernel %s, model=%s (%llu native call(s),"
                  " %llu fallback call(s), %llu parallel call(s),"
                  " %llu parallel region(s), %d thread(s))\n",
                  nr.cache_hit ? "loaded from cache" : "compiled",
+                 to_string(nr.model),
                  static_cast<unsigned long long>(nr.native_calls),
                  static_cast<unsigned long long>(nr.fallback_calls),
                  static_cast<unsigned long long>(nr.parallel_calls),
