@@ -1,0 +1,349 @@
+// serve_qps — load generator for the glaf-serve daemon.
+//
+// Spins up an in-process Server on a private Unix socket and drives it
+// through three phases, all running the SARB entropy_interface entry:
+//
+//   serial      one client, one request at a time (baseline latency)
+//   concurrent  C clients, each running requests back-to-back — socket
+//               concurrency the batcher coalesces into parallel sweeps
+//   batched     kRunBatch frames of B requests — one round trip, one
+//               sweep, the throughput ceiling
+//
+// Reports QPS and p50/p99 latency per phase, the session's tier
+// promotion timeline (load → native-interp [→ native-opt]), and the
+// batcher's coalescing counters. The acceptance bar: batched QPS must
+// beat serial one-at-a-time QPS.
+//
+//   bench/serve_qps --threads 8 --requests 400 --clients 8 --batch 64 \
+//                   --tier interp --out BENCH_serve.json
+//   bench/serve_qps --smoke        # tiny counts, exercise every phase
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "support/cli.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+#include "support/subprocess.hpp"
+#include "support/timer.hpp"
+
+using namespace glaf;
+
+namespace {
+
+struct PhaseResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t requests = 0;
+};
+
+double percentile(std::vector<double> ms, double p) {
+  if (ms.empty()) return 0.0;
+  std::sort(ms.begin(), ms.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(ms.size() - 1) + 0.5);
+  return ms[std::min(idx, ms.size() - 1)];
+}
+
+PhaseResult phase_from_latencies(const std::vector<double>& latencies_ms,
+                                 double seconds) {
+  PhaseResult r;
+  r.seconds = seconds;
+  r.requests = latencies_ms.size();
+  r.qps = seconds > 0 ? static_cast<double>(latencies_ms.size()) / seconds
+                      : 0.0;
+  r.p50_ms = percentile(latencies_ms, 0.50);
+  r.p99_ms = percentile(latencies_ms, 0.99);
+  return r;
+}
+
+/// Phase 1: one connection, blocking request/reply, no pipelining.
+PhaseResult run_serial(const std::string& socket_path, std::uint64_t sid,
+                       int requests) {
+  serve::Client client;
+  if (!client.connect(socket_path).is_ok()) return {};
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(requests));
+  Timer total;
+  for (int i = 0; i < requests; ++i) {
+    Timer t;
+    const auto reply = client.run(sid, "entropy_interface");
+    if (!reply.is_ok()) {
+      std::fprintf(stderr, "serve_qps: serial run failed: %s\n",
+                   reply.status().message().c_str());
+      return {};
+    }
+    latencies.push_back(t.milliseconds());
+  }
+  return phase_from_latencies(latencies, total.seconds());
+}
+
+/// Phase 2: `clients` threads, each its own connection, all hammering
+/// concurrently — this is the load shape the batcher coalesces.
+PhaseResult run_concurrent(const std::string& socket_path,
+                           std::uint64_t sid, int clients,
+                           int requests_per_client) {
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  Timer total;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client;
+      if (!client.connect(socket_path).is_ok()) return;
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(requests_per_client));
+      for (int i = 0; i < requests_per_client; ++i) {
+        Timer t;
+        if (!client.run(sid, "entropy_interface").is_ok()) return;
+        mine.push_back(t.milliseconds());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = total.seconds();
+  std::vector<double> all;
+  for (const auto& v : latencies) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return phase_from_latencies(all, seconds);
+}
+
+/// Phase 3: kRunBatch frames — B requests per round trip. Latency here
+/// is per-frame (the whole batch), so only QPS is comparable.
+PhaseResult run_batched(const std::string& socket_path, std::uint64_t sid,
+                        int requests, int batch) {
+  serve::Client client;
+  if (!client.connect(socket_path).is_ok()) return {};
+  std::vector<double> frame_ms;
+  std::uint64_t done = 0;
+  Timer total;
+  while (done < static_cast<std::uint64_t>(requests)) {
+    const auto count = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(batch),
+        static_cast<std::uint64_t>(requests) - done));
+    Timer t;
+    const auto reply =
+        client.run_batch(sid, "entropy_interface", count, 0, {});
+    if (!reply.is_ok()) {
+      std::fprintf(stderr, "serve_qps: batch failed: %s\n",
+                   reply.status().message().c_str());
+      return {};
+    }
+    frame_ms.push_back(t.milliseconds());
+    done += count;
+  }
+  PhaseResult r;
+  r.seconds = total.seconds();
+  r.requests = done;
+  r.qps = r.seconds > 0 ? static_cast<double>(done) / r.seconds : 0.0;
+  r.p50_ms = percentile(frame_ms, 0.50);
+  r.p99_ms = percentile(frame_ms, 0.99);
+  return r;
+}
+
+void write_phase(JsonWriter& w, const char* name, const PhaseResult& r) {
+  w.key(name);
+  w.begin_object();
+  w.key("requests");
+  w.value(r.requests);
+  w.key("seconds");
+  w.value(r.seconds);
+  w.key("qps");
+  w.value(r.qps);
+  w.key("p50_ms");
+  w.value(r.p50_ms);
+  w.key("p99_ms");
+  w.value(r.p99_ms);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+  // Default the sweep pool to the host: oversubscribing a small box turns
+  // the batch sweep into pure context-switch overhead.
+  const int host_threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int threads = static_cast<int>(args.get_int("threads", host_threads));
+  const int requests =
+      static_cast<int>(args.get_int("requests", smoke ? 20 : 400));
+  const int clients = static_cast<int>(args.get_int("clients", smoke ? 2 : 8));
+  const int batch = static_cast<int>(args.get_int("batch", smoke ? 8 : 64));
+  const std::string tier = args.get("tier", "interp");
+  const std::string out_path = args.get("out", "");
+
+  serve::ExecConfig config;
+  if (tier == "plan") {
+    config.target_tier = 0;
+  } else if (tier == "interp") {
+    config.target_tier = 1;
+  } else if (tier == "opt") {
+    config.target_tier = 2;
+  } else {
+    std::fprintf(stderr, "serve_qps: unknown --tier '%s'\n", tier.c_str());
+    return 1;
+  }
+  if (config.target_tier > 0 && !cc_available(default_cc())) {
+    std::fprintf(stderr,
+                 "serve_qps: no system compiler; falling back to"
+                 " --tier plan\n");
+    config.target_tier = 0;
+  }
+
+  // Private socket; the kernel cache intentionally follows the
+  // environment default so repeat runs measure warm-cache serving.
+  const std::string socket_path =
+      cat("/tmp/glaf-serve-qps-", ::getpid(), ".sock");
+  serve::Server::Options options;
+  options.socket_path = socket_path;
+  options.threads = threads;
+  options.cache_dir = args.get("cache-dir", "");
+  serve::Server server(options);
+  const Status started = server.start();
+  if (!started.is_ok()) {
+    std::fprintf(stderr, "serve_qps: %s\n", started.message().c_str());
+    return 1;
+  }
+
+  // Load + wait out the tier ladder so every phase measures the settled
+  // tier; the promotion timeline itself is part of the report.
+  serve::Client loader;
+  if (!loader.connect(socket_path).is_ok()) {
+    std::fprintf(stderr, "serve_qps: cannot connect\n");
+    return 1;
+  }
+  const auto load = loader.load_builtin("sarb", config);
+  if (!load.is_ok()) {
+    std::fprintf(stderr, "serve_qps: load: %s\n",
+                 load.status().message().c_str());
+    return 1;
+  }
+  const std::uint64_t sid = load.value().session_id;
+  // One run on the load tier (the plan VM on a cold cache) so the
+  // timeline starts with a served request, then wait for the ladder.
+  (void)loader.run(sid, "entropy_interface");
+  server.compile_queue().wait_idle();
+  const auto session = server.registry().find(sid);
+  const serve::SessionStats warm = session->stats();
+
+  std::fprintf(stderr, "serve_qps: settled at tier %s (%zu promotion(s))\n",
+               to_string(warm.tier), warm.promotions.size());
+
+  const PhaseResult serial = run_serial(socket_path, sid, requests);
+  const PhaseResult concurrent =
+      run_concurrent(socket_path, sid, clients,
+                     std::max(1, requests / std::max(1, clients)));
+  const PhaseResult batched =
+      run_batched(socket_path, sid, requests, batch);
+  if (serial.requests == 0 || concurrent.requests == 0 ||
+      batched.requests == 0) {
+    std::fprintf(stderr, "serve_qps: a phase failed\n");
+    return 1;
+  }
+
+  const serve::Batcher::Stats bstats = server.batcher().stats();
+  const serve::SessionStats sstats = session->stats();
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("benchmark");
+  w.value("serve_qps");
+  w.key("threads");
+  w.value(threads);
+  w.key("requests");
+  w.value(requests);
+  w.key("clients");
+  w.value(clients);
+  w.key("batch");
+  w.value(batch);
+  w.key("tier");
+  w.value(to_string(sstats.tier));
+  w.key("host_cores");
+  w.value(static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  w.key("regenerate");
+  w.value(cat("bench/serve_qps --threads ", threads, " --requests ",
+              requests, " --clients ", clients, " --batch ", batch,
+              " --tier ", tier, " --out BENCH_serve.json"));
+  w.key("compiler");
+  w.value(default_cc());
+  w.key("compiler_version");
+  w.value(compiler_identity(default_cc()));
+  w.key("host_key");
+  w.value(host_arch_fingerprint());
+
+  w.key("promotions");
+  w.begin_array();
+  for (const auto& [tier_reached, seconds_after_load] : sstats.promotions) {
+    w.begin_object();
+    w.key("tier");
+    w.value(to_string(tier_reached));
+    w.key("seconds_after_load");
+    w.value(seconds_after_load);
+    w.end_object();
+  }
+  w.end_array();
+
+  write_phase(w, "serial", serial);
+  write_phase(w, "concurrent", concurrent);
+  write_phase(w, "batched", batched);
+  w.key("batched_vs_serial_speedup");
+  w.value(serial.qps > 0 ? batched.qps / serial.qps : 0.0);
+  w.key("concurrent_vs_serial_speedup");
+  w.value(serial.qps > 0 ? concurrent.qps / serial.qps : 0.0);
+
+  w.key("batcher");
+  w.begin_object();
+  w.key("requests");
+  w.value(bstats.requests);
+  w.key("batches");
+  w.value(bstats.batches);
+  w.key("max_batch");
+  w.value(bstats.max_batch);
+  w.key("avg_batch");
+  w.value(bstats.batches > 0
+              ? static_cast<double>(bstats.requests) /
+                    static_cast<double>(bstats.batches)
+              : 0.0);
+  w.end_object();
+  w.end_object();
+
+  const std::string json = std::move(w).str();
+  if (out_path.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "serve_qps: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::fprintf(stderr, "serve_qps: wrote %s\n", out_path.c_str());
+  }
+
+  std::fprintf(stderr,
+               "serve_qps: serial %.0f qps, concurrent %.0f qps, batched"
+               " %.0f qps (%.2fx serial)\n",
+               serial.qps, concurrent.qps, batched.qps,
+               serial.qps > 0 ? batched.qps / serial.qps : 0.0);
+  if (batched.qps <= serial.qps) {
+    std::fprintf(stderr,
+                 "serve_qps: WARNING batched throughput did not beat"
+                 " one-at-a-time dispatch\n");
+    return smoke ? 0 : 1;
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "core/libfuncs.hpp"
 #include "core/typecheck.hpp"
 #include "interp/exec_common.hpp"
+#include "interp/native_options.hpp"
 #include "interp/plan.hpp"
 #include "interp/vm.hpp"
 #include "jit/engine.hpp"
@@ -650,6 +651,25 @@ double Executor::eval_call(Frame& frame, const Expr& e, IndexEnv& env) {
 
 // ---- Machine ----------------------------------------------------------------
 
+jit::NativeEngine::Options native_engine_options(const InterpOptions& options,
+                                                 ThreadPool* pool) {
+  jit::NativeEngine::Options nopts;
+  nopts.parallel = options.parallel;
+  nopts.num_threads = options.num_threads;
+  nopts.policy = options.policy;
+  nopts.save_temporaries = options.save_temporaries;
+  nopts.dynamic_schedule = options.dynamic_schedule;
+  nopts.schedule_chunk = options.schedule_chunk;
+  nopts.fuse_regions = options.fuse_regions;
+  nopts.gate_min_units = options.gate_min_units;
+  nopts.pool = pool;
+  nopts.cc = options.native_cc;
+  nopts.cache_dir = options.native_cache_dir;
+  nopts.model = options.native_model;
+  nopts.portable = options.native_portable;
+  return nopts;
+}
+
 Machine::Machine(Program program, InterpOptions options)
     : program_(std::move(program)), options_(std::move(options)),
       analysis_(analyze_program(program_, options_.tweaks)) {
@@ -693,22 +713,10 @@ Machine::Machine(Program program, InterpOptions options)
       // The kernel cannot record per-step traces; run on plans instead.
       native_report_.fallback_reason = "tracing requested";
     } else {
-      jit::NativeEngine::Options nopts;
-      nopts.parallel = options_.parallel;
-      nopts.num_threads = options_.num_threads;
-      nopts.policy = options_.policy;
-      nopts.save_temporaries = options_.save_temporaries;
-      nopts.dynamic_schedule = options_.dynamic_schedule;
-      nopts.schedule_chunk = options_.schedule_chunk;
-      nopts.fuse_regions = options_.fuse_regions;
-      nopts.gate_min_units = options_.gate_min_units;
-      nopts.pool = pool_.get();
-      nopts.cc = options_.native_cc;
-      nopts.cache_dir = options_.native_cache_dir;
-      nopts.model = options_.native_model;
-      nopts.portable = options_.native_portable;
       StatusOr<std::unique_ptr<jit::NativeEngine>> engine =
-          jit::NativeEngine::create(program_, analysis_, nopts);
+          jit::NativeEngine::create(
+              program_, analysis_,
+              native_engine_options(options_, pool_.get()));
       if (engine.is_ok()) {
         native_ = std::move(engine).value();
         native_report_.available = true;

@@ -1,0 +1,20 @@
+#pragma once
+// The single source of truth for how InterpOptions map onto the native
+// engine's options. Machine's constructor uses it to build its engine;
+// the serve compile queue uses it to background-compile the SAME kernel
+// (same emitted source, same flags, same cache-key config) a later
+// Machine will load as a cache hit. Kept out of machine.hpp so that
+// header stays free of jit types.
+
+#include "interp/machine.hpp"
+#include "jit/engine.hpp"
+
+namespace glaf {
+
+/// The jit options a Machine constructed with `options` would compile
+/// and load its kernel with. `pool` is the machine's thread pool
+/// (nullptr when !options.parallel).
+[[nodiscard]] jit::NativeEngine::Options native_engine_options(
+    const InterpOptions& options, ThreadPool* pool);
+
+}  // namespace glaf

@@ -1,0 +1,22 @@
+#pragma once
+// One JSON schema for the native-engine report, shared by every
+// machine-readable surface: `glafc --json` prints it on stdout, the
+// serve subsystem's stats endpoint embeds it per session, and CI checks
+// grep the same field names in both. Keeping the renderer next to the
+// Machine (rather than in each tool) is what keeps the schema single.
+
+#include <string>
+
+#include "interp/machine.hpp"
+
+namespace glaf {
+
+/// `report` as one JSON object. Field names mirror the NativeReport
+/// members one-to-one (snake_case, `model` rendered via to_string).
+[[nodiscard]] std::string native_report_json(const NativeReport& report);
+
+/// `stats` as one JSON object (steps/iterations/allocations/regions/
+/// calls), the run-mode counters that accompany the native report.
+[[nodiscard]] std::string interp_stats_json(const InterpStats& stats);
+
+}  // namespace glaf

@@ -96,6 +96,15 @@ StatusOr<void*> open_private_copy(const std::string& object_path) {
 StatusOr<std::unique_ptr<NativeEngine>> NativeEngine::create(
     const Program& program, const ProgramAnalysis& analysis,
     const Options& options) {
+  StatusOr<CompiledKernel> compiled =
+      compile_object(program, analysis, options);
+  if (!compiled.is_ok()) return compiled.status();
+  return load_compiled(std::move(compiled).value(), options);
+}
+
+StatusOr<CompiledKernel> NativeEngine::compile_object(
+    const Program& program, const ProgramAnalysis& analysis,
+    const Options& options) {
   // The opt tier is serial by construction (emit.cpp clamps the same
   // way); resolve it once here so the ABI check, the pfor installation
   // and the cache key all agree.
@@ -151,27 +160,48 @@ StatusOr<std::unique_ptr<NativeEngine>> NativeEngine::create(
           ";model=", to_string(options.model), ";host=", host_key,
           ";emit=", kAbiVersion);
 
-  auto engine = std::unique_ptr<NativeEngine>(new NativeEngine());
-  engine->unit_ = std::move(unit).value();
-  engine->options_ = options;
-  engine->cc_ = cc;
-  engine->cc_identity_ = compiler_identity(cc);
-  engine->flags_ = flags;
-  engine->host_key_ = host_key;
+  CompiledKernel compiled;
+  compiled.unit = std::move(unit).value();
+  compiled.parallel = parallel;
+  compiled.cc = cc;
+  compiled.cc_identity = compiler_identity(cc);
+  compiled.flags = flags;
+  compiled.host_key = host_key;
+  compiled.config = config;
 
   KernelCache cache(options.cache_dir);
+  compiled.cache_dir = cache.dir();
   StatusOr<std::string> object = cache.object_for(
-      engine->unit_.source, cc, flags, &engine->cache_hit_, config);
+      compiled.unit.source, cc, flags, &compiled.cache_hit, config);
   if (!object.is_ok()) return object.status();
-  engine->object_path_ = std::move(object).value();
+  compiled.object_path = std::move(object).value();
+  return compiled;
+}
+
+StatusOr<std::unique_ptr<NativeEngine>> NativeEngine::load_compiled(
+    CompiledKernel compiled, const Options& options) {
+  const bool opt_tier = options.model == NumericModel::kOpt;
+  const bool parallel = compiled.parallel;
+
+  auto engine = std::unique_ptr<NativeEngine>(new NativeEngine());
+  engine->unit_ = std::move(compiled.unit);
+  engine->options_ = options;
+  engine->cc_ = compiled.cc;
+  engine->cc_identity_ = compiled.cc_identity;
+  engine->flags_ = compiled.flags;
+  engine->host_key_ = compiled.host_key;
+  engine->cache_hit_ = compiled.cache_hit;
+  engine->object_path_ = std::move(compiled.object_path);
 
   StatusOr<void*> handle = open_private_copy(engine->object_path_);
   if (!handle.is_ok()) {
     // The published entry may be stale or corrupted in a way the ELF
     // sniff missed: discard it and rebuild once.
+    KernelCache cache(compiled.cache_dir);
     cache.invalidate(engine->object_path_);
-    object = cache.object_for(engine->unit_.source, cc, flags, nullptr,
-                              config);
+    StatusOr<std::string> object =
+        cache.object_for(engine->unit_.source, compiled.cc, compiled.flags,
+                         nullptr, compiled.config);
     if (!object.is_ok()) return object.status();
     engine->cache_hit_ = false;
     engine->object_path_ = std::move(object).value();

@@ -44,6 +44,31 @@ struct GlobalBinding {
   std::int64_t elements = 0;
 };
 
+/// A compiled-but-not-loaded kernel: the emitted unit plus the published
+/// cache object and the exact build identity it was keyed under. Produced
+/// by NativeEngine::compile_object (which never dlopens — safe on a
+/// background thread) and consumed by NativeEngine::load_compiled.
+struct CompiledKernel {
+  KernelUnit unit;
+  std::string object_path;  ///< published cache entry
+  bool cache_hit = false;   ///< compilation skipped (entry already valid)
+  /// The engine-level parallel mode the unit was emitted with (the opt
+  /// tier clamps Options::parallel to serial; this is the resolved value
+  /// the load half must trust).
+  bool parallel = false;
+  /// Build provenance / cache identity: resolved compiler command, its
+  /// --version line, the flag string, the host fingerprint (opt tier,
+  /// non-portable only) and the full cache-key config string.
+  std::string cc;
+  std::string cc_identity;
+  std::string flags;
+  std::string host_key;
+  std::string config;
+  /// Cache directory the object was published into (resolved, so the
+  /// load half rebuilds through the same cache on a stale entry).
+  std::string cache_dir;
+};
+
 class NativeEngine {
  public:
   struct Options {
@@ -85,10 +110,29 @@ class NativeEngine {
 
   /// Emit, compile (or reuse the cached object) and load the program.
   /// Any failure here means the whole engine is unavailable and the
-  /// caller should fall back.
+  /// caller should fall back. Equivalent to compile_object() followed by
+  /// load_compiled() — the synchronous path and the serve subsystem's
+  /// async compile queue share those two halves.
   static StatusOr<std::unique_ptr<NativeEngine>> create(
       const Program& program, const ProgramAnalysis& analysis,
       const Options& options);
+
+  /// Compile-only half: emit the kernel unit and compile (or reuse) the
+  /// cached object, WITHOUT dlopening it. Safe to run on a background
+  /// thread; the returned record carries everything load_compiled()
+  /// needs, and the published cache path means a later create() with the
+  /// same options is a pure cache hit.
+  static StatusOr<CompiledKernel> compile_object(
+      const Program& program, const ProgramAnalysis& analysis,
+      const Options& options);
+
+  /// Load half: dlopen a compiled kernel (private copy) and wire the
+  /// ABI. Recompiles once through the cache when the published object
+  /// turns out stale or corrupt. `options` must be the ones the kernel
+  /// was compiled with (the dispatch knobs — pool, gate, schedule — are
+  /// consumed here; the emission knobs were consumed by compile_object).
+  static StatusOr<std::unique_ptr<NativeEngine>> load_compiled(
+      CompiledKernel compiled, const Options& options);
 
   ~NativeEngine();
   NativeEngine(const NativeEngine&) = delete;

@@ -1,0 +1,129 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+namespace glaf::serve {
+
+namespace {
+
+/// Sweep-side result of one request (plain fields so ranks can fill a
+/// preallocated vector; delivery reconstructs the StatusOr).
+struct Outcome {
+  Status status;
+  double value = 0.0;
+  Tier tier = Tier::kPlan;
+};
+
+Outcome run_one(RunRequest& request) {
+  Outcome out;
+  StatusOr<Lease> lease = request.session->acquire();
+  if (!lease.is_ok()) {
+    out.status = lease.status();
+    return out;
+  }
+  std::vector<CallArg> args;
+  args.reserve(request.args.size());
+  for (const double a : request.args) args.emplace_back(a);
+  const StatusOr<double> result =
+      lease.value().machine().call(request.entry, args);
+  out.tier = lease.value().tier();
+  request.session->record_run(out.tier);
+  if (result.is_ok()) {
+    out.value = result.value();
+  } else {
+    out.status = result.status();
+  }
+  return out;
+}
+
+void deliver(RunRequest& request, Outcome& outcome) {
+  if (outcome.status.is_ok()) {
+    request.done(StatusOr<double>(outcome.value), outcome.tier);
+  } else {
+    request.done(StatusOr<double>(std::move(outcome.status)), outcome.tier);
+  }
+}
+
+}  // namespace
+
+Batcher::Batcher(Options options)
+    : options_(options), pool_(std::max(1, options.threads)),
+      dispatcher_([this] { dispatcher_main(); }) {}
+
+Batcher::~Batcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+void Batcher::submit(RunRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+}
+
+Batcher::Stats Batcher::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Batcher::dispatcher_main() {
+  while (true) {
+    std::vector<RunRequest> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;  // spurious wake
+      }
+      const std::size_t n = std::min(queue_.size(), options_.max_batch);
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    run_batch(batch);
+  }
+}
+
+void Batcher::run_batch(std::vector<RunRequest>& batch) {
+  std::vector<Outcome> outcomes(batch.size());
+  if (batch.size() == 1) {
+    // A lone request pays no fork/join: inline on the dispatcher.
+    outcomes[0] = run_one(batch[0]);
+  } else {
+    // The sweep: one fork/join over the whole batch. Each request
+    // leases its own instance, so ranks never share mutable state.
+    pool_.parallel_for(
+        static_cast<std::int64_t>(batch.size()),
+        [&](int /*rank*/, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            outcomes[static_cast<std::size_t>(i)] =
+                run_one(batch[static_cast<std::size_t>(i)]);
+          }
+        });
+  }
+  // Count the batch BEFORE delivering: a client that observed its reply
+  // must see its request in the stats endpoint.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.batches;
+    stats_.requests += batch.size();
+    stats_.max_batch =
+        std::max<std::uint64_t>(stats_.max_batch, batch.size());
+  }
+  // Deliver serially on the dispatcher so completion callbacks (and
+  // their socket writes) never race each other.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    deliver(batch[i], outcomes[i]);
+  }
+}
+
+}  // namespace glaf::serve

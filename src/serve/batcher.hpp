@@ -1,0 +1,84 @@
+#pragma once
+// The serve request batcher: connection threads submit independent
+// run-requests; a single dispatcher thread drains whatever has queued
+// and executes the whole batch as ONE parallel_for sweep over the
+// server's thread pool — each request leasing a warmed instance from
+// its session. One fork/join then covers N requests, so socket
+// concurrency turns into machine-level parallelism without any kernel
+// seeing a thread it did not prove safe (pooled instances are serial;
+// the parallelism lives entirely ACROSS requests, the embarrassingly
+// parallel axis of the SARB column workload).
+//
+// Batches form naturally: while a sweep is in flight, newly arriving
+// requests pile up in the queue and the next drain takes them all (up
+// to max_batch). No artificial delay is ever inserted — a lone request
+// on an idle server runs immediately, inline on the dispatcher thread.
+//
+// Completion callbacks run on the dispatcher thread after the sweep
+// (never concurrently with each other), so reply writers only need a
+// per-connection mutex against the connection's own thread.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "serve/session.hpp"
+
+namespace glaf::serve {
+
+/// One queued run. `done` is invoked exactly once with the call result
+/// and the tier that served it (tier is meaningless on error).
+struct RunRequest {
+  std::shared_ptr<Session> session;
+  std::string entry;
+  std::vector<double> args;
+  std::function<void(StatusOr<double>, Tier)> done;
+};
+
+class Batcher {
+ public:
+  struct Options {
+    int threads = 4;             ///< sweep pool width
+    std::size_t max_batch = 4096;  ///< drain at most this many per sweep
+  };
+
+  struct Stats {
+    std::uint64_t requests = 0;  ///< completed requests
+    std::uint64_t batches = 0;   ///< sweeps executed
+    std::uint64_t max_batch = 0; ///< largest sweep so far
+    /// requests/batches is the average batch size; kept separate so the
+    /// stats endpoint can report both raw counters.
+  };
+
+  explicit Batcher(Options options);
+  ~Batcher();  ///< completes every queued request, then joins
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  void submit(RunRequest request);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void dispatcher_main();
+  void run_batch(std::vector<RunRequest>& batch);
+
+  const Options options_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<RunRequest> queue_;
+  bool stop_ = false;
+  Stats stats_;
+  std::thread dispatcher_;
+};
+
+}  // namespace glaf::serve

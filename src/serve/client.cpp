@@ -1,0 +1,157 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace glaf::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), server_pid_(other.server_pid_) {
+  other.fd_ = -1;
+  other.server_pid_ = 0;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::connect(const std::string& socket_path) {
+  if (fd_ >= 0) return failed_precondition("already connected");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return invalid_argument("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return internal_error(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const Status st = internal_error("connect " + socket_path + ": " +
+                                     std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  fd_ = fd;
+
+  const StatusOr<Frame> reply =
+      round_trip(Frame{MsgType::kHello, {}}, MsgType::kHelloOk);
+  if (!reply.is_ok()) {
+    close();
+    return reply.status();
+  }
+  const StatusOr<HelloReplyMsg> hello = decode_hello_reply(reply.value());
+  if (!hello.is_ok()) {
+    close();
+    return hello.status();
+  }
+  server_pid_ = hello.value().server_pid;
+  return Status::ok();
+}
+
+StatusOr<Frame> Client::round_trip(const Frame& request,
+                                   MsgType expected_reply) {
+  if (fd_ < 0) return failed_precondition("not connected");
+  const Status wr = write_frame(fd_, request);
+  if (!wr.is_ok()) return wr;
+  StatusOr<Frame> reply = read_frame(fd_);
+  if (!reply.is_ok()) return reply.status();
+  if (reply.value().type == MsgType::kError) {
+    const StatusOr<ErrorMsg> err = decode_error(reply.value());
+    if (!err.is_ok()) return err.status();
+    // Clamp out-of-range wire codes rather than casting garbage.
+    const auto code =
+        err.value().code <= static_cast<std::uint32_t>(StatusCode::kInternal)
+            ? static_cast<StatusCode>(err.value().code)
+            : StatusCode::kInternal;
+    return Status(code, err.value().message);
+  }
+  if (reply.value().type != expected_reply) {
+    return internal_error(
+        "unexpected reply type " +
+        std::to_string(static_cast<unsigned>(reply.value().type)));
+  }
+  return reply;
+}
+
+StatusOr<LoadReplyMsg> Client::load_builtin(const std::string& name,
+                                            const ExecConfig& config) {
+  LoadProgramMsg msg;
+  msg.builtin = name;
+  msg.config = config;
+  const StatusOr<Frame> reply = round_trip(encode(msg), MsgType::kLoadReply);
+  if (!reply.is_ok()) return reply.status();
+  return decode_load_reply(reply.value());
+}
+
+StatusOr<LoadReplyMsg> Client::load_source(const std::string& source,
+                                           const ExecConfig& config) {
+  LoadProgramMsg msg;
+  msg.source = source;
+  msg.config = config;
+  const StatusOr<Frame> reply = round_trip(encode(msg), MsgType::kLoadReply);
+  if (!reply.is_ok()) return reply.status();
+  return decode_load_reply(reply.value());
+}
+
+StatusOr<RunReplyMsg> Client::run(std::uint64_t session_id,
+                                  const std::string& entry,
+                                  const std::vector<double>& args) {
+  RunEntryMsg msg;
+  msg.session_id = session_id;
+  msg.entry = entry;
+  msg.args = args;
+  const StatusOr<Frame> reply = round_trip(encode(msg), MsgType::kRunReply);
+  if (!reply.is_ok()) return reply.status();
+  return decode_run_reply(reply.value());
+}
+
+StatusOr<BatchReplyMsg> Client::run_batch(std::uint64_t session_id,
+                                          const std::string& entry,
+                                          std::uint32_t count,
+                                          std::uint32_t num_args,
+                                          const std::vector<double>& scalars) {
+  RunBatchMsg msg;
+  msg.session_id = session_id;
+  msg.entry = entry;
+  msg.count = count;
+  msg.num_args = num_args;
+  msg.scalars = scalars;
+  const StatusOr<Frame> reply =
+      round_trip(encode(msg), MsgType::kBatchReply);
+  if (!reply.is_ok()) return reply.status();
+  return decode_batch_reply(reply.value());
+}
+
+StatusOr<std::string> Client::stats(std::uint64_t session_id) {
+  StatsMsg msg;
+  msg.session_id = session_id;
+  const StatusOr<Frame> reply =
+      round_trip(encode(msg), MsgType::kStatsReply);
+  if (!reply.is_ok()) return reply.status();
+  const StatusOr<StatsReplyMsg> stats = decode_stats_reply(reply.value());
+  if (!stats.is_ok()) return stats.status();
+  return stats.value().json;
+}
+
+Status Client::shutdown_server() {
+  const StatusOr<Frame> reply =
+      round_trip(Frame{MsgType::kShutdown, {}}, MsgType::kShutdownOk);
+  if (!reply.is_ok()) return reply.status();
+  close();  // daemon is exiting; this connection is done
+  return Status::ok();
+}
+
+}  // namespace glaf::serve

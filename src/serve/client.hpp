@@ -1,0 +1,75 @@
+#pragma once
+// Synchronous client for the glaf-serve wire protocol. One connection,
+// one outstanding request at a time — the library that backs both the
+// QPS bench (which opens many of these) and `glaf_serve --client`.
+//
+// Every call sends one request frame and blocks for its reply; a typed
+// kError reply surfaces as the contained Status, transport failures as
+// the socket Status. The client is not thread-safe: one Client per
+// thread (they are cheap — a connect(2) and a hello exchange).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "support/status.hpp"
+
+namespace glaf::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();  ///< closes the socket
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+
+  /// Connect to the daemon and exchange the hello handshake (which
+  /// verifies magic + protocol version end to end).
+  Status connect(const std::string& socket_path);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  /// Daemon pid from the hello reply (0 before connect()).
+  [[nodiscard]] std::uint64_t server_pid() const { return server_pid_; }
+
+  /// Load a builtin program ("sarb", "fun3d") under `config`.
+  StatusOr<LoadReplyMsg> load_builtin(const std::string& name,
+                                      const ExecConfig& config = {});
+  /// Load serialized GLAF IR text under `config`.
+  StatusOr<LoadReplyMsg> load_source(const std::string& source,
+                                     const ExecConfig& config = {});
+
+  /// Run `entry` once; the reply carries the result and the tier that
+  /// served it.
+  StatusOr<RunReplyMsg> run(std::uint64_t session_id,
+                            const std::string& entry,
+                            const std::vector<double>& args = {});
+
+  /// Run `entry` count times with args[i*num_args..] per call; one
+  /// round trip, executed server-side as one batch.
+  StatusOr<BatchReplyMsg> run_batch(std::uint64_t session_id,
+                                    const std::string& entry,
+                                    std::uint32_t count,
+                                    std::uint32_t num_args,
+                                    const std::vector<double>& scalars);
+
+  /// Stats JSON for one session, or the whole server with id 0.
+  StatusOr<std::string> stats(std::uint64_t session_id = 0);
+
+  /// Ask the daemon to exit (waits for the kShutdownOk ack).
+  Status shutdown_server();
+
+  void close();
+
+ private:
+  /// One request/reply exchange; checks for a kError reply.
+  StatusOr<Frame> round_trip(const Frame& request, MsgType expected_reply);
+
+  int fd_ = -1;
+  std::uint64_t server_pid_ = 0;
+};
+
+}  // namespace glaf::serve

@@ -1,0 +1,86 @@
+#include "serve/compile_queue.hpp"
+
+#include "analysis/parallelize.hpp"
+#include "interp/native_options.hpp"
+#include "jit/engine.hpp"
+
+namespace glaf::serve {
+
+CompileQueue::CompileQueue() : worker_([this] { worker_main(); }) {}
+
+CompileQueue::~CompileQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    queue_.clear();
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void CompileQueue::enqueue(std::shared_ptr<Session> session) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    queue_.push_back(std::move(session));
+  }
+  cv_.notify_one();
+}
+
+void CompileQueue::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+std::uint64_t CompileQueue::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+void CompileQueue::worker_main() {
+  while (true) {
+    std::shared_ptr<Session> session;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      session = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    run_ladder(session);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_ = false;
+      ++completed_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void CompileQueue::run_ladder(const std::shared_ptr<Session>& session) {
+  // The analysis a Machine at these options would run; computed once
+  // for both rungs of the ladder.
+  const ProgramAnalysis analysis = analyze_program(session->program());
+  const Tier ceiling = session->config().target_tier;
+  for (const Tier tier : {Tier::kNativeInterp, Tier::kNativeOpt}) {
+    if (tier > ceiling || tier <= session->tier()) continue;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) return;  // in-flight session: stop between rungs
+    }
+    const jit::NativeEngine::Options nopts =
+        native_engine_options(session->machine_options(tier), nullptr);
+    const StatusOr<jit::CompiledKernel> compiled =
+        jit::NativeEngine::compile_object(session->program(), analysis,
+                                          nopts);
+    if (!compiled.is_ok()) {
+      session->record_compile_error(
+          std::string(compiled.status().message()));
+      return;  // higher rungs would fail the same way
+    }
+    session->promote(tier);
+  }
+}
+
+}  // namespace glaf::serve

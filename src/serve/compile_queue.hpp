@@ -1,0 +1,69 @@
+#pragma once
+// Async tiered compilation for serve sessions: requests are answered
+// from the plan VM the moment a program loads, while this queue's
+// background worker climbs the session's tier ladder — emit + compile
+// the interp-math native kernel, publish it in the jit kernel cache,
+// promote the session; then the same for the opt kernel when the
+// session's ceiling asks for it.
+//
+// The queue compiles through NativeEngine::compile_object — the
+// compile-only half of the engine split — so it never dlopens on the
+// worker thread; promotion just flips the session's tier, and the next
+// instance the pool constructs loads the published object as a pure
+// cache hit. Compiling with options derived from
+// Session::machine_options guarantees the cache key the worker
+// publishes under is byte-identical to the one instance construction
+// looks up.
+//
+// One worker thread: kernel compilation forks the system compiler, so
+// queue depth, not parallelism, is what matters; a second compile would
+// fight the first for cores the serving path needs.
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "serve/session.hpp"
+
+namespace glaf::serve {
+
+class CompileQueue {
+ public:
+  CompileQueue();
+  ~CompileQueue();  ///< drains nothing: pending jobs are dropped, the
+                    ///< in-flight compile finishes, the worker joins
+
+  CompileQueue(const CompileQueue&) = delete;
+  CompileQueue& operator=(const CompileQueue&) = delete;
+
+  /// Schedule `session`'s ladder: every tier above its current one up
+  /// to its configured ceiling, in order. Idempotent enough for the
+  /// caller's needs — re-enqueueing a fully-promoted session is a
+  /// no-op in the worker.
+  void enqueue(std::shared_ptr<Session> session);
+
+  /// Block until the queue is empty and the worker is idle (tests and
+  /// the daemon's --sync-compile mode).
+  void wait_idle();
+
+  /// Jobs completed so far (promotions + failures).
+  [[nodiscard]] std::uint64_t completed() const;
+
+ private:
+  void worker_main();
+  /// Compile every missing tier of one session, promoting as they land.
+  void run_ladder(const std::shared_ptr<Session>& session);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::shared_ptr<Session>> queue_;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::uint64_t completed_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace glaf::serve

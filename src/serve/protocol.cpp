@@ -1,0 +1,561 @@
+#include "serve/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/strings.hpp"
+
+namespace glaf::serve {
+
+// ---- Writer ---------------------------------------------------------------
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void Writer::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+// ---- Reader ---------------------------------------------------------------
+
+Status Reader::need(std::size_t n) {
+  if (size_ - pos_ < n) {
+    return invalid_argument(cat("truncated payload: need ", n, " bytes at ",
+                                pos_, ", have ", size_ - pos_));
+  }
+  return Status::ok();
+}
+
+StatusOr<std::uint8_t> Reader::u8() {
+  if (Status s = need(1); !s.is_ok()) return s;
+  return data_[pos_++];
+}
+
+StatusOr<std::uint16_t> Reader::u16() {
+  if (Status s = need(2); !s.is_ok()) return s;
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(
+        v | static_cast<std::uint16_t>(data_[pos_ + i]) << (8 * i));
+  }
+  pos_ += 2;
+  return v;
+}
+
+StatusOr<std::uint32_t> Reader::u32() {
+  if (Status s = need(4); !s.is_ok()) return s;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<std::uint64_t> Reader::u64() {
+  if (Status s = need(8); !s.is_ok()) return s;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<double> Reader::f64() {
+  StatusOr<std::uint64_t> bits = u64();
+  if (!bits.is_ok()) return bits.status();
+  double v = 0.0;
+  const std::uint64_t b = bits.value();
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+StatusOr<std::string> Reader::str() {
+  StatusOr<std::uint32_t> len = u32();
+  if (!len.is_ok()) return len.status();
+  if (Status s = need(len.value()); !s.is_ok()) return s;
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), len.value());
+  pos_ += len.value();
+  return out;
+}
+
+// ---- framing --------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + frame.payload.size());
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  const std::uint16_t version = kProtocolVersion;
+  const std::uint16_t type = static_cast<std::uint16_t>(frame.type);
+  const std::uint32_t len = static_cast<std::uint32_t>(frame.payload.size());
+  out.push_back(static_cast<std::uint8_t>(version));
+  out.push_back(static_cast<std::uint8_t>(version >> 8));
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(static_cast<std::uint8_t>(type >> 8));
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+Status FrameDecoder::feed(const void* data, std::size_t n) {
+  if (!poisoned_.is_ok()) return poisoned_;
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), bytes, bytes + n);
+  return Status::ok();
+}
+
+StatusOr<std::optional<Frame>> FrameDecoder::next() {
+  if (!poisoned_.is_ok()) return poisoned_;
+  if (buf_.size() - pos_ < kHeaderSize) {
+    // Compact once the consumed prefix dominates the buffer.
+    if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+      pos_ = 0;
+    }
+    return std::optional<Frame>();
+  }
+  const std::uint8_t* h = buf_.data() + pos_;
+  if (std::memcmp(h, kMagic, 4) != 0) {
+    poisoned_ = invalid_argument("bad frame magic (not a GLAF peer)");
+    return poisoned_;
+  }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(h[4] | (std::uint16_t{h[5]} << 8));
+  if (version != kProtocolVersion) {
+    poisoned_ = invalid_argument(cat("unsupported protocol version ",
+                                     version, " (this peer speaks ",
+                                     kProtocolVersion, ")"));
+    return poisoned_;
+  }
+  const std::uint16_t type =
+      static_cast<std::uint16_t>(h[6] | (std::uint16_t{h[7]} << 8));
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(h[8 + i]) << (8 * i);
+  }
+  if (len > kMaxPayload) {
+    poisoned_ = invalid_argument(
+        cat("oversized frame: ", len, " bytes (max ", kMaxPayload, ")"));
+    return poisoned_;
+  }
+  if (buf_.size() - pos_ < kHeaderSize + len) return std::optional<Frame>();
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload.assign(h + kHeaderSize, h + kHeaderSize + len);
+  pos_ += kHeaderSize + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+Status write_frame(int fd, const Frame& frame) {
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return internal_error(cat("socket write: ", std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+StatusOr<Frame> read_frame(int fd) {
+  FrameDecoder decoder;
+  std::uint8_t chunk[4096];
+  while (true) {
+    StatusOr<std::optional<Frame>> frame = decoder.next();
+    if (!frame.is_ok()) return frame.status();
+    if (frame.value().has_value()) return std::move(*frame.value());
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return internal_error(cat("socket read: ", std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (decoder.buffered() == 0) {
+        return failed_precondition("peer closed the connection");
+      }
+      return internal_error("peer disconnected mid-frame");
+    }
+    if (Status s = decoder.feed(chunk, static_cast<std::size_t>(n));
+        !s.is_ok()) {
+      return s;
+    }
+  }
+}
+
+// ---- typed messages -------------------------------------------------------
+
+namespace {
+
+Frame frame_of(MsgType type, Writer&& w) {
+  Frame f;
+  f.type = type;
+  f.payload = std::move(w).take();
+  return f;
+}
+
+Status expect_type(const Frame& frame, MsgType want, const char* what) {
+  if (frame.type != want) {
+    return invalid_argument(cat("expected ", what, " frame, got type ",
+                                static_cast<int>(frame.type)));
+  }
+  return Status::ok();
+}
+
+Status expect_done(const Reader& r, const char* what) {
+  if (!r.done()) {
+    return invalid_argument(
+        cat(r.remaining(), " trailing byte(s) after ", what, " payload"));
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Frame encode(const LoadProgramMsg& m) {
+  Writer w;
+  w.u8(m.builtin.empty() ? 1 : 0);
+  w.str(m.builtin.empty() ? m.source : m.builtin);
+  w.u8(m.config.target_tier);
+  w.u8(m.config.policy);
+  w.u8(m.config.portable ? 1 : 0);
+  return frame_of(MsgType::kLoadProgram, std::move(w));
+}
+
+StatusOr<LoadProgramMsg> decode_load_program(const Frame& frame) {
+  if (Status s = expect_type(frame, MsgType::kLoadProgram, "load-program");
+      !s.is_ok()) {
+    return s;
+  }
+  Reader r(frame.payload);
+  LoadProgramMsg m;
+  const StatusOr<std::uint8_t> kind = r.u8();
+  if (!kind.is_ok()) return kind.status();
+  StatusOr<std::string> text = r.str();
+  if (!text.is_ok()) return text.status();
+  if (kind.value() == 0) {
+    m.builtin = std::move(text).value();
+  } else if (kind.value() == 1) {
+    m.source = std::move(text).value();
+  } else {
+    return invalid_argument(cat("unknown program kind ", kind.value()));
+  }
+  const StatusOr<std::uint8_t> tier = r.u8();
+  if (!tier.is_ok()) return tier.status();
+  if (tier.value() > 2) {
+    return invalid_argument(cat("unknown target tier ", tier.value()));
+  }
+  m.config.target_tier = tier.value();
+  const StatusOr<std::uint8_t> policy = r.u8();
+  if (!policy.is_ok()) return policy.status();
+  if (policy.value() > 3) {
+    return invalid_argument(cat("unknown directive policy v", policy.value()));
+  }
+  m.config.policy = policy.value();
+  const StatusOr<std::uint8_t> portable = r.u8();
+  if (!portable.is_ok()) return portable.status();
+  m.config.portable = portable.value() != 0;
+  if (Status s = expect_done(r, "load-program"); !s.is_ok()) return s;
+  return m;
+}
+
+Frame encode(const LoadReplyMsg& m) {
+  Writer w;
+  w.u64(m.session_id);
+  w.u8(m.current_tier);
+  w.str(m.program_hash);
+  return frame_of(MsgType::kLoadReply, std::move(w));
+}
+
+StatusOr<LoadReplyMsg> decode_load_reply(const Frame& frame) {
+  if (Status s = expect_type(frame, MsgType::kLoadReply, "load-reply");
+      !s.is_ok()) {
+    return s;
+  }
+  Reader r(frame.payload);
+  LoadReplyMsg m;
+  const StatusOr<std::uint64_t> id = r.u64();
+  if (!id.is_ok()) return id.status();
+  m.session_id = id.value();
+  const StatusOr<std::uint8_t> tier = r.u8();
+  if (!tier.is_ok()) return tier.status();
+  m.current_tier = tier.value();
+  StatusOr<std::string> hash = r.str();
+  if (!hash.is_ok()) return hash.status();
+  m.program_hash = std::move(hash).value();
+  if (Status s = expect_done(r, "load-reply"); !s.is_ok()) return s;
+  return m;
+}
+
+Frame encode(const RunEntryMsg& m) {
+  Writer w;
+  w.u64(m.session_id);
+  w.str(m.entry);
+  w.u32(static_cast<std::uint32_t>(m.args.size()));
+  for (const double a : m.args) w.f64(a);
+  return frame_of(MsgType::kRunEntry, std::move(w));
+}
+
+StatusOr<RunEntryMsg> decode_run_entry(const Frame& frame) {
+  if (Status s = expect_type(frame, MsgType::kRunEntry, "run-entry");
+      !s.is_ok()) {
+    return s;
+  }
+  Reader r(frame.payload);
+  RunEntryMsg m;
+  const StatusOr<std::uint64_t> id = r.u64();
+  if (!id.is_ok()) return id.status();
+  m.session_id = id.value();
+  StatusOr<std::string> entry = r.str();
+  if (!entry.is_ok()) return entry.status();
+  m.entry = std::move(entry).value();
+  const StatusOr<std::uint32_t> n = r.u32();
+  if (!n.is_ok()) return n.status();
+  if (static_cast<std::size_t>(n.value()) * 8 > r.remaining()) {
+    return invalid_argument(cat("argument count ", n.value(),
+                                " exceeds payload"));
+  }
+  m.args.reserve(n.value());
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    const StatusOr<double> a = r.f64();
+    if (!a.is_ok()) return a.status();
+    m.args.push_back(a.value());
+  }
+  if (Status s = expect_done(r, "run-entry"); !s.is_ok()) return s;
+  return m;
+}
+
+Frame encode(const RunReplyMsg& m) {
+  Writer w;
+  w.u8(m.tier);
+  w.f64(m.result);
+  return frame_of(MsgType::kRunReply, std::move(w));
+}
+
+StatusOr<RunReplyMsg> decode_run_reply(const Frame& frame) {
+  if (Status s = expect_type(frame, MsgType::kRunReply, "run-reply");
+      !s.is_ok()) {
+    return s;
+  }
+  Reader r(frame.payload);
+  RunReplyMsg m;
+  const StatusOr<std::uint8_t> tier = r.u8();
+  if (!tier.is_ok()) return tier.status();
+  m.tier = tier.value();
+  const StatusOr<double> result = r.f64();
+  if (!result.is_ok()) return result.status();
+  m.result = result.value();
+  if (Status s = expect_done(r, "run-reply"); !s.is_ok()) return s;
+  return m;
+}
+
+Frame encode(const RunBatchMsg& m) {
+  Writer w;
+  w.u64(m.session_id);
+  w.str(m.entry);
+  w.u32(m.count);
+  w.u32(m.num_args);
+  for (const double a : m.scalars) w.f64(a);
+  return frame_of(MsgType::kRunBatch, std::move(w));
+}
+
+StatusOr<RunBatchMsg> decode_run_batch(const Frame& frame) {
+  if (Status s = expect_type(frame, MsgType::kRunBatch, "run-batch");
+      !s.is_ok()) {
+    return s;
+  }
+  Reader r(frame.payload);
+  RunBatchMsg m;
+  const StatusOr<std::uint64_t> id = r.u64();
+  if (!id.is_ok()) return id.status();
+  m.session_id = id.value();
+  StatusOr<std::string> entry = r.str();
+  if (!entry.is_ok()) return entry.status();
+  m.entry = std::move(entry).value();
+  const StatusOr<std::uint32_t> count = r.u32();
+  if (!count.is_ok()) return count.status();
+  const StatusOr<std::uint32_t> num_args = r.u32();
+  if (!num_args.is_ok()) return num_args.status();
+  m.count = count.value();
+  m.num_args = num_args.value();
+  const std::uint64_t total =
+      std::uint64_t{m.count} * std::uint64_t{m.num_args};
+  if (total * 8 != r.remaining()) {
+    return invalid_argument(cat("batch of ", m.count, "x", m.num_args,
+                                " scalars does not match payload size"));
+  }
+  m.scalars.reserve(total);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const StatusOr<double> a = r.f64();
+    if (!a.is_ok()) return a.status();
+    m.scalars.push_back(a.value());
+  }
+  if (Status s = expect_done(r, "run-batch"); !s.is_ok()) return s;
+  return m;
+}
+
+Frame encode(const BatchReplyMsg& m) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(m.results.size()));
+  for (const RunReplyMsg& r : m.results) {
+    w.u8(r.tier);
+    w.f64(r.result);
+  }
+  return frame_of(MsgType::kBatchReply, std::move(w));
+}
+
+StatusOr<BatchReplyMsg> decode_batch_reply(const Frame& frame) {
+  if (Status s = expect_type(frame, MsgType::kBatchReply, "batch-reply");
+      !s.is_ok()) {
+    return s;
+  }
+  Reader r(frame.payload);
+  BatchReplyMsg m;
+  const StatusOr<std::uint32_t> n = r.u32();
+  if (!n.is_ok()) return n.status();
+  if (static_cast<std::size_t>(n.value()) * 9 > r.remaining()) {
+    return invalid_argument(cat("result count ", n.value(),
+                                " exceeds payload"));
+  }
+  m.results.reserve(n.value());
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    RunReplyMsg item;
+    const StatusOr<std::uint8_t> tier = r.u8();
+    if (!tier.is_ok()) return tier.status();
+    item.tier = tier.value();
+    const StatusOr<double> result = r.f64();
+    if (!result.is_ok()) return result.status();
+    item.result = result.value();
+    m.results.push_back(item);
+  }
+  if (Status s = expect_done(r, "batch-reply"); !s.is_ok()) return s;
+  return m;
+}
+
+Frame encode(const StatsMsg& m) {
+  Writer w;
+  w.u64(m.session_id);
+  return frame_of(MsgType::kStats, std::move(w));
+}
+
+StatusOr<StatsMsg> decode_stats(const Frame& frame) {
+  if (Status s = expect_type(frame, MsgType::kStats, "stats"); !s.is_ok()) {
+    return s;
+  }
+  Reader r(frame.payload);
+  StatsMsg m;
+  const StatusOr<std::uint64_t> id = r.u64();
+  if (!id.is_ok()) return id.status();
+  m.session_id = id.value();
+  if (Status s = expect_done(r, "stats"); !s.is_ok()) return s;
+  return m;
+}
+
+Frame encode(const StatsReplyMsg& m) {
+  Writer w;
+  w.str(m.json);
+  return frame_of(MsgType::kStatsReply, std::move(w));
+}
+
+StatusOr<StatsReplyMsg> decode_stats_reply(const Frame& frame) {
+  if (Status s = expect_type(frame, MsgType::kStatsReply, "stats-reply");
+      !s.is_ok()) {
+    return s;
+  }
+  Reader r(frame.payload);
+  StatsReplyMsg m;
+  StatusOr<std::string> json = r.str();
+  if (!json.is_ok()) return json.status();
+  m.json = std::move(json).value();
+  if (Status s = expect_done(r, "stats-reply"); !s.is_ok()) return s;
+  return m;
+}
+
+Frame encode(const HelloReplyMsg& m) {
+  Writer w;
+  w.u16(m.protocol_version);
+  w.u64(m.server_pid);
+  return frame_of(MsgType::kHelloOk, std::move(w));
+}
+
+StatusOr<HelloReplyMsg> decode_hello_reply(const Frame& frame) {
+  if (Status s = expect_type(frame, MsgType::kHelloOk, "hello-ok");
+      !s.is_ok()) {
+    return s;
+  }
+  Reader r(frame.payload);
+  HelloReplyMsg m;
+  const StatusOr<std::uint16_t> version = r.u16();
+  if (!version.is_ok()) return version.status();
+  m.protocol_version = version.value();
+  const StatusOr<std::uint64_t> pid = r.u64();
+  if (!pid.is_ok()) return pid.status();
+  m.server_pid = pid.value();
+  if (Status s = expect_done(r, "hello-ok"); !s.is_ok()) return s;
+  return m;
+}
+
+Frame encode(const ErrorMsg& m) {
+  Writer w;
+  w.u32(m.code);
+  w.str(m.message);
+  return frame_of(MsgType::kError, std::move(w));
+}
+
+StatusOr<ErrorMsg> decode_error(const Frame& frame) {
+  if (Status s = expect_type(frame, MsgType::kError, "error"); !s.is_ok()) {
+    return s;
+  }
+  Reader r(frame.payload);
+  ErrorMsg m;
+  const StatusOr<std::uint32_t> code = r.u32();
+  if (!code.is_ok()) return code.status();
+  m.code = code.value();
+  StatusOr<std::string> message = r.str();
+  if (!message.is_ok()) return message.status();
+  m.message = std::move(message).value();
+  if (Status s = expect_done(r, "error"); !s.is_ok()) return s;
+  return m;
+}
+
+Frame error_frame(const Status& status) {
+  ErrorMsg m;
+  m.code = static_cast<std::uint32_t>(status.code());
+  m.message = status.message();
+  return encode(m);
+}
+
+}  // namespace glaf::serve

@@ -1,0 +1,245 @@
+#pragma once
+// The glaf-serve wire protocol: length-prefixed binary frames over a
+// stream socket (Unix-domain in practice; nothing here assumes it).
+//
+// Every frame starts with a fixed 12-byte header:
+//
+//   bytes 0-3   magic "GLAF" (the handshake — a peer speaking anything
+//               else is rejected on the first frame)
+//   bytes 4-5   protocol version, little-endian u16 (kProtocolVersion)
+//   bytes 6-7   message type, little-endian u16 (MsgType)
+//   bytes 8-11  payload length, little-endian u32 (<= kMaxPayload)
+//
+// followed by `length` payload bytes. All multi-byte integers are
+// little-endian and packed byte-wise (no struct punning, no host-order
+// assumptions); doubles travel as their IEEE-754 bit pattern in a u64,
+// so interp-tier results survive the wire bit-exactly.
+//
+// Robustness contract (tests/serve/protocol_test.cpp): malformed input
+// — bad magic, unsupported version, oversized length, truncated frames,
+// or arbitrary random bytes — must yield a typed Status from the
+// decoder, never a crash and never an over-read. Unknown message TYPES
+// decode fine (forward compatibility); the server answers them with a
+// typed kError reply instead of dropping the connection.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace glaf::serve {
+
+inline constexpr char kMagic[4] = {'G', 'L', 'A', 'F'};
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 12;
+/// Frames above this payload size are rejected before any allocation —
+/// a garbage length field must not make the daemon try to buffer 4 GiB.
+inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+/// Message types. Requests are low numbers, replies start at 100; a
+/// request's reply is either its paired type or kError.
+enum class MsgType : std::uint16_t {
+  kHello = 1,        ///< capability probe; empty payload
+  kLoadProgram = 2,  ///< LoadProgramMsg -> LoadReplyMsg
+  kRunEntry = 3,     ///< RunEntryMsg -> RunReplyMsg
+  kRunBatch = 4,     ///< RunBatchMsg -> BatchReplyMsg
+  kStats = 5,        ///< StatsMsg -> StatsReplyMsg
+  kShutdown = 6,     ///< empty -> kShutdownOk, then the server exits
+
+  kHelloOk = 100,    ///< HelloReplyMsg
+  kLoadReply = 101,
+  kRunReply = 102,
+  kBatchReply = 103,
+  kStatsReply = 104,
+  kShutdownOk = 105,
+  kError = 199,      ///< ErrorMsg (typed failure reply to any request)
+};
+
+/// One decoded frame (header validated, payload complete).
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+// ---- payload primitives ---------------------------------------------------
+
+/// Append-only payload builder.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);  ///< IEEE bit pattern via u64
+  /// u32 length + raw bytes.
+  void str(const std::string& s);
+
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked payload cursor: every read either succeeds or returns
+/// a kInvalidArgument status; no read ever walks past the payload.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& payload)
+      : data_(payload.data()), size_(payload.size()) {}
+
+  StatusOr<std::uint8_t> u8();
+  StatusOr<std::uint16_t> u16();
+  StatusOr<std::uint32_t> u32();
+  StatusOr<std::uint64_t> u64();
+  StatusOr<double> f64();
+  StatusOr<std::string> str();
+
+  /// All payload bytes consumed (messages must leave no trailing junk).
+  [[nodiscard]] bool done() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  Status need(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---- framing --------------------------------------------------------------
+
+/// Serialize a frame (header + payload) ready for the socket.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Incremental frame decoder: feed() arbitrary byte chunks, poll next().
+/// A header that fails validation (magic/version/length) poisons the
+/// decoder — the connection cannot be resynchronized and must be closed.
+class FrameDecoder {
+ public:
+  /// Buffer `n` bytes. Returns the poisoned status once the stream is
+  /// known bad (further feeding is a no-op).
+  Status feed(const void* data, std::size_t n);
+
+  /// The next complete frame, std::nullopt while more bytes are needed,
+  /// or the poisoned status.
+  StatusOr<std::optional<Frame>> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  Status poisoned_ = Status::ok();
+};
+
+// ---- blocking socket I/O --------------------------------------------------
+
+/// Write the whole frame to `fd` (retrying short writes / EINTR).
+Status write_frame(int fd, const Frame& frame);
+
+/// Read exactly one frame from `fd`. kFailedPrecondition "peer closed"
+/// on clean EOF at a frame boundary; kInvalidArgument via the decoder's
+/// poisoned status on malformed bytes; kInternal on socket errors and on
+/// EOF mid-frame (the mid-request-disconnect case).
+StatusOr<Frame> read_frame(int fd);
+
+// ---- typed messages -------------------------------------------------------
+
+/// Execution configuration a client requests for a loaded program.
+/// target_tier is the ceiling the session's async compile ladder climbs
+/// to: 0 stays on the plan VM, 1 adds the bit-identical interp-math
+/// native kernel, 2 adds the ulp-bounded opt kernel on top.
+struct ExecConfig {
+  std::uint8_t target_tier = 1;  ///< 0=plan, 1=native interp, 2=native opt
+  std::uint8_t policy = 0;       ///< DirectivePolicy v0..v3
+  bool portable = false;         ///< opt tier without -march=native
+};
+
+struct LoadProgramMsg {
+  /// Exactly one of the two is nonempty: a builtin program name
+  /// ("sarb", "fun3d") or serialized GLAF IR text.
+  std::string builtin;
+  std::string source;
+  ExecConfig config;
+};
+
+struct LoadReplyMsg {
+  std::uint64_t session_id = 0;
+  std::uint8_t current_tier = 0;  ///< tier serving right now (0..2)
+  std::string program_hash;       ///< full hex session key
+};
+
+struct RunEntryMsg {
+  std::uint64_t session_id = 0;
+  std::string entry;
+  std::vector<double> args;
+};
+
+struct RunReplyMsg {
+  std::uint8_t tier = 0;  ///< tier that served this call (0..2)
+  double result = 0.0;
+};
+
+/// `count` independent calls of one entry; scalars holds count*num_args
+/// doubles (call i's arguments are the i-th consecutive group).
+struct RunBatchMsg {
+  std::uint64_t session_id = 0;
+  std::string entry;
+  std::uint32_t count = 0;
+  std::uint32_t num_args = 0;
+  std::vector<double> scalars;
+};
+
+struct BatchReplyMsg {
+  std::vector<RunReplyMsg> results;
+};
+
+struct StatsMsg {
+  std::uint64_t session_id = 0;  ///< 0 = whole-server stats
+};
+
+struct StatsReplyMsg {
+  std::string json;
+};
+
+struct HelloReplyMsg {
+  std::uint16_t protocol_version = kProtocolVersion;
+  std::uint64_t server_pid = 0;
+};
+
+struct ErrorMsg {
+  std::uint32_t code = 0;  ///< StatusCode of the failure
+  std::string message;
+};
+
+// Encoders produce a complete frame; decoders validate the payload
+// exhaustively (trailing bytes are an error).
+Frame encode(const LoadProgramMsg& m);
+Frame encode(const LoadReplyMsg& m);
+Frame encode(const RunEntryMsg& m);
+Frame encode(const RunReplyMsg& m);
+Frame encode(const RunBatchMsg& m);
+Frame encode(const BatchReplyMsg& m);
+Frame encode(const StatsMsg& m);
+Frame encode(const StatsReplyMsg& m);
+Frame encode(const HelloReplyMsg& m);
+Frame encode(const ErrorMsg& m);
+
+StatusOr<LoadProgramMsg> decode_load_program(const Frame& frame);
+StatusOr<LoadReplyMsg> decode_load_reply(const Frame& frame);
+StatusOr<RunEntryMsg> decode_run_entry(const Frame& frame);
+StatusOr<RunReplyMsg> decode_run_reply(const Frame& frame);
+StatusOr<RunBatchMsg> decode_run_batch(const Frame& frame);
+StatusOr<BatchReplyMsg> decode_batch_reply(const Frame& frame);
+StatusOr<StatsMsg> decode_stats(const Frame& frame);
+StatusOr<StatsReplyMsg> decode_stats_reply(const Frame& frame);
+StatusOr<HelloReplyMsg> decode_hello_reply(const Frame& frame);
+StatusOr<ErrorMsg> decode_error(const Frame& frame);
+
+/// An ErrorMsg for `status`, ready to send.
+Frame error_frame(const Status& status);
+
+}  // namespace glaf::serve

@@ -1,0 +1,143 @@
+#pragma once
+// The glaf-serve daemon core: a Unix-domain stream socket accept loop,
+// one reader thread per connection, and the frame dispatcher that wires
+// the wire protocol to the session registry, the async compile queue,
+// and the request batcher.
+//
+// Lifecycle: start() binds + listens and spawns the accept thread;
+// stop() (or a client kShutdown frame) closes the listener, wakes every
+// connection with shutdown(2), and joins all threads. The server object
+// is reusable for tests but a daemon normally start()s once.
+//
+// Failure containment: a malformed frame (bad magic, bad version, junk
+// length, truncated payload) poisons only ITS connection — the reader
+// sends a typed kError frame when the stream is still writable, closes,
+// and every other client is untouched. Unknown message types get a
+// typed kError reply and the connection stays open (forward
+// compatibility). The daemon itself must never crash on input bytes.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/compile_queue.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+#include "support/status.hpp"
+
+namespace glaf::serve {
+
+class Server {
+ public:
+  struct Options {
+    std::string socket_path;        ///< Unix socket path (required)
+    int threads = 4;                ///< batcher sweep-pool width
+    std::size_t max_batch = 4096;   ///< batcher drain cap
+    /// Defaults applied to sessions whose ExecConfig asks for nothing
+    /// beyond the wire fields.
+    std::string cc;                 ///< "" = environment default
+    std::string cache_dir;          ///< "" = environment default
+    std::size_t max_pool = 16;      ///< idle instances kept per session
+    /// Compile the tier ladder synchronously inside kLoadProgram
+    /// instead of in the background (deterministic tests/benches).
+    bool sync_compile = false;
+  };
+
+  explicit Server(Options options);
+  ~Server();  ///< implies stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, spawn the accept thread. Fails if the socket path is
+  /// unusable (a stale socket file from a dead daemon is replaced).
+  Status start();
+
+  /// Close the listener and every connection, join all threads.
+  /// Idempotent.
+  void stop();
+
+  /// Block until stop() happens (daemon main thread parks here; a
+  /// client kShutdown unblocks it).
+  void wait();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Whole-server stats JSON (also served on the wire via kStats with
+  /// session_id 0): per-session stats under the shared schema plus
+  /// batcher counters and connection totals.
+  [[nodiscard]] std::string stats_json() const;
+
+  /// Direct access for in-process harnesses (bench, tests).
+  [[nodiscard]] SessionRegistry& registry() { return registry_; }
+  [[nodiscard]] CompileQueue& compile_queue() { return compile_queue_; }
+  [[nodiscard]] Batcher& batcher() { return batcher_; }
+
+ private:
+  /// One live client connection. The reader thread owns fd lifetime;
+  /// write_mutex serializes reply writes between the reader (load /
+  /// stats / error replies) and the batcher dispatcher (run replies).
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::atomic<bool> open{true};
+    std::thread reader;
+  };
+
+  void accept_main();
+  void connection_main(const std::shared_ptr<Connection>& conn);
+  /// Dispatch one request frame; returns false when the connection
+  /// should close (shutdown request or write failure).
+  bool handle_frame(const std::shared_ptr<Connection>& conn,
+                    const Frame& frame);
+  void handle_load(const std::shared_ptr<Connection>& conn,
+                   const Frame& frame);
+  void handle_run(const std::shared_ptr<Connection>& conn,
+                  const Frame& frame);
+  void handle_batch(const std::shared_ptr<Connection>& conn,
+                    const Frame& frame);
+  void handle_stats(const std::shared_ptr<Connection>& conn,
+                    const Frame& frame);
+  /// Write under the connection's write mutex; drops silently (and
+  /// marks the connection closed) when the peer is gone.
+  void send(const std::shared_ptr<Connection>& conn, const Frame& frame);
+
+  const Options options_;
+  SessionRegistry registry_;
+  CompileQueue compile_queue_;
+  Batcher batcher_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex conn_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::uint64_t connections_total_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  /// True when no teardown is pending: initially (never started) and
+  /// again once stop() finishes. start() clears it.
+  bool stopped_ = true;
+};
+
+/// Resolve a wire ExecConfig + server options into a SessionConfig.
+/// Fails on out-of-range tier/policy values.
+StatusOr<SessionConfig> resolve_config(const ExecConfig& wire,
+                                       const Server::Options& server);
+
+/// Resolve a LoadProgramMsg's program: builtin name ("sarb", "fun3d")
+/// or serialized GLAF IR source, validated either way.
+StatusOr<Program> resolve_program(const LoadProgramMsg& msg);
+
+}  // namespace glaf::serve

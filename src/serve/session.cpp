@@ -1,0 +1,243 @@
+#include "serve/session.hpp"
+
+#include "core/serialize.hpp"
+#include "interp/report_json.hpp"
+#include "support/hash.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace glaf::serve {
+
+const char* to_string(Tier tier) {
+  switch (tier) {
+    case Tier::kPlan:
+      return "plan";
+    case Tier::kNativeInterp:
+      return "native-interp";
+    case Tier::kNativeOpt:
+      return "native-opt";
+  }
+  return "?";
+}
+
+Lease::Lease(Lease&& other) noexcept
+    : session_(other.session_), machine_(std::move(other.machine_)),
+      tier_(other.tier_) {
+  other.session_ = nullptr;
+}
+
+Lease::~Lease() {
+  if (session_ != nullptr && machine_ != nullptr) {
+    session_->release(std::move(machine_), tier_);
+  }
+}
+
+Session::Session(Program program, SessionConfig config)
+    : program_(std::move(program)), config_(std::move(config)),
+      created_(std::chrono::steady_clock::now()) {
+  // The key covers everything that changes execution results or the
+  // compiled kernel's cache identity: the full program text and the
+  // config knobs. The compiler identity is NOT folded in here — the jit
+  // cache already keys it, and the session pool is process-local.
+  const std::string config_text =
+      cat("tier=", static_cast<int>(config_.target_tier), ";policy=",
+          glaf::to_string(config_.policy), ";portable=",
+          config_.portable ? 1 : 0);
+  Hash128 h = fnv1a128(serialize_program(program_));
+  h = fnv1a128(std::string(1, '\0'), h);
+  h = fnv1a128(config_text, h);
+  hash_ = hex_digest(h);
+  id_ = fnv1a64(hash_);
+}
+
+InterpOptions Session::machine_options(Tier tier) const {
+  InterpOptions o;
+  // Sessions run each request serially and let the batcher provide
+  // parallelism ACROSS requests: pooled instances never own a thread
+  // pool, so a sweep of N requests is N independent serial kernels on
+  // the server pool — one fork/join for the whole batch.
+  o.engine = tier == Tier::kPlan ? ExecEngine::kPlan : ExecEngine::kNative;
+  o.parallel = false;
+  o.num_threads = 1;
+  o.policy = config_.policy;
+  o.native_cc = config_.cc;
+  o.native_cache_dir = config_.cache_dir;
+  o.native_model = tier == Tier::kNativeOpt ? NumericModel::kOpt
+                                            : NumericModel::kInterp;
+  o.native_portable = config_.portable;
+  return o;
+}
+
+StatusOr<Lease> Session::acquire() {
+  const Tier want = tier();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < idle_.size(); ++i) {
+      if (idle_[i].second != want) continue;
+      std::unique_ptr<Machine> machine = std::move(idle_[i].first);
+      idle_.erase(idle_.begin() + static_cast<long>(i));
+      return Lease(this, std::move(machine), want);
+    }
+  }
+  // Pool miss: construct outside the lock (native construction dlopens
+  // the cached kernel; plan construction compiles plans — neither may
+  // serialize other acquires).
+  auto machine = std::make_unique<Machine>(program_, machine_options(want));
+  Tier got = want;
+  if (want != Tier::kPlan && !machine->native_report().available) {
+    // The promoted kernel refused to load (e.g. the cache entry vanished
+    // and no compiler is available): the Machine itself degrades to its
+    // plan fallback, so serve from it as tier 0 rather than failing.
+    got = Tier::kPlan;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.instances_created;
+  }
+  return Lease(this, std::move(machine), got);
+}
+
+void Session::release(std::unique_ptr<Machine> machine, Tier tier) {
+  std::unique_ptr<Machine> retired;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tier != Tier::kPlan && machine->native_report().available) {
+      last_native_report_json_ =
+          native_report_json(machine->native_report());
+    }
+    if (tier == this->tier() && idle_.size() < config_.max_pool) {
+      idle_.emplace_back(std::move(machine), tier);
+      return;
+    }
+    ++stats_.instances_retired;
+    retired = std::move(machine);
+  }
+  // `retired` destructs here, outside the lock (dlclose + storage).
+}
+
+void Session::promote(Tier tier) {
+  std::uint8_t want = static_cast<std::uint8_t>(tier);
+  std::uint8_t have = tier_.load(std::memory_order_acquire);
+  while (want > have) {
+    if (tier_.compare_exchange_weak(have, want, std::memory_order_acq_rel)) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        created_)
+              .count();
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.promotions.emplace_back(tier, elapsed);
+      return;
+    }
+  }
+}
+
+void Session::record_compile_error(const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.compile_error = message;
+}
+
+void Session::record_run(Tier tier) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (tier) {
+    case Tier::kPlan:
+      ++stats_.runs_plan;
+      break;
+    case Tier::kNativeInterp:
+      ++stats_.runs_native_interp;
+      break;
+    case Tier::kNativeOpt:
+      ++stats_.runs_native_opt;
+      break;
+  }
+}
+
+SessionStats Session::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SessionStats out = stats_;
+  out.pooled_idle = idle_.size();
+  out.tier = static_cast<Tier>(tier_.load(std::memory_order_acquire));
+  return out;
+}
+
+std::string Session::stats_json() const {
+  const SessionStats s = stats();
+  std::string native_report;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    native_report = last_native_report_json_;
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.key("session_id");
+  w.value(id_);
+  w.key("program_hash");
+  w.value(hash_);
+  w.key("tier");
+  w.value(to_string(s.tier));
+  w.key("target_tier");
+  w.value(to_string(config_.target_tier));
+  w.key("policy");
+  w.value(glaf::to_string(config_.policy));
+  w.key("runs_plan");
+  w.value(s.runs_plan);
+  w.key("runs_native_interp");
+  w.value(s.runs_native_interp);
+  w.key("runs_native_opt");
+  w.value(s.runs_native_opt);
+  w.key("instances_created");
+  w.value(s.instances_created);
+  w.key("instances_retired");
+  w.value(s.instances_retired);
+  w.key("pooled_idle");
+  w.value(static_cast<std::uint64_t>(s.pooled_idle));
+  w.key("compile_error");
+  w.value(s.compile_error);
+  w.key("promotions");
+  w.begin_array();
+  for (const auto& [tier, seconds] : s.promotions) {
+    w.begin_object();
+    w.key("tier");
+    w.value(to_string(tier));
+    w.key("seconds_after_load");
+    w.value(seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("native_report");
+  if (native_report.empty()) {
+    w.raw("null");
+  } else {
+    w.raw(native_report);
+  }
+  w.end_object();
+  return std::move(w).str();
+}
+
+SessionRegistry::Entry SessionRegistry::get_or_create(
+    Program program, const SessionConfig& config) {
+  // Build the candidate outside the lock (hashing only — sessions warm
+  // lazily), then insert-or-discard under it.
+  auto candidate = std::make_shared<Session>(std::move(program), config);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_hash_.find(candidate->hash());
+  if (it != by_hash_.end()) return {it->second, false};
+  by_hash_[candidate->hash()] = candidate;
+  by_id_[candidate->id()] = candidate;
+  return {candidate, true};
+}
+
+std::shared_ptr<Session> SessionRegistry::find(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_id_.find(id);
+  return it != by_id_.end() ? it->second : nullptr;
+}
+
+std::vector<std::shared_ptr<Session>> SessionRegistry::all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<Session>> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, session] : by_id_) out.push_back(session);
+  return out;
+}
+
+}  // namespace glaf::serve

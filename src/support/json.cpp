@@ -1,0 +1,106 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace glaf {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (has_element_.back()) out_ += ',';
+  has_element_.back() = true;
+}
+
+void JsonWriter::open(char c) {
+  comma();
+  out_ += c;
+  has_element_.push_back(false);
+}
+
+void JsonWriter::close(char c) {
+  has_element_.pop_back();
+  out_ += c;
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma();
+  out_ += json_quote(k);
+  out_ += ':';
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma();
+  out_ += json_quote(v);
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::raw(std::string_view json) {
+  comma();
+  out_ += json;
+}
+
+}  // namespace glaf

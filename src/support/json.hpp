@@ -1,0 +1,73 @@
+#pragma once
+// Minimal JSON emission, shared by the machine-readable reports
+// (`glafc --json`), the serve subsystem's stats endpoint, and the
+// benches. Emission only — the repo has no JSON consumer; CI checks
+// grep the output and external tools (jq, python) parse it.
+//
+// JsonWriter manages commas and nesting so report code reads linearly;
+// json_quote is the escaping primitive for callers assembling JSON by
+// hand. Doubles are printed with %.17g (round-trip exact); non-finite
+// values become null, which strict parsers accept where a bare `inf`
+// would not.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glaf {
+
+/// `s` as a JSON string literal, quotes included: control characters,
+/// '"' and '\\' are escaped; everything else passes through byte-wise
+/// (valid UTF-8 in, valid UTF-8 out).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Streaming JSON builder with automatic comma placement. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("qps"); w.value(12345.6);
+///   w.key("kernels"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+///   std::string json = std::move(w).str();
+///
+/// The writer does not validate call order beyond what the comma logic
+/// needs; callers are expected to emit well-formed sequences.
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Object key; the next value/begin_* call is its value.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+  /// Splice a pre-rendered JSON fragment in value position (e.g. a
+  /// nested report produced by another writer).
+  void raw(std::string_view json);
+
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+  [[nodiscard]] const std::string& str() const& { return out_; }
+
+ private:
+  void open(char c);
+  void close(char c);
+  void comma();
+
+  std::string out_;
+  /// Whether the current nesting level already holds an element (one
+  /// flag per open container; top-level uses index 0).
+  std::vector<bool> has_element_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace glaf

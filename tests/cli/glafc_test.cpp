@@ -3,7 +3,9 @@
 // engine falls back — whole-engine unavailability or per-call plan
 // routing — and print the reason; without fallback it must exit 0.
 // Also covers the run-mode --emit tier switch (interp|opt) and its
-// interaction with --engine/--strict-engine.
+// interaction with --engine/--strict-engine, and the machine-readable
+// --json run report (whose native_report object shares its schema with
+// the glaf_serve stats endpoint).
 // Runs the real binary (path injected by CMake) through the shell.
 
 #include <gtest/gtest.h>
@@ -112,6 +114,50 @@ TEST(GlafcEmitTier, RejectsUnknownRunModeTier) {
   ASSERT_TRUE(r.started);
   EXPECT_NE(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("interp|opt"), std::string::npos) << r.output;
+}
+
+TEST(GlafcJson, PrintsTheRunReportOnStdout) {
+  // stdout only (stderr dropped): the report must be one JSON object
+  // with the shared native_report schema the serve stats endpoint uses.
+  // run_command merges stderr itself, so drop it inside a subshell.
+  const RunResult r = run_command(
+      "( " + glafc() + " --builtin=sarb --run --engine=plan --json"
+      " 2>/dev/null )");
+  ASSERT_TRUE(r.started);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.rfind("{\"entry\":", 0), 0u) << r.output;
+  EXPECT_NE(r.output.find("\"engine\":\"plan\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"result\":"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"stats\":{"), std::string::npos) << r.output;
+  // Non-native engines render native_report as null, not absent.
+  EXPECT_NE(r.output.find("\"native_report\":null"), std::string::npos)
+      << r.output;
+}
+
+TEST(GlafcJson, NativeRunEmbedsTheSharedNativeReportSchema) {
+  if (!have_cc()) GTEST_SKIP() << "no system compiler";
+  const RunResult r = run_command(
+      "( " + glafc() +
+      " --builtin=sarb --run --engine=native --json 2>/dev/null )");
+  ASSERT_TRUE(r.started);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // The schema fields the serve stats endpoint greps for too.
+  for (const char* field :
+       {"\"native_report\":{", "\"available\":true", "\"model\":\"interp\"",
+        "\"native_calls\":", "\"cache_hit\":", "\"object_path\":",
+        "\"compiler\":", "\"compile_flags\":"}) {
+    EXPECT_NE(r.output.find(field), std::string::npos)
+        << "missing " << field << " in: " << r.output;
+  }
+}
+
+TEST(GlafcJson, WithoutTheFlagStdoutStaysEmpty) {
+  const RunResult r = run_command(
+      "( " + glafc() + " --builtin=sarb --run --engine=plan 2>/dev/null )");
+  ASSERT_TRUE(r.started);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "") << "run mode must not pollute stdout";
 }
 
 TEST(GlafcEmitTier, CodegenModeEmitStillSelectsLanguages) {

@@ -1,0 +1,316 @@
+// Robustness contract of the glaf-serve wire protocol: well-formed
+// frames round-trip bit-exactly, and EVERY malformed input — bad magic,
+// unsupported version, oversized length, truncated frames, trailing
+// junk, mid-request disconnect, arbitrary random bytes — yields a typed
+// Status, never a crash and never an over-read.
+
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "support/rng.hpp"
+
+namespace glaf::serve {
+namespace {
+
+/// Feed `bytes` to a fresh decoder and return its first next() result.
+StatusOr<std::optional<Frame>> decode_all(
+    const std::vector<std::uint8_t>& bytes) {
+  FrameDecoder decoder;
+  const Status fed = decoder.feed(bytes.data(), bytes.size());
+  if (!fed.is_ok()) return fed;
+  return decoder.next();
+}
+
+TEST(FrameDecoder, RoundTripsAFrame) {
+  Frame frame;
+  frame.type = MsgType::kRunEntry;
+  frame.payload = {1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> wire = encode_frame(frame);
+  ASSERT_EQ(wire.size(), kHeaderSize + 5);
+
+  const auto decoded = decode_all(wire);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  ASSERT_TRUE(decoded.value().has_value());
+  EXPECT_EQ(decoded.value()->type, MsgType::kRunEntry);
+  EXPECT_EQ(decoded.value()->payload, frame.payload);
+}
+
+TEST(FrameDecoder, ReassemblesAcrossArbitrarySplits) {
+  Frame frame;
+  frame.type = MsgType::kStats;
+  for (int i = 0; i < 300; ++i) {
+    frame.payload.push_back(static_cast<std::uint8_t>(i));
+  }
+  const std::vector<std::uint8_t> wire = encode_frame(frame);
+  // Feed one byte at a time — the worst fragmentation a stream can do.
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_TRUE(decoder.feed(&wire[i], 1).is_ok());
+    const auto partial = decoder.next();
+    ASSERT_TRUE(partial.is_ok());
+    EXPECT_FALSE(partial.value().has_value()) << "frame complete too early";
+  }
+  ASSERT_TRUE(decoder.feed(&wire[wire.size() - 1], 1).is_ok());
+  const auto done = decoder.next();
+  ASSERT_TRUE(done.is_ok());
+  ASSERT_TRUE(done.value().has_value());
+  EXPECT_EQ(done.value()->payload, frame.payload);
+}
+
+TEST(FrameDecoder, RejectsBadMagicAndStaysPoisoned) {
+  std::vector<std::uint8_t> wire = encode_frame(Frame{MsgType::kHello, {}});
+  wire[0] = 'H';  // "HLAF"
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(wire.data(), wire.size()).is_ok());
+  const auto first = decoder.next();
+  ASSERT_FALSE(first.is_ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kInvalidArgument);
+
+  // Poisoned: feeding perfectly valid bytes afterwards changes nothing.
+  const std::vector<std::uint8_t> good =
+      encode_frame(Frame{MsgType::kHello, {}});
+  EXPECT_FALSE(decoder.feed(good.data(), good.size()).is_ok());
+  EXPECT_FALSE(decoder.next().is_ok());
+}
+
+TEST(FrameDecoder, RejectsUnsupportedVersion) {
+  std::vector<std::uint8_t> wire = encode_frame(Frame{MsgType::kHello, {}});
+  wire[4] = 0xFF;
+  wire[5] = 0xFF;
+  const auto decoded = decode_all(wire);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
+}
+
+TEST(FrameDecoder, RejectsOversizedLengthBeforeBuffering) {
+  std::vector<std::uint8_t> wire = encode_frame(Frame{MsgType::kHello, {}});
+  // Claim a 4 GiB payload; the decoder must refuse at the header, not
+  // wait for (or try to allocate) the bytes.
+  wire[8] = 0xFF;
+  wire[9] = 0xFF;
+  wire[10] = 0xFF;
+  wire[11] = 0xFF;
+  const auto decoded = decode_all(wire);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_NE(decoded.status().message().find("oversized"), std::string::npos)
+      << decoded.status().to_string();
+}
+
+TEST(FrameDecoder, TruncatedFrameIsJustIncomplete) {
+  const std::vector<std::uint8_t> wire =
+      encode_frame(Frame{MsgType::kRunEntry, {1, 2, 3}});
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(wire.begin(),
+                                           wire.begin() + cut);
+    const auto decoded = decode_all(prefix);
+    ASSERT_TRUE(decoded.is_ok()) << "cut at " << cut;
+    EXPECT_FALSE(decoded.value().has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(FrameDecoder, UnknownMessageTypesDecodeFine) {
+  // Forward compatibility: the framing layer does not police types —
+  // the server answers unknown ones with a typed error instead.
+  Frame frame;
+  frame.type = static_cast<MsgType>(77);
+  const auto decoded = decode_all(encode_frame(frame));
+  ASSERT_TRUE(decoded.is_ok());
+  ASSERT_TRUE(decoded.value().has_value());
+  EXPECT_EQ(static_cast<std::uint16_t>(decoded.value()->type), 77);
+}
+
+TEST(FrameDecoder, RandomBytesNeverCrash) {
+  // Fuzz smoke: arbitrary garbage must always land in one of three
+  // states — incomplete, decoded frame, or typed error.
+  SplitMix64 rng(0xF00D);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> junk(rng.next_below(257));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    FrameDecoder decoder;
+    (void)decoder.feed(junk.data(), junk.size());
+    // Drain until error or no more frames; must terminate.
+    for (int i = 0; i < 64; ++i) {
+      const auto result = decoder.next();
+      if (!result.is_ok() || !result.value().has_value()) break;
+    }
+  }
+}
+
+TEST(FrameDecoder, RandomizedValidStreamSurvivesResplitting) {
+  // Valid frames concatenated then re-split at random boundaries must
+  // all come back out, in order, bit-exact.
+  SplitMix64 rng(0xBEEF);
+  std::vector<Frame> frames;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 20; ++i) {
+    Frame f;
+    f.type = MsgType::kRunEntry;
+    f.payload.resize(rng.next_below(65));
+    for (auto& b : f.payload) {
+      b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    const auto wire = encode_frame(f);
+    stream.insert(stream.end(), wire.begin(), wire.end());
+    frames.push_back(std::move(f));
+  }
+  FrameDecoder decoder;
+  std::size_t fed = 0;
+  std::size_t seen = 0;
+  while (seen < frames.size()) {
+    if (fed < stream.size()) {
+      const std::size_t n = std::min<std::size_t>(
+          stream.size() - fed,
+          static_cast<std::size_t>(1 + rng.next_below(13)));
+      ASSERT_TRUE(decoder.feed(stream.data() + fed, n).is_ok());
+      fed += n;
+    }
+    while (true) {
+      const auto result = decoder.next();
+      ASSERT_TRUE(result.is_ok());
+      if (!result.value().has_value()) break;
+      ASSERT_LT(seen, frames.size());
+      EXPECT_EQ(result.value()->payload, frames[seen].payload);
+      ++seen;
+    }
+  }
+}
+
+// ---- typed message round-trips -------------------------------------------
+
+TEST(Messages, LoadProgramRoundTrips) {
+  LoadProgramMsg msg;
+  msg.builtin = "sarb";
+  msg.config.target_tier = 2;
+  msg.config.policy = 3;
+  msg.config.portable = true;
+  const auto decoded = decode_load_program(encode(msg));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().builtin, "sarb");
+  EXPECT_EQ(decoded.value().source, "");
+  EXPECT_EQ(decoded.value().config.target_tier, 2);
+  EXPECT_EQ(decoded.value().config.policy, 3);
+  EXPECT_TRUE(decoded.value().config.portable);
+}
+
+TEST(Messages, RunEntryRoundTripsDoublesBitExactly) {
+  RunEntryMsg msg;
+  msg.session_id = 0x0123456789ABCDEFull;
+  msg.entry = "entropy_interface";
+  msg.args = {0.1, -0.0, 1e308, std::nextafter(1.0, 2.0)};
+  const auto decoded = decode_run_entry(encode(msg));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().session_id, msg.session_id);
+  EXPECT_EQ(decoded.value().entry, msg.entry);
+  ASSERT_EQ(decoded.value().args.size(), msg.args.size());
+  for (std::size_t i = 0; i < msg.args.size(); ++i) {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::memcpy(&a, &msg.args[i], sizeof a);
+    std::memcpy(&b, &decoded.value().args[i], sizeof b);
+    EXPECT_EQ(a, b) << "arg " << i << " not bit-identical";
+  }
+  // -0.0 keeps its sign bit through the wire.
+  EXPECT_TRUE(std::signbit(decoded.value().args[1]));
+}
+
+TEST(Messages, RunBatchValidatesScalarCount) {
+  RunBatchMsg msg;
+  msg.session_id = 7;
+  msg.entry = "e";
+  msg.count = 3;
+  msg.num_args = 2;
+  msg.scalars = {1, 2, 3, 4, 5, 6};
+  const auto ok = decode_run_batch(encode(msg));
+  ASSERT_TRUE(ok.is_ok()) << ok.status().to_string();
+  EXPECT_EQ(ok.value().scalars.size(), 6u);
+
+  // A count/num_args pair that disagrees with the scalar payload is a
+  // decode error, not a server-side surprise.
+  Frame tampered = encode(msg);
+  Writer w;
+  w.u64(7);
+  w.str("e");
+  w.u32(3);
+  w.u32(2);
+  w.u32(5);  // claims 5 scalars for count*num_args == 6
+  for (int i = 0; i < 5; ++i) w.f64(i);
+  tampered.payload = std::move(w).take();
+  EXPECT_FALSE(decode_run_batch(tampered).is_ok());
+}
+
+TEST(Messages, TrailingBytesAreAnError) {
+  Frame frame = encode(StatsMsg{42});
+  frame.payload.push_back(0);
+  EXPECT_FALSE(decode_stats(frame).is_ok());
+}
+
+TEST(Messages, TruncatedPayloadIsATypedError) {
+  Frame frame = encode(RunEntryMsg{1, "entry", {1.0, 2.0}});
+  frame.payload.resize(frame.payload.size() / 2);
+  const auto decoded = decode_run_entry(frame);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Messages, ErrorFrameCarriesTheStatus) {
+  const Frame frame = error_frame(not_found("no such session"));
+  EXPECT_EQ(frame.type, MsgType::kError);
+  const auto decoded = decode_error(frame);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().code,
+            static_cast<std::uint32_t>(StatusCode::kNotFound));
+  EXPECT_EQ(decoded.value().message, "no such session");
+}
+
+// ---- blocking socket I/O --------------------------------------------------
+
+TEST(SocketIo, WriteThenReadRoundTrips) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Frame frame;
+  frame.type = MsgType::kStatsReply;
+  frame.payload = encode(StatsReplyMsg{"{}"}).payload;
+  ASSERT_TRUE(write_frame(fds[0], frame).is_ok());
+  const auto read_back = read_frame(fds[1]);
+  ASSERT_TRUE(read_back.is_ok()) << read_back.status().to_string();
+  EXPECT_EQ(read_back.value().payload, frame.payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(SocketIo, CleanEofAtBoundaryIsFailedPrecondition) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[0]);  // peer leaves without a word
+  const auto result = read_frame(fds[1]);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  ::close(fds[1]);
+}
+
+TEST(SocketIo, MidFrameDisconnectIsInternal) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Send the header + half the payload, then hang up mid-request.
+  const std::vector<std::uint8_t> wire =
+      encode_frame(Frame{MsgType::kRunEntry, {1, 2, 3, 4, 5, 6, 7, 8}});
+  ASSERT_GT(::write(fds[0], wire.data(), wire.size() - 4), 0);
+  ::close(fds[0]);
+  const auto result = read_frame(fds[1]);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("mid-frame"), std::string::npos);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace glaf::serve

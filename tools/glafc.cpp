@@ -25,7 +25,10 @@
 //          auto-parallelized path under --policy, --threads=N sizes it.
 //          --strict-engine turns any native-engine fallback — whole-engine
 //          unavailability or per-call plan routing — into a non-zero exit
-//          instead of a warning.
+//          instead of a warning. --json prints a machine-readable run
+//          report (entry, engine, result, stats, native_report) on
+//          stdout — the same native_report schema the glaf_serve stats
+//          endpoint embeds.
 //          With --engine=native, --emit=interp|opt selects the emission
 //          tier: interp (default) is the bit-identical all-double kernel;
 //          opt stores grids in native widths with restrict pointers and
@@ -47,7 +50,9 @@
 #include "fuliou/glaf_kernels.hpp"
 #include "fun3d/glaf_fun3d.hpp"
 #include "interp/machine.hpp"
+#include "interp/report_json.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 
 using namespace glaf;
@@ -159,6 +164,29 @@ int run_program(const CliArgs& args, Program program) {
     return fail("run '" + entry + "': " + std::string(result.status().message()));
   }
   const InterpStats& st = m.stats();
+  if (args.get_bool("json", false)) {
+    // Machine-readable run report on stdout: one object, the
+    // native_report under the same schema the serve stats endpoint
+    // embeds (src/interp/report_json.hpp is the shared renderer).
+    JsonWriter w;
+    w.begin_object();
+    w.key("entry");
+    w.value(entry);
+    w.key("engine");
+    w.value(engine);
+    w.key("result");
+    w.value(result.value());
+    w.key("stats");
+    w.raw(interp_stats_json(st));
+    w.key("native_report");
+    if (iopts.engine == ExecEngine::kNative) {
+      w.raw(native_report_json(m.native_report()));
+    } else {
+      w.raw("null");
+    }
+    w.end_object();
+    std::printf("%s\n", std::move(w).str().c_str());
+  }
   std::fprintf(stderr,
                "glafc: ran %s (engine=%s): result %.17g, %llu steps, "
                "%llu iterations, %llu parallel regions\n",
