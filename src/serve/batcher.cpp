@@ -120,7 +120,10 @@ void Batcher::run_batch(std::vector<RunRequest>& batch) {
         std::max<std::uint64_t>(stats_.max_batch, batch.size());
   }
   // Deliver serially on the dispatcher so completion callbacks (and
-  // their socket writes) never race each other.
+  // their socket writes) never race each other. A stalled client can
+  // hold this loop up at most once for the server's write timeout —
+  // the write then fails, the connection is marked dead, and every
+  // later reply to it drops without touching the socket.
   for (std::size_t i = 0; i < batch.size(); ++i) {
     deliver(batch[i], outcomes[i]);
   }

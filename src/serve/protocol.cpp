@@ -1,5 +1,7 @@
 #include "serve/protocol.hpp"
 
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -177,16 +179,36 @@ StatusOr<std::optional<Frame>> FrameDecoder::next() {
   return std::optional<Frame>(std::move(frame));
 }
 
-Status write_frame(int fd, const Frame& frame) {
+Status write_frame(int fd, const Frame& frame, int stall_timeout_ms) {
   const std::vector<std::uint8_t> bytes = encode_frame(frame);
   std::size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return internal_error(cat("socket write: ", std::strerror(errno)));
+    // MSG_DONTWAIT makes this send non-blocking without touching the
+    // fd's flags (the reader side keeps its blocking read_frame);
+    // MSG_NOSIGNAL spares us SIGPIPE on a half-closed peer.
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
     }
-    sent += static_cast<std::size_t>(n);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // The peer's buffer is full. Wait for drain, but give each stall
+      // at most stall_timeout_ms of zero progress before declaring the
+      // peer dead — a wedged client must not block the caller forever.
+      pollfd pfd{fd, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, stall_timeout_ms);
+      if (rc == 0) {
+        return internal_error(cat("socket write stalled for ",
+                                  stall_timeout_ms, " ms (peer not reading)"));
+      }
+      if (rc < 0 && errno != EINTR) {
+        return internal_error(cat("socket poll: ", std::strerror(errno)));
+      }
+      continue;
+    }
+    return internal_error(cat("socket write: ", std::strerror(errno)));
   }
   return Status::ok();
 }
@@ -411,6 +433,20 @@ StatusOr<RunBatchMsg> decode_run_batch(const Frame& frame) {
   if (!num_args.is_ok()) return num_args.status();
   m.count = count.value();
   m.num_args = num_args.value();
+  // Bound count BEFORE forming count * num_args: unchecked, a crafted
+  // pair can wrap the 64-bit product so that total * 8 == 0 "matches"
+  // an empty payload while total itself is 2^61 — and the reserve()
+  // below would then throw past every caller and kill the daemon. The
+  // cap also covers num_args == 0 (legal: zero-argument entries), where
+  // the payload says nothing about count and a 31-byte frame could
+  // otherwise demand 2^32-1 server-side calls.
+  if (m.count > kMaxBatchCount) {
+    return invalid_argument(cat("batch count ", m.count, " exceeds limit ",
+                                kMaxBatchCount,
+                                " (reply must fit one frame)"));
+  }
+  // count <= kMaxBatchCount < 2^23, num_args < 2^32: total < 2^55 and
+  // total * 8 < 2^58 — no wraparound is possible past the cap.
   const std::uint64_t total =
       std::uint64_t{m.count} * std::uint64_t{m.num_args};
   if (total * 8 != r.remaining()) {

@@ -37,6 +37,14 @@ inline constexpr std::size_t kHeaderSize = 12;
 /// Frames above this payload size are rejected before any allocation —
 /// a garbage length field must not make the daemon try to buffer 4 GiB.
 inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+/// Upper bound on RunBatchMsg::count, checked at decode time BEFORE any
+/// arithmetic on count * num_args. Derived from the reply: a BatchReply
+/// carries a u32 count plus 9 bytes per result and must itself fit in
+/// one kMaxPayload frame. The cap also closes two remote-DoS holes in
+/// the request direction — a crafted count/num_args pair whose 64-bit
+/// product wraps (2^31 * 2^30 * 8 ≡ 0 mod 2^64 "matches" an empty
+/// payload), and a zero-arg batch claiming 2^32-1 calls for 31 bytes.
+inline constexpr std::uint32_t kMaxBatchCount = (kMaxPayload - 4) / 9;
 
 /// Message types. Requests are low numbers, replies start at 100; a
 /// request's reply is either its paired type or kError.
@@ -138,7 +146,13 @@ class FrameDecoder {
 // ---- blocking socket I/O --------------------------------------------------
 
 /// Write the whole frame to `fd` (retrying short writes / EINTR).
-Status write_frame(int fd, const Frame& frame);
+/// `stall_timeout_ms` bounds how long a single stall may last: when the
+/// peer's buffer stays full for that long with zero forward progress,
+/// the write fails with kInternal instead of blocking forever (the
+/// server uses this so one stalled client cannot wedge the dispatcher
+/// that delivers every connection's replies). Negative means wait
+/// indefinitely — the classic blocking behavior clients want.
+Status write_frame(int fd, const Frame& frame, int stall_timeout_ms = -1);
 
 /// Read exactly one frame from `fd`. kFailedPrecondition "peer closed"
 /// on clean EOF at a frame boundary; kInvalidArgument via the decoder's

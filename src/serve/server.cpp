@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <exception>
 
 #include "core/serialize.hpp"
 #include "core/validate.hpp"
@@ -128,7 +129,7 @@ Status Server::start() {
     return st;
   }
 
-  listen_fd_ = fd;
+  listen_fd_.store(fd, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(stop_mutex_);
     stopped_ = false;
@@ -149,21 +150,28 @@ void Server::stop() {
   }
   // Closing the listener makes poll() in accept_main return; the
   // running_ flag makes it exit.
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) ::close(lfd);
   if (accept_thread_.joinable()) accept_thread_.join();
 
-  // Wake every connection reader blocked in read_frame.
+  // Wake every connection reader blocked in read_frame. Setting
+  // stopping_ under conn_mutex_ first hands this thread sole ownership
+  // of every remaining reader handle: a reader that reaches its
+  // self-cleanup after this point leaves its handle for us to join,
+  // and one that cleaned up before is no longer in the snapshot.
   std::vector<std::shared_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
+    stopping_ = true;
     conns = connections_;
   }
   for (const auto& conn : conns) {
     conn->open.store(false, std::memory_order_release);
-    ::shutdown(conn->fd, SHUT_RDWR);
+    // fd is guarded by write_mutex: the reader may be closing it
+    // concurrently, and shutdown(2) on a recycled descriptor would hit
+    // an unrelated connection.
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
   }
   for (const auto& conn : conns) {
     if (conn->reader.joinable()) conn->reader.join();
@@ -171,6 +179,7 @@ void Server::stop() {
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
     connections_.clear();
+    stopping_ = false;  // the server object is reusable after stop()
   }
   ::unlink(options_.socket_path.c_str());
   {
@@ -190,21 +199,27 @@ void Server::wait() {
 
 void Server::accept_main() {
   while (running_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;  // stop() already reclaimed the listener
+    pollfd pfd{lfd, POLLIN, 0};
     const int rc = ::poll(&pfd, 1, 200);
     if (!running_.load(std::memory_order_acquire)) return;
     if (rc <= 0) continue;  // timeout or EINTR: re-check the flag
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int client = ::accept(lfd, nullptr, nullptr);
     if (client < 0) continue;
 
     auto conn = std::make_shared<Connection>();
     conn->fd = client;
     {
+      // Assign the reader handle under conn_mutex_: a connection that
+      // dies instantly reaches its self-cleanup (which takes this
+      // mutex before touching conn->reader) only after the assignment
+      // is complete.
       std::lock_guard<std::mutex> lock(conn_mutex_);
       ++connections_total_;
       connections_.push_back(conn);
+      conn->reader = std::thread([this, conn] { connection_main(conn); });
     }
-    conn->reader = std::thread([this, conn] { connection_main(conn); });
   }
 }
 
@@ -225,17 +240,43 @@ void Server::connection_main(const std::shared_ptr<Connection>& conn) {
       }
       break;
     }
-    if (!handle_frame(conn, frame.value())) break;
+    bool keep = true;
+    try {
+      keep = handle_frame(conn, frame.value());
+    } catch (const std::exception& e) {
+      // Handlers are Status-based, but allocation can still throw on a
+      // giant-yet-well-formed request; "never a crash on input bytes"
+      // means containing that too. Best-effort error, drop the client.
+      {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        ++protocol_errors_;
+      }
+      send(conn, error_frame(internal_error(
+                     std::string("request failed: ") + e.what())));
+      keep = false;
+    }
+    if (!keep) break;
   }
 
   conn->open.store(false, std::memory_order_release);
-  ::close(conn->fd);
-  // Unregister (no-op during stop(), which clears the list itself).
+  {
+    // Close under write_mutex: a batcher done-callback that already
+    // passed send()'s open check must find fd == -1 here rather than
+    // write into a closed — or worse, recycled — descriptor.
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
   std::lock_guard<std::mutex> lock(conn_mutex_);
+  // During stop() the handle belongs to stop(), which is about to join
+  // this very thread; touching it here would race that join.
+  if (stopping_) return;
   for (auto it = connections_.begin(); it != connections_.end(); ++it) {
     if (it->get() == conn.get()) {
       // The reader thread is *this* thread: detach so the vector's
-      // thread handle can be destroyed while we finish up.
+      // thread handle can be destroyed while we finish up. Safe against
+      // stop(): it only joins handles after setting stopping_ under
+      // conn_mutex_, which we hold.
       if (it->get()->reader.joinable()) it->get()->reader.detach();
       connections_.erase(it);
       break;
@@ -482,9 +523,15 @@ void Server::send(const std::shared_ptr<Connection>& conn,
                   const Frame& frame) {
   if (!conn->open.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(conn->write_mutex);
-  const Status st = write_frame(conn->fd, frame);
+  // Re-check under the lock: the reader closes fd (and sets it to -1)
+  // under write_mutex, so a callback that passed the open check above
+  // while the connection was dying cannot reach write(2) on a closed
+  // or recycled descriptor.
+  if (conn->fd < 0 || !conn->open.load(std::memory_order_acquire)) return;
+  const Status st = write_frame(conn->fd, frame, options_.write_timeout_ms);
   if (!st.is_ok()) {
-    // Peer is gone; pending callbacks see open == false and drop.
+    // Peer is gone (or stopped reading long enough to blow the write
+    // timeout); pending callbacks see open == false and drop.
     conn->open.store(false, std::memory_order_release);
   }
 }

@@ -47,6 +47,11 @@ class Server {
     /// Compile the tier ladder synchronously inside kLoadProgram
     /// instead of in the background (deterministic tests/benches).
     bool sync_compile = false;
+    /// Max milliseconds a reply write may stall with zero progress
+    /// before the connection is declared dead. Reply delivery runs
+    /// serially on the batcher dispatcher, so without this bound one
+    /// client that stops reading would freeze every connection.
+    int write_timeout_ms = 10000;
   };
 
   explicit Server(Options options);
@@ -82,9 +87,14 @@ class Server {
   [[nodiscard]] Batcher& batcher() { return batcher_; }
 
  private:
-  /// One live client connection. The reader thread owns fd lifetime;
-  /// write_mutex serializes reply writes between the reader (load /
-  /// stats / error replies) and the batcher dispatcher (run replies).
+  /// One live client connection. write_mutex serializes reply writes
+  /// between the reader (load / stats / error replies) and the batcher
+  /// dispatcher (run replies), and also guards fd lifetime: the reader
+  /// closes fd (and sets it to -1) under write_mutex, and every other
+  /// thread touches fd only under write_mutex after re-checking it —
+  /// so no write can land on a closed (and possibly reused) descriptor.
+  /// The reader handle is touched by exactly one owner: stop() when
+  /// stopping_ is set, the reader thread itself (self-detach) otherwise.
   struct Connection {
     int fd = -1;
     std::mutex write_mutex;
@@ -115,12 +125,21 @@ class Server {
   CompileQueue compile_queue_;
   Batcher batcher_;
 
-  int listen_fd_ = -1;
+  /// Atomic: stop() swaps it to -1 and closes it while accept_main
+  /// reads it between poll rounds.
+  std::atomic<int> listen_fd_{-1};
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
 
   mutable std::mutex conn_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
+  /// Set (under conn_mutex_) for the span of stop()'s connection
+  /// teardown: it makes exiting readers leave their thread handle alone
+  /// so stop() is the sole owner that joins them. Without it, a reader
+  /// detaching itself while stop() joins the same std::thread object is
+  /// a data race, and a detach landing between stop's joinable() check
+  /// and its join() turns shutdown into std::terminate.
+  bool stopping_ = false;
   std::uint64_t connections_total_ = 0;
   std::uint64_t protocol_errors_ = 0;
 

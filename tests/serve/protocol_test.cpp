@@ -247,6 +247,59 @@ TEST(Messages, RunBatchValidatesScalarCount) {
   EXPECT_FALSE(decode_run_batch(tampered).is_ok());
 }
 
+TEST(Messages, RunBatchOverflowingCountTimesArgsIsRejected) {
+  // count=2^31, num_args=2^30: the 64-bit product is 2^61, and *8 wraps
+  // to 0 — which would "match" this empty scalar payload and then drive
+  // a 2^61-element reserve() that kills the process. The decoder must
+  // bound count before any multiplication.
+  Writer w;
+  w.u64(1);
+  w.str("e");
+  w.u32(0x80000000u);  // count
+  w.u32(0x40000000u);  // num_args
+  Frame frame;
+  frame.type = MsgType::kRunBatch;
+  frame.payload = std::move(w).take();
+  const auto decoded = decode_run_batch(frame);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("exceeds limit"),
+            std::string::npos)
+      << decoded.status().to_string();
+}
+
+TEST(Messages, RunBatchHugeZeroArgCountIsRejected) {
+  // num_args == 0 makes ANY count consistent with an empty payload, so
+  // without the cap a 31-byte frame buys ~2^32 server-side calls and a
+  // ~68 GB reply allocation.
+  Writer w;
+  w.u64(1);
+  w.str("e");
+  w.u32(0xFFFFFFFFu);  // count
+  w.u32(0);            // num_args
+  Frame frame;
+  frame.type = MsgType::kRunBatch;
+  frame.payload = std::move(w).take();
+  const auto decoded = decode_run_batch(frame);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Messages, ZeroArgBatchWithinCapRoundTrips) {
+  // Zero-argument entries are real (SARB's entry points take none); a
+  // zero-arg batch under the count cap must keep decoding.
+  RunBatchMsg msg;
+  msg.session_id = 3;
+  msg.entry = "entropy_interface";
+  msg.count = 64;
+  msg.num_args = 0;
+  const auto decoded = decode_run_batch(encode(msg));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().count, 64u);
+  EXPECT_EQ(decoded.value().num_args, 0u);
+  EXPECT_TRUE(decoded.value().scalars.empty());
+}
+
 TEST(Messages, TrailingBytesAreAnError) {
   Frame frame = encode(StatsMsg{42});
   frame.payload.push_back(0);
@@ -294,6 +347,25 @@ TEST(SocketIo, CleanEofAtBoundaryIsFailedPrecondition) {
   const auto result = read_frame(fds[1]);
   ASSERT_FALSE(result.is_ok());
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  ::close(fds[1]);
+}
+
+TEST(SocketIo, WriteToAStalledPeerTimesOutInsteadOfHanging) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Shrink the buffers so one large frame overfills them; nobody reads
+  // the other end, so an unbounded write would block forever.
+  const int small = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof small);
+  ::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof small);
+  Frame frame;
+  frame.type = MsgType::kStatsReply;
+  frame.payload.assign(1u << 20, 0xAB);
+  const Status st = write_frame(fds[0], frame, /*stall_timeout_ms=*/100);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("stalled"), std::string::npos)
+      << st.to_string();
+  ::close(fds[0]);
   ::close(fds[1]);
 }
 

@@ -373,6 +373,56 @@ TEST(ServeServer, MalformedBytesKillOnlyThatConnection) {
       << stats.value();
 }
 
+TEST(ServeServer, CraftedBatchHeadersGetTypedErrorsNotACrash) {
+  const TestDirs dirs = make_dirs("craft");
+  Server server(server_options(dirs));
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client good;
+  ASSERT_TRUE(good.connect(dirs.socket_path).is_ok());
+  ExecConfig config;
+  config.target_tier = 0;
+  const auto load = good.load_builtin("sarb", config);
+  ASSERT_TRUE(load.is_ok());
+
+  // Raw socket: kRunBatch frames the client library would never build.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, dirs.socket_path.c_str(),
+              dirs.socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  const auto expect_error_reply = [fd](std::uint32_t count,
+                                       std::uint32_t num_args) {
+    Writer w;
+    w.u64(1);
+    w.str("entropy_interface");
+    w.u32(count);
+    w.u32(num_args);
+    Frame frame;
+    frame.type = MsgType::kRunBatch;
+    frame.payload = std::move(w).take();
+    ASSERT_TRUE(write_frame(fd, frame).is_ok());
+    const auto reply = read_frame(fd);
+    ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+    EXPECT_EQ(reply.value().type, MsgType::kError);
+  };
+  // count*num_args wraps to 0 mod 2^64, "matching" the empty payload.
+  expect_error_reply(0x80000000u, 0x40000000u);
+  // Zero args per call: any count "matches"; 2^32-1 calls for 31 bytes.
+  expect_error_reply(0xFFFFFFFFu, 0);
+  ::close(fd);
+
+  // The daemon survived both and still serves the well-behaved client.
+  const auto reply =
+      good.run(load.value().session_id, "entropy_interface");
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+}
+
 TEST(ServeServer, ShutdownFrameStopsTheServer) {
   const TestDirs dirs = make_dirs("down");
   Server server(server_options(dirs));
