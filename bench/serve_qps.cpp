@@ -14,8 +14,8 @@
 // batcher's coalescing counters. The acceptance bar: batched QPS must
 // beat serial one-at-a-time QPS.
 //
-//   bench/serve_qps --threads 8 --requests 400 --clients 8 --batch 64 \
-//                   --tier interp --out BENCH_serve.json
+//   bench/serve_qps --threads 8 --requests 400 --clients 8 --batch 64
+//       --tier interp --out BENCH_serve.json
 //   bench/serve_qps --smoke        # tiny counts, exercise every phase
 
 #include <unistd.h>

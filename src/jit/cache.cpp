@@ -1,5 +1,6 @@
 #include "jit/cache.hpp"
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -9,6 +10,7 @@
 #include <fstream>
 
 #include "jit/emit.hpp"
+#include "support/fault.hpp"
 #include "support/hash.hpp"
 #include "support/strings.hpp"
 #include "support/subprocess.hpp"
@@ -68,6 +70,22 @@ bool file_exists(const std::string& path) {
   return stat(path.c_str(), &st) == 0;
 }
 
+/// fsync one path (a file, or a directory to persist a rename). Publish
+/// must not report success for bytes the kernel may still lose: a host
+/// crash after rename but before writeback would otherwise leave a
+/// zero-length/truncated "valid" entry under the final name.
+Status sync_path(const std::string& path, bool directory) {
+  const int fd =
+      ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY : O_RDONLY);
+  if (fd < 0) {
+    return internal_error(cat("cannot open ", path, " for fsync"));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return internal_error(cat("fsync ", path, " failed"));
+  return Status::ok();
+}
+
 }  // namespace
 
 KernelCacheStats kernel_cache_stats() {
@@ -116,7 +134,9 @@ StatusOr<std::string> KernelCache::object_for(const std::string& source,
   const std::string digest = key(source, cc, flags, config);
   const std::string object = cat(dir_, "/", digest, ".so");
   if (file_exists(object)) {
-    if (looks_valid(object)) {
+    // The fault site treats this lookup's entry as corrupt (the chaos
+    // path for on-disk damage the ELF sniff would catch).
+    if (!fault::should_fail("jit.cache.load") && looks_valid(object)) {
       ++stats().hits;
       if (was_hit != nullptr) *was_hit = true;
       return object;
@@ -149,12 +169,26 @@ StatusOr<std::string> KernelCache::object_for(const std::string& source,
     return internal_error(
         cat("kernel compilation failed: ", compile.output.substr(0, 2000)));
   }
-  // Keep the source beside the object for debugging.
+  // Keep the source beside the object for debugging (best-effort, not
+  // synced — it is never loaded).
   std::rename(src_tmp.c_str(), cat(dir_, "/", digest, ".c").c_str());
+  if (fault::should_fail("jit.cache.publish")) {
+    // Simulates the crash window this fsync exists to close: the object
+    // is published truncated, as if the rename hit disk but the data
+    // never did. Readers must detect and rebuild it.
+    (void)::truncate(obj_tmp.c_str(), 2);
+  } else if (Status s = sync_path(obj_tmp, /*directory=*/false);
+             !s.is_ok()) {
+    std::remove(obj_tmp.c_str());
+    return s;
+  }
   if (std::rename(obj_tmp.c_str(), object.c_str()) != 0) {
     std::remove(obj_tmp.c_str());
     return internal_error(cat("cannot publish ", object));
   }
+  // Persist the rename itself; failure here is not fatal for THIS
+  // process (the entry is visible), it only weakens crash durability.
+  (void)sync_path(dir_, /*directory=*/true);
   return object;
 }
 

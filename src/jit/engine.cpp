@@ -11,6 +11,7 @@
 
 #include "jit/cache.hpp"
 #include "perfmodel/machine_model.hpp"
+#include "support/fault.hpp"
 #include "support/strings.hpp"
 #include "support/subprocess.hpp"
 
@@ -180,6 +181,9 @@ StatusOr<CompiledKernel> NativeEngine::compile_object(
 
 StatusOr<std::unique_ptr<NativeEngine>> NativeEngine::load_compiled(
     CompiledKernel compiled, const Options& options) {
+  if (fault::should_fail("jit.engine.load")) {
+    return internal_error("fault injected: kernel load refused");
+  }
   const bool opt_tier = options.model == NumericModel::kOpt;
   const bool parallel = compiled.parallel;
 

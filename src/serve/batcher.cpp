@@ -12,10 +12,20 @@ struct Outcome {
   Status status;
   double value = 0.0;
   Tier tier = Tier::kPlan;
+  bool expired = false;
 };
 
 Outcome run_one(RunRequest& request) {
   Outcome out;
+  if (request.has_deadline &&
+      std::chrono::steady_clock::now() > request.deadline) {
+    // Expired while queued: answer without leasing an instance — the
+    // client has (or will) give up, so running the kernel is pure
+    // waste that delays every live request behind it.
+    out.status = deadline_exceeded("request deadline elapsed in queue");
+    out.expired = true;
+    return out;
+  }
   StatusOr<Lease> lease = request.session->acquire();
   if (!lease.is_ok()) {
     out.status = lease.status();
@@ -72,6 +82,11 @@ Batcher::Stats Batcher::stats() const {
   return stats_;
 }
 
+std::size_t Batcher::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 void Batcher::dispatcher_main() {
   while (true) {
     std::vector<RunRequest> batch;
@@ -112,12 +127,17 @@ void Batcher::run_batch(std::vector<RunRequest>& batch) {
   }
   // Count the batch BEFORE delivering: a client that observed its reply
   // must see its request in the stats endpoint.
+  std::uint64_t expired = 0;
+  for (const Outcome& out : outcomes) {
+    if (out.expired) ++expired;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.batches;
     stats_.requests += batch.size();
     stats_.max_batch =
         std::max<std::uint64_t>(stats_.max_batch, batch.size());
+    stats_.deadline_expired += expired;
   }
   // Deliver serially on the dispatcher so completion callbacks (and
   // their socket writes) never race each other. A stalled client can

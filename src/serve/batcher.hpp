@@ -18,6 +18,7 @@
 // (never concurrently with each other), so reply writers only need a
 // per-connection mutex against the connection's own thread.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,12 @@ struct RunRequest {
   std::string entry;
   std::vector<double> args;
   std::function<void(StatusOr<double>, Tier)> done;
+  /// Absolute deadline (when has_deadline): a request whose deadline
+  /// has passed by the time its sweep slot runs is answered with a
+  /// typed kDeadlineExceeded without leasing an instance — expired work
+  /// must not occupy the machine.
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
 };
 
 class Batcher {
@@ -54,6 +61,7 @@ class Batcher {
     std::uint64_t max_batch = 0; ///< largest sweep so far
     /// requests/batches is the average batch size; kept separate so the
     /// stats endpoint can report both raw counters.
+    std::uint64_t deadline_expired = 0;  ///< answered kDeadlineExceeded
   };
 
   explicit Batcher(Options options);
@@ -65,6 +73,10 @@ class Batcher {
   void submit(RunRequest request);
 
   [[nodiscard]] Stats stats() const;
+
+  /// Requests queued but not yet drained into a sweep (the kHealth
+  /// queue-depth field).
+  [[nodiscard]] std::size_t queued() const;
 
  private:
   void dispatcher_main();

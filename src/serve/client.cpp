@@ -1,18 +1,72 @@
 #include "serve/client.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace glaf::serve {
+
+namespace {
+
+/// connect(2) bounded by timeout_ms: non-blocking connect, poll for
+/// writability, then SO_ERROR for the real verdict. timeout_ms <= 0
+/// falls back to a plain blocking connect.
+Status connect_with_timeout(int fd, const sockaddr_un& addr,
+                            const std::string& path, int timeout_ms) {
+  if (timeout_ms <= 0) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      return internal_error("connect " + path + ": " + std::strerror(errno));
+    }
+    return Status::ok();
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  Status st = Status::ok();
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      st = internal_error("connect " + path + ": " + std::strerror(errno));
+    } else {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc == 0) {
+        st = internal_error("connect " + path + ": timed out after " +
+                            std::to_string(timeout_ms) + " ms");
+      } else if (rc < 0) {
+        st = internal_error("connect " + path + ": poll: " +
+                            std::strerror(errno));
+      } else {
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+        if (soerr != 0) {
+          st = internal_error("connect " + path + ": " +
+                              std::strerror(soerr));
+        }
+      }
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return st;
+}
+
+}  // namespace
 
 Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), server_pid_(other.server_pid_) {
+    : options_(other.options_), socket_path_(std::move(other.socket_path_)),
+      jitter_(other.jitter_), fd_(other.fd_),
+      server_pid_(other.server_pid_) {
   other.fd_ = -1;
   other.server_pid_ = 0;
 }
@@ -25,22 +79,40 @@ void Client::close() {
 }
 
 Status Client::connect(const std::string& socket_path) {
+  return connect(socket_path, Options{});
+}
+
+Status Client::connect(const std::string& socket_path,
+                       const Options& options) {
   if (fd_ >= 0) return failed_precondition("already connected");
+  socket_path_ = socket_path;
+  options_ = options;
+  jitter_ = SplitMix64(options.retry_seed);
+  Status st;
+  for (int attempt = 0;; ++attempt) {
+    st = dial();
+    if (st.is_ok() || attempt >= options_.retries) return st;
+    backoff(attempt);
+  }
+}
+
+Status Client::dial() {
+  close();
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    return invalid_argument("socket path too long: " + socket_path);
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    return invalid_argument("socket path too long: " + socket_path_);
   }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  std::memcpy(addr.sun_path, socket_path_.c_str(),
+              socket_path_.size() + 1);
 
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return internal_error(std::string("socket: ") + std::strerror(errno));
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) < 0) {
-    const Status st = internal_error("connect " + socket_path + ": " +
-                                     std::strerror(errno));
+  const Status st = connect_with_timeout(fd, addr, socket_path_,
+                                         options_.connect_timeout_ms);
+  if (!st.is_ok()) {
     ::close(fd);
     return st;
   }
@@ -63,17 +135,33 @@ Status Client::connect(const std::string& socket_path) {
 
 StatusOr<Frame> Client::round_trip(const Frame& request,
                                    MsgType expected_reply) {
-  if (fd_ < 0) return failed_precondition("not connected");
+  transport_failed_ = false;
+  if (fd_ < 0) {
+    transport_failed_ = true;
+    return failed_precondition("not connected");
+  }
   const Status wr = write_frame(fd_, request);
-  if (!wr.is_ok()) return wr;
-  StatusOr<Frame> reply = read_frame(fd_);
-  if (!reply.is_ok()) return reply.status();
+  if (!wr.is_ok()) {
+    // The stream may hold a partial frame: unusable for any later
+    // request. Close now so the retry path re-dials.
+    transport_failed_ = true;
+    close();
+    return wr;
+  }
+  StatusOr<Frame> reply =
+      read_frame(fd_, options_.read_timeout_ms > 0 ? options_.read_timeout_ms
+                                                   : -1);
+  if (!reply.is_ok()) {
+    transport_failed_ = true;
+    close();
+    return reply.status();
+  }
   if (reply.value().type == MsgType::kError) {
     const StatusOr<ErrorMsg> err = decode_error(reply.value());
     if (!err.is_ok()) return err.status();
     // Clamp out-of-range wire codes rather than casting garbage.
     const auto code =
-        err.value().code <= static_cast<std::uint32_t>(StatusCode::kInternal)
+        err.value().code <= static_cast<std::uint32_t>(kMaxStatusCode)
             ? static_cast<StatusCode>(err.value().code)
             : StatusCode::kInternal;
     return Status(code, err.value().message);
@@ -86,12 +174,46 @@ StatusOr<Frame> Client::round_trip(const Frame& request,
   return reply;
 }
 
+StatusOr<Frame> Client::exchange(const Frame& request,
+                                 MsgType expected_reply) {
+  for (int attempt = 0;; ++attempt) {
+    Status last;
+    if (fd_ < 0) {
+      // A prior transport fault (or a never-connected client with a
+      // remembered path) re-dials here.
+      if (socket_path_.empty()) {
+        return failed_precondition("not connected");
+      }
+      last = dial();
+    }
+    if (fd_ >= 0) {
+      StatusOr<Frame> reply = round_trip(request, expected_reply);
+      if (reply.is_ok()) return reply;
+      last = reply.status();
+      const bool retryable =
+          transport_failed_ || last.code() == StatusCode::kBusy;
+      if (!retryable) return last;
+    }
+    if (attempt >= options_.retries) return last;
+    backoff(attempt);
+  }
+}
+
+void Client::backoff(int attempt) {
+  const int base = std::max(1, options_.retry_backoff_ms)
+                   << std::min(attempt, 5);
+  const double ms =
+      static_cast<double>(base) * (1.0 + 0.5 * jitter_.next_double());
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0)));
+}
+
 StatusOr<LoadReplyMsg> Client::load_builtin(const std::string& name,
                                             const ExecConfig& config) {
   LoadProgramMsg msg;
   msg.builtin = name;
   msg.config = config;
-  const StatusOr<Frame> reply = round_trip(encode(msg), MsgType::kLoadReply);
+  const StatusOr<Frame> reply = exchange(encode(msg), MsgType::kLoadReply);
   if (!reply.is_ok()) return reply.status();
   return decode_load_reply(reply.value());
 }
@@ -101,19 +223,21 @@ StatusOr<LoadReplyMsg> Client::load_source(const std::string& source,
   LoadProgramMsg msg;
   msg.source = source;
   msg.config = config;
-  const StatusOr<Frame> reply = round_trip(encode(msg), MsgType::kLoadReply);
+  const StatusOr<Frame> reply = exchange(encode(msg), MsgType::kLoadReply);
   if (!reply.is_ok()) return reply.status();
   return decode_load_reply(reply.value());
 }
 
 StatusOr<RunReplyMsg> Client::run(std::uint64_t session_id,
                                   const std::string& entry,
-                                  const std::vector<double>& args) {
+                                  const std::vector<double>& args,
+                                  std::uint32_t deadline_ms) {
   RunEntryMsg msg;
   msg.session_id = session_id;
   msg.entry = entry;
   msg.args = args;
-  const StatusOr<Frame> reply = round_trip(encode(msg), MsgType::kRunReply);
+  msg.deadline_ms = deadline_ms;
+  const StatusOr<Frame> reply = exchange(encode(msg), MsgType::kRunReply);
   if (!reply.is_ok()) return reply.status();
   return decode_run_reply(reply.value());
 }
@@ -122,15 +246,17 @@ StatusOr<BatchReplyMsg> Client::run_batch(std::uint64_t session_id,
                                           const std::string& entry,
                                           std::uint32_t count,
                                           std::uint32_t num_args,
-                                          const std::vector<double>& scalars) {
+                                          const std::vector<double>& scalars,
+                                          std::uint32_t deadline_ms) {
   RunBatchMsg msg;
   msg.session_id = session_id;
   msg.entry = entry;
   msg.count = count;
   msg.num_args = num_args;
   msg.scalars = scalars;
+  msg.deadline_ms = deadline_ms;
   const StatusOr<Frame> reply =
-      round_trip(encode(msg), MsgType::kBatchReply);
+      exchange(encode(msg), MsgType::kBatchReply);
   if (!reply.is_ok()) return reply.status();
   return decode_batch_reply(reply.value());
 }
@@ -139,14 +265,24 @@ StatusOr<std::string> Client::stats(std::uint64_t session_id) {
   StatsMsg msg;
   msg.session_id = session_id;
   const StatusOr<Frame> reply =
-      round_trip(encode(msg), MsgType::kStatsReply);
+      exchange(encode(msg), MsgType::kStatsReply);
   if (!reply.is_ok()) return reply.status();
   const StatusOr<StatsReplyMsg> stats = decode_stats_reply(reply.value());
   if (!stats.is_ok()) return stats.status();
   return stats.value().json;
 }
 
+StatusOr<HealthReplyMsg> Client::health() {
+  const StatusOr<Frame> reply =
+      exchange(Frame{MsgType::kHealth, {}}, MsgType::kHealthReply);
+  if (!reply.is_ok()) return reply.status();
+  return decode_health_reply(reply.value());
+}
+
 Status Client::shutdown_server() {
+  // Deliberately round_trip, not exchange: shutdown is not pure. A
+  // reconnect-and-resend after a lost ack could reach the NEXT daemon
+  // on this path and kill it too.
   const StatusOr<Frame> reply =
       round_trip(Frame{MsgType::kShutdown, {}}, MsgType::kShutdownOk);
   if (!reply.is_ok()) return reply.status();

@@ -7,18 +7,47 @@
 // kError reply surfaces as the contained Status, transport failures as
 // the socket Status. The client is not thread-safe: one Client per
 // thread (they are cheap — a connect(2) and a hello exchange).
+//
+// Robustness: connect and read are both bounded (Options) so a wedged
+// daemon — accepted the connection, never replies — costs a timeout,
+// not a hang. With retries > 0 the client transparently survives
+// transport faults: a failed write/read closes the (now mid-frame,
+// unusable) socket, re-dials with exponential backoff + deterministic
+// jitter, and resends. Only PURE requests ride this path — hello, load
+// (idempotent by program hash), run/run_batch (kernels compute values),
+// stats, health. kShutdown is never retried: a lost ack after a
+// delivered shutdown must not kill the replacement daemon. A typed
+// kBusy reply (overload, drain) is also retried after backoff, without
+// reconnecting. All other typed errors surface immediately.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "serve/protocol.hpp"
+#include "support/rng.hpp"
 #include "support/status.hpp"
 
 namespace glaf::serve {
 
 class Client {
  public:
+  struct Options {
+    /// Max milliseconds for connect(2) to complete (0 = unbounded).
+    int connect_timeout_ms = 10000;
+    /// Max milliseconds a reply read may sit with zero bytes arriving
+    /// before the request fails (0 = unbounded). Guards against a
+    /// wedged daemon that accepted but will never answer.
+    int read_timeout_ms = 30000;
+    /// Automatic retries after a transport fault or kBusy (0 = off).
+    int retries = 0;
+    /// Base backoff before retry k is backoff << min(k, 5), plus up to
+    /// 50% deterministic jitter.
+    int retry_backoff_ms = 50;
+    /// Seed for the jitter stream (deterministic tests/benches).
+    std::uint64_t retry_seed = 1;
+  };
+
   Client() = default;
   ~Client();  ///< closes the socket
 
@@ -28,8 +57,10 @@ class Client {
   Client& operator=(Client&&) = delete;
 
   /// Connect to the daemon and exchange the hello handshake (which
-  /// verifies magic + protocol version end to end).
-  Status connect(const std::string& socket_path);
+  /// verifies magic + protocol version end to end). The path and
+  /// options are remembered for automatic reconnects.
+  Status connect(const std::string& socket_path, const Options& options);
+  Status connect(const std::string& socket_path);  ///< default Options
 
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
   /// Daemon pid from the hello reply (0 before connect()).
@@ -43,33 +74,53 @@ class Client {
                                      const ExecConfig& config = {});
 
   /// Run `entry` once; the reply carries the result and the tier that
-  /// served it.
+  /// served it. deadline_ms > 0 asks the server to answer
+  /// kDeadlineExceeded instead of running work it can no longer serve
+  /// in time.
   StatusOr<RunReplyMsg> run(std::uint64_t session_id,
                             const std::string& entry,
-                            const std::vector<double>& args = {});
+                            const std::vector<double>& args = {},
+                            std::uint32_t deadline_ms = 0);
 
   /// Run `entry` count times with args[i*num_args..] per call; one
-  /// round trip, executed server-side as one batch.
+  /// round trip, executed server-side as one batch. deadline_ms covers
+  /// the whole batch.
   StatusOr<BatchReplyMsg> run_batch(std::uint64_t session_id,
                                     const std::string& entry,
                                     std::uint32_t count,
                                     std::uint32_t num_args,
-                                    const std::vector<double>& scalars);
+                                    const std::vector<double>& scalars,
+                                    std::uint32_t deadline_ms = 0);
 
   /// Stats JSON for one session, or the whole server with id 0.
   StatusOr<std::string> stats(std::uint64_t session_id = 0);
 
-  /// Ask the daemon to exit (waits for the kShutdownOk ack).
+  /// Readiness probe (answered even while the server drains).
+  StatusOr<HealthReplyMsg> health();
+
+  /// Ask the daemon to exit (waits for the kShutdownOk ack). Never
+  /// retried — see the header comment.
   Status shutdown_server();
 
   void close();
 
  private:
-  /// One request/reply exchange; checks for a kError reply.
+  /// Dial + hello handshake (no retries; exchange() owns those).
+  Status dial();
+  /// One request/reply exchange; checks for a kError reply. A
+  /// transport failure closes the socket and sets transport_failed_.
   StatusOr<Frame> round_trip(const Frame& request, MsgType expected_reply);
+  /// round_trip plus the reconnect/backoff/retry loop for pure
+  /// requests.
+  StatusOr<Frame> exchange(const Frame& request, MsgType expected_reply);
+  void backoff(int attempt);
 
+  Options options_;
+  std::string socket_path_;
+  SplitMix64 jitter_{1};
   int fd_ = -1;
   std::uint64_t server_pid_ = 0;
+  bool transport_failed_ = false;
 };
 
 }  // namespace glaf::serve

@@ -3,6 +3,7 @@
 #include "analysis/parallelize.hpp"
 #include "interp/native_options.hpp"
 #include "jit/engine.hpp"
+#include "support/fault.hpp"
 
 namespace glaf::serve {
 
@@ -37,6 +38,11 @@ std::uint64_t CompileQueue::completed() const {
   return completed_;
 }
 
+std::uint64_t CompileQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + (busy_ ? 1 : 0);
+}
+
 void CompileQueue::worker_main() {
   while (true) {
     std::shared_ptr<Session> session;
@@ -69,6 +75,10 @@ void CompileQueue::run_ladder(const std::shared_ptr<Session>& session) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stop_) return;  // in-flight session: stop between rungs
     }
+    if (fault::should_fail("serve.compile")) {
+      session->record_compile_error("fault injected: background compile");
+      return;
+    }
     const jit::NativeEngine::Options nopts =
         native_engine_options(session->machine_options(tier), nullptr);
     const StatusOr<jit::CompiledKernel> compiled =
@@ -79,7 +89,7 @@ void CompileQueue::run_ladder(const std::shared_ptr<Session>& session) {
           std::string(compiled.status().message()));
       return;  // higher rungs would fail the same way
     }
-    session->promote(tier);
+    session->promote(tier, compiled.value().object_path);
   }
 }
 

@@ -51,6 +51,10 @@ class CompileQueue {
   /// Jobs completed so far (promotions + failures).
   [[nodiscard]] std::uint64_t completed() const;
 
+  /// Jobs pending plus the in-flight one (the kHealth queue-depth
+  /// field).
+  [[nodiscard]] std::uint64_t depth() const;
+
  private:
   void worker_main();
   /// Compile every missing tier of one session, promoting as they land.

@@ -5,8 +5,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "support/fault.hpp"
 #include "support/strings.hpp"
 
 namespace glaf::serve {
@@ -168,6 +171,13 @@ StatusOr<std::optional<Frame>> FrameDecoder::next() {
     return poisoned_;
   }
   if (buf_.size() - pos_ < kHeaderSize + len) return std::optional<Frame>();
+  if (len > 0 && fault::should_fail("serve.frame.alloc")) {
+    // Models the payload allocation failing (a giant-yet-well-formed
+    // frame under memory pressure). The stream position is lost, so the
+    // connection must die — poison, exactly like a real bad_alloc path.
+    poisoned_ = internal_error("fault injected: frame payload allocation");
+    return poisoned_;
+  }
   Frame frame;
   frame.type = static_cast<MsgType>(type);
   frame.payload.assign(h + kHeaderSize, h + kHeaderSize + len);
@@ -180,6 +190,15 @@ StatusOr<std::optional<Frame>> FrameDecoder::next() {
 }
 
 Status write_frame(int fd, const Frame& frame, int stall_timeout_ms) {
+  if (fault::should_fail("serve.sock.write_stall")) {
+    // A peer that reads slowly: delay, then proceed. Long enough to
+    // pile requests into one batcher sweep, short enough that a soak
+    // with thousands of requests still finishes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  if (fault::should_fail("serve.sock.write")) {
+    return internal_error("fault injected: socket write failed");
+  }
   const std::vector<std::uint8_t> bytes = encode_frame(frame);
   std::size_t sent = 0;
   while (sent < bytes.size()) {
@@ -213,13 +232,36 @@ Status write_frame(int fd, const Frame& frame, int stall_timeout_ms) {
   return Status::ok();
 }
 
-StatusOr<Frame> read_frame(int fd) {
+StatusOr<Frame> read_frame(int fd, int stall_timeout_ms) {
+  // One-shot decoder: only safe when the peer strictly alternates
+  // request/reply (never two frames in flight on this stream).
   FrameDecoder decoder;
+  return read_frame(fd, decoder, stall_timeout_ms);
+}
+
+StatusOr<Frame> read_frame(int fd, FrameDecoder& decoder,
+                           int stall_timeout_ms) {
+  if (fault::should_fail("serve.sock.read")) {
+    return internal_error("fault injected: socket read failed");
+  }
   std::uint8_t chunk[4096];
   while (true) {
     StatusOr<std::optional<Frame>> frame = decoder.next();
     if (!frame.is_ok()) return frame.status();
     if (frame.value().has_value()) return std::move(*frame.value());
+    if (stall_timeout_ms >= 0) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, stall_timeout_ms);
+      if (rc == 0) {
+        return internal_error(cat("socket read stalled for ",
+                                  stall_timeout_ms,
+                                  " ms (peer not responding)"));
+      }
+      if (rc < 0 && errno != EINTR) {
+        return internal_error(cat("socket poll: ", std::strerror(errno)));
+      }
+      if (rc < 0) continue;  // EINTR: re-poll
+    }
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -345,6 +387,7 @@ StatusOr<LoadReplyMsg> decode_load_reply(const Frame& frame) {
 Frame encode(const RunEntryMsg& m) {
   Writer w;
   w.u64(m.session_id);
+  w.u32(m.deadline_ms);
   w.str(m.entry);
   w.u32(static_cast<std::uint32_t>(m.args.size()));
   for (const double a : m.args) w.f64(a);
@@ -361,6 +404,9 @@ StatusOr<RunEntryMsg> decode_run_entry(const Frame& frame) {
   const StatusOr<std::uint64_t> id = r.u64();
   if (!id.is_ok()) return id.status();
   m.session_id = id.value();
+  const StatusOr<std::uint32_t> deadline = r.u32();
+  if (!deadline.is_ok()) return deadline.status();
+  m.deadline_ms = deadline.value();
   StatusOr<std::string> entry = r.str();
   if (!entry.is_ok()) return entry.status();
   m.entry = std::move(entry).value();
@@ -407,6 +453,7 @@ StatusOr<RunReplyMsg> decode_run_reply(const Frame& frame) {
 Frame encode(const RunBatchMsg& m) {
   Writer w;
   w.u64(m.session_id);
+  w.u32(m.deadline_ms);
   w.str(m.entry);
   w.u32(m.count);
   w.u32(m.num_args);
@@ -424,6 +471,9 @@ StatusOr<RunBatchMsg> decode_run_batch(const Frame& frame) {
   const StatusOr<std::uint64_t> id = r.u64();
   if (!id.is_ok()) return id.status();
   m.session_id = id.value();
+  const StatusOr<std::uint32_t> deadline = r.u32();
+  if (!deadline.is_ok()) return deadline.status();
+  m.deadline_ms = deadline.value();
   StatusOr<std::string> entry = r.str();
   if (!entry.is_ok()) return entry.status();
   m.entry = std::move(entry).value();
@@ -561,6 +611,45 @@ StatusOr<HelloReplyMsg> decode_hello_reply(const Frame& frame) {
   if (!pid.is_ok()) return pid.status();
   m.server_pid = pid.value();
   if (Status s = expect_done(r, "hello-ok"); !s.is_ok()) return s;
+  return m;
+}
+
+Frame encode(const HealthReplyMsg& m) {
+  Writer w;
+  w.u8(m.ready);
+  w.u8(m.draining);
+  w.u8(m.top_tier);
+  w.u32(m.sessions);
+  w.u32(m.inflight);
+  w.u32(m.queued);
+  w.u32(m.compile_queued);
+  w.u32(m.max_inflight);
+  return frame_of(MsgType::kHealthReply, std::move(w));
+}
+
+StatusOr<HealthReplyMsg> decode_health_reply(const Frame& frame) {
+  if (Status s = expect_type(frame, MsgType::kHealthReply, "health-reply");
+      !s.is_ok()) {
+    return s;
+  }
+  Reader r(frame.payload);
+  HealthReplyMsg m;
+  const StatusOr<std::uint8_t> ready = r.u8();
+  if (!ready.is_ok()) return ready.status();
+  m.ready = ready.value();
+  const StatusOr<std::uint8_t> draining = r.u8();
+  if (!draining.is_ok()) return draining.status();
+  m.draining = draining.value();
+  const StatusOr<std::uint8_t> top_tier = r.u8();
+  if (!top_tier.is_ok()) return top_tier.status();
+  m.top_tier = top_tier.value();
+  for (std::uint32_t* field : {&m.sessions, &m.inflight, &m.queued,
+                               &m.compile_queued, &m.max_inflight}) {
+    const StatusOr<std::uint32_t> v = r.u32();
+    if (!v.is_ok()) return v.status();
+    *field = v.value();
+  }
+  if (Status s = expect_done(r, "health-reply"); !s.is_ok()) return s;
   return m;
 }
 

@@ -32,7 +32,10 @@
 namespace glaf::serve {
 
 inline constexpr char kMagic[4] = {'G', 'L', 'A', 'F'};
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2 added the per-request deadline field in kRunEntry/kRunBatch and
+/// the kHealth/kHealthReply pair. Versions are not negotiated — both
+/// peers must speak the same one (the hello exchange verifies it).
+inline constexpr std::uint16_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderSize = 12;
 /// Frames above this payload size are rejected before any allocation —
 /// a garbage length field must not make the daemon try to buffer 4 GiB.
@@ -55,6 +58,7 @@ enum class MsgType : std::uint16_t {
   kRunBatch = 4,     ///< RunBatchMsg -> BatchReplyMsg
   kStats = 5,        ///< StatsMsg -> StatsReplyMsg
   kShutdown = 6,     ///< empty -> kShutdownOk, then the server exits
+  kHealth = 7,       ///< empty -> HealthReplyMsg (served even while draining)
 
   kHelloOk = 100,    ///< HelloReplyMsg
   kLoadReply = 101,
@@ -62,6 +66,7 @@ enum class MsgType : std::uint16_t {
   kBatchReply = 103,
   kStatsReply = 104,
   kShutdownOk = 105,
+  kHealthReply = 106,
   kError = 199,      ///< ErrorMsg (typed failure reply to any request)
 };
 
@@ -157,8 +162,21 @@ Status write_frame(int fd, const Frame& frame, int stall_timeout_ms = -1);
 /// Read exactly one frame from `fd`. kFailedPrecondition "peer closed"
 /// on clean EOF at a frame boundary; kInvalidArgument via the decoder's
 /// poisoned status on malformed bytes; kInternal on socket errors and on
-/// EOF mid-frame (the mid-request-disconnect case).
-StatusOr<Frame> read_frame(int fd);
+/// EOF mid-frame (the mid-request-disconnect case). `stall_timeout_ms`
+/// bounds how long a single read may sit with zero bytes arriving: when
+/// the peer goes silent for that long mid-wait, the read fails with
+/// kInternal instead of blocking forever (how the client survives a
+/// wedged daemon). Negative means wait indefinitely.
+StatusOr<Frame> read_frame(int fd, int stall_timeout_ms = -1);
+
+/// Same, but decoding through a caller-owned decoder. A single read(2)
+/// can pull bytes of the NEXT pipelined frame along with the current
+/// one; a fresh decoder per call would silently drop them. Anyone
+/// reading a stream that may carry back-to-back frames (the server's
+/// per-connection reader, a client draining pipelined replies) must
+/// keep one decoder per stream and pass it here.
+StatusOr<Frame> read_frame(int fd, FrameDecoder& decoder,
+                           int stall_timeout_ms = -1);
 
 // ---- typed messages -------------------------------------------------------
 
@@ -190,6 +208,10 @@ struct RunEntryMsg {
   std::uint64_t session_id = 0;
   std::string entry;
   std::vector<double> args;
+  /// Milliseconds the server may spend before answering; 0 = no
+  /// deadline. An expired request is answered with a typed
+  /// kDeadlineExceeded instead of occupying a batcher sweep slot.
+  std::uint32_t deadline_ms = 0;
 };
 
 struct RunReplyMsg {
@@ -205,6 +227,8 @@ struct RunBatchMsg {
   std::uint32_t count = 0;
   std::uint32_t num_args = 0;
   std::vector<double> scalars;
+  /// Deadline for the whole batch; 0 = none (see RunEntryMsg).
+  std::uint32_t deadline_ms = 0;
 };
 
 struct BatchReplyMsg {
@@ -224,6 +248,20 @@ struct HelloReplyMsg {
   std::uint64_t server_pid = 0;
 };
 
+/// Readiness and load snapshot (answer to an empty kHealth frame).
+/// Served even while the daemon drains, so orchestration can
+/// distinguish "draining" from "dead".
+struct HealthReplyMsg {
+  std::uint8_t ready = 0;          ///< accepting new run requests
+  std::uint8_t draining = 0;       ///< drain in progress (SIGTERM)
+  std::uint8_t top_tier = 0;       ///< highest serving tier across sessions
+  std::uint32_t sessions = 0;
+  std::uint32_t inflight = 0;      ///< admitted runs not yet answered
+  std::uint32_t queued = 0;        ///< batcher queue depth right now
+  std::uint32_t compile_queued = 0;///< compile ladder jobs pending/running
+  std::uint32_t max_inflight = 0;  ///< admission-control bound (0 = none)
+};
+
 struct ErrorMsg {
   std::uint32_t code = 0;  ///< StatusCode of the failure
   std::string message;
@@ -240,6 +278,7 @@ Frame encode(const BatchReplyMsg& m);
 Frame encode(const StatsMsg& m);
 Frame encode(const StatsReplyMsg& m);
 Frame encode(const HelloReplyMsg& m);
+Frame encode(const HealthReplyMsg& m);
 Frame encode(const ErrorMsg& m);
 
 StatusOr<LoadProgramMsg> decode_load_program(const Frame& frame);
@@ -251,6 +290,7 @@ StatusOr<BatchReplyMsg> decode_batch_reply(const Frame& frame);
 StatusOr<StatsMsg> decode_stats(const Frame& frame);
 StatusOr<StatsReplyMsg> decode_stats_reply(const Frame& frame);
 StatusOr<HelloReplyMsg> decode_hello_reply(const Frame& frame);
+StatusOr<HealthReplyMsg> decode_health_reply(const Frame& frame);
 StatusOr<ErrorMsg> decode_error(const Frame& frame);
 
 /// An ErrorMsg for `status`, ready to send.

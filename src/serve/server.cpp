@@ -6,15 +6,20 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <exception>
+#include <thread>
 
 #include "core/serialize.hpp"
 #include "core/validate.hpp"
 #include "fuliou/glaf_kernels.hpp"
 #include "fun3d/glaf_fun3d.hpp"
+#include "support/fault.hpp"
 #include "support/json.hpp"
+#include "support/strings.hpp"
 
 namespace glaf::serve {
 
@@ -47,6 +52,8 @@ StatusOr<SessionConfig> resolve_config(const ExecConfig& wire,
   config.cc = server.cc;
   config.cache_dir = server.cache_dir;
   config.max_pool = server.max_pool;
+  config.breaker_threshold = server.breaker_threshold;
+  config.breaker_backoff_ms = server.breaker_backoff_ms;
   return config;
 }
 
@@ -197,6 +204,87 @@ void Server::wait() {
   stop_cv_.wait(lock, [this] { return stopped_; });
 }
 
+void Server::drain() {
+  if (!running_.load(std::memory_order_acquire)) {
+    stop();
+    return;
+  }
+  draining_.store(true, std::memory_order_release);
+  // Stop accepting: closing the listener makes accept_main exit (the
+  // exchange also keeps the later stop() from double-closing). Existing
+  // connections stay alive so pending replies, kHealth and kStats still
+  // flow.
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) ::close(lfd);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.drain_timeout_ms);
+  while (inflight_.load(std::memory_order_acquire) > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop();
+  draining_.store(false, std::memory_order_release);
+}
+
+HealthReplyMsg Server::health() const {
+  HealthReplyMsg h;
+  const bool draining = draining_.load(std::memory_order_acquire);
+  h.ready =
+      running_.load(std::memory_order_acquire) && !draining ? 1 : 0;
+  h.draining = draining ? 1 : 0;
+  const std::vector<std::shared_ptr<Session>> sessions = registry_.all();
+  h.sessions = static_cast<std::uint32_t>(sessions.size());
+  for (const std::shared_ptr<Session>& session : sessions) {
+    h.top_tier = std::max(h.top_tier,
+                          static_cast<std::uint8_t>(session->tier()));
+  }
+  h.inflight =
+      static_cast<std::uint32_t>(inflight_.load(std::memory_order_acquire));
+  h.queued = static_cast<std::uint32_t>(batcher_.queued());
+  h.compile_queued = static_cast<std::uint32_t>(compile_queue_.depth());
+  h.max_inflight = static_cast<std::uint32_t>(options_.max_inflight);
+  return h;
+}
+
+bool Server::admit_runs(const std::shared_ptr<Connection>& conn,
+                        std::size_t count, Status* why) {
+  if (draining_.load(std::memory_order_acquire)) {
+    ++requests_shed_;
+    *why = busy("server is draining; retry against its replacement");
+    return false;
+  }
+  // The increments race other admitters, so the bound can overshoot by
+  // the number of racing connections — admission control is a load
+  // valve, not an exact semaphore. Undershoot never happens: every
+  // admitted slot is balanced by exactly one finish_run().
+  if (options_.max_inflight != 0 &&
+      inflight_.load(std::memory_order_acquire) + count >
+          options_.max_inflight) {
+    ++requests_shed_;
+    *why = busy(cat("server at capacity (", options_.max_inflight,
+                    " requests in flight); retry with backoff"));
+    return false;
+  }
+  if (options_.max_conn_pending != 0 &&
+      conn->pending.load(std::memory_order_acquire) + count >
+          options_.max_conn_pending) {
+    ++requests_shed_;
+    *why = busy(cat("connection has ", options_.max_conn_pending,
+                    " unanswered requests; read replies before sending"
+                    " more"));
+    return false;
+  }
+  inflight_.fetch_add(count, std::memory_order_acq_rel);
+  conn->pending.fetch_add(count, std::memory_order_acq_rel);
+  return true;
+}
+
+void Server::finish_run(const std::shared_ptr<Connection>& conn) {
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  conn->pending.fetch_sub(1, std::memory_order_acq_rel);
+}
+
 void Server::accept_main() {
   while (running_.load(std::memory_order_acquire)) {
     const int lfd = listen_fd_.load(std::memory_order_acquire);
@@ -207,6 +295,13 @@ void Server::accept_main() {
     if (rc <= 0) continue;  // timeout or EINTR: re-check the flag
     const int client = ::accept(lfd, nullptr, nullptr);
     if (client < 0) continue;
+    if (fault::should_fail("serve.accept")) {
+      // The connection dies at birth (accept-time resource exhaustion,
+      // a load balancer yanking the peer). Clients see a reset and must
+      // reconnect.
+      ::close(client);
+      continue;
+    }
 
     auto conn = std::make_shared<Connection>();
     conn->fd = client;
@@ -224,8 +319,13 @@ void Server::accept_main() {
 }
 
 void Server::connection_main(const std::shared_ptr<Connection>& conn) {
+  // One decoder for the connection's lifetime: a single read(2) may
+  // deliver the tail of one frame plus the head (or all) of the next
+  // pipelined one, and those buffered bytes must survive to the next
+  // loop iteration — a fresh decoder per frame would drop them.
+  FrameDecoder decoder;
   while (conn->open.load(std::memory_order_acquire)) {
-    StatusOr<Frame> frame = read_frame(conn->fd);
+    StatusOr<Frame> frame = read_frame(conn->fd, decoder);
     if (!frame.is_ok()) {
       // Clean close at a frame boundary is the normal goodbye; anything
       // else (poisoned decoder, mid-frame EOF, socket error) gets a
@@ -305,6 +405,9 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
     case MsgType::kStats:
       handle_stats(conn, frame);
       return true;
+    case MsgType::kHealth:
+      send(conn, encode(health()));
+      return true;
     case MsgType::kShutdown: {
       send(conn, Frame{MsgType::kShutdownOk, {}});
       // stop() joins this very reader thread; hand the job to a
@@ -369,19 +472,30 @@ void Server::handle_run(const std::shared_ptr<Connection>& conn,
                    std::to_string(msg.value().session_id))));
     return;
   }
+  Status shed;
+  if (!admit_runs(conn, 1, &shed)) {
+    send(conn, error_frame(shed));
+    return;
+  }
   RunRequest request;
   request.session = std::move(session);
   request.entry = msg.value().entry;
   request.args = msg.value().args;
+  if (msg.value().deadline_ms > 0) {
+    request.has_deadline = true;
+    request.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(msg.value().deadline_ms);
+  }
   request.done = [this, conn](StatusOr<double> result, Tier tier) {
     if (!result.is_ok()) {
       send(conn, error_frame(result.status()));
-      return;
+    } else {
+      RunReplyMsg reply;
+      reply.tier = static_cast<std::uint8_t>(tier);
+      reply.result = result.value();
+      send(conn, encode(reply));
     }
-    RunReplyMsg reply;
-    reply.tier = static_cast<std::uint8_t>(tier);
-    reply.result = result.value();
-    send(conn, encode(reply));
+    finish_run(conn);
   };
   batcher_.submit(std::move(request));
 }
@@ -403,6 +517,17 @@ void Server::handle_batch(const std::shared_ptr<Connection>& conn,
   if (batch.count == 0) {
     send(conn, encode(BatchReplyMsg{}));
     return;
+  }
+  Status shed;
+  if (!admit_runs(conn, batch.count, &shed)) {
+    send(conn, error_frame(shed));
+    return;
+  }
+  std::chrono::steady_clock::time_point deadline{};
+  const bool has_deadline = batch.deadline_ms > 0;
+  if (has_deadline) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(batch.deadline_ms);
   }
 
   // Shared collector: each sub-request fills its slot; the last one to
@@ -427,6 +552,8 @@ void Server::handle_batch(const std::shared_ptr<Connection>& conn,
         batch.scalars.begin() + static_cast<std::ptrdiff_t>(i) * batch.num_args,
         batch.scalars.begin() +
             static_cast<std::ptrdiff_t>(i + 1) * batch.num_args);
+    request.has_deadline = has_deadline;
+    request.deadline = deadline;
     request.done = [this, conn, collector, i](StatusOr<double> result,
                                               Tier tier) {
       bool last = false;
@@ -440,12 +567,14 @@ void Server::handle_batch(const std::shared_ptr<Connection>& conn,
         }
         last = (--collector->remaining == 0);
       }
-      if (!last) return;
-      if (!collector->first_error.is_ok()) {
-        send(conn, error_frame(collector->first_error));
-      } else {
-        send(conn, encode(BatchReplyMsg{std::move(collector->results)}));
+      if (last) {
+        if (!collector->first_error.is_ok()) {
+          send(conn, error_frame(collector->first_error));
+        } else {
+          send(conn, encode(BatchReplyMsg{std::move(collector->results)}));
+        }
       }
+      finish_run(conn);
     };
     batcher_.submit(std::move(request));
   }
@@ -500,6 +629,13 @@ std::string Server::stats_json() const {
   w.value(proto_errors);
   w.key("compiles_completed");
   w.value(compile_queue_.completed());
+  w.key("draining");
+  w.value(draining_.load(std::memory_order_acquire));
+  w.key("inflight");
+  w.value(static_cast<std::uint64_t>(
+      inflight_.load(std::memory_order_acquire)));
+  w.key("requests_shed");
+  w.value(requests_shed_.load(std::memory_order_acquire));
   w.key("batcher");
   w.begin_object();
   w.key("requests");
@@ -508,6 +644,8 @@ std::string Server::stats_json() const {
   w.value(bstats.batches);
   w.key("max_batch");
   w.value(bstats.max_batch);
+  w.key("deadline_expired");
+  w.value(bstats.deadline_expired);
   w.end_object();
   w.key("sessions");
   w.begin_array();

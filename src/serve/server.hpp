@@ -52,6 +52,22 @@ class Server {
     /// serially on the batcher dispatcher, so without this bound one
     /// client that stops reading would freeze every connection.
     int write_timeout_ms = 10000;
+    /// Admission control: run requests beyond this many in flight
+    /// (admitted, reply not yet delivered) are shed with a typed kBusy
+    /// instead of queueing without bound — overload answers fast rather
+    /// than collapsing every client's latency. 0 disables the bound.
+    std::size_t max_inflight = 4096;
+    /// Per-connection share of the admission budget: one client with
+    /// unanswered runs beyond this is shed even when the server as a
+    /// whole has room. 0 disables.
+    std::size_t max_conn_pending = 1024;
+    /// Circuit-breaker knobs copied into every session's config (see
+    /// SessionConfig).
+    int breaker_threshold = 3;
+    int breaker_backoff_ms = 1000;
+    /// Max milliseconds drain() waits for in-flight replies before
+    /// stopping anyway.
+    int drain_timeout_ms = 10000;
   };
 
   explicit Server(Options options);
@@ -67,6 +83,21 @@ class Server {
   /// Close the listener and every connection, join all threads.
   /// Idempotent.
   void stop();
+
+  /// Graceful shutdown (the SIGTERM path): stop accepting connections,
+  /// shed new run requests with a typed kBusy, let already-admitted
+  /// work finish and its replies deliver (bounded by
+  /// Options::drain_timeout_ms), then stop(). kHealth and kStats keep
+  /// answering during the drain window so orchestration can tell
+  /// "draining" from "dead".
+  void drain();
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Readiness snapshot (also served on the wire as kHealth).
+  [[nodiscard]] HealthReplyMsg health() const;
 
   /// Block until stop() happens (daemon main thread parks here; a
   /// client kShutdown unblocks it).
@@ -100,6 +131,9 @@ class Server {
     std::mutex write_mutex;
     std::atomic<bool> open{true};
     std::thread reader;
+    /// Admitted runs whose reply has not been delivered yet (this
+    /// connection's slice of the admission budget).
+    std::atomic<std::size_t> pending{0};
   };
 
   void accept_main();
@@ -119,6 +153,14 @@ class Server {
   /// Write under the connection's write mutex; drops silently (and
   /// marks the connection closed) when the peer is gone.
   void send(const std::shared_ptr<Connection>& conn, const Frame& frame);
+  /// Admission control for `count` run requests on `conn`: reserves the
+  /// in-flight slots, or explains the shed in `why` (server draining,
+  /// global budget, per-connection budget). On success the caller must
+  /// balance each slot with finish_run().
+  bool admit_runs(const std::shared_ptr<Connection>& conn,
+                  std::size_t count, Status* why);
+  /// Release one admitted slot (reply delivered or dropped).
+  void finish_run(const std::shared_ptr<Connection>& conn);
 
   const Options options_;
   SessionRegistry registry_;
@@ -129,6 +171,11 @@ class Server {
   /// reads it between poll rounds.
   std::atomic<int> listen_fd_{-1};
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  /// Admitted runs not yet answered, and runs shed by admission
+  /// control (monotonic).
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> requests_shed_{0};
   std::thread accept_thread_;
 
   mutable std::mutex conn_mutex_;

@@ -1,7 +1,11 @@
 #include "serve/session.hpp"
 
+#include <algorithm>
+
 #include "core/serialize.hpp"
 #include "interp/report_json.hpp"
+#include "jit/cache.hpp"
+#include "support/fault.hpp"
 #include "support/hash.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
@@ -69,6 +73,7 @@ InterpOptions Session::machine_options(Tier tier) const {
 }
 
 StatusOr<Lease> Session::acquire() {
+  maybe_close_breaker();
   const Tier want = tier();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -84,17 +89,82 @@ StatusOr<Lease> Session::acquire() {
   // serialize other acquires).
   auto machine = std::make_unique<Machine>(program_, machine_options(want));
   Tier got = want;
-  if (want != Tier::kPlan && !machine->native_report().available) {
-    // The promoted kernel refused to load (e.g. the cache entry vanished
-    // and no compiler is available): the Machine itself degrades to its
-    // plan fallback, so serve from it as tier 0 rather than failing.
-    got = Tier::kPlan;
+  if (want != Tier::kPlan) {
+    std::string refusal;
+    if (fault::should_fail("serve.pool.construct")) {
+      refusal = "fault injected: native instance construction";
+    } else if (!machine->native_report().available) {
+      // The promoted kernel refused to load (e.g. the cache entry
+      // vanished and no compiler is available): degrade to the plan
+      // tier rather than failing the request.
+      refusal = machine->native_report().fallback_reason.empty()
+                    ? "native kernel refused to load"
+                    : machine->native_report().fallback_reason;
+    }
+    if (!refusal.empty()) {
+      note_native_failure(refusal);
+      // Serve from a genuine plan-tier instance so the advertised tier
+      // matches what actually executes.
+      machine = std::make_unique<Machine>(program_,
+                                          machine_options(Tier::kPlan));
+      got = Tier::kPlan;
+    } else {
+      std::lock_guard<std::mutex> lock(mutex_);
+      consecutive_native_failures_ = 0;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.instances_created;
   }
   return Lease(this, std::move(machine), got);
+}
+
+void Session::note_native_failure(const std::string& reason) {
+  std::string quarantine;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.native_load_failures;
+    ++consecutive_native_failures_;
+    if (breaker_open_ ||
+        consecutive_native_failures_ < config_.breaker_threshold) {
+      return;
+    }
+    // Trip: demote the ladder to the plan tier and schedule the
+    // re-probe. The backoff doubles per consecutive trip so a kernel
+    // that keeps refusing costs ever fewer wasted constructions.
+    breaker_open_ = true;
+    ++stats_.breaker_trips;
+    stats_.breaker_reason = reason;
+    consecutive_native_failures_ = 0;
+    const auto shift =
+        std::min<std::uint64_t>(stats_.breaker_trips - 1, 5);
+    breaker_reopen_at_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(config_.breaker_backoff_ms << shift);
+    tier_.store(static_cast<std::uint8_t>(Tier::kPlan),
+                std::memory_order_release);
+    quarantine = promoted_object_path_;
+  }
+  // Quarantine outside the lock (filesystem): the published entry this
+  // session was promoted on is presumed bad; removing it makes the
+  // re-probe recompile fresh instead of re-loading the same bytes.
+  if (!quarantine.empty()) {
+    jit::KernelCache(config_.cache_dir).invalidate(quarantine);
+  }
+}
+
+void Session::maybe_close_breaker() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!breaker_open_ ||
+      std::chrono::steady_clock::now() < breaker_reopen_at_) {
+    return;
+  }
+  // Backoff elapsed: restore the promoted tier and let the next
+  // construction probe the native path again. A failure re-trips with a
+  // doubled backoff; a success resets the failure count.
+  breaker_open_ = false;
+  tier_.store(promoted_high_water_, std::memory_order_release);
 }
 
 void Session::release(std::unique_ptr<Machine> machine, Tier tier) {
@@ -115,7 +185,7 @@ void Session::release(std::unique_ptr<Machine> machine, Tier tier) {
   // `retired` destructs here, outside the lock (dlclose + storage).
 }
 
-void Session::promote(Tier tier) {
+void Session::promote(Tier tier, const std::string& object_path) {
   std::uint8_t want = static_cast<std::uint8_t>(tier);
   std::uint8_t have = tier_.load(std::memory_order_acquire);
   while (want > have) {
@@ -126,6 +196,12 @@ void Session::promote(Tier tier) {
               .count();
       std::lock_guard<std::mutex> lock(mutex_);
       stats_.promotions.emplace_back(tier, elapsed);
+      // A freshly published kernel is evidence the native path works:
+      // close an open breaker and remember what to quarantine next time.
+      promoted_high_water_ = std::max(promoted_high_water_, want);
+      if (!object_path.empty()) promoted_object_path_ = object_path;
+      breaker_open_ = false;
+      consecutive_native_failures_ = 0;
       return;
     }
   }
@@ -156,6 +232,7 @@ SessionStats Session::stats() const {
   SessionStats out = stats_;
   out.pooled_idle = idle_.size();
   out.tier = static_cast<Tier>(tier_.load(std::memory_order_acquire));
+  out.breaker_open = breaker_open_;
   return out;
 }
 
@@ -192,6 +269,14 @@ std::string Session::stats_json() const {
   w.value(static_cast<std::uint64_t>(s.pooled_idle));
   w.key("compile_error");
   w.value(s.compile_error);
+  w.key("native_load_failures");
+  w.value(s.native_load_failures);
+  w.key("breaker_trips");
+  w.value(s.breaker_trips);
+  w.key("breaker_open");
+  w.value(s.breaker_open);
+  w.key("breaker_reason");
+  w.value(s.breaker_reason);
   w.key("promotions");
   w.begin_array();
   for (const auto& [tier, seconds] : s.promotions) {

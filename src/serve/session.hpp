@@ -55,6 +55,12 @@ struct SessionConfig {
   /// Retain at most this many idle instances per tier (more are
   /// destroyed on release; acquire constructs on demand).
   std::size_t max_pool = 16;
+  /// Circuit breaker: after this many consecutive native load/dispatch
+  /// failures the session trips — demotes to the plan tier, quarantines
+  /// the cache entry, and re-probes the promoted tier after the backoff
+  /// (doubled per consecutive trip, capped at 32x).
+  int breaker_threshold = 3;
+  int breaker_backoff_ms = 1000;
 };
 
 /// One session stat snapshot (all counters monotonic).
@@ -71,6 +77,14 @@ struct SessionStats {
   /// Nonempty when a background compile failed (the session then stays
   /// at the highest tier that did build).
   std::string compile_error;
+  /// Circuit-breaker bookkeeping: native instances that refused to
+  /// construct at a promoted tier, trips of the breaker, whether it is
+  /// currently open (serving demoted at tier 0), and the last recorded
+  /// trip reason.
+  std::uint64_t native_load_failures = 0;
+  std::uint64_t breaker_trips = 0;
+  bool breaker_open = false;
+  std::string breaker_reason;
 };
 
 class Session;
@@ -126,8 +140,10 @@ class Session {
 
   /// Raise the serving tier (no-op when `tier` is not above the current
   /// one). Called by the compile queue after the kernel object for
-  /// `tier` is published in the cache.
-  void promote(Tier tier);
+  /// `tier` is published in the cache; `object_path` is that published
+  /// entry, remembered so a tripping circuit breaker can quarantine it.
+  /// Fresh evidence of a working kernel also closes an open breaker.
+  void promote(Tier tier, const std::string& object_path = "");
 
   /// Record a failed background compile (shows up in stats; the session
   /// keeps serving at its current tier).
@@ -151,6 +167,13 @@ class Session {
  private:
   friend class Lease;
   void release(std::unique_ptr<Machine> machine, Tier tier);
+  /// One native construction refused at a promoted tier: count it,
+  /// quarantine the known cache entry, and trip the breaker at the
+  /// configured threshold (demote to plan, schedule the re-probe).
+  void note_native_failure(const std::string& reason);
+  /// Re-probe: when an open breaker's backoff has elapsed, restore the
+  /// promoted tier so the next construction tries native again.
+  void maybe_close_breaker();
 
   const Program program_;
   const SessionConfig config_;
@@ -162,6 +185,15 @@ class Session {
   /// Idle instances, each tagged with the tier it was built at.
   std::vector<std::pair<std::unique_ptr<Machine>, Tier>> idle_;
   SessionStats stats_;
+  /// Circuit breaker (all under mutex_): consecutive native failures
+  /// since the last success, the open flag + re-probe time, the highest
+  /// tier ever promoted to (restored on re-probe), and the cache entry
+  /// published by the most recent promotion (quarantined on trip).
+  int consecutive_native_failures_ = 0;
+  bool breaker_open_ = false;
+  std::chrono::steady_clock::time_point breaker_reopen_at_{};
+  std::uint8_t promoted_high_water_ = 0;
+  std::string promoted_object_path_;
   /// Session creation time for the promotion timeline.
   const std::chrono::steady_clock::time_point created_;
   /// JSON of the newest native report seen on a released instance (kept

@@ -1,0 +1,171 @@
+#include "support/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace glaf::fault {
+
+namespace {
+
+struct Site {
+  double probability = 1.0;
+  std::uint64_t max_injections = 0;  // 0 = unlimited
+  std::uint64_t checks = 0;
+  std::uint64_t injections = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Site> sites;
+  std::uint64_t seed = 1;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Deterministic verdict for occurrence `index` of `site`: one
+/// SplitMix64 draw seeded by (seed, site-name hash, index). Independent
+/// of thread interleaving — occurrence indices are handed out under the
+/// registry mutex.
+bool draw(std::uint64_t seed, const std::string& site, std::uint64_t index,
+          double probability) {
+  SplitMix64 rng(seed ^ fnv1a64(site) ^ (index * 0x9E3779B97F4A7C15ULL));
+  return rng.next_double() < probability;
+}
+
+/// Parse one "site[:prob[:count]]" token into the map.
+Status parse_token(const std::string& token, std::map<std::string, Site>& out) {
+  const std::size_t colon1 = token.find(':');
+  const std::string name = token.substr(0, colon1);
+  if (name.empty()) {
+    return invalid_argument(cat("fault spec token '", token,
+                                "' has an empty site name"));
+  }
+  Site site;
+  if (colon1 != std::string::npos) {
+    const std::size_t colon2 = token.find(':', colon1 + 1);
+    const std::string prob_text =
+        token.substr(colon1 + 1, colon2 == std::string::npos
+                                     ? std::string::npos
+                                     : colon2 - colon1 - 1);
+    char* end = nullptr;
+    site.probability = std::strtod(prob_text.c_str(), &end);
+    if (prob_text.empty() || end == nullptr || *end != '\0' ||
+        site.probability < 0.0 || site.probability > 1.0) {
+      return invalid_argument(cat("fault spec '", token,
+                                  "': probability must be in [0, 1]"));
+    }
+    if (colon2 != std::string::npos) {
+      const std::string count_text = token.substr(colon2 + 1);
+      site.max_injections = std::strtoull(count_text.c_str(), &end, 10);
+      if (count_text.empty() || end == nullptr || *end != '\0') {
+        return invalid_argument(cat("fault spec '", token,
+                                    "': count must be an integer"));
+      }
+    }
+  }
+  out[name] = site;
+  return Status::ok();
+}
+
+/// Arm from the environment exactly once, before main() runs user code.
+const bool env_armed = [] {
+  const char* spec = std::getenv("GLAF_FAULT");
+  if (spec == nullptr || *spec == '\0') return false;
+  std::uint64_t seed = 1;
+  if (const char* s = std::getenv("GLAF_FAULT_SEED");
+      s != nullptr && *s != '\0') {
+    seed = std::strtoull(s, nullptr, 10);
+  }
+  // A malformed env spec must not crash the process this early; it
+  // simply stays disarmed (tests use the programmatic API, which does
+  // report the error).
+  (void)configure(spec, seed);
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+bool should_fail_slow(const char* site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  if (it == r.sites.end()) return false;
+  Site& s = it->second;
+  const std::uint64_t index = s.checks++;
+  if (s.max_injections != 0 && s.injections >= s.max_injections) {
+    return false;
+  }
+  const bool fail = draw(r.seed, it->first, index, s.probability);
+  if (fail) ++s.injections;
+  return fail;
+}
+
+}  // namespace detail
+
+Status configure(const std::string& spec, std::uint64_t seed) {
+  std::map<std::string, Site> sites;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t comma = spec.find(',', at);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(at, comma - at);
+    if (!token.empty()) {
+      if (Status s = parse_token(token, sites); !s.is_ok()) return s;
+    }
+    at = comma + 1;
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.sites = std::move(sites);
+  r.seed = seed;
+  detail::g_armed.store(!r.sites.empty(), std::memory_order_relaxed);
+  return Status::ok();
+}
+
+void clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.sites.clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool armed() { return detail::g_armed.load(std::memory_order_relaxed); }
+
+std::vector<SiteStats> stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<SiteStats> out;
+  out.reserve(r.sites.size());
+  for (const auto& [name, site] : r.sites) {
+    SiteStats s;
+    s.site = name;
+    s.probability = site.probability;
+    s.max_injections = site.max_injections;
+    s.checks = site.checks;
+    s.injections = site.injections;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::uint64_t injections(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  return it != r.sites.end() ? it->second.injections : 0;
+}
+
+}  // namespace glaf::fault

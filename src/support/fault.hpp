@@ -1,0 +1,69 @@
+#pragma once
+// Deterministic fault injection for robustness testing. Code under test
+// places named check points ("sites") on its failure-prone edges —
+// socket reads, compile spawns, cache publishes — and calls
+// fault::should_fail("site") there. Production runs pay one relaxed
+// atomic load per check (the registry is disarmed); chaos tests and the
+// GLAF_FAULT environment variable arm sites with a probability and an
+// optional injection budget.
+//
+// Decisions are deterministic: the k-th check of a site fails iff
+// hash(seed, site, k) maps below the site's probability, so a soak with
+// a fixed seed injects the same faults at the same per-site occurrence
+// indices on every run regardless of thread interleaving (threads only
+// change WHICH thread draws occurrence k, not its verdict).
+//
+// Spec syntax (comma-separated):  site[:prob[:count]]
+//   "serve.sock.read"             always fail that site
+//   "serve.compile:0.5"           fail ~half the checks
+//   "jit.cache.publish:1:2"       fail exactly the first two checks
+// Environment: GLAF_FAULT holds the spec, GLAF_FAULT_SEED the seed
+// (default 1). Programmatic tests use configure()/clear() directly.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace glaf::fault {
+
+/// One armed site's configuration and counters (a stats() snapshot).
+struct SiteStats {
+  std::string site;
+  double probability = 1.0;
+  std::uint64_t max_injections = 0;  ///< 0 = unlimited
+  std::uint64_t checks = 0;          ///< should_fail() calls observed
+  std::uint64_t injections = 0;      ///< checks that returned true
+};
+
+/// Arm the registry from a spec string (replaces any previous
+/// configuration). An empty spec disarms, same as clear().
+Status configure(const std::string& spec, std::uint64_t seed = 1);
+
+/// Disarm every site and drop all counters.
+void clear();
+
+/// True when at least one site is armed.
+bool armed();
+
+/// Snapshot of every armed site (sorted by site name).
+std::vector<SiteStats> stats();
+
+/// Injections so far at one site (0 when the site is not armed).
+std::uint64_t injections(const std::string& site);
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+bool should_fail_slow(const char* site);
+}  // namespace detail
+
+/// The check point: true when the registry decides this occurrence of
+/// `site` must fail. Disarmed cost is one relaxed atomic load.
+inline bool should_fail(const char* site) {
+  return detail::g_armed.load(std::memory_order_relaxed) &&
+         detail::should_fail_slow(site);
+}
+
+}  // namespace glaf::fault

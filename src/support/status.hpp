@@ -21,7 +21,13 @@ enum class StatusCode {
   kFailedPrecondition,///< program state does not allow the operation
   kUnimplemented,     ///< feature intentionally unsupported
   kInternal,          ///< invariant violation inside the framework
+  kDeadlineExceeded,  ///< the request's deadline elapsed before completion
+  kBusy,              ///< service overloaded or draining; retry later
 };
+
+/// The highest valid StatusCode — callers decoding codes from the wire
+/// clamp against this instead of casting arbitrary integers.
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kBusy;
 
 /// Human-readable name for a StatusCode (stable, for logs and tests).
 const char* to_string(StatusCode code);
@@ -63,6 +69,12 @@ inline Status unimplemented(std::string msg) {
 }
 inline Status internal_error(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status deadline_exceeded(std::string msg) {
+  return {StatusCode::kDeadlineExceeded, std::move(msg)};
+}
+inline Status busy(std::string msg) {
+  return {StatusCode::kBusy, std::move(msg)};
 }
 
 /// Either a value or an error Status. Accessing value() on error asserts.

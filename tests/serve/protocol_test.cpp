@@ -238,6 +238,7 @@ TEST(Messages, RunBatchValidatesScalarCount) {
   Frame tampered = encode(msg);
   Writer w;
   w.u64(7);
+  w.u32(0);  // deadline_ms
   w.str("e");
   w.u32(3);
   w.u32(2);
@@ -254,6 +255,7 @@ TEST(Messages, RunBatchOverflowingCountTimesArgsIsRejected) {
   // bound count before any multiplication.
   Writer w;
   w.u64(1);
+  w.u32(0);  // deadline_ms
   w.str("e");
   w.u32(0x80000000u);  // count
   w.u32(0x40000000u);  // num_args
@@ -274,6 +276,7 @@ TEST(Messages, RunBatchHugeZeroArgCountIsRejected) {
   // ~68 GB reply allocation.
   Writer w;
   w.u64(1);
+  w.u32(0);  // deadline_ms
   w.str("e");
   w.u32(0xFFFFFFFFu);  // count
   w.u32(0);            // num_args
@@ -298,6 +301,51 @@ TEST(Messages, ZeroArgBatchWithinCapRoundTrips) {
   EXPECT_EQ(decoded.value().count, 64u);
   EXPECT_EQ(decoded.value().num_args, 0u);
   EXPECT_TRUE(decoded.value().scalars.empty());
+}
+
+TEST(Messages, RunDeadlinesRideTheWire) {
+  // Protocol v2: deadline_ms sits between session_id and entry in both
+  // run shapes; 0 means "no deadline".
+  RunEntryMsg run;
+  run.session_id = 9;
+  run.entry = "e";
+  run.deadline_ms = 1500;
+  const auto run_back = decode_run_entry(encode(run));
+  ASSERT_TRUE(run_back.is_ok()) << run_back.status().to_string();
+  EXPECT_EQ(run_back.value().deadline_ms, 1500u);
+
+  RunBatchMsg batch;
+  batch.session_id = 9;
+  batch.entry = "e";
+  batch.count = 2;
+  batch.num_args = 1;
+  batch.scalars = {1.0, 2.0};
+  batch.deadline_ms = 250;
+  const auto batch_back = decode_run_batch(encode(batch));
+  ASSERT_TRUE(batch_back.is_ok()) << batch_back.status().to_string();
+  EXPECT_EQ(batch_back.value().deadline_ms, 250u);
+}
+
+TEST(Messages, HealthReplyRoundTrips) {
+  HealthReplyMsg msg;
+  msg.ready = 1;
+  msg.draining = 1;
+  msg.top_tier = 2;
+  msg.sessions = 3;
+  msg.inflight = 17;
+  msg.queued = 5;
+  msg.compile_queued = 1;
+  msg.max_inflight = 4096;
+  const auto decoded = decode_health_reply(encode(msg));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().ready, 1);
+  EXPECT_EQ(decoded.value().draining, 1);
+  EXPECT_EQ(decoded.value().top_tier, 2);
+  EXPECT_EQ(decoded.value().sessions, 3u);
+  EXPECT_EQ(decoded.value().inflight, 17u);
+  EXPECT_EQ(decoded.value().queued, 5u);
+  EXPECT_EQ(decoded.value().compile_queued, 1u);
+  EXPECT_EQ(decoded.value().max_inflight, 4096u);
 }
 
 TEST(Messages, TrailingBytesAreAnError) {

@@ -400,6 +400,7 @@ TEST(ServeServer, CraftedBatchHeadersGetTypedErrorsNotACrash) {
                                        std::uint32_t num_args) {
     Writer w;
     w.u64(1);
+    w.u32(0);  // deadline_ms
     w.str("entropy_interface");
     w.u32(count);
     w.u32(num_args);

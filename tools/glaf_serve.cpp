@@ -12,14 +12,29 @@
 //          --tier=plan|interp|opt (ceiling for preload + --client),
 //          --policy=v0..v3, --portable, --cc=PATH, --cache-dir=DIR,
 //          --sync-compile (ladder compiles block the load reply —
-//          deterministic starts for tests and benches).
+//          deterministic starts for tests and benches),
+//          --max-inflight=N / --max-conn-pending=N (admission control;
+//          overload answers kBusy instead of queueing without bound),
+//          --drain-timeout-ms=N (SIGTERM grace window),
+//          --breaker-threshold=N / --breaker-backoff-ms=N (per-session
+//          circuit breaker on repeated native failures).
+//
+// Signals: SIGTERM drains (stop accepting, finish in-flight work, then
+// exit); SIGINT stops immediately.
 //
 // Client mode: --client drives a running daemon over the same socket:
 //
 //   glaf_serve --client --socket=/tmp/glaf.sock --load=sarb --run
 //   glaf_serve --client --socket=/tmp/glaf.sock --stats
+//   glaf_serve --client --socket=/tmp/glaf.sock --health
 //   glaf_serve --client --socket=/tmp/glaf.sock --shutdown
 //   glaf_serve --client --socket=/tmp/glaf.sock --smoke
+//
+// Client robustness flags: --timeout-ms=N (reply read timeout, so a
+// wedged daemon costs a bounded error instead of a hang),
+// --connect-timeout-ms=N, --retries=N (reconnect + resend pure
+// requests after transport faults, with exponential backoff),
+// --deadline-ms=N (server-side deadline on --run).
 //
 // --smoke runs the full promotion dance: load sarb, run on the plan
 // tier, wait for the native promotion, run again, verify the two
@@ -79,11 +94,18 @@ StatusOr<serve::ExecConfig> parse_exec_config(const CliArgs& args) {
 
 serve::Server* g_server = nullptr;
 
-void handle_signal(int /*sig*/) {
-  // Not strictly async-signal-safe (stop() takes locks); acceptable for
-  // the interactive-interrupt path — the clean shutdown path is the
-  // kShutdown frame.
-  if (g_server != nullptr) g_server->stop();
+void handle_signal(int sig) {
+  // Not strictly async-signal-safe (both paths take locks); acceptable
+  // for the interactive-interrupt path — the clean shutdown path is
+  // the kShutdown frame. SIGTERM is the orchestrated-replacement
+  // signal: drain so admitted work still answers; SIGINT is the
+  // operator's "now": stop immediately.
+  if (g_server == nullptr) return;
+  if (sig == SIGTERM) {
+    g_server->drain();
+  } else {
+    g_server->stop();
+  }
 }
 
 int run_server(const CliArgs& args, const std::string& socket_path) {
@@ -96,6 +118,16 @@ int run_server(const CliArgs& args, const std::string& socket_path) {
   options.cache_dir = args.get("cache-dir", "");
   options.max_pool = static_cast<std::size_t>(args.get_int("max-pool", 16));
   options.sync_compile = args.get_bool("sync-compile", false);
+  options.max_inflight =
+      static_cast<std::size_t>(args.get_int("max-inflight", 4096));
+  options.max_conn_pending =
+      static_cast<std::size_t>(args.get_int("max-conn-pending", 1024));
+  options.drain_timeout_ms =
+      static_cast<int>(args.get_int("drain-timeout-ms", 10000));
+  options.breaker_threshold =
+      static_cast<int>(args.get_int("breaker-threshold", 3));
+  options.breaker_backoff_ms =
+      static_cast<int>(args.get_int("breaker-backoff-ms", 1000));
 
   serve::Server server(options);
 
@@ -186,12 +218,34 @@ int run_smoke(serve::Client& client, const serve::ExecConfig& config) {
 }
 
 int run_client(const CliArgs& args, const std::string& socket_path) {
+  serve::Client::Options copts;
+  copts.read_timeout_ms =
+      static_cast<int>(args.get_int("timeout-ms", 30000));
+  copts.connect_timeout_ms =
+      static_cast<int>(args.get_int("connect-timeout-ms", 10000));
+  copts.retries = static_cast<int>(args.get_int("retries", 0));
+  copts.retry_backoff_ms =
+      static_cast<int>(args.get_int("retry-backoff-ms", 50));
   serve::Client client;
-  const Status connected = client.connect(socket_path);
+  const Status connected = client.connect(socket_path, copts);
   if (!connected.is_ok()) return fail(connected.message());
 
   const auto config = parse_exec_config(args);
   if (!config.is_ok()) return fail(config.status().message());
+
+  if (args.get_bool("health", false)) {
+    const auto health = client.health();
+    if (!health.is_ok()) return fail("health: " + health.status().message());
+    const serve::HealthReplyMsg& h = health.value();
+    std::printf("{\"ready\": %s, \"draining\": %s, \"top_tier\": %u, "
+                "\"sessions\": %u, \"inflight\": %u, \"queued\": %u, "
+                "\"compile_queued\": %u, \"max_inflight\": %u}\n",
+                h.ready != 0 ? "true" : "false",
+                h.draining != 0 ? "true" : "false",
+                static_cast<unsigned>(h.top_tier), h.sessions, h.inflight,
+                h.queued, h.compile_queued, h.max_inflight);
+    return h.ready != 0 ? 0 : 1;
+  }
 
   if (args.get_bool("smoke", false)) {
     return run_smoke(client, config.value());
@@ -215,7 +269,9 @@ int run_client(const CliArgs& args, const std::string& socket_path) {
     if (session_id == 0) return fail("--run needs --load or --session");
     std::string entry = args.get("run", "");
     if (entry.empty() || entry == "true") entry = "entropy_interface";
-    const auto reply = client.run(session_id, entry);
+    const auto deadline_ms =
+        static_cast<std::uint32_t>(args.get_int("deadline-ms", 0));
+    const auto reply = client.run(session_id, entry, {}, deadline_ms);
     if (!reply.is_ok()) return fail("run: " + reply.status().message());
     std::printf("%.17g\n", reply.value().result);
     std::fprintf(stderr, "glaf_serve: ran %s at tier %u\n", entry.c_str(),
