@@ -1,0 +1,226 @@
+#include "analysis/speculate.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "analysis/access.hpp"
+#include "core/serialize.hpp"
+#include "support/hash.hpp"
+#include "support/strings.hpp"
+
+namespace glaf {
+
+namespace {
+
+/// Sentinel iteration: the step's outer loop has not started yet.
+constexpr std::int64_t kPreLoop = std::numeric_limits<std::int64_t>::min();
+
+}  // namespace
+
+std::uint64_t dep_profile_program_hash(const Program& program) {
+  return fnv1a64(serialize_program(program));
+}
+
+// --- DepProfiler -----------------------------------------------------------
+
+void DepProfiler::begin_step(const std::string& function, std::size_t step) {
+  DepProfileStep* agg = &steps_[{function, step}];
+  ++agg->invocations;
+  Active a;
+  a.agg = agg;
+  a.iter = kPreLoop;
+  stack_.push_back(std::move(a));
+}
+
+void DepProfiler::set_iteration(std::int64_t iter) {
+  if (stack_.empty()) return;
+  Active& a = stack_.back();
+  a.iter = iter;
+  a.in_loop = true;
+  ++a.agg->iterations;
+}
+
+void DepProfiler::record(const void* addr, bool is_write) {
+  if (stack_.empty()) return;
+  Active& a = stack_.back();
+  if (!a.in_loop) return;
+  auto [it, fresh] = a.elems.try_emplace(addr);
+  Elem& e = it->second;
+  if (fresh) {
+    e.iter = a.iter;
+    e.wrote = is_write;
+    return;
+  }
+  if (e.iter != a.iter) e.multi = true;
+  e.wrote = e.wrote || is_write;
+  if (e.multi && e.wrote && !e.counted) {
+    e.counted = true;
+    ++a.agg->conflicts;
+  }
+}
+
+void DepProfiler::record_range(const double* base, std::int64_t count,
+                               bool is_write) {
+  if (stack_.empty() || !stack_.back().in_loop) return;
+  for (std::int64_t i = 0; i < count; ++i) record(base + i, is_write);
+}
+
+void DepProfiler::end_step() {
+  if (!stack_.empty()) stack_.pop_back();
+}
+
+DepProfile DepProfiler::profile(std::uint64_t program_hash) const {
+  DepProfile p;
+  p.program_hash = program_hash;
+  p.steps = steps_;
+  return p;
+}
+
+// --- serialization ---------------------------------------------------------
+
+std::string serialize_dep_profile(const DepProfile& profile) {
+  std::ostringstream os;
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016" PRIx64, profile.program_hash);
+  os << "glaf-dep-profile 1\n";
+  os << "program " << hex << "\n";
+  for (const auto& [key, s] : profile.steps) {
+    os << "step " << key.first << " " << key.second << " " << s.invocations
+       << " " << s.iterations << " " << s.conflicts << "\n";
+  }
+  return os.str();
+}
+
+StatusOr<DepProfile> parse_dep_profile(const std::string& text) {
+  DepProfile profile;
+  bool saw_header = false;
+  bool saw_program = false;
+  std::size_t line_no = 0;
+  for (const std::string& raw : split_lines(text)) {
+    ++line_no;
+    const std::string line(trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      if (line != "glaf-dep-profile 1") {
+        return invalid_argument(
+            cat("dep profile: bad header on line ", line_no,
+                " (want \"glaf-dep-profile 1\", got \"", line, "\")"));
+      }
+      saw_header = true;
+      continue;
+    }
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    if (tag == "program") {
+      std::string hex;
+      is >> hex;
+      if (hex.empty() || is.fail()) {
+        return invalid_argument(
+            cat("dep profile: malformed program line ", line_no));
+      }
+      char* end = nullptr;
+      profile.program_hash = std::strtoull(hex.c_str(), &end, 16);
+      if (end == nullptr || *end != '\0') {
+        return invalid_argument(
+            cat("dep profile: bad program hash \"", hex, "\" on line ",
+                line_no));
+      }
+      saw_program = true;
+    } else if (tag == "step") {
+      std::string fn;
+      std::size_t index = 0;
+      DepProfileStep s;
+      is >> fn >> index >> s.invocations >> s.iterations >> s.conflicts;
+      if (fn.empty() || is.fail()) {
+        return invalid_argument(
+            cat("dep profile: malformed step line ", line_no));
+      }
+      profile.steps[{fn, index}] = s;
+    } else {
+      return invalid_argument(
+          cat("dep profile: unknown record \"", tag, "\" on line ", line_no));
+    }
+  }
+  if (!saw_header) return invalid_argument("dep profile: empty input");
+  if (!saw_program) {
+    return invalid_argument("dep profile: missing program hash line");
+  }
+  return profile;
+}
+
+// --- planner pass ----------------------------------------------------------
+
+StatusOr<SpeculationSummary> apply_speculation(const Program& program,
+                                               ProgramAnalysis* analysis,
+                                               const DepProfile& profile) {
+  const std::uint64_t want = dep_profile_program_hash(program);
+  if (profile.program_hash != want) {
+    char got_hex[32];
+    char want_hex[32];
+    std::snprintf(got_hex, sizeof(got_hex), "%016" PRIx64,
+                  profile.program_hash);
+    std::snprintf(want_hex, sizeof(want_hex), "%016" PRIx64, want);
+    return failed_precondition(
+        cat("dependence profile was recorded for a different program "
+            "(profile hash ", got_hex, ", program hash ", want_hex, ")"));
+  }
+
+  SpeculationSummary summary;
+  for (const Function& fn : program.functions) {
+    auto verdicts = analysis->verdicts.find(fn.id);
+    if (verdicts == analysis->verdicts.end()) continue;
+    for (std::size_t s = 0; s < fn.steps.size(); ++s) {
+      if (s >= verdicts->second.size()) break;
+      StepVerdict& v = verdicts->second[s];
+      // Candidates: steps the static analysis blocked, in shapes the
+      // validation leg can safely re-run — a loop with no callees, no
+      // early return, and no critical section.
+      if (!v.has_loop || v.parallelizable || v.needs_critical) continue;
+      const StepAccesses accesses =
+          collect_step_accesses(program, fn.steps[s], analysis->effects);
+      if (!accesses.callees.empty() || accesses.has_return) continue;
+      const auto prof = profile.steps.find({fn.name, s});
+      if (prof == profile.steps.end() || prof->second.invocations == 0 ||
+          prof->second.iterations == 0) {
+        ++summary.unprofiled;
+        v.notes.push_back("speculation: no profile coverage");
+        continue;
+      }
+      if (prof->second.conflicts > 0) {
+        ++summary.conflicted;
+        v.notes.push_back(
+            cat("speculation rejected: ", prof->second.conflicts,
+                " observed cross-iteration conflict(s)"));
+        continue;
+      }
+      // Profile-clean: promote, and record the (grid, field) locations
+      // whose per-rank access bands the runtime validator must check.
+      std::map<LocationKey, bool> touched;
+      for (const ArrayAccess& a : accesses.accesses) {
+        bool& written = touched[{a.grid, a.field}];
+        written = written || a.is_write;
+      }
+      v.speculative = true;
+      v.spec_bands.clear();
+      for (const auto& [key, written] : touched) {
+        StepVerdict::SpecBand band;
+        band.grid = key.first;
+        band.field = key.second;
+        band.written = written;
+        v.spec_bands.push_back(band);
+      }
+      v.notes.push_back(
+          cat("speculative: profile clean over ", prof->second.iterations,
+              " iteration(s) in ", prof->second.invocations,
+              " invocation(s)"));
+      ++summary.promoted;
+    }
+  }
+  return summary;
+}
+
+}  // namespace glaf

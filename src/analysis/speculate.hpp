@@ -1,0 +1,123 @@
+#pragma once
+// Profile-guided speculative parallelization (directive policy v4).
+//
+// The static verdicts in analysis/parallelize.cpp are conservative by
+// design: any may-dependence leaves a step serial forever. Following
+// CPF/Perspective (ASPLOS '20) and its LAMP memory profiler, this module
+// adds the offline half of a speculate-and-validate pipeline:
+//
+//   1. `DepProfiler` — driven by the plan VM when
+//      `InterpOptions::profile_deps` is set — observes every element
+//      load/store of every executed step and aggregates, per
+//      (function, step), how many elements were touched in two or more
+//      distinct outermost-loop iterations with at least one write
+//      (a *conflict*: evidence of a real loop-carried dependence).
+//   2. `DepProfile` is the serializable result, bound to the program it
+//      was recorded against by an fnv1a64 content hash.
+//   3. `apply_speculation` promotes profile-clean candidates — steps the
+//      static analysis blocked, with no callees, early returns, or
+//      critical sections — by setting `StepVerdict::speculative` and
+//      recording the (grid, field) bands the runtime validator checks.
+//
+// The runtime half (per-rank band logging, post-join validation,
+// misspeculation → discard + serial re-run + demotion) lives in the plan
+// VM (interp/vm.cpp); DESIGN.md §10 describes the whole protocol.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/parallelize.hpp"
+#include "core/program.hpp"
+#include "support/status.hpp"
+
+namespace glaf {
+
+/// Aggregated observations for one (function, step) across every
+/// profiled invocation.
+struct DepProfileStep {
+  std::uint64_t invocations = 0;
+  /// Outermost-loop trips observed (across all invocations).
+  std::uint64_t iterations = 0;
+  /// Elements touched in >= 2 distinct outermost-loop iterations with at
+  /// least one write — each such element is an observed cross-iteration
+  /// dependence, so conflicts == 0 means "never seen to conflict".
+  std::uint64_t conflicts = 0;
+};
+
+/// A serializable dependence profile: one entry per executed
+/// (function name, step index), bound to a program content hash.
+struct DepProfile {
+  std::uint64_t program_hash = 0;
+  std::map<std::pair<std::string, std::size_t>, DepProfileStep> steps;
+};
+
+/// fnv1a64 over the canonical serialized program — the identity a
+/// profile is bound to (and validated against before promotion).
+std::uint64_t dep_profile_program_hash(const Program& program);
+
+/// Text round-trip so profiles survive as files next to the programs
+/// they describe:
+///   glaf-dep-profile 1
+///   program <16-hex-digit hash>
+///   step <function> <index> <invocations> <iterations> <conflicts>
+std::string serialize_dep_profile(const DepProfile& profile);
+StatusOr<DepProfile> parse_dep_profile(const std::string& text);
+
+/// Runtime collector behind `InterpOptions::profile_deps` (LAMP analog).
+/// The plan VM drives it: begin_step/end_step bracket each executed step
+/// (nested calls nest a fresh record), set_iteration marks each
+/// outermost-loop trip, and record() is called per element load/store
+/// with the element's *address* — addresses disambiguate aliased grids
+/// for free. Accesses before the first set_iteration of a step
+/// (loop-bound evaluation, straight-line steps) carry no cross-iteration
+/// information and are ignored.
+class DepProfiler {
+ public:
+  void begin_step(const std::string& function, std::size_t step);
+  void set_iteration(std::int64_t iter);
+  void record(const void* addr, bool is_write);
+  /// Whole-buffer access (library reductions like SUM over a grid).
+  void record_range(const double* base, std::int64_t count, bool is_write);
+  void end_step();
+
+  /// Snapshot the aggregate, stamped with the program hash.
+  [[nodiscard]] DepProfile profile(std::uint64_t program_hash) const;
+
+ private:
+  struct Elem {
+    std::int64_t iter = 0;  ///< outer iteration of the first access
+    bool multi = false;     ///< seen in >= 2 distinct outer iterations
+    bool wrote = false;     ///< any access was a write
+    bool counted = false;   ///< already counted as a conflict
+  };
+  struct Active {
+    DepProfileStep* agg = nullptr;
+    std::int64_t iter = 0;  ///< current outer iteration (kPreLoop before)
+    bool in_loop = false;
+    std::map<const void*, Elem> elems;
+  };
+  std::vector<Active> stack_;
+  std::map<std::pair<std::string, std::size_t>, DepProfileStep> steps_;
+};
+
+/// What apply_speculation did, for reports and tests.
+struct SpeculationSummary {
+  int promoted = 0;    ///< candidates marked StepVerdict::speculative
+  int conflicted = 0;  ///< candidates rejected by observed conflicts
+  int unprofiled = 0;  ///< candidates the profile never saw execute
+};
+
+/// Promote profile-clean blocked steps in `analysis` to speculative.
+/// A candidate is a step with a loop that the static analysis left
+/// serial, with no callees, no early return, and no critical section —
+/// the shapes the runtime validation leg can re-run safely. Rejects the
+/// whole profile with kFailedPrecondition when its program hash does not
+/// match `program`.
+StatusOr<SpeculationSummary> apply_speculation(const Program& program,
+                                               ProgramAnalysis* analysis,
+                                               const DepProfile& profile);
+
+}  // namespace glaf

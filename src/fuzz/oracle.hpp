@@ -74,6 +74,16 @@ struct OracleOptions {
   std::uint64_t opt_max_ulp = 64;  ///< per-element budget for the opt leg
   double opt_rtol = 0.0;           ///< optional relative band on top
   double opt_atol = 0.0;           ///< optional absolute band on top
+  /// Speculative legs (policy v4): a serial dependence-profiling run
+  /// ("profile-serial", held bitwise — observation must be transparent),
+  /// then the plan engine speculating on the recorded profile
+  /// ("parallel-v4-spec") and the same run with the validation fault
+  /// site armed at probability 0.5 ("parallel-v4-spec-fault") so regions
+  /// misspeculate, demote and re-run serially. All three are exact:
+  /// speculation commits disjoint write bands in rank order, so a single
+  /// changed bit is a bug. Off by default (three extra runs).
+  bool run_speculative = false;
+  std::uint64_t spec_fault_seed = 1;  ///< seed for the fault-armed leg
   /// Plan-engine legs: serial "plan" plus "parallel-vK-plan" per policy.
   bool run_plan = true;
   /// Tree-walk parallel legs ("parallel-vK"). Off + run_plan = plan-only

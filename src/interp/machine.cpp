@@ -6,6 +6,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "analysis/speculate.hpp"
 #include "codegen/directive_policy.hpp"
 #include "core/libfuncs.hpp"
 #include "core/typecheck.hpp"
@@ -673,6 +674,14 @@ jit::NativeEngine::Options native_engine_options(const InterpOptions& options,
 Machine::Machine(Program program, InterpOptions options)
     : program_(std::move(program)), options_(std::move(options)),
       analysis_(analyze_program(program_, options_.tweaks)) {
+  // Memory-profiling mode is a serial plan-VM mode: the profiler's
+  // per-element observation hooks live in the VM, and cross-iteration
+  // ordering is only meaningful when iterations run in program order.
+  if (options_.profile_deps) {
+    options_.engine = ExecEngine::kPlan;
+    options_.parallel = false;
+    profiler_ = std::make_unique<DepProfiler>();
+  }
   if (options_.parallel) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
@@ -686,6 +695,30 @@ Machine::Machine(Program program, InterpOptions options)
   for (const auto& [fn_name, tweaks] : options_.tweaks) {
     atomic_grids_.insert(tweaks.force_atomic.begin(),
                          tweaks.force_atomic.end());
+  }
+  // Policy v4: promote profile-clean blocked steps to speculative before
+  // plans compile. A profile recorded for a different program is ignored
+  // (and reported) rather than trusted.
+  if (options_.policy == DirectivePolicy::kV4 &&
+      options_.dep_profile != nullptr) {
+    const StatusOr<SpeculationSummary> applied =
+        apply_speculation(program_, &analysis_, *options_.dep_profile);
+    if (applied.is_ok()) {
+      native_report_.spec_promoted_steps =
+          static_cast<std::uint64_t>(applied.value().promoted);
+      if (options_.parallel) {
+        for (const auto& [fn_id, verdicts] : analysis_.verdicts) {
+          for (const StepVerdict& v : verdicts) {
+            if (v.speculative) {
+              spec_functions_.insert(fn_id);
+              break;
+            }
+          }
+        }
+      }
+    } else {
+      native_report_.spec_profile_rejected = true;
+    }
   }
   // Allocate global grids in declaration order: scalars that define other
   // globals' extents are created (and initialized) before their users.
@@ -740,6 +773,23 @@ Machine::Machine(Program program, InterpOptions options)
 }
 
 Machine::~Machine() = default;
+
+DepProfile Machine::dep_profile() const {
+  if (profiler_ == nullptr) return DepProfile{};
+  return profiler_->profile(dep_profile_program_hash(program_));
+}
+
+bool Machine::spec_is_demoted(FunctionId fn, std::size_t step) {
+  const std::lock_guard<std::mutex> lock(spec_mutex_);
+  return spec_demoted_.count({fn, step}) != 0;
+}
+
+void Machine::spec_demote(FunctionId fn, std::size_t step) {
+  const std::lock_guard<std::mutex> lock(spec_mutex_);
+  if (spec_demoted_.insert({fn, step}).second) {
+    ++native_report_.spec_demoted_steps;
+  }
+}
 
 Instance* Machine::find_global(const std::string& name) {
   for (const auto& [id, inst] : globals_) {
@@ -814,7 +864,11 @@ StatusOr<double> Machine::call(const std::string& function,
   // literal scalars (C passes scalar parameters by value, so a global
   // passed by name — bound by reference in the interpreter — must take
   // the plan path).
-  if (native_ != nullptr) {
+  // Policy v4 routes calls into functions with speculative steps to the
+  // plan VM, where the validation leg lives — the kernel has no
+  // misspeculation protocol.
+  const bool spec_routed = spec_functions_.count(fn->id) != 0;
+  if (native_ != nullptr && !spec_routed) {
     const jit::AbiFunction* abi = native_->find(function);
     const bool literal_args =
         std::all_of(args.begin(), args.end(), [](const CallArg& a) {
@@ -850,8 +904,14 @@ StatusOr<double> Machine::call(const std::string& function,
   // Count every kNative call the kernel did not run — per-call routing
   // (unsupported ABI, grid-name arguments) and whole-engine
   // unavailability alike — so --strict-engine can refuse both.
+  // Speculation-routed calls are intentional plan dispatches, counted
+  // separately so strict mode does not mistake them for fallbacks.
   if (options_.engine == ExecEngine::kNative) {
-    ++native_report_.fallback_calls;
+    if (spec_routed && native_ != nullptr) {
+      ++native_report_.spec_plan_calls;
+    } else {
+      ++native_report_.fallback_calls;
+    }
   }
 
   std::vector<InstancePtr> bound;
@@ -896,6 +956,9 @@ StatusOr<double> Machine::call(const std::string& function,
     stats_.local_allocations += call_stats.local_allocations;
     stats_.parallel_regions += call_stats.parallel_regions;
     stats_.function_calls += call_stats.function_calls;
+    stats_.spec_regions += call_stats.spec_regions;
+    stats_.spec_validations += call_stats.spec_validations;
+    stats_.spec_misspeculations += call_stats.spec_misspeculations;
     return result;
   } catch (const InterpError& err) {
     return failed_precondition(err.what());

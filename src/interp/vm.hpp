@@ -12,6 +12,7 @@
 // GLAF_CHECKED_PLANS build option restores the full checks.
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -21,6 +22,40 @@
 #include "interp/plan.hpp"
 
 namespace glaf::interp {
+
+/// Element-offset [min, max] access bands of one plan ref for one rank
+/// of a speculative execution (empty band: max < min).
+struct SpecRefBands {
+  std::int64_t rmin = std::numeric_limits<std::int64_t>::max();
+  std::int64_t rmax = -1;
+  std::int64_t wmin = std::numeric_limits<std::int64_t>::max();
+  std::int64_t wmax = -1;
+};
+
+/// Per-rank access log of a speculative region (policy v4): every element
+/// load/store in the step body widens the owning ref's band; the post-join
+/// validator intersects bands across ranks (DESIGN.md §10).
+struct SpecLog {
+  std::vector<SpecRefBands> refs;
+
+  void note(std::uint32_t ref, std::int64_t off, bool write) {
+    SpecRefBands& b = refs[ref];
+    if (write) {
+      if (off < b.wmin) b.wmin = off;
+      if (off > b.wmax) b.wmax = off;
+    } else {
+      if (off < b.rmin) b.rmin = off;
+      if (off > b.rmax) b.rmax = off;
+    }
+  }
+  /// Inclusive range [lo, hi] (whole-grid library reductions).
+  void note_range(std::uint32_t ref, std::int64_t lo, std::int64_t hi,
+                  bool write) {
+    if (hi < lo) return;
+    note(ref, lo, write);
+    note(ref, hi, write);
+  }
+};
 
 /// One grid(+field) resolved to a raw buffer for the current call.
 struct BoundRef {
@@ -95,6 +130,18 @@ class PlanExecutor {
     CallScratch* cs = nullptr;
     const StepVerdict* verdict = nullptr;
     bool parallel_active = false;
+    /// Observation hooks on the element-access choke points (both null on
+    /// the common path): the dependence profiler (profile_deps runs) and
+    /// the per-rank band logger (speculative executions).
+    DepProfiler* prof = nullptr;
+    SpecLog* spec = nullptr;
+  };
+
+  /// What a speculative dispatch did (policy v4).
+  enum class SpecOutcome {
+    kNotRun,         ///< shape not speculatable here; caller runs serial
+    kCommitted,      ///< validation passed, scratch merged in rank order
+    kMisspeculated,  ///< conflict: scratch discarded, step re-run serially
   };
 
   CallScratch& acquire_scratch();
@@ -111,6 +158,14 @@ class PlanExecutor {
   void run_step_parallel(CallScratch& cs, const FunctionPlan& plan,
                          const StepPlan& sp, const Step& step,
                          const StepVerdict& verdict);
+  /// Speculative parallel execution with post-join band validation
+  /// (policy v4; see DESIGN.md §10 for the protocol).
+  SpecOutcome run_step_speculative(CallScratch& cs, const FunctionPlan& plan,
+                                   const StepPlan& sp,
+                                   const StepVerdict& verdict,
+                                   FunctionId fn_id, std::size_t step_index);
+  /// Cold observation path behind Ctx::prof / Ctx::spec.
+  void note_access(Ctx& C, std::uint32_t access, const double* p, bool write);
 
   void run_call_site(Ctx& C, const PlanInstr& in, double* result);
 

@@ -1,0 +1,199 @@
+// Planner-side tests for profile-guided speculation (policy v4):
+// apply_speculation must promote profile-clean blocked steps to
+// StepVerdict::speculative (with the (grid, field) bands the runtime
+// validator checks), leave observed-conflict steps serial with a note,
+// reject profiles recorded against a different program with a typed
+// error, and the DepProfiler must actually observe the conflicts the
+// plan VM feeds it. Serialization round-trips the profile text format.
+
+#include "analysis/speculate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/parallelize.hpp"
+#include "core/builder.hpp"
+#include "interp/machine.hpp"
+
+namespace glaf {
+namespace {
+
+// One blocked-but-profile-clean step: the MOD write subscript defeats
+// the affine analysis, but 17 is coprime to 16 so the writes are a
+// permutation — no element is ever touched twice.
+Program permute_program() {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {16});
+  auto w = pb.global("w", DataType::kDouble, {16});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, 15);
+  s.assign(a(call("MOD", {idx("i") * 17, E(16)})), w(idx("i")) + 1.0);
+  return pb.build().value();
+}
+
+DepProfile clean_profile(const Program& p, std::uint64_t conflicts = 0) {
+  DepProfile prof;
+  prof.program_hash = dep_profile_program_hash(p);
+  prof.steps[{"f", 0}] = {1, 16, conflicts};
+  return prof;
+}
+
+TEST(Speculate, ProfileCleanComplexStepPromotes) {
+  const Program p = permute_program();
+  ProgramAnalysis pa = analyze_program(p);
+  const Function* fn = p.find_function("f");
+  ASSERT_FALSE(pa.verdict(fn->id, 0).parallelizable)
+      << "MOD subscript must block the static analysis";
+
+  const auto summary = apply_speculation(p, &pa, clean_profile(p));
+  ASSERT_TRUE(summary.is_ok()) << summary.status().message();
+  EXPECT_EQ(summary.value().promoted, 1);
+  EXPECT_EQ(summary.value().conflicted, 0);
+
+  const StepVerdict& v = pa.verdict(fn->id, 0);
+  EXPECT_TRUE(v.speculative);
+  ASSERT_EQ(v.spec_bands.size(), 2u);
+  // Bands carry the write/read split the validator needs: a written,
+  // w read-only.
+  bool saw_written = false, saw_read_only = false;
+  for (const auto& band : v.spec_bands) {
+    if (band.written) {
+      saw_written = true;
+      EXPECT_EQ(p.grid(band.grid).name, "a");
+    } else {
+      saw_read_only = true;
+      EXPECT_EQ(p.grid(band.grid).name, "w");
+    }
+  }
+  EXPECT_TRUE(saw_written);
+  EXPECT_TRUE(saw_read_only);
+}
+
+TEST(Speculate, ObservedConflictStaysSerial) {
+  const Program p = permute_program();
+  ProgramAnalysis pa = analyze_program(p);
+  const auto summary =
+      apply_speculation(p, &pa, clean_profile(p, /*conflicts=*/3));
+  ASSERT_TRUE(summary.is_ok());
+  EXPECT_EQ(summary.value().promoted, 0);
+  EXPECT_EQ(summary.value().conflicted, 1);
+  const StepVerdict& v = pa.verdict(p.find_function("f")->id, 0);
+  EXPECT_FALSE(v.speculative);
+  EXPECT_TRUE(v.spec_bands.empty());
+  bool noted = false;
+  for (const std::string& n : v.notes) {
+    noted = noted || n.find("speculation rejected") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(Speculate, UnprofiledCandidateStaysSerial) {
+  const Program p = permute_program();
+  ProgramAnalysis pa = analyze_program(p);
+  DepProfile prof;
+  prof.program_hash = dep_profile_program_hash(p);  // valid but empty
+  const auto summary = apply_speculation(p, &pa, prof);
+  ASSERT_TRUE(summary.is_ok());
+  EXPECT_EQ(summary.value().promoted, 0);
+  EXPECT_EQ(summary.value().unprofiled, 1);
+  EXPECT_FALSE(pa.verdict(p.find_function("f")->id, 0).speculative);
+}
+
+TEST(Speculate, HashMismatchRejectsWithTypedError) {
+  const Program p = permute_program();
+  ProgramAnalysis pa = analyze_program(p);
+  DepProfile prof = clean_profile(p);
+  prof.program_hash ^= 1;  // profile from "a different program"
+  const auto summary = apply_speculation(p, &pa, prof);
+  ASSERT_FALSE(summary.is_ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(summary.status().message().find("different program"),
+            std::string::npos)
+      << summary.status().message();
+  // A rejected profile must not have touched any verdict.
+  EXPECT_FALSE(pa.verdict(p.find_function("f")->id, 0).speculative);
+}
+
+TEST(Speculate, ProfilerObservesRealCarriedDependence) {
+  // a(i) = a(i-1) + 1: every interior element is written at trip i and
+  // read back at trip i+1 — the profiler must count those conflicts, and
+  // apply_speculation must then refuse to promote the step.
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {16});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 1, 15);
+  s.assign(a(idx("i")), a(idx("i") - 1) + 1.0);
+  const Program p = pb.build().value();
+
+  InterpOptions opts;
+  opts.profile_deps = true;
+  Machine m(p, opts);
+  ASSERT_TRUE(m.call("f").is_ok());
+  const DepProfile prof = m.dep_profile();
+  EXPECT_EQ(prof.program_hash, dep_profile_program_hash(p));
+  const auto it = prof.steps.find({"f", 0});
+  ASSERT_NE(it, prof.steps.end());
+  EXPECT_EQ(it->second.invocations, 1u);
+  EXPECT_EQ(it->second.iterations, 15u);
+  // a(1)..a(14) are each touched in two trips with a write.
+  EXPECT_EQ(it->second.conflicts, 14u);
+
+  ProgramAnalysis pa = analyze_program(p);
+  const auto summary = apply_speculation(p, &pa, prof);
+  ASSERT_TRUE(summary.is_ok());
+  EXPECT_EQ(summary.value().promoted, 0);
+  EXPECT_EQ(summary.value().conflicted, 1);
+}
+
+TEST(Speculate, ProfilerSeesPermutationAsClean) {
+  const Program p = permute_program();
+  InterpOptions opts;
+  opts.profile_deps = true;
+  Machine m(p, opts);
+  ASSERT_TRUE(m.call("f").is_ok());
+  const DepProfile prof = m.dep_profile();
+  const auto it = prof.steps.find({"f", 0});
+  ASSERT_NE(it, prof.steps.end());
+  EXPECT_EQ(it->second.conflicts, 0u);
+
+  ProgramAnalysis pa = analyze_program(p);
+  const auto summary = apply_speculation(p, &pa, prof);
+  ASSERT_TRUE(summary.is_ok());
+  EXPECT_EQ(summary.value().promoted, 1);
+}
+
+TEST(Speculate, SerializeRoundTrips) {
+  DepProfile prof;
+  prof.program_hash = 0xdeadbeef12345678ull;
+  prof.steps[{"alpha", 0}] = {2, 32, 0};
+  prof.steps[{"beta", 3}] = {1, 7, 5};
+  const std::string text = serialize_dep_profile(prof);
+  const auto parsed = parse_dep_profile(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().program_hash, prof.program_hash);
+  ASSERT_EQ(parsed.value().steps.size(), 2u);
+  const DepProfileStep& beta = parsed.value().steps.at({"beta", 3});
+  EXPECT_EQ(beta.invocations, 1u);
+  EXPECT_EQ(beta.iterations, 7u);
+  EXPECT_EQ(beta.conflicts, 5u);
+}
+
+TEST(Speculate, ParseRejectsMalformedProfiles) {
+  EXPECT_FALSE(parse_dep_profile("").is_ok());
+  EXPECT_FALSE(parse_dep_profile("not-a-profile\n").is_ok());
+  // Header but no program hash line.
+  EXPECT_FALSE(parse_dep_profile("glaf-dep-profile 1\n").is_ok());
+  // Bad hash digits.
+  EXPECT_FALSE(
+      parse_dep_profile("glaf-dep-profile 1\nprogram zzzz\n").is_ok());
+  // Unknown record tag.
+  EXPECT_FALSE(parse_dep_profile(
+                   "glaf-dep-profile 1\nprogram 0\nbogus f 0 1 1 0\n")
+                   .is_ok());
+}
+
+}  // namespace
+}  // namespace glaf

@@ -160,6 +160,31 @@ TEST(GlafcJson, WithoutTheFlagStdoutStaysEmpty) {
   EXPECT_EQ(r.output, "") << "run mode must not pollute stdout";
 }
 
+TEST(GlafcPolicies, RejectsUnknownPolicyNames) {
+  // --policies is the documented alias for --policy; both must reject
+  // names outside v0..v4 with the full range in the message.
+  for (const char* flag : {"--policies=v9", "--policy=v9"}) {
+    const RunResult r = run_command(glafc() + " --builtin=sarb --run"
+                                              " --engine=plan " +
+                                    flag + " 2>&1");
+    ASSERT_TRUE(r.started);
+    EXPECT_NE(r.exit_code, 0) << flag << ": " << r.output;
+    EXPECT_NE(r.output.find("unknown policy 'v9' (v0..v4)"),
+              std::string::npos)
+        << flag << ": " << r.output;
+  }
+}
+
+TEST(GlafcPolicies, AcceptsV4WithoutAProfile) {
+  // v4 with no --profile degrades to the static verdicts: nothing to
+  // promote, but the run itself must succeed.
+  const RunResult r = run_command(
+      glafc() + " --builtin=sarb --run --engine=plan --policies=v4"
+                " --parallel --threads 2 2>&1");
+  ASSERT_TRUE(r.started);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
 TEST(GlafcEmitTier, CodegenModeEmitStillSelectsLanguages) {
   // Outside run mode --emit keeps its original meaning (target language).
   const RunResult r = run_command(

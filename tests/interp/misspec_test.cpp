@@ -1,0 +1,160 @@
+// Runtime misspeculation wall for policy v4. The plan VM's validation
+// leg is forced to fail through the `interp.spec.validate` fault site:
+// the speculative region must discard its scratch, re-run serially on
+// untouched shared state (bit-identical to a serial machine), bump the
+// misspeculation and demotion counters, and — the step being demoted —
+// run the next call serially without spawning another validation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/speculate.hpp"
+#include "core/builder.hpp"
+#include "interp/machine.hpp"
+#include "support/fault.hpp"
+
+namespace glaf {
+namespace {
+
+constexpr int kN = 64;
+
+// Blocked-but-clean step: a(MOD(65*i, 64)) = w(i) + a(i)/2. The MOD
+// write subscript defeats the static analysis, but 65 ≡ 1 (mod 64) so
+// the "permutation" is the identity: the element-level profile is
+// conflict-free AND per-rank [min,max] write bands stay contiguous and
+// disjoint, so an unfaulted validation must commit.
+Program spec_program() {
+  ProgramBuilder pb("m");
+  auto a = pb.global("a", DataType::kDouble, {kN});
+  auto w = pb.global("w", DataType::kDouble, {kN});
+  auto fb = pb.function("f");
+  auto s = fb.step("s");
+  s.foreach_("i", 0, kN - 1);
+  s.assign(a(call("MOD", {idx("i") * (kN + 1), E(kN)})),
+           w(idx("i")) + a(idx("i")) * 0.5);
+  return pb.build().value();
+}
+
+std::vector<double> inputs() {
+  std::vector<double> v(kN);
+  for (int i = 0; i < kN; ++i) v[i] = 1.0 / (3.0 + i);
+  return v;
+}
+
+std::shared_ptr<const DepProfile> record_profile(const Program& p) {
+  InterpOptions opts;
+  opts.profile_deps = true;
+  Machine m(p, opts);
+  EXPECT_TRUE(m.set_array("w", inputs()).is_ok());
+  EXPECT_TRUE(m.call("f").is_ok());
+  return std::make_shared<const DepProfile>(m.dep_profile());
+}
+
+std::vector<double> serial_reference(const Program& p) {
+  Machine m(p, {});
+  EXPECT_TRUE(m.set_array("w", inputs()).is_ok());
+  EXPECT_TRUE(m.call("f").is_ok());
+  return m.array("a").value();
+}
+
+InterpOptions v4_opts(std::shared_ptr<const DepProfile> profile) {
+  InterpOptions o;
+  o.engine = ExecEngine::kPlan;
+  o.parallel = true;
+  o.num_threads = 4;
+  o.deterministic_parallel = true;
+  o.policy = DirectivePolicy::kV4;
+  o.dep_profile = std::move(profile);
+  return o;
+}
+
+class MisspecTest : public testing::Test {
+ protected:
+  void TearDown() override { fault::clear(); }
+};
+
+TEST_F(MisspecTest, ForcedMisspeculationIsBitIdenticalAndDemotes) {
+  const Program p = spec_program();
+  const std::vector<double> expect = serial_reference(p);
+
+  // Arm the validator: every validation reports a conflict.
+  ASSERT_TRUE(fault::configure("interp.spec.validate", 1).is_ok());
+
+  Machine m(p, v4_opts(record_profile(p)));
+  EXPECT_EQ(m.native_report().spec_promoted_steps, 1u);
+  EXPECT_FALSE(m.native_report().spec_profile_rejected);
+  ASSERT_TRUE(m.set_array("w", inputs()).is_ok());
+  ASSERT_TRUE(m.call("f").is_ok());
+
+  // The serial re-run must leave shared state exactly as a serial
+  // machine would: scratch bands were discarded, not committed.
+  const std::vector<double> got = m.array("a").value();
+  ASSERT_EQ(got.size(), expect.size());
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(got[i], expect[i]) << "a[" << i << "]";
+
+  EXPECT_EQ(m.stats().spec_regions, 1u);
+  EXPECT_EQ(m.stats().spec_validations, 1u);
+  EXPECT_EQ(m.stats().spec_misspeculations, 1u);
+  EXPECT_EQ(m.native_report().spec_demoted_steps, 1u);
+
+  // Second call: the step is demoted — it must run serially without
+  // spawning another speculative region or validation.
+  m.reset_stats();
+  ASSERT_TRUE(m.call("f").is_ok());
+  EXPECT_EQ(m.stats().spec_regions, 0u);
+  EXPECT_EQ(m.stats().spec_validations, 0u);
+  EXPECT_EQ(m.stats().spec_misspeculations, 0u);
+  EXPECT_EQ(m.native_report().spec_demoted_steps, 1u);
+}
+
+TEST_F(MisspecTest, CleanSpeculationCommitsBitIdentical) {
+  const Program p = spec_program();
+  const std::vector<double> expect = serial_reference(p);
+
+  Machine m(p, v4_opts(record_profile(p)));
+  ASSERT_TRUE(m.set_array("w", inputs()).is_ok());
+  ASSERT_TRUE(m.call("f").is_ok());
+
+  const std::vector<double> got = m.array("a").value();
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(got[i], expect[i]) << "a[" << i << "]";
+
+  EXPECT_EQ(m.stats().spec_regions, 1u);
+  EXPECT_EQ(m.stats().spec_validations, 1u);
+  EXPECT_EQ(m.stats().spec_misspeculations, 0u);
+  EXPECT_EQ(m.native_report().spec_demoted_steps, 0u);
+  // Committed speculative regions count as parallel regions too.
+  EXPECT_EQ(m.stats().parallel_regions, 1u);
+}
+
+TEST_F(MisspecTest, WithoutProfileV4FallsBackToSerial) {
+  // Policy v4 with no attached profile has nothing to promote: the
+  // blocked step stays serial and no speculative machinery engages.
+  const Program p = spec_program();
+  Machine m(p, v4_opts(nullptr));
+  EXPECT_EQ(m.native_report().spec_promoted_steps, 0u);
+  ASSERT_TRUE(m.set_array("w", inputs()).is_ok());
+  ASSERT_TRUE(m.call("f").is_ok());
+  EXPECT_EQ(m.stats().spec_regions, 0u);
+  const std::vector<double> expect = serial_reference(p);
+  const std::vector<double> got = m.array("a").value();
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(got[i], expect[i]);
+}
+
+TEST_F(MisspecTest, StaleProfileIsRejectedNotApplied) {
+  // A profile recorded against a different program must be rejected at
+  // machine construction: report flag set, nothing promoted.
+  const Program p = spec_program();
+  auto stale = std::make_shared<DepProfile>(*record_profile(p));
+  stale->program_hash ^= 1;
+  Machine m(p, v4_opts(std::move(stale)));
+  EXPECT_TRUE(m.native_report().spec_profile_rejected);
+  EXPECT_EQ(m.native_report().spec_promoted_steps, 0u);
+  ASSERT_TRUE(m.set_array("w", inputs()).is_ok());
+  ASSERT_TRUE(m.call("f").is_ok());
+  EXPECT_EQ(m.stats().spec_regions, 0u);
+}
+
+}  // namespace
+}  // namespace glaf

@@ -99,6 +99,34 @@ TEST(UlpClose, PureUlpBudget) {
   EXPECT_FALSE(ulp_close(kInf, kMax, 0, 1e-2, 1e300));
 }
 
+TEST(UlpClose, OneNanIsIncomparableEvenWithHugeBands) {
+  // An incomparable pair must never be rescued by a generous budget:
+  // neither a near-saturating ulp allowance nor enormous rtol/atol bands
+  // may declare a NaN "close" to a number.
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ulp_close(qnan, 1.0, ~std::uint64_t{0} - 1, 1e300, 1e300));
+  EXPECT_FALSE(ulp_close(0.0, qnan, ~std::uint64_t{0} - 1, 1e300, 1e300));
+  EXPECT_FALSE(ulp_close(qnan, kInf, ~std::uint64_t{0} - 1, 1e300, 1e300));
+  EXPECT_FALSE(ulp_close(-qnan, -1.0, 1u << 20, 0.5, 0.5));
+}
+
+TEST(UlpClose, SignedZeroAndCrossSignBoundaries) {
+  // The ±0 pair is distance 0 — close even with a zero budget and no
+  // bands — and the smallest cross-sign pair (-denorm_min, +denorm_min)
+  // is exactly two steps through zero: a budget of 2 admits it, 1 does
+  // not.
+  EXPECT_TRUE(ulp_close(-0.0, 0.0, 0));
+  EXPECT_TRUE(ulp_close(0.0, kDenormMin, 1));
+  EXPECT_FALSE(ulp_close(0.0, kDenormMin, 0));
+  EXPECT_TRUE(ulp_close(-kDenormMin, kDenormMin, 2));
+  EXPECT_FALSE(ulp_close(-kDenormMin, kDenormMin, 1));
+  // A sign flip on a normal value is astronomically far in ulps, but the
+  // absolute band can still admit it — and the tiny pair stays admitted.
+  EXPECT_FALSE(ulp_close(-1.0, 1.0, 1u << 30));
+  EXPECT_TRUE(ulp_close(-1.0, 1.0, 0, 0.0, 2.5));
+  EXPECT_TRUE(ulp_close(-kDenormMin, kDenormMin, 0, 0.0, 1e-300));
+}
+
 TEST(UlpClose, RelativeBandCoversWhatUlpsDoNot) {
   // 1 + 1e-12 is thousands of ulps from 1.0 but relatively tiny.
   const double a = 1.0;

@@ -26,8 +26,16 @@
 //   glaf-fuzz --fuse                   add the fused-region parallel-native
 //                                      legs (ABI v3: adjacent fusable steps
 //                                      share one fork/join), also bitwise
+//   glaf-fuzz --speculate              add the policy-v4 legs: a bitwise
+//                                      serial profiling run, the speculative
+//                                      parallel plan engine driven by that
+//                                      profile, and the same run with the
+//                                      validation fault site armed (forced
+//                                      misspeculation + serial re-runs) —
+//                                      all three held to exact equality
 //   glaf-fuzz --policies=all|v0,v2,..  directive policies for those legs
-//                                      (default all of v0..v3)
+//                                      (default all of v0..v3; v4 implies
+//                                      --speculate)
 //   glaf-fuzz --emit=opt               add the opt-tier native leg (typed
 //                                      storage, -O3, contraction on). The
 //                                      comparator forks: every interp-tier
@@ -84,7 +92,7 @@ void usage(const char* argv0) {
                "          [--repro-dir DIR] [--replay FILE] [--dump-seed N]\n"
                "          [--threads N] [--rtol X] [--atol X] [--no-cc]\n"
                "          [--no-native] [--no-parallel] [--parallel] [--fuse]\n"
-               "          [--policies=all|v0,v1,...]\n"
+               "          [--speculate] [--policies=all|v0,v1,...]\n"
                "          [--engine=plan|treewalk|both|native]\n"
                "          [--emit=interp|opt] [--max-ulp N]\n"
                "          [--opt-rtol X] [--opt-atol X]\n",
@@ -145,6 +153,8 @@ bool parse_args(int argc, char** argv, CliOptions* opts) {
       opts->oracle.run_native_parallel = true;
     } else if (arg == "--fuse") {
       opts->oracle.run_native_fused = true;
+    } else if (arg == "--speculate") {
+      opts->oracle.run_speculative = true;
     } else if (arg.rfind("--policies", 0) == 0) {
       std::string value;
       if (arg.size() > 10 && arg[10] == '=') {
@@ -171,6 +181,10 @@ bool parse_args(int argc, char** argv, CliOptions* opts) {
             policies.push_back(DirectivePolicy::kV2);
           } else if (name == "v3") {
             policies.push_back(DirectivePolicy::kV3);
+          } else if (name == "v4") {
+            // v4 is not a per-policy interpreter leg: it selects the
+            // speculative leg set, same as --speculate.
+            opts->oracle.run_speculative = true;
           } else {
             std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
             return false;
@@ -415,8 +429,10 @@ int main(int argc, char** argv) {
       ++duplicates;  // identical program already exercised this sweep
       continue;
     }
-    const OracleReport report =
-        run_oracle(fp.program, fp.entry, opts.oracle);
+    OracleOptions oracle = opts.oracle;
+    // Different fault-injection decisions per seed, reproducible per seed.
+    oracle.spec_fault_seed = seed + 1;
+    const OracleReport report = run_oracle(fp.program, fp.entry, oracle);
     ++ran;
     if (!report.agreed()) {
       std::fprintf(stderr, "seed %llu: DIVERGED\n",
